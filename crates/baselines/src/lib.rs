@@ -1,0 +1,37 @@
+//! # muxlink-attack-baselines
+//!
+//! The prior oracle-less attacks the paper compares against — all of which
+//! fail on D-MUX and symmetric MUX locking, motivating MuxLink:
+//!
+//! * **SCOPE** (Alaql et al., TVLSI 2021) — unsupervised constant
+//!   propagation: hard-code each key bit both ways, re-synthesise, and read
+//!   the key from synthesis-report feature differences — [`scope`].
+//! * **SWEEP** (Alaql et al., AsianHOST 2019) — the supervised variant: a
+//!   linear model over the same per-bit feature deltas, trained on locked
+//!   designs with known keys — [`sweep`].
+//! * **SAAM** (Sisejkovic et al.) — structural analysis against *naive*
+//!   MUX locking: a MUX data wire that would dangle when deselected must
+//!   be the true wire — [`saam`].
+//!
+//! The re-synthesis step is [`muxlink_netlist::opt::resynthesize`]; the
+//! feature vector is [`muxlink_netlist::stats::NetlistStats`] (gate count,
+//! literals, area, depth, switching-activity power proxy, per-type
+//! counts) — the proxies for the commercial-tool report columns the
+//! original attacks consume.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod omla;
+pub mod resynth;
+pub mod saam;
+pub mod sail;
+pub mod scope;
+pub mod sweep;
+
+pub use omla::{omla_attack, OmlaConfig, OmlaError};
+pub use resynth::{key_bit_features, KeyBitFeatures};
+pub use saam::saam_attack;
+pub use sail::sail_lite_attack;
+pub use scope::{scope_attack, ScopeConfig};
+pub use sweep::{SweepConfig, SweepModel};

@@ -1,0 +1,120 @@
+//! SAAM: structural analysis attack on MUX-based locking.
+//!
+//! SAAM inspects each key MUX's two data wires. A wire whose *only* reader
+//! is the MUX itself would dangle (stranding its whole logic cone) if the
+//! key deselected it — since sane designs contain no dead logic, such a
+//! wire must be the **true** input, revealing the key bit. Naive MUX
+//! locking frequently creates this give-away; D-MUX and symmetric locking
+//! are built so that every data wire always has another reader, forcing
+//! SAAM to abstain on every bit.
+
+use muxlink_locking::KeyValue;
+use muxlink_netlist::{GateType, Netlist, NetlistError};
+
+/// Runs SAAM; returns one [`KeyValue`] per entry of `key_inputs` (in
+/// order). Bits whose MUX shows no dangling wire are `X`.
+///
+/// # Errors
+///
+/// [`NetlistError::UnknownNet`] when a key input does not exist. A key
+/// input that does not drive a MUX select yields `X` (SAAM only reasons
+/// about MUX key-gates).
+pub fn saam_attack(
+    locked: &Netlist,
+    key_inputs: &[String],
+) -> Result<Vec<KeyValue>, NetlistError> {
+    let mut out = Vec::with_capacity(key_inputs.len());
+    let output_nets: std::collections::HashSet<_> = locked.outputs().iter().copied().collect();
+    for name in key_inputs {
+        let key_net = locked
+            .find_net(name)
+            .ok_or_else(|| NetlistError::UnknownNet(name.clone()))?;
+        // Find the MUX(es) selected by this key bit.
+        let mut decision = KeyValue::X;
+        for (_, gate) in locked.gates() {
+            if gate.ty() != GateType::Mux || gate.inputs()[0] != key_net {
+                continue;
+            }
+            let (in0, in1) = (gate.inputs()[1], gate.inputs()[2]);
+            // A wire dangles when deselected iff the MUX is its only
+            // reader and it is not a primary output.
+            let dangles = |net| {
+                locked.fanout_count(net) == 1 && !output_nets.contains(&net)
+            };
+            let d0 = dangles(in0);
+            let d1 = dangles(in1);
+            let this = match (d0, d1) {
+                (true, false) => KeyValue::Zero, // in0 must stay connected
+                (false, true) => KeyValue::One,
+                _ => KeyValue::X,
+            };
+            // Multiple MUXes on one key bit (S4): keep any decided value;
+            // conflicting decisions fall back to X.
+            decision = match (decision, this) {
+                (KeyValue::X, v) => v,
+                (v, KeyValue::X) => v,
+                (a, b) if a == b => a,
+                _ => KeyValue::X,
+            };
+        }
+        out.push(decision);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muxlink_benchgen::synth::SynthConfig;
+    use muxlink_locking::{dmux, naive_mux, symmetric, LockOptions};
+
+    #[test]
+    fn saam_breaks_naive_mux_locking() {
+        let design = SynthConfig::new("d", 16, 8, 300).generate(8);
+        let locked = naive_mux::lock(&design, &LockOptions::new(24, 4)).unwrap();
+        let guess = saam_attack(&locked.netlist, &locked.key_input_names()).unwrap();
+        let decided: Vec<_> = guess
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_bool().map(|b| (i, b)))
+            .collect();
+        let correct = decided
+            .iter()
+            .filter(|(i, b)| *b == locked.key.bit(*i))
+            .count();
+        assert!(
+            !decided.is_empty(),
+            "naive MUX locking must expose dangling true wires"
+        );
+        assert_eq!(
+            correct,
+            decided.len(),
+            "every SAAM decision is provably correct"
+        );
+    }
+
+    #[test]
+    fn saam_abstains_on_dmux() {
+        let design = SynthConfig::new("d", 16, 8, 300).generate(9);
+        let locked = dmux::lock(&design, &LockOptions::new(16, 5)).unwrap();
+        let guess = saam_attack(&locked.netlist, &locked.key_input_names()).unwrap();
+        assert!(
+            guess.iter().all(|v| *v == KeyValue::X),
+            "D-MUX guarantees no dangling wires"
+        );
+    }
+
+    #[test]
+    fn saam_abstains_on_symmetric() {
+        let design = SynthConfig::new("d", 16, 8, 300).generate(10);
+        let locked = symmetric::lock(&design, &LockOptions::new(16, 5)).unwrap();
+        let guess = saam_attack(&locked.netlist, &locked.key_input_names()).unwrap();
+        assert!(guess.iter().all(|v| *v == KeyValue::X));
+    }
+
+    #[test]
+    fn unknown_key_input_rejected() {
+        let design = SynthConfig::new("d", 8, 4, 60).generate(11);
+        assert!(saam_attack(&design, &["ghost".to_owned()]).is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! SCOPE: synthesis-based constant-propagation attack (unsupervised).
+//!
+//! For every key bit, SCOPE hard-codes the bit to 0 and to 1,
+//! re-synthesises, and compares design features. If one cofactor
+//! optimises to a *simpler* design (fewer gates/literals/area), the
+//! corresponding key value is predicted — the intuition being that the
+//! correct constant lets the synthesis tool fold the key logic away.
+//! When the two cofactors are indistinguishable the bit is reported `X`.
+//!
+//! Against D-MUX/S5 the defenses guarantee indistinguishable cofactors,
+//! which is exactly the ≈50 % KPA resilience shown in the paper's Fig. 2.
+
+use muxlink_locking::KeyValue;
+use muxlink_netlist::{Netlist, NetlistError};
+use serde::{Deserialize, Serialize};
+
+use crate::resynth::key_bit_features;
+
+/// SCOPE tunables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScopeConfig {
+    /// Minimum absolute weighted-score difference to make a decision.
+    pub decision_eps: f64,
+    /// Feature weights (same layout as
+    /// [`muxlink_netlist::stats::NetlistStats::feature_vector`]); the
+    /// default emphasises gate count, literals and area.
+    pub weights: Vec<f64>,
+}
+
+impl Default for ScopeConfig {
+    fn default() -> Self {
+        Self {
+            decision_eps: 1e-6,
+            // [gates, literals, area, depth, switching, 8 × per-type]
+            weights: vec![
+                1.0, 0.5, 0.8, 0.1, 0.2, //
+                0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1,
+            ],
+        }
+    }
+}
+
+/// Runs SCOPE on a locked netlist; returns one [`KeyValue`] per entry of
+/// `key_inputs`.
+///
+/// # Errors
+///
+/// Propagates netlist errors from re-synthesis.
+pub fn scope_attack(
+    locked: &Netlist,
+    key_inputs: &[String],
+    cfg: &ScopeConfig,
+) -> Result<Vec<KeyValue>, NetlistError> {
+    let mut out = Vec::with_capacity(key_inputs.len());
+    for name in key_inputs {
+        let f = key_bit_features(locked, name)?;
+        let score0 = weighted(&f.f0, &cfg.weights);
+        let score1 = weighted(&f.f1, &cfg.weights);
+        let v = if (score0 - score1).abs() < cfg.decision_eps {
+            KeyValue::X
+        } else if score0 < score1 {
+            // Tying the bit to 0 gave the simpler design ⇒ predict 0.
+            KeyValue::Zero
+        } else {
+            KeyValue::One
+        };
+        out.push(v);
+    }
+    Ok(out)
+}
+
+fn weighted(features: &[f64], weights: &[f64]) -> f64 {
+    features
+        .iter()
+        .zip(weights)
+        .map(|(f, w)| f * w)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muxlink_benchgen::synth::SynthConfig;
+    use muxlink_locking::{dmux, symmetric, xor, LockOptions};
+
+    #[test]
+    fn scope_breaks_xor_locking() {
+        let design = SynthConfig::new("d", 14, 6, 200).generate(4);
+        let locked = xor::lock(&design, &LockOptions::new(12, 6)).unwrap();
+        let guess = scope_attack(
+            &locked.netlist,
+            &locked.key_input_names(),
+            &ScopeConfig::default(),
+        )
+        .unwrap();
+        let correct = guess
+            .iter()
+            .enumerate()
+            .filter(|(i, v)| v.as_bool() == Some(locked.key.bit(*i)))
+            .count();
+        let decided = guess.iter().filter(|v| v.as_bool().is_some()).count();
+        assert!(decided >= 8, "XOR locking should be decidable, got {decided}");
+        assert!(
+            correct * 10 >= decided * 8,
+            "KPA on XOR locking should be high: {correct}/{decided}"
+        );
+    }
+
+    #[test]
+    fn scope_blind_on_dmux() {
+        let design = SynthConfig::new("d", 16, 8, 300).generate(5);
+        let locked = dmux::lock(&design, &LockOptions::new(16, 7)).unwrap();
+        let guess = scope_attack(
+            &locked.netlist,
+            &locked.key_input_names(),
+            &ScopeConfig::default(),
+        )
+        .unwrap();
+        // Resilience: the decided bits (if any) are essentially coin flips
+        // and most bits are undecidable.
+        let decided: Vec<(usize, bool)> = guess
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_bool().map(|b| (i, b)))
+            .collect();
+        let correct = decided
+            .iter()
+            .filter(|(i, b)| *b == locked.key.bit(*i))
+            .count();
+        assert!(
+            decided.len() <= 6 || correct * 10 <= decided.len() * 8,
+            "SCOPE should not break D-MUX: {} decided, {} correct",
+            decided.len(),
+            correct
+        );
+    }
+
+    #[test]
+    fn scope_blind_on_symmetric() {
+        let design = SynthConfig::new("d", 16, 8, 300).generate(6);
+        let locked = symmetric::lock(&design, &LockOptions::new(16, 7)).unwrap();
+        let guess = scope_attack(
+            &locked.netlist,
+            &locked.key_input_names(),
+            &ScopeConfig::default(),
+        )
+        .unwrap();
+        // The cofactors stay the same size; any decisions ride on noise in
+        // the soft features (switching activity), so the hit rate is a
+        // coin flip — the paper's "KPA ≈ 50%" resilience.
+        let decided: Vec<(usize, bool)> = guess
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_bool().map(|b| (i, b)))
+            .collect();
+        let correct = decided
+            .iter()
+            .filter(|(i, b)| *b == locked.key.bit(*i))
+            .count();
+        if decided.len() >= 4 {
+            let kpa = correct as f64 / decided.len() as f64;
+            assert!(
+                (0.15..=0.85).contains(&kpa),
+                "SCOPE KPA on symmetric locking should be near 50%, got {kpa}"
+            );
+        }
+    }
+}

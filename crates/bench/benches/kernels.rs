@@ -1,0 +1,127 @@
+//! Criterion micro-benchmarks for the computational kernels behind every
+//! figure: h-hop subgraph extraction (Fig. 10's dominant cost), DGCNN
+//! forward/backward (training time in Figs. 7/9/10), locking insertion,
+//! bit-parallel simulation (Fig. 8) and the resynthesis pass (Fig. 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use muxlink_benchgen::synth::SynthConfig;
+use muxlink_core::MuxLinkConfig;
+use muxlink_gnn::{Dgcnn, DgcnnConfig, GraphSample, Matrix};
+use muxlink_graph::dataset::DatasetConfig;
+use muxlink_graph::{build_dataset, extract};
+use muxlink_locking::{dmux, symmetric, LockOptions};
+use muxlink_netlist::sim::Simulator;
+
+fn bench_subgraph(c: &mut Criterion) {
+    let design = SynthConfig::new("k", 32, 16, 1500).generate(1);
+    let locked = dmux::lock(&design, &LockOptions::new(32, 2)).unwrap();
+    let ex = extract(&locked.netlist, &locked.key_input_names()).unwrap();
+    let link = ex.muxes[0].link0();
+    let mut group = c.benchmark_group("subgraph_extraction");
+    for h in [1usize, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(h), &h, |b, &h| {
+            b.iter(|| muxlink_graph::enclosing_subgraph(&ex.graph, link, h, None));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gnn(c: &mut Criterion) {
+    let cfg = DgcnnConfig::paper(24, 30);
+    let mut model = Dgcnn::new(cfg);
+    let mut rng = muxlink_gnn::matrix::seeded_rng(7);
+    // A 60-node random graph sample.
+    let n = 60usize;
+    let mut adj = vec![Vec::new(); n];
+    for i in 1..n {
+        let j = i / 2;
+        adj[i].push(j as u32);
+        adj[j].push(i as u32);
+    }
+    let sample = GraphSample {
+        adj,
+        features: Matrix::glorot(n, 24, &mut rng),
+        label: Some(true),
+    };
+    c.bench_function("dgcnn_forward", |b| {
+        b.iter(|| model.forward(&sample, None));
+    });
+    c.bench_function("dgcnn_forward_backward", |b| {
+        b.iter(|| {
+            model.zero_grads();
+            let cache = model.forward(&sample, None);
+            model.backward(&sample, &cache, true);
+        });
+    });
+}
+
+fn bench_locking(c: &mut Criterion) {
+    let design = SynthConfig::new("k", 32, 16, 1200).generate(3);
+    let mut group = c.benchmark_group("locking");
+    group.sample_size(10);
+    group.bench_function("dmux_k32", |b| {
+        b.iter(|| dmux::lock(&design, &LockOptions::new(32, 5)).unwrap());
+    });
+    group.bench_function("symmetric_k32", |b| {
+        b.iter(|| symmetric::lock(&design, &LockOptions::new(32, 5)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let design = SynthConfig::new("k", 32, 16, 2000).generate(4);
+    let sim = Simulator::new(&design).unwrap();
+    let words: Vec<u64> = (0..32).map(|i| 0x9E37_79B9_7F4A_7C15u64.rotate_left(i)).collect();
+    c.bench_function("sim_2000_gates_64_patterns", |b| {
+        b.iter(|| sim.run_words(&words));
+    });
+}
+
+fn bench_resynth(c: &mut Criterion) {
+    let design = SynthConfig::new("k", 24, 12, 800).generate(5);
+    let locked = dmux::lock(&design, &LockOptions::new(8, 6)).unwrap();
+    let mut constants = std::collections::HashMap::new();
+    constants.insert("keyinput0".to_owned(), false);
+    c.bench_function("resynthesize_800_gates", |b| {
+        b.iter(|| muxlink_netlist::opt::resynthesize(&locked.netlist, &constants).unwrap());
+    });
+}
+
+fn bench_dataset(c: &mut Criterion) {
+    let design = SynthConfig::new("k", 24, 12, 800).generate(8);
+    let locked = dmux::lock(&design, &LockOptions::new(16, 9)).unwrap();
+    let ex = extract(&locked.netlist, &locked.key_input_names()).unwrap();
+    let targets = ex.target_links();
+    let cfg = DatasetConfig {
+        h: 2,
+        max_train_links: 200,
+        val_fraction: 0.1,
+        max_subgraph_nodes: Some(64),
+        seed: 0,
+    };
+    let mut group = c.benchmark_group("dataset");
+    group.sample_size(10);
+    group.bench_function("build_200_links_h2", |b| {
+        b.iter(|| build_dataset(&ex.graph, &targets, &cfg));
+    });
+    group.finish();
+}
+
+fn bench_quick_profile_constant(_c: &mut Criterion) {
+    // Sanity anchor: the quick attack profile must exist for the pipeline
+    // bench in `pipeline.rs` (compile-time cross-check only).
+    let _ = MuxLinkConfig::quick();
+}
+
+criterion_group!(
+    kernels,
+    bench_subgraph,
+    bench_gnn,
+    bench_locking,
+    bench_sim,
+    bench_resynth,
+    bench_dataset,
+    bench_quick_profile_constant
+);
+criterion_main!(kernels);

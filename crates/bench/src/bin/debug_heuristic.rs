@@ -1,0 +1,66 @@
+//! Internal diagnostic: do simple structural heuristics (residual
+//! distance, common neighbours) separate the true from the false MUX wire?
+
+use std::collections::VecDeque;
+
+use muxlink_locking::{dmux, LockOptions};
+
+fn bfs_dist(adj: &[Vec<u32>], a: u32, b: u32) -> usize {
+    let mut dist = vec![usize::MAX; adj.len()];
+    let mut q = VecDeque::new();
+    dist[a as usize] = 0;
+    q.push_back(a);
+    while let Some(u) = q.pop_front() {
+        if u == b {
+            return dist[u as usize];
+        }
+        for &v in &adj[u as usize] {
+            if dist[v as usize] == usize::MAX {
+                dist[v as usize] = dist[u as usize] + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    usize::MAX
+}
+
+fn common_neighbors(adj: &[Vec<u32>], a: u32, b: u32) -> usize {
+    adj[a as usize]
+        .iter()
+        .filter(|x| adj[b as usize].binary_search(x).is_ok())
+        .count()
+}
+
+fn main() {
+    let design = muxlink_benchgen::synth::SynthConfig::new("demo", 16, 8, 300).generate(42);
+    let locked = dmux::lock(&design, &LockOptions::new(16, 7)).unwrap();
+    let ex = muxlink_graph::extract(&locked.netlist, &locked.key_input_names()).unwrap();
+
+    println!("mux truth  d(true) d(false)  cn(true) cn(false)");
+    let mut dist_correct = 0;
+    let mut dist_total = 0;
+    for m in &ex.muxes {
+        let truth = locked.key.bit(m.key_bit);
+        let (t, f) = if truth { (m.src1, m.src0) } else { (m.src0, m.src1) };
+        let dt = bfs_dist(&ex.graph.adj, t, m.sink);
+        let df = bfs_dist(&ex.graph.adj, f, m.sink);
+        let ct = common_neighbors(&ex.graph.adj, t, m.sink);
+        let cf = common_neighbors(&ex.graph.adj, f, m.sink);
+        println!(
+            "{:>3} {:>5}  {:>7} {:>8}  {:>8} {:>9}",
+            m.key_bit,
+            u8::from(truth),
+            dt,
+            df,
+            ct,
+            cf
+        );
+        if dt != df {
+            dist_total += 1;
+            if dt < df {
+                dist_correct += 1;
+            }
+        }
+    }
+    println!("\ndistance heuristic: {dist_correct}/{dist_total} decided correctly");
+}

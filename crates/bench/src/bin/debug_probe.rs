@@ -1,0 +1,65 @@
+//! Internal diagnostic: inspects GNN training quality and the correlation
+//! between link scores and ground truth on one locked design.
+//!
+//! Env knobs: GATES, EPOCHS, LR, LINKS, H, CAP, KEY, SEED, RECONV.
+
+use muxlink_core::{score_design, MuxLinkConfig};
+use muxlink_locking::{dmux, LockOptions};
+
+fn env<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let gates: usize = env("GATES", 300);
+    let key: usize = env("KEY", 16);
+    let seed: u64 = env("SEED", 42);
+    let mut synth = muxlink_benchgen::synth::SynthConfig::new("demo", 16, 8, gates);
+    synth.reconvergence_prob = env("RECONV", synth.reconvergence_prob);
+    let design = synth.generate(seed);
+    let locked = dmux::lock(&design, &LockOptions::new(key, 7)).unwrap();
+
+    let mut cfg = MuxLinkConfig::quick();
+    cfg.epochs = env("EPOCHS", cfg.epochs);
+    cfg.learning_rate = env("LR", cfg.learning_rate);
+    cfg.max_train_links = env("LINKS", cfg.max_train_links);
+    cfg.h = env("H", cfg.h);
+    cfg.max_subgraph_nodes = Some(env("CAP", cfg.max_subgraph_nodes.unwrap_or(200)));
+    let t0 = std::time::Instant::now();
+    let scored = score_design(&locked.netlist, &locked.key_input_names(), &cfg).unwrap();
+
+    println!(
+        "gates={gates} key={key} epochs={} lr={} links={} h={} cap={:?} k={}",
+        cfg.epochs, cfg.learning_rate, cfg.max_train_links, cfg.h, cfg.max_subgraph_nodes, scored.k
+    );
+    for e in &scored.train_report.history {
+        if e.epoch % 10 == 0 || e.epoch == 1 {
+            println!(
+                "epoch {:>3}: train_loss {:.4} val_loss {:.4} val_acc {:.3}",
+                e.epoch, e.train_loss, e.val_loss, e.val_accuracy
+            );
+        }
+    }
+    println!(
+        "best epoch {} val_acc {:.3}",
+        scored.train_report.best_epoch, scored.train_report.best_val_accuracy
+    );
+
+    let mut correct_by_score = 0;
+    for (i, m) in scored.extracted.muxes.iter().enumerate() {
+        let truth = locked.key.bit(m.key_bit);
+        let (l0, l1) = scored.scores[i];
+        if (l1 > l0) == truth {
+            correct_by_score += 1;
+        }
+    }
+    println!(
+        "forced-choice accuracy over muxes: {}/{}  ({:.1}s)",
+        correct_by_score,
+        scored.extracted.muxes.len(),
+        t0.elapsed().as_secs_f64()
+    );
+}

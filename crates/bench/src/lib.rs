@@ -1,0 +1,333 @@
+//! Shared harness utilities for the figure-regeneration binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--paper-scale` — run at the published constants (full-size synthetic
+//!   benchmarks, 100 epochs, 100 000 links, 100 000 patterns). Hours of
+//!   CPU time.
+//! * `--scale <f>` — benchmark-size multiplier (default 0.12).
+//! * `--key-size <n>` — override the key size per design.
+//! * `--seed <n>` — master seed (default 1).
+//! * `--json <path>` — also write machine-readable results.
+//!
+//! Results print as aligned text tables mirroring the paper's figures and
+//! serialise to JSON for `EXPERIMENTS.md` bookkeeping.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod runner;
+
+use std::fmt::Write as _;
+
+use muxlink_benchgen::SyntheticSuite;
+use muxlink_core::MuxLinkConfig;
+use serde::Serialize;
+
+/// Parsed command-line options shared by all figure binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessOptions {
+    /// Run with the paper's constants.
+    pub paper_scale: bool,
+    /// Benchmark-size multiplier (ignored under `--paper-scale`).
+    pub scale: f64,
+    /// Key-size override.
+    pub key_size: Option<usize>,
+    /// Master seed.
+    pub seed: u64,
+    /// Optional JSON output path.
+    pub json: Option<String>,
+    /// Optional cap on the number of benchmarks per suite (smallest first).
+    pub max_benchmarks: Option<usize>,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        Self {
+            paper_scale: false,
+            scale: 0.12,
+            key_size: None,
+            seed: 1,
+            json: None,
+            max_benchmarks: None,
+        }
+    }
+}
+
+impl HarnessOptions {
+    /// Parses `std::env::args`-style arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed flags (these are developer
+    /// tools; fail fast and loud).
+    #[must_use]
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut opts = Self::default();
+        let mut it = args.peekable();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--paper-scale" => opts.paper_scale = true,
+                "--scale" => {
+                    opts.scale = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--scale needs a float");
+                }
+                "--key-size" => {
+                    opts.key_size = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--key-size needs an integer"),
+                    );
+                }
+                "--seed" => {
+                    opts.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs an integer");
+                }
+                "--json" => {
+                    opts.json = Some(it.next().expect("--json needs a path"));
+                }
+                "--max-benchmarks" => {
+                    opts.max_benchmarks = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--max-benchmarks needs an integer"),
+                    );
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --paper-scale | --scale <f> | --key-size <n> | \
+                         --seed <n> | --json <path> | --max-benchmarks <n>"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag `{other}` (try --help)"),
+            }
+        }
+        opts
+    }
+
+    /// The ISCAS-85 suite at the requested scale.
+    #[must_use]
+    pub fn iscas85(&self) -> SyntheticSuite {
+        let suite = if self.paper_scale {
+            SyntheticSuite::iscas85()
+        } else {
+            SyntheticSuite::iscas85().scaled(self.scale)
+        };
+        self.truncate(suite)
+    }
+
+    /// The ITC-99 suite at the requested scale (quick runs shrink ITC-99
+    /// harder — the originals are 10–30k gates).
+    #[must_use]
+    pub fn itc99(&self) -> SyntheticSuite {
+        let suite = if self.paper_scale {
+            SyntheticSuite::itc99()
+        } else {
+            SyntheticSuite::itc99().scaled(self.scale * 0.25)
+        };
+        self.truncate(suite)
+    }
+
+    fn truncate(&self, mut suite: SyntheticSuite) -> SyntheticSuite {
+        if let Some(cap) = self.max_benchmarks {
+            suite.profiles.truncate(cap);
+        }
+        suite
+    }
+
+    /// The attack configuration for this run.
+    #[must_use]
+    pub fn attack_config(&self) -> MuxLinkConfig {
+        let mut cfg = if self.paper_scale {
+            MuxLinkConfig::paper()
+        } else {
+            MuxLinkConfig::quick()
+        };
+        cfg.seed = self.seed;
+        cfg
+    }
+
+    /// Key sizes to sweep for an ISCAS-85-style design (paper:
+    /// {64, 128, 256}); quick runs use a single reduced size.
+    #[must_use]
+    pub fn iscas_key_sizes(&self) -> Vec<usize> {
+        if let Some(k) = self.key_size {
+            return vec![k];
+        }
+        if self.paper_scale {
+            vec![64, 128, 256]
+        } else {
+            vec![16]
+        }
+    }
+
+    /// Key sizes for ITC-99 designs (paper: {256, 512}).
+    #[must_use]
+    pub fn itc_key_sizes(&self) -> Vec<usize> {
+        if let Some(k) = self.key_size {
+            return vec![k];
+        }
+        if self.paper_scale {
+            vec![256, 512]
+        } else {
+            vec![16]
+        }
+    }
+
+    /// Random-simulation pattern count for HD experiments (paper: 100 000).
+    #[must_use]
+    pub fn hd_patterns(&self) -> usize {
+        if self.paper_scale {
+            100_000
+        } else {
+            10_000
+        }
+    }
+}
+
+/// A minimal fixed-width table printer for figure output.
+#[derive(Debug, Default, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the aligned table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>w$}", w = w);
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &widths, &mut out);
+        let total = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+/// Writes a serialisable result set to the path from `--json`, if given.
+///
+/// # Panics
+///
+/// Panics on I/O errors (developer tooling).
+pub fn maybe_write_json<T: Serialize>(opts: &HarnessOptions, value: &T) {
+    if let Some(path) = &opts.json {
+        let text = serde_json::to_string_pretty(value).expect("serialisable results");
+        std::fs::write(path, text).expect("writable JSON output path");
+        eprintln!("results written to {path}");
+    }
+}
+
+/// Formats an optional percentage (`None` → `n/a`).
+#[must_use]
+pub fn pct_or_na(v: Option<f64>) -> String {
+    v.map_or_else(|| "n/a".to_owned(), |p| format!("{p:.2}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> HarnessOptions {
+        HarnessOptions::parse(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn defaults_are_quick() {
+        let o = parse(&[]);
+        assert!(!o.paper_scale);
+        assert_eq!(o.iscas_key_sizes(), vec![16]);
+        assert_eq!(o.hd_patterns(), 10_000);
+    }
+
+    #[test]
+    fn paper_scale_restores_published_constants() {
+        let o = parse(&["--paper-scale"]);
+        assert_eq!(o.iscas_key_sizes(), vec![64, 128, 256]);
+        assert_eq!(o.itc_key_sizes(), vec![256, 512]);
+        assert_eq!(o.hd_patterns(), 100_000);
+        assert_eq!(o.attack_config().epochs, 100);
+    }
+
+    #[test]
+    fn flags_parse() {
+        let o = parse(&[
+            "--scale",
+            "0.3",
+            "--key-size",
+            "8",
+            "--seed",
+            "42",
+            "--max-benchmarks",
+            "2",
+        ]);
+        assert!((o.scale - 0.3).abs() < 1e-12);
+        assert_eq!(o.key_size, Some(8));
+        assert_eq!(o.seed, 42);
+        assert_eq!(o.iscas85().profiles.len(), 2);
+        assert_eq!(o.iscas_key_sizes(), vec![8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_rejected() {
+        let _ = parse(&["--frobnicate"]);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["bench", "AC", "PC"]);
+        t.row(vec!["c1355".into(), "0.98".into(), "1.00".into()]);
+        let text = t.render();
+        assert!(text.contains("bench"));
+        assert!(text.contains("c1355"));
+        assert!(text.lines().count() == 3);
+    }
+
+    #[test]
+    fn quick_suites_are_small() {
+        let o = parse(&[]);
+        let i85 = o.iscas85();
+        assert!(i85.profiles.iter().all(|p| p.gates < 600));
+        let itc = o.itc99();
+        assert!(itc.profiles.iter().all(|p| p.gates < 1200));
+    }
+}

@@ -1,0 +1,196 @@
+//! Shared attack-run machinery for the figure binaries: locks a synthetic
+//! benchmark, runs MuxLink, scores it, and fans tasks out across CPU
+//! cores with crossbeam.
+
+use std::time::Instant;
+
+use muxlink_benchgen::Profile;
+use muxlink_core::{metrics::score_key, score_design, MuxLinkConfig, ScoredDesign};
+use muxlink_locking::{dmux, symmetric, LockError, LockOptions, LockedNetlist};
+use muxlink_netlist::Netlist;
+use serde::Serialize;
+
+/// The two learning-resilient schemes the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Scheme {
+    /// D-MUX with the eD-MUX policy.
+    DMux,
+    /// Symmetric MUX-based locking (S5).
+    Symmetric,
+}
+
+impl Scheme {
+    /// Display label matching the paper.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::DMux => "D-MUX",
+            Scheme::Symmetric => "Symmetric",
+        }
+    }
+
+    /// Locks `design`; on [`LockError::InsufficientSites`] the key size is
+    /// halved until it fits (tiny scaled benchmarks cannot always hold the
+    /// full request). Returns the locked design (whose `key.len()` is the
+    /// achieved size).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any non-capacity locking error.
+    pub fn lock_fitting(
+        self,
+        design: &Netlist,
+        mut key_size: usize,
+        seed: u64,
+    ) -> Result<LockedNetlist, LockError> {
+        loop {
+            let r = match self {
+                Scheme::DMux => dmux::lock(design, &LockOptions::new(key_size, seed)),
+                Scheme::Symmetric => symmetric::lock(design, &LockOptions::new(key_size, seed)),
+            };
+            match r {
+                Ok(l) => return Ok(l),
+                Err(LockError::InsufficientSites { .. }) if key_size > 2 => {
+                    key_size /= 2;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// One benchmark × scheme × key-size attack outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct AttackRunResult {
+    /// Suite label (`ISCAS-85` / `ITC-99`).
+    pub suite: String,
+    /// Benchmark name.
+    pub bench: String,
+    /// Gate count of the (synthetic) design.
+    pub gates: usize,
+    /// Scheme label.
+    pub scheme: String,
+    /// Achieved key size.
+    pub key_size: usize,
+    /// Accuracy in percent.
+    pub ac: f64,
+    /// Precision in percent.
+    pub pc: f64,
+    /// KPA in percent (`None` when every bit was X).
+    pub kpa: Option<f64>,
+    /// Validation accuracy of the GNN.
+    pub val_acc: f64,
+    /// Wall-clock seconds for the whole attack.
+    pub seconds: f64,
+}
+
+/// Locks and attacks one profile; also returns the reusable scored design
+/// and ground truth for figure-specific post-analysis.
+///
+/// # Errors
+///
+/// Returns a human-readable error string (binaries report and continue).
+pub fn run_attack(
+    suite: &str,
+    profile: &Profile,
+    scheme: Scheme,
+    key_size: usize,
+    cfg: &MuxLinkConfig,
+    seed: u64,
+) -> Result<(AttackRunResult, ScoredDesign, LockedNetlist, Netlist), String> {
+    let design = profile.generate(seed);
+    let locked = scheme
+        .lock_fitting(&design, key_size, seed ^ 0xBEEF)
+        .map_err(|e| format!("{}: locking failed: {e}", profile.name))?;
+    let t0 = Instant::now();
+    let scored = score_design(&locked.netlist, &locked.key_input_names(), cfg)
+        .map_err(|e| format!("{}: attack failed: {e}", profile.name))?;
+    let guess = scored.recover_key(cfg.th);
+    let seconds = t0.elapsed().as_secs_f64();
+    let m = score_key(&guess, &locked.key);
+    let result = AttackRunResult {
+        suite: suite.to_owned(),
+        bench: profile.name.clone(),
+        gates: design.gate_count(),
+        scheme: scheme.label().to_owned(),
+        key_size: locked.key.len(),
+        ac: m.accuracy_pct(),
+        pc: m.precision_pct(),
+        kpa: m.kpa_pct(),
+        val_acc: scored.train_report.best_val_accuracy,
+        seconds,
+    };
+    Ok((result, scored, locked, design))
+}
+
+/// Runs a set of independent jobs across available cores, preserving input
+/// order in the output.
+pub fn parallel_map<T, R, F>(jobs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(jobs.len().max(1));
+    let jobs: Vec<(usize, T)> = jobs.into_iter().enumerate().collect();
+    let queue = crossbeam::queue::SegQueue::new();
+    for j in jobs {
+        queue.push(j);
+    }
+    let mut results: Vec<Option<R>> = Vec::new();
+    let n = queue.len();
+    results.resize_with(n, || None);
+    let results_mutex = std::sync::Mutex::new(&mut results);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| {
+                while let Some((i, job)) = queue.pop() {
+                    let r = f(job);
+                    results_mutex.lock().expect("no poisoned workers")[i] = Some(r);
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    results
+        .into_iter()
+        .map(|r| r.expect("every job produces a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muxlink_benchgen::SyntheticSuite;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..50).collect(), |x: i32| x * 2);
+        assert_eq!(out, (0..50).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lock_fitting_shrinks_on_tiny_designs() {
+        let c17 = muxlink_benchgen::c17();
+        let locked = Scheme::DMux.lock_fitting(&c17, 64, 1).unwrap();
+        assert!(locked.key.len() < 64);
+        assert!(locked.key.len() >= 2);
+    }
+
+    #[test]
+    fn run_attack_produces_sane_result() {
+        let suite = SyntheticSuite::iscas85().scaled(0.08);
+        let profile = &suite.profiles[0];
+        let cfg = MuxLinkConfig::quick();
+        let (res, scored, locked, design) =
+            run_attack("ISCAS-85", profile, Scheme::DMux, 8, &cfg, 3).unwrap();
+        assert_eq!(res.bench, profile.name);
+        assert!(res.ac >= 0.0 && res.ac <= 100.0);
+        assert!(res.pc >= res.ac - 1e-9);
+        assert_eq!(scored.key_len, locked.key.len());
+        assert_eq!(design.inputs().len(), profile.inputs);
+    }
+}

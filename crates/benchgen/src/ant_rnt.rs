@@ -1,0 +1,66 @@
+//! The two learning-resilience test designs from the D-MUX methodology.
+//!
+//! The D-MUX authors evaluate every locking scheme against two circuit
+//! categories: designs synthesised from a **single gate type** (the AND
+//! netlist test, ANT) and designs with **well-distributed random gates**
+//! (the random netlist test, RNT). A scheme failing either test is
+//! conclusively vulnerable — e.g. TRLL passes RNT but fails ANT because an
+//! AND-only design has no inverters to camouflage XOR key-gates.
+
+use muxlink_netlist::Netlist;
+
+use crate::synth::{GateMix, SynthConfig};
+
+/// Generates an AND-netlist-test circuit (all gates AND; no inverters).
+///
+/// ```
+/// let ant = muxlink_benchgen::ant_rnt::ant_netlist(16, 4, 128, 7);
+/// assert!(ant.validate().is_ok());
+/// ```
+#[must_use]
+pub fn ant_netlist(inputs: usize, outputs: usize, gates: usize, seed: u64) -> Netlist {
+    let mut cfg = SynthConfig::new(format!("ant_{gates}"), inputs, outputs, gates);
+    cfg.mix = GateMix::ant();
+    cfg.generate(seed)
+}
+
+/// Generates a random-netlist-test circuit (well-distributed gate types).
+#[must_use]
+pub fn rnt_netlist(inputs: usize, outputs: usize, gates: usize, seed: u64) -> Netlist {
+    let mut cfg = SynthConfig::new(format!("rnt_{gates}"), inputs, outputs, gates);
+    cfg.mix = GateMix::rnt();
+    cfg.generate(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muxlink_netlist::GateType;
+
+    #[test]
+    fn ant_has_no_inverting_cells() {
+        let n = ant_netlist(16, 4, 128, 1);
+        for (_, g) in n.gates() {
+            assert!(!g.ty().is_inverting(), "ANT must not contain inverters");
+        }
+    }
+
+    #[test]
+    fn rnt_is_well_distributed() {
+        let n = rnt_netlist(32, 8, 1000, 2);
+        let h = n.gate_type_histogram();
+        // At least 6 of 8 plain types present in a 1000-gate RNT design.
+        let present = GateType::ENCODED
+            .iter()
+            .filter(|t| h.get(t).copied().unwrap_or(0) > 0)
+            .count();
+        assert!(present >= 6, "only {present} gate types present");
+    }
+
+    #[test]
+    fn both_tests_deterministic() {
+        let a = muxlink_netlist::bench_format::write(&ant_netlist(8, 2, 64, 3)).unwrap();
+        let b = muxlink_netlist::bench_format::write(&ant_netlist(8, 2, 64, 3)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,61 @@
+use muxlink_netlist::{bench_format, Netlist};
+
+/// The ISCAS-85 c17 benchmark — the only original benchmark small enough to
+/// embed verbatim. Six NAND2 gates, five inputs, two outputs.
+const C17_BENCH: &str = "\
+# c17 (ISCAS-85)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+";
+
+/// Returns the exact ISCAS-85 c17 netlist.
+///
+/// ```
+/// let c17 = muxlink_benchgen::c17();
+/// assert_eq!(c17.gate_count(), 6);
+/// assert_eq!(c17.inputs().len(), 5);
+/// assert_eq!(c17.outputs().len(), 2);
+/// ```
+#[must_use]
+pub fn c17() -> Netlist {
+    bench_format::parse("c17", C17_BENCH).expect("embedded c17 is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muxlink_netlist::sim::Simulator;
+
+    #[test]
+    fn c17_structure() {
+        let n = c17();
+        assert_eq!(n.gate_count(), 6);
+        assert!(n.validate().is_ok());
+        assert!(n
+            .gate_type_histogram()
+            .iter()
+            .all(|(t, _)| *t == muxlink_netlist::GateType::Nand));
+    }
+
+    #[test]
+    fn c17_known_response() {
+        // All-zero input: G10=G11=1 ⇒ G16=NAND(0,1)=1, G19=NAND(1,0)=1,
+        // G22=NAND(1,1)=0, G23=NAND(1,1)=0.
+        let n = c17();
+        let sim = Simulator::new(&n).unwrap();
+        assert_eq!(sim.run_bools(&[false; 5]), vec![false, false]);
+        // All-one input: G10=G11=0 ⇒ G16=1, G19=1 ⇒ G22=NAND(0,1)=1, G23=0.
+        assert_eq!(sim.run_bools(&[true; 5]), vec![true, false]);
+    }
+}

@@ -1,0 +1,41 @@
+//! # muxlink-benchgen
+//!
+//! Benchmark substrate for the MuxLink reproduction.
+//!
+//! The paper evaluates on ISCAS-85 and (combinational) ITC-99 circuits in
+//! BENCH format. The original distributions are not redistributable inside
+//! this repository, so this crate provides (see `DESIGN.md` §2 for the
+//! substitution argument):
+//!
+//! * the real, public-domain **c17** netlist (tiny, exact, great for unit
+//!   tests and doc examples) — [`c17`],
+//! * a **deterministic synthetic generator** ([`synth`]) that reproduces
+//!   each published benchmark's size, interface width, gate-type mix and
+//!   fan-out behaviour — enough for every structural algorithm in this
+//!   workspace (locking, SWEEP/SCOPE/SAAM, MuxLink) to exercise the exact
+//!   code paths it would on the originals,
+//! * the **ANT/RNT** learning-resilience test circuits from the D-MUX
+//!   methodology ([`ant_rnt`]).
+//!
+//! # Example
+//!
+//! ```
+//! use muxlink_benchgen::{Profile, SyntheticSuite};
+//!
+//! let suite = SyntheticSuite::iscas85();
+//! let c1355: &Profile = suite.find("c1355").expect("part of the suite");
+//! let netlist = c1355.generate(42);
+//! assert!(netlist.validate().is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ant_rnt;
+mod c17;
+mod profiles;
+pub mod synth;
+
+pub use c17::c17;
+pub use profiles::{Profile, SyntheticSuite};
+pub use synth::{GateMix, SynthConfig};

@@ -1,0 +1,189 @@
+//! Published-size profiles for the ISCAS-85 and ITC-99 benchmarks the paper
+//! evaluates on, backed by the synthetic generator.
+
+use muxlink_netlist::Netlist;
+use serde::{Deserialize, Serialize};
+
+use crate::synth::{GateMix, SynthConfig};
+
+/// One benchmark identity: the published interface/size statistics plus the
+/// gate mix used to synthesise its stand-in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    /// Benchmark name (e.g. `"c1355"`).
+    pub name: String,
+    /// Published primary-input count.
+    pub inputs: usize,
+    /// Published primary-output count.
+    pub outputs: usize,
+    /// Published gate count.
+    pub gates: usize,
+    /// Gate-type mix for the synthetic stand-in.
+    pub mix: GateMix,
+}
+
+impl Profile {
+    fn new(name: &str, inputs: usize, outputs: usize, gates: usize, mix: GateMix) -> Self {
+        Self {
+            name: name.to_owned(),
+            inputs,
+            outputs,
+            gates,
+            mix,
+        }
+    }
+
+    /// Generates the synthetic stand-in netlist (deterministic in `seed`).
+    #[must_use]
+    pub fn generate(&self, seed: u64) -> Netlist {
+        let mut cfg = SynthConfig::new(
+            self.name.clone(),
+            self.inputs,
+            self.outputs,
+            self.gates,
+        );
+        cfg.mix = self.mix.clone();
+        cfg.generate(seed)
+    }
+
+    /// A proportionally scaled copy (for quick CI-scale experiment runs).
+    /// `factor` ≤ 1.0 shrinks the design; interface widths never drop
+    /// below 4/2 and gate count below 32.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        let scale = |v: usize, min: usize| ((v as f64 * factor).round() as usize).max(min);
+        Self {
+            name: self.name.clone(),
+            inputs: scale(self.inputs, 4),
+            outputs: scale(self.outputs, 2),
+            gates: scale(self.gates, 32),
+            mix: self.mix.clone(),
+        }
+    }
+}
+
+/// A named collection of [`Profile`]s (one per paper benchmark suite).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticSuite {
+    /// Suite name (`"ISCAS-85"` or `"ITC-99"`).
+    pub name: String,
+    /// Member profiles, ordered smallest to largest (the paper's Fig. 7
+    /// trend-line order).
+    pub profiles: Vec<Profile>,
+}
+
+impl SyntheticSuite {
+    /// The seven ISCAS-85 benchmarks the paper locks with K ∈ {64,128,256}
+    /// (c1355 skips 256). Interface/size figures are the published ones.
+    #[must_use]
+    pub fn iscas85() -> Self {
+        Self {
+            name: "ISCAS-85".to_owned(),
+            profiles: vec![
+                Profile::new("c1355", 41, 32, 546, GateMix::nand_heavy()),
+                Profile::new("c1908", 33, 25, 880, GateMix::nand_heavy()),
+                Profile::new("c2670", 233, 140, 1193, GateMix::rnt()),
+                Profile::new("c3540", 50, 22, 1669, GateMix::rnt()),
+                Profile::new("c5315", 178, 123, 2307, GateMix::rnt()),
+                Profile::new("c6288", 32, 32, 2416, GateMix::multiplier()),
+                Profile::new("c7552", 207, 108, 3512, GateMix::rnt()),
+            ],
+        }
+    }
+
+    /// The six combinational ITC-99 benchmarks the paper locks with
+    /// K ∈ {256,512}, ordered as in Fig. 7 (b14 … b22, then b17).
+    #[must_use]
+    pub fn itc99() -> Self {
+        Self {
+            name: "ITC-99".to_owned(),
+            profiles: vec![
+                Profile::new("b14", 277, 299, 9767, GateMix::rnt()),
+                Profile::new("b15", 485, 519, 8367, GateMix::rnt()),
+                Profile::new("b20", 522, 512, 19682, GateMix::rnt()),
+                Profile::new("b21", 522, 512, 20027, GateMix::rnt()),
+                Profile::new("b22", 767, 757, 29162, GateMix::rnt()),
+                Profile::new("b17", 1452, 1512, 30777, GateMix::rnt()),
+            ],
+        }
+    }
+
+    /// Looks up a profile by benchmark name.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<&Profile> {
+        self.profiles.iter().find(|p| p.name == name)
+    }
+
+    /// A proportionally scaled copy of the whole suite.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            name: self.name.clone(),
+            profiles: self.profiles.iter().map(|p| p.scaled(factor)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_expected_members() {
+        let i85 = SyntheticSuite::iscas85();
+        assert_eq!(i85.profiles.len(), 7);
+        assert!(i85.find("c6288").is_some());
+        let itc = SyntheticSuite::itc99();
+        assert_eq!(itc.profiles.len(), 6);
+        assert!(itc.find("b17").is_some());
+        assert!(itc.find("c17").is_none());
+    }
+
+    #[test]
+    fn profiles_generate_published_sizes() {
+        let p = SyntheticSuite::iscas85();
+        let c1355 = p.find("c1355").unwrap().generate(1);
+        assert_eq!(c1355.gate_count(), 546);
+        assert_eq!(c1355.inputs().len(), 41);
+        assert!(c1355.validate().is_ok());
+    }
+
+    #[test]
+    fn suite_ordering_is_smallest_to_largest_gates() {
+        // Fig. 7 plots ISCAS-85 ordered by size; keep the invariant.
+        let i85 = SyntheticSuite::iscas85();
+        let gates: Vec<usize> = i85.profiles.iter().map(|p| p.gates).collect();
+        let mut sorted = gates.clone();
+        sorted.sort_unstable();
+        assert_eq!(gates, sorted);
+    }
+
+    #[test]
+    fn scaling_respects_floors() {
+        let p = Profile::new("x", 8, 4, 100, GateMix::rnt());
+        let s = p.scaled(0.01);
+        assert_eq!(s.inputs, 4);
+        assert_eq!(s.outputs, 2);
+        assert_eq!(s.gates, 32);
+    }
+
+    #[test]
+    fn scaled_suite_generates_quickly_and_validly() {
+        let small = SyntheticSuite::iscas85().scaled(0.1);
+        for p in &small.profiles {
+            let n = p.generate(0);
+            assert!(n.validate().is_ok(), "{} invalid", p.name);
+            assert!(n.gate_count() >= 32);
+        }
+    }
+
+    #[test]
+    fn c6288_standin_is_and_nor_dominated() {
+        let p = SyntheticSuite::iscas85();
+        let n = p.find("c6288").unwrap().generate(2);
+        let h = n.gate_type_histogram();
+        let and_nor = h.get(&muxlink_netlist::GateType::And).unwrap_or(&0)
+            + h.get(&muxlink_netlist::GateType::Nor).unwrap_or(&0);
+        assert!(and_nor * 10 > n.gate_count() * 6, "AND+NOR should dominate");
+    }
+}

@@ -1,0 +1,411 @@
+//! Deterministic synthetic combinational-netlist generation.
+//!
+//! The generator builds a random DAG gate-by-gate in topological order. Two
+//! mechanisms shape the result so that it behaves like a synthesised
+//! benchmark rather than an arbitrary random graph:
+//!
+//! * **locality bias** — most gate inputs are drawn from a sliding window of
+//!   recently created nets, producing the cone-shaped local neighbourhoods
+//!   real synthesis emits (this is what the MuxLink GNN learns from);
+//! * **dangling-net steering** — while the number of currently-unread nets
+//!   exceeds the output target, input selection prefers unread nets, so the
+//!   circuit converges to approximately the requested number of primary
+//!   outputs without dead logic.
+
+use muxlink_netlist::{GateType, NetId, Netlist};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A categorical distribution over the eight plain gate types.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateMix {
+    /// Relative weight per gate type, in [`GateType::ENCODED`] order
+    /// (AND, NAND, OR, NOR, XOR, XNOR, NOT, BUF).
+    pub weights: [f64; 8],
+}
+
+impl GateMix {
+    /// The "random netlist test" (RNT) mix: well-distributed logic gates,
+    /// matching the second design category of the D-MUX evaluation.
+    #[must_use]
+    pub fn rnt() -> Self {
+        Self {
+            weights: [0.14, 0.22, 0.12, 0.12, 0.07, 0.05, 0.18, 0.10],
+        }
+    }
+
+    /// The "AND netlist test" (ANT) mix: a single gate type.
+    #[must_use]
+    pub fn ant() -> Self {
+        Self {
+            weights: [1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        }
+    }
+
+    /// Array-multiplier-like mix (AND/NOR dominated), used for the c6288
+    /// profile.
+    #[must_use]
+    pub fn multiplier() -> Self {
+        Self {
+            weights: [0.45, 0.08, 0.0, 0.35, 0.02, 0.0, 0.10, 0.0],
+        }
+    }
+
+    /// NAND-heavy mix typical of the smaller ISCAS-85 control circuits.
+    #[must_use]
+    pub fn nand_heavy() -> Self {
+        Self {
+            weights: [0.10, 0.38, 0.08, 0.10, 0.04, 0.03, 0.20, 0.07],
+        }
+    }
+
+    /// Samples a gate type (deterministic in the RNG state).
+    ///
+    /// # Panics
+    ///
+    /// Panics when all weights are zero.
+    pub fn sample(&self, rng: &mut StdRng) -> GateType {
+        let total: f64 = self.weights.iter().sum();
+        assert!(total > 0.0, "gate mix must have positive total weight");
+        let mut x = rng.gen::<f64>() * total;
+        for (i, &w) in self.weights.iter().enumerate() {
+            if x < w {
+                return GateType::ENCODED[i];
+            }
+            x -= w;
+        }
+        GateType::ENCODED[7]
+    }
+}
+
+impl Default for GateMix {
+    fn default() -> Self {
+        Self::rnt()
+    }
+}
+
+/// Configuration for one synthetic netlist.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthConfig {
+    /// Design name.
+    pub name: String,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Target number of primary outputs (achieved approximately).
+    pub outputs: usize,
+    /// Number of gates.
+    pub gates: usize,
+    /// Gate-type distribution.
+    pub mix: GateMix,
+    /// Sliding-window size for the locality bias (0 ⇒ `max(64, inputs)`).
+    pub locality_window: usize,
+    /// Probability that an input is drawn from the locality window rather
+    /// than uniformly from all existing nets.
+    pub locality_prob: f64,
+    /// Probability that a 2-input gate type gets a third input.
+    pub wide_gate_prob: f64,
+    /// Probability that a non-first input is drawn from the *vicinity* of
+    /// the first input (grandparents, sibling wires, reader outputs).
+    /// This reproduces the reconvergent-fanout structure of synthesised
+    /// logic — the local signal link-prediction attacks rely on.
+    pub reconvergence_prob: f64,
+}
+
+impl SynthConfig {
+    /// Reasonable defaults for a named design of the given size.
+    #[must_use]
+    pub fn new(name: impl Into<String>, inputs: usize, outputs: usize, gates: usize) -> Self {
+        Self {
+            name: name.into(),
+            inputs,
+            outputs,
+            gates,
+            mix: GateMix::rnt(),
+            locality_window: 0,
+            locality_prob: 0.72,
+            wide_gate_prob: 0.15,
+            reconvergence_prob: 0.65,
+        }
+    }
+
+    /// Generates the netlist (deterministic in `seed`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `inputs == 0` or `gates == 0` — a benchmark needs both.
+    #[must_use]
+    pub fn generate(&self, seed: u64) -> Netlist {
+        assert!(self.inputs > 0, "need at least one primary input");
+        assert!(self.gates > 0, "need at least one gate");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut n = Netlist::new(self.name.clone());
+        let window = if self.locality_window == 0 {
+            self.inputs.max(64)
+        } else {
+            self.locality_window
+        };
+
+        let mut nets: Vec<NetId> = Vec::with_capacity(self.inputs + self.gates);
+        // A 64-pattern bit-parallel shadow simulation guards against
+        // functionally constant or duplicate wires — synthesised netlists
+        // contain neither, and they would mask locking experiments.
+        let mut shadow: Vec<u64> = Vec::with_capacity(self.inputs + self.gates);
+        for i in 0..self.inputs {
+            nets.push(n.add_input(format!("I{i}")).expect("fresh name"));
+            shadow.push(rng.gen());
+        }
+        // Unread set, kept as a Vec for O(1) random removal by swap.
+        let mut unread: Vec<NetId> = nets.clone();
+        let mut unread_pos: Vec<Option<usize>> = (0..nets.len()).map(Some).collect();
+        // Incremental structure for vicinity sampling (reconvergence).
+        let mut producer: Vec<Option<usize>> = vec![None; nets.len()]; // net -> gate idx
+        let mut readers: Vec<Vec<usize>> = vec![Vec::new(); nets.len()]; // net -> gate idxs
+        let mut gate_inputs: Vec<Vec<NetId>> = Vec::with_capacity(self.gates);
+        let mut gate_outputs: Vec<NetId> = Vec::with_capacity(self.gates);
+
+        let mark_read = |net: NetId,
+                             unread: &mut Vec<NetId>,
+                             unread_pos: &mut Vec<Option<usize>>| {
+            if let Some(pos) = unread_pos[net.index()] {
+                let last = *unread.last().expect("pos valid implies non-empty");
+                unread.swap_remove(pos);
+                unread_pos[net.index()] = None;
+                if last != net {
+                    unread_pos[last.index()] = Some(pos);
+                }
+            }
+        };
+
+        for g in 0..self.gates {
+            // When the remaining gate budget is barely enough to absorb the
+            // surplus of dangling nets, switch to absorption mode: draw all
+            // inputs from the unread pool with a multi-input gate.
+            let excess = unread.len().saturating_sub(self.outputs);
+            let remaining = self.gates - g;
+            let absorbing = excess + 2 >= remaining;
+            let mut ty = self.mix.sample(&mut rng);
+            if absorbing && matches!(ty, GateType::Not | GateType::Buf) {
+                ty = if ty == GateType::Not {
+                    GateType::Nand
+                } else {
+                    GateType::And
+                };
+            }
+            let arity = match ty {
+                GateType::Not | GateType::Buf => 1,
+                _ if absorbing => 3.min(excess.max(2)),
+                _ => {
+                    if rng.gen::<f64>() < self.wide_gate_prob {
+                        3
+                    } else {
+                        2
+                    }
+                }
+            };
+            let mut ins: Vec<NetId> = Vec::with_capacity(arity);
+            // Up to four attempts to find an input set whose output is not
+            // (likely) constant on the shadow patterns.
+            for attempt in 0..4 {
+            ins.clear();
+            let mut guard = 0;
+            while ins.len() < arity {
+                guard += 1;
+                // Non-first inputs: prefer the vicinity of the first input
+                // (reconvergent fanout, as real synthesis emits).
+                let vicinity_pick = if !ins.is_empty()
+                    && !absorbing
+                    && rng.gen::<f64>() < self.reconvergence_prob
+                {
+                    let x = ins[0];
+                    let mut pool: Vec<NetId> = Vec::new();
+                    if let Some(d) = producer[x.index()] {
+                        pool.extend(&gate_inputs[d]); // grandparents
+                    }
+                    for &r in &readers[x.index()] {
+                        pool.push(gate_outputs[r]); // one-gate detours
+                        pool.extend(&gate_inputs[r]); // siblings at a sink
+                    }
+                    pool.retain(|&c| c != x);
+                    if pool.is_empty() {
+                        None
+                    } else {
+                        Some(pool[rng.gen_range(0..pool.len())])
+                    }
+                } else {
+                    None
+                };
+                let cand = if let Some(c) = vicinity_pick {
+                    c
+                } else if !unread.is_empty()
+                    && unread.len() > self.outputs
+                    && (absorbing || rng.gen::<f64>() < 0.5)
+                {
+                    // Steer toward the output target by consuming unread nets.
+                    unread[rng.gen_range(0..unread.len())]
+                } else if rng.gen::<f64>() < self.locality_prob && nets.len() > window {
+                    let lo = nets.len() - window;
+                    nets[rng.gen_range(lo..nets.len())]
+                } else {
+                    nets[rng.gen_range(0..nets.len())]
+                };
+                if !ins.contains(&cand) {
+                    ins.push(cand);
+                } else if guard > 64 {
+                    // Degenerate small pools: allow falling back to any net.
+                    let cand = nets[rng.gen_range(0..nets.len())];
+                    if !ins.contains(&cand) {
+                        ins.push(cand);
+                    }
+                    if guard > 256 {
+                        break;
+                    }
+                }
+            }
+            if ins.len() == arity && attempt < 3 {
+                let words: Vec<u64> = ins.iter().map(|i| shadow[i.index()]).collect();
+                let w = ty.eval_words(&words);
+                if w == 0 || w == !0u64 {
+                    continue; // likely constant — re-pick the inputs
+                }
+            }
+            break;
+            }
+            // Tiny pools may not supply enough distinct nets for the arity;
+            // downgrade to whatever we found.
+            let ty = match (ty, ins.len()) {
+                (_, 0) => unreachable!("at least one net always exists"),
+                (GateType::Not | GateType::Buf, _) => ty,
+                (_, 1) => GateType::Buf,
+                (t, _) => t,
+            };
+            let ins = if matches!(ty, GateType::Not | GateType::Buf) {
+                vec![ins[0]]
+            } else {
+                ins
+            };
+            let out = n
+                .add_gate(format!("N{g}"), ty, &ins)
+                .expect("fresh name, known nets");
+            let words: Vec<u64> = ins.iter().map(|i| shadow[i.index()]).collect();
+            shadow.push(ty.eval_words(&words));
+            for &i in &ins {
+                mark_read(i, &mut unread, &mut unread_pos);
+                readers[i.index()].push(g);
+            }
+            gate_inputs.push(ins);
+            gate_outputs.push(out);
+            nets.push(out);
+            producer.push(Some(g));
+            readers.push(Vec::new());
+            unread_pos.push(Some(unread.len()));
+            unread.push(out);
+        }
+
+        // Primary outputs: every unread net (they are exactly the dangling
+        // ones), then random extra nets if we fell short of the target.
+        let mut outputs: Vec<NetId> = unread.clone();
+        outputs.sort_unstable();
+        while outputs.len() < self.outputs {
+            let cand = nets[rng.gen_range(self.inputs..nets.len())];
+            if !outputs.contains(&cand) {
+                outputs.push(cand);
+            }
+        }
+        for o in outputs {
+            n.mark_output(o).expect("net exists");
+        }
+        debug_assert!(n.validate().is_ok());
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_valid_netlists() {
+        let cfg = SynthConfig::new("t", 16, 8, 200);
+        let n = cfg.generate(1);
+        assert!(n.validate().is_ok());
+        assert_eq!(n.gate_count(), 200);
+        assert_eq!(n.inputs().len(), 16);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = SynthConfig::new("t", 10, 5, 100);
+        let a = muxlink_netlist::bench_format::write(&cfg.generate(7)).unwrap();
+        let b = muxlink_netlist::bench_format::write(&cfg.generate(7)).unwrap();
+        let c = muxlink_netlist::bench_format::write(&cfg.generate(8)).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn output_count_close_to_target() {
+        let cfg = SynthConfig::new("t", 32, 20, 500);
+        let n = cfg.generate(3);
+        let got = n.outputs().len();
+        assert!(
+            got >= 20 && got <= 40,
+            "outputs {got} should be near target 20"
+        );
+    }
+
+    #[test]
+    fn no_dead_logic() {
+        let cfg = SynthConfig::new("t", 12, 6, 150);
+        let n = cfg.generate(11);
+        let live = muxlink_netlist::cones::live_gates(&n);
+        assert_eq!(live.len(), n.gate_count(), "every gate feeds an output");
+    }
+
+    #[test]
+    fn ant_mix_produces_only_and() {
+        let mut cfg = SynthConfig::new("ant", 8, 4, 64);
+        cfg.mix = GateMix::ant();
+        let n = cfg.generate(5);
+        for (_, g) in n.gates() {
+            // Degenerate arity downgrades to BUF are allowed but rare.
+            assert!(matches!(
+                g.ty(),
+                GateType::And | GateType::Buf
+            ));
+        }
+        let h = n.gate_type_histogram();
+        assert!(h.get(&GateType::And).copied().unwrap_or(0) > 50);
+    }
+
+    #[test]
+    fn mix_sampling_follows_weights() {
+        let mix = GateMix {
+            weights: [0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..32 {
+            assert_eq!(mix.sample(&mut rng), GateType::Or);
+        }
+    }
+
+    #[test]
+    fn multi_fanout_nodes_exist() {
+        // D-MUX S1/S2 need multi-output nodes; the generator must produce
+        // a healthy share of them.
+        let cfg = SynthConfig::new("t", 24, 12, 400);
+        let n = cfg.generate(9);
+        let multi = n
+            .net_ids()
+            .filter(|&net| n.fanout_count(net) > 1)
+            .count();
+        assert!(multi > 20, "expected many multi-fanout nets, got {multi}");
+    }
+
+    #[test]
+    fn small_configs_do_not_hang() {
+        let cfg = SynthConfig::new("mini", 2, 1, 3);
+        let n = cfg.generate(0);
+        assert!(n.validate().is_ok());
+    }
+}

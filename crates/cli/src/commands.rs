@@ -1,0 +1,399 @@
+//! Subcommand implementations.
+
+use std::fs;
+
+use muxlink_attack_baselines::{saam_attack, sail_lite_attack, scope_attack, ScopeConfig};
+use muxlink_benchgen::SyntheticSuite;
+use muxlink_core::metrics::score_key;
+use muxlink_core::{attack as muxlink_attack, MuxLinkConfig};
+use muxlink_locking::{dmux, naive_mux, symmetric, trll, xor, Key, KeyValue, LockOptions};
+use muxlink_netlist::{bench_format, stats::NetlistStats, Netlist};
+
+use crate::keyfile;
+use crate::opts::{CliError, Command};
+
+const HELP: &str = "\
+muxlink — MuxLink logic-locking toolkit (DATE'22 reproduction)
+
+subcommands:
+  generate  --profile <c1355|…|b17|custom> [--scale f] [--seed n]
+            [--gates n --inputs n --outputs n]            -o out.bench
+  lock      --scheme <dmux|symmetric|xor|naive-mux|trll>
+            --key-size n [--seed n] in.bench -o out.bench [--key-out key.txt]
+  attack    --method <muxlink|scope|saam|sail> [--th f] [--hops n]
+            [--paper] [--seed n] in.bench [-o guess.txt]
+  sat-attack --oracle original.bench in.bench [-o guess.txt]
+  evaluate  --original o.bench --locked l.bench --guess g.txt
+            [--key k.txt] [--patterns n]
+  stats     in.bench
+  help
+";
+
+/// Dispatches a parsed command; returns the text to print on stdout.
+///
+/// # Errors
+///
+/// [`CliError`] with a user-facing message on any failure.
+pub fn run(cmd: &Command) -> Result<String, CliError> {
+    match cmd.name.as_str() {
+        "generate" => generate(cmd),
+        "lock" => lock(cmd),
+        "attack" => attack(cmd),
+        "sat-attack" => sat_attack_cmd(cmd),
+        "evaluate" => evaluate(cmd),
+        "stats" => stats(cmd),
+        "help" | "--help" | "-h" => Ok(HELP.to_owned()),
+        other => Err(CliError::Usage(format!(
+            "unknown subcommand `{other}` (try `help`)"
+        ))),
+    }
+}
+
+fn load_netlist(path: &str) -> Result<Netlist, CliError> {
+    let text = fs::read_to_string(path)?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("design");
+    bench_format::parse(name, &text).map_err(|e| CliError::Domain(format!("{path}: {e}")))
+}
+
+fn save_netlist(path: &str, netlist: &Netlist) -> Result<(), CliError> {
+    let text =
+        bench_format::write(netlist).map_err(|e| CliError::Domain(e.to_string()))?;
+    fs::write(path, text)?;
+    Ok(())
+}
+
+fn key_input_names(netlist: &Netlist) -> Vec<String> {
+    let mut names: Vec<(usize, String)> = netlist
+        .input_names()
+        .into_iter()
+        .filter_map(|n| {
+            n.strip_prefix(muxlink_locking::KEY_INPUT_PREFIX)
+                .and_then(|suffix| suffix.parse::<usize>().ok())
+                .map(|i| (i, n.to_owned()))
+        })
+        .collect();
+    names.sort();
+    names.into_iter().map(|(_, n)| n).collect()
+}
+
+fn generate(cmd: &Command) -> Result<String, CliError> {
+    let seed: u64 = cmd.parse_flag("--seed", 1)?;
+    let profile_name = cmd.flag_or("--profile", "custom");
+    let netlist = if profile_name == "custom" {
+        let gates: usize = cmd.parse_flag("--gates", 300)?;
+        let inputs: usize = cmd.parse_flag("--inputs", 16)?;
+        let outputs: usize = cmd.parse_flag("--outputs", 8)?;
+        muxlink_benchgen::synth::SynthConfig::new("custom", inputs, outputs, gates)
+            .generate(seed)
+    } else if profile_name == "c17" {
+        muxlink_benchgen::c17()
+    } else {
+        let scale: f64 = cmd.parse_flag("--scale", 1.0)?;
+        let suite = [SyntheticSuite::iscas85(), SyntheticSuite::itc99()]
+            .into_iter()
+            .find_map(|s| s.find(profile_name).cloned())
+            .ok_or_else(|| {
+                CliError::Usage(format!("unknown benchmark profile `{profile_name}`"))
+            })?;
+        let scaled = if (scale - 1.0).abs() > 1e-9 {
+            suite.scaled(scale)
+        } else {
+            suite
+        };
+        scaled.generate(seed)
+    };
+    let out = cmd.require("-o")?;
+    save_netlist(out, &netlist)?;
+    Ok(format!(
+        "generated {} ({} gates, {} inputs, {} outputs) -> {out}\n",
+        netlist.name(),
+        netlist.gate_count(),
+        netlist.inputs().len(),
+        netlist.outputs().len()
+    ))
+}
+
+fn lock(cmd: &Command) -> Result<String, CliError> {
+    let design = load_netlist(cmd.input()?)?;
+    let scheme = cmd.require("--scheme")?;
+    let key_size: usize = cmd.parse_flag("--key-size", 32)?;
+    let seed: u64 = cmd.parse_flag("--seed", 1)?;
+    let opts = LockOptions::new(key_size, seed);
+    let locked = match scheme {
+        "dmux" => dmux::lock(&design, &opts),
+        "symmetric" => symmetric::lock(&design, &opts),
+        "xor" => xor::lock(&design, &opts),
+        "naive-mux" => naive_mux::lock(&design, &opts),
+        "trll" => trll::lock(&design, &opts),
+        other => {
+            return Err(CliError::Usage(format!("unknown scheme `{other}`")));
+        }
+    }
+    .map_err(|e| CliError::Domain(e.to_string()))?;
+    let out = cmd.require("-o")?;
+    save_netlist(out, &locked.netlist)?;
+    let mut msg = format!(
+        "locked with {scheme}: K = {}, {} -> {} gates, written to {out}\n",
+        locked.key.len(),
+        design.gate_count(),
+        locked.netlist.gate_count()
+    );
+    if let Some(key_path) = cmd.flags.get("--key-out") {
+        let names = locked.key_input_names();
+        let values = locked.key.to_values();
+        fs::write(key_path, keyfile::to_string(&names, &values))?;
+        msg.push_str(&format!("correct key written to {key_path}\n"));
+    }
+    Ok(msg)
+}
+
+fn attack(cmd: &Command) -> Result<String, CliError> {
+    let locked = load_netlist(cmd.input()?)?;
+    let names = key_input_names(&locked);
+    if names.is_empty() {
+        return Err(CliError::Domain(
+            "no keyinput* nets found — is this a locked design?".into(),
+        ));
+    }
+    let method = cmd.flag_or("--method", "muxlink");
+    let guess: Vec<KeyValue> = match method {
+        "muxlink" => {
+            let mut cfg = if cmd.has("--paper") {
+                MuxLinkConfig::paper()
+            } else {
+                MuxLinkConfig::quick()
+            };
+            cfg.th = cmd.parse_flag("--th", cfg.th)?;
+            cfg.h = cmd.parse_flag("--hops", cfg.h)?;
+            cfg.seed = cmd.parse_flag("--seed", cfg.seed)?;
+            muxlink_attack(&locked, &names, &cfg)
+                .map_err(|e| CliError::Domain(e.to_string()))?
+                .guess
+        }
+        "scope" => scope_attack(&locked, &names, &ScopeConfig::default())
+            .map_err(|e| CliError::Domain(e.to_string()))?,
+        "saam" => {
+            saam_attack(&locked, &names).map_err(|e| CliError::Domain(e.to_string()))?
+        }
+        "sail" => sail_lite_attack(&locked, &names)
+            .map_err(|e| CliError::Domain(e.to_string()))?,
+        other => {
+            return Err(CliError::Usage(format!("unknown attack method `{other}`")));
+        }
+    };
+    let rendered: String = guess.iter().map(ToString::to_string).collect();
+    let decided = guess.iter().filter(|v| **v != KeyValue::X).count();
+    let mut msg = format!(
+        "{method} recovered key: {rendered} ({decided}/{} bits decided)\n",
+        guess.len()
+    );
+    if let Some(out) = cmd.flags.get("-o") {
+        fs::write(out, keyfile::to_string(&names, &guess))?;
+        msg.push_str(&format!("guess written to {out}\n"));
+    }
+    Ok(msg)
+}
+
+fn sat_attack_cmd(cmd: &Command) -> Result<String, CliError> {
+    let locked = load_netlist(cmd.input()?)?;
+    let oracle = load_netlist(cmd.require("--oracle")?)?;
+    let names = key_input_names(&locked);
+    let result = muxlink_sat::sat_attack(
+        &locked,
+        &names,
+        &oracle,
+        &muxlink_sat::SatAttackConfig::default(),
+    )
+    .map_err(|e| CliError::Domain(e.to_string()))?;
+    let guess: Vec<KeyValue> = names
+        .iter()
+        .map(|n| KeyValue::from_bool(result.key[n]))
+        .collect();
+    let rendered: String = guess.iter().map(ToString::to_string).collect();
+    let mut msg = format!(
+        "SAT attack: key {rendered} after {} DIPs (functionally correct: {})\n",
+        result.dip_count, result.functionally_correct
+    );
+    if let Some(out) = cmd.flags.get("-o") {
+        fs::write(out, keyfile::to_string(&names, &guess))?;
+        msg.push_str(&format!("key written to {out}\n"));
+    }
+    Ok(msg)
+}
+
+fn evaluate(cmd: &Command) -> Result<String, CliError> {
+    let original = load_netlist(cmd.require("--original")?)?;
+    let locked = load_netlist(cmd.require("--locked")?)?;
+    let names = key_input_names(&locked);
+    let guess_map = keyfile::parse(&fs::read_to_string(cmd.require("--guess")?)?)?;
+    let guess = keyfile::ordered(&guess_map, &names)?;
+    let patterns: usize = cmd.parse_flag("--patterns", 10_000)?;
+
+    let mut msg = String::new();
+    // HD needs concrete bits: average over X assignments via the metrics
+    // module requires LockedNetlist metadata we don't have from files, so
+    // the CLI evaluates HD with X bits tied to 0 and reports them.
+    let x_count = guess.iter().filter(|v| **v == KeyValue::X).count();
+    let concrete: std::collections::HashMap<String, bool> = names
+        .iter()
+        .zip(&guess)
+        .map(|(n, v)| (n.clone(), v.as_bool().unwrap_or(false)))
+        .collect();
+    let hd = muxlink_netlist::sim::hamming_distance_with_key(
+        &original, &locked, &concrete, patterns, 0x5EED,
+    )
+    .map_err(|e| CliError::Domain(e.to_string()))?;
+    msg.push_str(&format!(
+        "output HD vs original: {:.3}% over {} patterns",
+        hd.percent(),
+        patterns
+    ));
+    if x_count > 0 {
+        msg.push_str(&format!(" ({x_count} X bits tied to 0)"));
+    }
+    msg.push('\n');
+
+    if let Some(key_path) = cmd.flags.get("--key") {
+        let truth_map = keyfile::parse(&fs::read_to_string(key_path)?)?;
+        let truth_vals = keyfile::ordered(&truth_map, &names)?;
+        let bits: Vec<bool> = truth_vals
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                v.as_bool().ok_or_else(|| {
+                    CliError::Usage(format!("truth key bit {i} must be 0 or 1, not X"))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let m = score_key(&guess, &Key::from_bits(bits));
+        msg.push_str(&format!(
+            "AC {:.2}%  PC {:.2}%  KPA {}\n",
+            m.accuracy_pct(),
+            m.precision_pct(),
+            m.kpa_pct()
+                .map_or_else(|| "n/a".to_owned(), |v| format!("{v:.2}%"))
+        ));
+    }
+    Ok(msg)
+}
+
+fn stats(cmd: &Command) -> Result<String, CliError> {
+    let n = load_netlist(cmd.input()?)?;
+    let s = NetlistStats::compute(&n).map_err(|e| CliError::Domain(e.to_string()))?;
+    let mut msg = format!(
+        "{}: {} gates, {} inputs, {} outputs, depth {}, literals {}, area {:.1}, switching {:.2}\n",
+        n.name(),
+        s.gates,
+        s.inputs,
+        s.outputs,
+        s.depth,
+        s.literals,
+        s.area,
+        s.switching
+    );
+    let mut types: Vec<_> = s.per_type.iter().collect();
+    types.sort_by_key(|(t, _)| format!("{t}"));
+    for (t, c) in types {
+        msg.push_str(&format!("  {t}: {c}\n"));
+    }
+    let keys = key_input_names(&n);
+    if !keys.is_empty() {
+        msg.push_str(&format!("  key inputs: {}\n", keys.len()));
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmd(args: &[&str]) -> Command {
+        Command::parse(args.iter().map(|s| (*s).to_owned())).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("muxlink-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_str().unwrap().to_owned()
+    }
+
+    #[test]
+    fn full_cli_round_trip() {
+        let design = tmp("design.bench");
+        let locked = tmp("locked.bench");
+        let key = tmp("key.txt");
+        let guess = tmp("guess.txt");
+
+        let out = run(&cmd(&[
+            "generate", "--profile", "custom", "--gates", "200", "--seed", "3", "-o", &design,
+        ]))
+        .unwrap();
+        assert!(out.contains("200 gates"));
+
+        let out = run(&cmd(&[
+            "lock", "--scheme", "dmux", "--key-size", "8", "--seed", "5", &design, "-o",
+            &locked, "--key-out", &key,
+        ]))
+        .unwrap();
+        assert!(out.contains("K = 8"));
+
+        let out = run(&cmd(&["attack", "--method", "saam", &locked, "-o", &guess])).unwrap();
+        assert!(out.contains("recovered key"));
+
+        let out = run(&cmd(&[
+            "evaluate", "--original", &design, "--locked", &locked, "--guess", &guess,
+            "--key", &key, "--patterns", "2048",
+        ]))
+        .unwrap();
+        assert!(out.contains("AC "));
+        assert!(out.contains("output HD"));
+
+        let out = run(&cmd(&["stats", &locked])).unwrap();
+        assert!(out.contains("key inputs: 8"));
+    }
+
+    #[test]
+    fn sat_attack_round_trip() {
+        let design = tmp("sat_design.bench");
+        let locked = tmp("sat_locked.bench");
+        run(&cmd(&[
+            "generate", "--profile", "custom", "--gates", "60", "--inputs", "8", "--outputs",
+            "4", "--seed", "2", "-o", &design,
+        ]))
+        .unwrap();
+        run(&cmd(&[
+            "lock", "--scheme", "xor", "--key-size", "4", &design, "-o", &locked,
+        ]))
+        .unwrap();
+        let out = run(&cmd(&["sat-attack", "--oracle", &design, &locked])).unwrap();
+        assert!(out.contains("functionally correct: true"));
+    }
+
+    #[test]
+    fn unknown_subcommand_and_scheme() {
+        assert!(matches!(
+            run(&cmd(&["frobnicate"])),
+            Err(CliError::Usage(_))
+        ));
+        let design = tmp("x.bench");
+        run(&cmd(&[
+            "generate", "--profile", "c17", "-o", &design,
+        ]))
+        .unwrap();
+        assert!(matches!(
+            run(&cmd(&["lock", "--scheme", "nope", "--key-size", "2", &design, "-o", &design])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn help_lists_subcommands() {
+        let h = run(&cmd(&["help"])).unwrap();
+        for sub in ["generate", "lock", "attack", "sat-attack", "evaluate", "stats"] {
+            assert!(h.contains(sub), "help should mention {sub}");
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Key-file format: one `name=value` line per key bit, values `0`/`1`/`X`.
+//!
+//! ```text
+//! # key for locked.bench
+//! keyinput0=1
+//! keyinput1=0
+//! keyinput2=X
+//! ```
+
+use std::collections::BTreeMap;
+
+use muxlink_locking::KeyValue;
+
+use crate::opts::CliError;
+
+/// Serialises a key assignment (names in the given order).
+#[must_use]
+pub fn to_string(names: &[String], values: &[KeyValue]) -> String {
+    let mut out = String::new();
+    for (n, v) in names.iter().zip(values) {
+        out.push_str(&format!("{n}={v}\n"));
+    }
+    out
+}
+
+/// Parses a key file into an ordered name → value map.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] on malformed lines or values.
+pub fn parse(text: &str) -> Result<BTreeMap<String, KeyValue>, CliError> {
+    let mut map = BTreeMap::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once('=').ok_or_else(|| {
+            CliError::Usage(format!("key file line {}: expected name=value", lineno + 1))
+        })?;
+        let v = match value.trim() {
+            "0" => KeyValue::Zero,
+            "1" => KeyValue::One,
+            "X" | "x" => KeyValue::X,
+            other => {
+                return Err(CliError::Usage(format!(
+                    "key file line {}: invalid value `{other}`",
+                    lineno + 1
+                )))
+            }
+        };
+        map.insert(name.trim().to_owned(), v);
+    }
+    Ok(map)
+}
+
+/// Orders a parsed key map along the given key-input names.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] when a name is missing from the file.
+pub fn ordered(
+    map: &BTreeMap<String, KeyValue>,
+    names: &[String],
+) -> Result<Vec<KeyValue>, CliError> {
+    names
+        .iter()
+        .map(|n| {
+            map.get(n)
+                .copied()
+                .ok_or_else(|| CliError::Usage(format!("key file lacks entry for `{n}`")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let names = vec!["keyinput0".to_owned(), "keyinput1".to_owned()];
+        let values = vec![KeyValue::One, KeyValue::X];
+        let text = to_string(&names, &values);
+        let map = parse(&text).unwrap();
+        assert_eq!(ordered(&map, &names).unwrap(), values);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let map = parse("# header\n\nkeyinput0=0  # trailing\n").unwrap();
+        assert_eq!(map["keyinput0"], KeyValue::Zero);
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(parse("keyinput0").is_err());
+        assert!(parse("keyinput0=7").is_err());
+    }
+
+    #[test]
+    fn missing_name_rejected() {
+        let map = parse("keyinput0=1\n").unwrap();
+        let err = ordered(&map, &["keyinput1".to_owned()]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+}

@@ -1,0 +1,25 @@
+//! # muxlink-cli
+//!
+//! Library backing the `muxlink` command-line tool: every subcommand is a
+//! function over parsed arguments, so the logic is unit-testable without
+//! spawning processes. See `muxlink --help` for the user-facing surface:
+//!
+//! ```text
+//! muxlink generate --profile c1355 --seed 1 -o c1355.bench
+//! muxlink lock     --scheme dmux --key-size 64 --seed 7 c1355.bench -o locked.bench --key-out key.txt
+//! muxlink attack   --method muxlink locked.bench -o guess.txt
+//! muxlink attack   --method saam locked.bench
+//! muxlink sat-attack locked.bench --oracle c1355.bench
+//! muxlink evaluate --original c1355.bench --locked locked.bench --guess guess.txt --key key.txt
+//! muxlink stats    locked.bench
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod keyfile;
+pub mod opts;
+
+pub use commands::run;
+pub use opts::{CliError, Command};

@@ -1,0 +1,21 @@
+//! The `muxlink` command-line tool.
+
+use muxlink_cli::{run, Command};
+
+fn main() {
+    let cmd = match Command::parse(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("try `muxlink help`");
+            std::process::exit(2);
+        }
+    };
+    match run(&cmd) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}

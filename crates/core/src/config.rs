@@ -1,0 +1,123 @@
+use serde::{Deserialize, Serialize};
+
+/// All tunables of the MuxLink attack. Defaults are the paper's settings;
+/// [`MuxLinkConfig::quick`] is a CPU-friendly scale-down used by tests and
+/// the default benchmark harness (every figure binary accepts
+/// `--paper-scale` to restore the published constants).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MuxLinkConfig {
+    /// Enclosing-subgraph hop count (paper default: 3, Fig. 10 sweeps 1–4).
+    pub h: usize,
+    /// Post-processing decision threshold (paper default: 0.01, Fig. 9
+    /// sweeps 0–1).
+    pub th: f64,
+    /// Maximum sampled training links (paper: 100 000).
+    pub max_train_links: usize,
+    /// Validation fraction (paper: 10 %).
+    pub val_fraction: f64,
+    /// Optional cap on subgraph node count (None = unlimited, as in the
+    /// paper; the quick profile caps for CPU-time hygiene).
+    pub max_subgraph_nodes: Option<usize>,
+    /// Training epochs (paper: 100).
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate (paper: 1e-4).
+    pub learning_rate: f32,
+    /// SortPooling percentile: `k` is chosen so this fraction of training
+    /// subgraphs has at most `k` nodes (paper: 0.6).
+    pub k_percentile: f64,
+    /// Master seed (sampling, initialisation, shuffling, dropout).
+    pub seed: u64,
+}
+
+impl Default for MuxLinkConfig {
+    fn default() -> Self {
+        Self {
+            h: 3,
+            th: 0.01,
+            max_train_links: 100_000,
+            val_fraction: 0.10,
+            max_subgraph_nodes: None,
+            epochs: 100,
+            batch_size: 32,
+            learning_rate: 1e-4,
+            k_percentile: 0.6,
+            seed: 0,
+        }
+    }
+}
+
+impl MuxLinkConfig {
+    /// The paper's configuration (`h = 3`, `th = 0.01`, 100 epochs,
+    /// ≤ 100 000 links).
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// A scaled-down configuration that finishes in seconds on a CPU while
+    /// preserving every algorithmic step; used by tests, examples and the
+    /// default benchmark profiles.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            h: 3,
+            th: 0.01,
+            max_train_links: 1200,
+            val_fraction: 0.10,
+            max_subgraph_nodes: Some(200),
+            epochs: 40,
+            batch_size: 32,
+            learning_rate: 1e-3,
+            k_percentile: 0.6,
+            seed: 0,
+        }
+    }
+
+    /// Returns a copy with a different hop count (Fig. 10 sweeps).
+    #[must_use]
+    pub fn with_h(mut self, h: usize) -> Self {
+        self.h = h;
+        self
+    }
+
+    /// Returns a copy with a different threshold (Fig. 9 sweeps).
+    #[must_use]
+    pub fn with_th(mut self, th: f64) -> Self {
+        self.th = th;
+        self
+    }
+
+    /// Returns a copy with a different master seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_publication() {
+        let c = MuxLinkConfig::paper();
+        assert_eq!(c.h, 3);
+        assert!((c.th - 0.01).abs() < 1e-12);
+        assert_eq!(c.max_train_links, 100_000);
+        assert_eq!(c.epochs, 100);
+        assert!((c.learning_rate - 1e-4).abs() < 1e-9);
+        assert!((c.k_percentile - 0.6).abs() < 1e-12);
+        assert!((c.val_fraction - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builders_change_single_fields() {
+        let c = MuxLinkConfig::quick().with_h(4).with_th(0.5).with_seed(9);
+        assert_eq!(c.h, 4);
+        assert!((c.th - 0.5).abs() < 1e-12);
+        assert_eq!(c.seed, 9);
+    }
+}

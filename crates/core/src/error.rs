@@ -1,0 +1,41 @@
+use std::fmt;
+
+use muxlink_graph::ExtractError;
+
+/// Errors raised by the MuxLink attack pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AttackError {
+    /// The locked design could not be converted into a gate graph.
+    Extract(ExtractError),
+    /// The design has no key MUXes — nothing to attack.
+    NoKeyMuxes,
+    /// The sampled training dataset is empty (design too small for the
+    /// requested configuration).
+    EmptyDataset,
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Extract(e) => write!(f, "graph extraction failed: {e}"),
+            Self::NoKeyMuxes => write!(f, "design contains no key-controlled MUXes"),
+            Self::EmptyDataset => write!(f, "no training links could be sampled"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Extract(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ExtractError> for AttackError {
+    fn from(e: ExtractError) -> Self {
+        Self::Extract(e)
+    }
+}

@@ -1,0 +1,235 @@
+//! Attack-evaluation metrics (paper §IV): accuracy (AC), precision (PC),
+//! key prediction accuracy (KPA) and output Hamming distance (HD).
+
+use muxlink_locking::{apply_key, Key, KeyValue, LockedNetlist};
+use muxlink_netlist::{sim, Netlist, NetlistError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Counting outcome of comparing a key guess against the ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeyMetrics {
+    /// Correctly deciphered bits.
+    pub correct: usize,
+    /// Bits reported as `X` (no decision).
+    pub x_count: usize,
+    /// Total key bits.
+    pub total: usize,
+}
+
+impl KeyMetrics {
+    /// AC = correct / total.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// PC = (correct + X) / total — an `X` is never a wrong guess.
+    #[must_use]
+    pub fn precision(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            (self.correct + self.x_count) as f64 / self.total as f64
+        }
+    }
+
+    /// KPA = correct / (total − X); `None` when every bit is `X`.
+    #[must_use]
+    pub fn kpa(&self) -> Option<f64> {
+        let decided = self.total - self.x_count;
+        if decided == 0 {
+            None
+        } else {
+            Some(self.correct as f64 / decided as f64)
+        }
+    }
+
+    /// Accuracy in percent.
+    #[must_use]
+    pub fn accuracy_pct(&self) -> f64 {
+        self.accuracy() * 100.0
+    }
+
+    /// Precision in percent.
+    #[must_use]
+    pub fn precision_pct(&self) -> f64 {
+        self.precision() * 100.0
+    }
+
+    /// KPA in percent (`None` when undefined).
+    #[must_use]
+    pub fn kpa_pct(&self) -> Option<f64> {
+        self.kpa().map(|k| k * 100.0)
+    }
+}
+
+/// Scores a guess against the true key.
+///
+/// # Panics
+///
+/// Panics when lengths differ (caller bug, not data dependent).
+#[must_use]
+pub fn score_key(guess: &[KeyValue], truth: &Key) -> KeyMetrics {
+    assert_eq!(guess.len(), truth.len(), "guess/key length mismatch");
+    let mut correct = 0;
+    let mut x_count = 0;
+    for (i, v) in guess.iter().enumerate() {
+        match v.as_bool() {
+            None => x_count += 1,
+            Some(b) if b == truth.bit(i) => correct += 1,
+            Some(_) => {}
+        }
+    }
+    KeyMetrics {
+        correct,
+        x_count,
+        total: guess.len(),
+    }
+}
+
+/// Output Hamming distance between the original design and the design
+/// recovered with `guess` (paper Fig. 8; 100 000 random patterns with
+/// Synopsys VCS in the original, bit-parallel simulation here).
+///
+/// Undecided (`X`) bits are handled as the paper does: the HD is measured
+/// for every remaining assignment and averaged. Beyond
+/// `max_enumerated_x` unknown bits, `2^max_enumerated_x` random
+/// assignments are sampled instead (deterministic in `seed`).
+///
+/// # Errors
+///
+/// Propagates simulation/interface errors from the netlist layer.
+pub fn hamming_with_guess(
+    original: &Netlist,
+    locked: &LockedNetlist,
+    guess: &[KeyValue],
+    patterns: usize,
+    max_enumerated_x: u32,
+    seed: u64,
+) -> Result<f64, NetlistError> {
+    let x_positions: Vec<usize> = guess
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| **v == KeyValue::X)
+        .map(|(i, _)| i)
+        .collect();
+    let assignments: Vec<Vec<bool>> = if x_positions.len() as u32 <= max_enumerated_x {
+        (0..(1usize << x_positions.len()))
+            .map(|m| (0..x_positions.len()).map(|b| m >> b & 1 == 1).collect())
+            .collect()
+    } else {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A);
+        (0..(1usize << max_enumerated_x))
+            .map(|_| (0..x_positions.len()).map(|_| rng.gen()).collect())
+            .collect()
+    };
+
+    let mut total = 0.0;
+    for assignment in &assignments {
+        let mut bits: Vec<bool> = Vec::with_capacity(guess.len());
+        let mut xi = 0;
+        for v in guess {
+            match v.as_bool() {
+                Some(b) => bits.push(b),
+                None => {
+                    bits.push(assignment[xi]);
+                    xi += 1;
+                }
+            }
+        }
+        let recovered = apply_key(locked, &Key::from_bits(bits)).map_err(|e| match e {
+            muxlink_locking::LockError::Netlist(n) => n,
+            other => NetlistError::InterfaceMismatch(other.to_string()),
+        })?;
+        let hd = sim::hamming_distance(original, &recovered, patterns, seed)?;
+        total += hd.fraction();
+    }
+    Ok(total / assignments.len() as f64 * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muxlink_benchgen::synth::SynthConfig;
+    use muxlink_locking::{dmux, LockOptions};
+
+    #[test]
+    fn metric_formulas() {
+        let truth = Key::from_bits(vec![true, false, true, true]);
+        let guess = vec![KeyValue::One, KeyValue::One, KeyValue::X, KeyValue::One];
+        let m = score_key(&guess, &truth);
+        assert_eq!(m.correct, 2);
+        assert_eq!(m.x_count, 1);
+        assert_eq!(m.total, 4);
+        assert!((m.accuracy() - 0.5).abs() < 1e-12);
+        assert!((m.precision() - 0.75).abs() < 1e-12);
+        assert!((m.kpa().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_x_has_undefined_kpa_and_full_precision() {
+        let truth = Key::from_bits(vec![false, true]);
+        let guess = vec![KeyValue::X, KeyValue::X];
+        let m = score_key(&guess, &truth);
+        assert_eq!(m.kpa(), None);
+        assert!((m.precision() - 1.0).abs() < 1e-12);
+        assert_eq!(m.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn perfect_guess_gives_zero_hd() {
+        let design = SynthConfig::new("d", 12, 6, 150).generate(3);
+        let locked = dmux::lock(&design, &LockOptions::new(6, 1)).unwrap();
+        let hd = hamming_with_guess(&design, &locked, &locked.key.to_values(), 2048, 8, 0)
+            .unwrap();
+        assert_eq!(hd, 0.0);
+    }
+
+    #[test]
+    fn wrong_guess_gives_positive_hd() {
+        let design = SynthConfig::new("d", 12, 6, 150).generate(3);
+        let locked = dmux::lock(&design, &LockOptions::new(6, 1)).unwrap();
+        let wrong: Vec<KeyValue> = locked
+            .key
+            .bits()
+            .iter()
+            .map(|&b| KeyValue::from_bool(!b))
+            .collect();
+        let hd = hamming_with_guess(&design, &locked, &wrong, 2048, 8, 0).unwrap();
+        assert!(hd > 0.0);
+    }
+
+    #[test]
+    fn x_bits_average_over_assignments() {
+        let design = SynthConfig::new("d", 12, 6, 150).generate(4);
+        let locked = dmux::lock(&design, &LockOptions::new(4, 9)).unwrap();
+        let mut guess = locked.key.to_values();
+        guess[0] = KeyValue::X;
+        let hd = hamming_with_guess(&design, &locked, &guess, 2048, 8, 0).unwrap();
+        // One X bit: average of (correct assignment → 0 HD) and (wrong →
+        // some HD ≥ 0); the result sits strictly between.
+        let all_wrong = {
+            let mut g = locked.key.to_values();
+            g[0] = KeyValue::from_bool(!locked.key.bit(0));
+            hamming_with_guess(&design, &locked, &g, 2048, 8, 0).unwrap()
+        };
+        assert!(hd <= all_wrong);
+        assert!((hd - all_wrong / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_fallback_for_many_x() {
+        let design = SynthConfig::new("d", 14, 6, 200).generate(5);
+        let locked = dmux::lock(&design, &LockOptions::new(12, 2)).unwrap();
+        let guess = vec![KeyValue::X; 12];
+        // max_enumerated_x = 3 → samples 8 random assignments.
+        let hd = hamming_with_guess(&design, &locked, &guess, 512, 3, 7).unwrap();
+        assert!(hd.is_finite());
+    }
+}

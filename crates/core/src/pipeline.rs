@@ -1,0 +1,309 @@
+//! The end-to-end MuxLink pipeline: extract → self-supervise → score →
+//! post-process.
+
+use std::time::Instant;
+
+use muxlink_gnn::{Dgcnn, DgcnnConfig, GraphSample, TrainConfig, TrainReport};
+use muxlink_graph::dataset::{build_dataset, target_subgraphs, DatasetConfig};
+use muxlink_graph::{extract, ExtractedDesign};
+use muxlink_locking::KeyValue;
+use muxlink_netlist::Netlist;
+
+use crate::postprocess::{recover_key, MuxScores};
+use crate::report::Timings;
+use crate::scoring::{choose_k, to_graph_sample};
+use crate::{AttackError, MuxLinkConfig};
+
+/// A trained-and-scored design: everything the cheap post-processing stage
+/// needs, decoupled so threshold sweeps (Fig. 9) reuse one model.
+#[derive(Debug, Clone)]
+pub struct ScoredDesign {
+    /// The extracted graph and MUX candidates.
+    pub extracted: ExtractedDesign,
+    /// Per-MUX likelihoods `(l0, l1)` aligned with `extracted.muxes`.
+    pub scores: MuxScores,
+    /// Number of key bits in the design.
+    pub key_len: usize,
+    /// Training statistics of the underlying DGCNN.
+    pub train_report: TrainReport,
+    /// Chosen SortPooling size.
+    pub k: usize,
+    /// Wall-clock breakdown of the expensive stages.
+    pub timings: Timings,
+}
+
+/// Result of a full attack: the recovered key plus the scored design for
+/// further analysis.
+#[derive(Debug, Clone)]
+pub struct AttackOutcome {
+    /// One value per key bit (`X` = no decision).
+    pub guess: Vec<KeyValue>,
+    /// The reusable scored design.
+    pub scored: ScoredDesign,
+}
+
+/// Runs the expensive stages: graph extraction, dataset generation, DGCNN
+/// training and target-link scoring.
+///
+/// # Errors
+///
+/// [`AttackError::Extract`] for malformed locked designs,
+/// [`AttackError::NoKeyMuxes`] when there is nothing to attack, and
+/// [`AttackError::EmptyDataset`] when no training links could be sampled.
+pub fn score_design(
+    netlist: &Netlist,
+    key_input_names: &[String],
+    cfg: &MuxLinkConfig,
+) -> Result<ScoredDesign, AttackError> {
+    let t0 = Instant::now();
+    let extracted = extract(netlist, key_input_names)?;
+    if extracted.muxes.is_empty() {
+        return Err(AttackError::NoKeyMuxes);
+    }
+    let t_extract = t0.elapsed();
+
+    // Dataset of enclosing subgraphs over observed/unobserved wires.
+    let t1 = Instant::now();
+    let ds_cfg = DatasetConfig {
+        h: cfg.h,
+        max_train_links: cfg.max_train_links,
+        val_fraction: cfg.val_fraction,
+        max_subgraph_nodes: cfg.max_subgraph_nodes,
+        seed: cfg.seed,
+    };
+    let targets = extracted.target_links();
+    let dataset = build_dataset(&extracted.graph, &targets, &ds_cfg);
+    if dataset.train.is_empty() {
+        return Err(AttackError::EmptyDataset);
+    }
+    let sizes: Vec<usize> = dataset
+        .train
+        .iter()
+        .chain(&dataset.val)
+        .map(|s| s.subgraph.node_count())
+        .collect();
+    let max_label = dataset.max_label;
+    let train_samples: Vec<GraphSample> = dataset
+        .train
+        .iter()
+        .map(|s| to_graph_sample(&s.subgraph, max_label, Some(s.label)))
+        .collect();
+    let val_samples: Vec<GraphSample> = dataset
+        .val
+        .iter()
+        .map(|s| to_graph_sample(&s.subgraph, max_label, Some(s.label)))
+        .collect();
+    let t_dataset = t1.elapsed();
+
+    // Model setup and training.
+    let t2 = Instant::now();
+    let input_dim = muxlink_graph::features::feature_cols(max_label);
+    let mut model_cfg = DgcnnConfig::paper(input_dim, 10);
+    let k = choose_k(&sizes, cfg.k_percentile, model_cfg.min_k());
+    model_cfg.k = k;
+    model_cfg.seed = cfg.seed ^ 0xD6C4_33B9;
+    let mut model = Dgcnn::new(model_cfg);
+    let train_cfg = TrainConfig {
+        epochs: cfg.epochs,
+        batch_size: cfg.batch_size,
+        adam: muxlink_gnn::AdamConfig {
+            lr: cfg.learning_rate,
+            ..muxlink_gnn::AdamConfig::default()
+        },
+        seed: cfg.seed ^ 0x5851_F42D,
+    };
+    let train_report = muxlink_gnn::train(&mut model, &train_samples, &val_samples, &train_cfg);
+    let t_train = t2.elapsed();
+
+    // Score both candidate links of every MUX.
+    let t3 = Instant::now();
+    let mut scores: MuxScores = Vec::with_capacity(extracted.muxes.len());
+    for m in &extracted.muxes {
+        let sg0 = target_subgraphs(&extracted.graph, &[m.link0()], &ds_cfg);
+        let sg1 = target_subgraphs(&extracted.graph, &[m.link1()], &ds_cfg);
+        let s0 = to_graph_sample(&sg0[0], max_label, None);
+        let s1 = to_graph_sample(&sg1[0], max_label, None);
+        scores.push((f64::from(model.predict(&s0)), f64::from(model.predict(&s1))));
+    }
+    let t_score = t3.elapsed();
+
+    Ok(ScoredDesign {
+        extracted,
+        scores,
+        key_len: key_input_names.len(),
+        train_report,
+        k,
+        timings: Timings {
+            extract: t_extract,
+            dataset: t_dataset,
+            train: t_train,
+            score: t_score,
+        },
+    })
+}
+
+impl ScoredDesign {
+    /// Post-processes the stored likelihoods at threshold `th` — cheap and
+    /// re-runnable (Fig. 9 sweeps thresholds without retraining).
+    #[must_use]
+    pub fn recover_key(&self, th: f64) -> Vec<KeyValue> {
+        recover_key(&self.extracted, &self.scores, self.key_len, th)
+    }
+}
+
+/// Scores every MUX candidate with a hand-crafted link-prediction
+/// heuristic instead of the GNN — the ablation MuxLink's methodology
+/// implicitly argues against (SEAL: learned heuristics beat fixed ones).
+///
+/// Raw heuristic values are normalised per MUX (`l / (l0 + l1)`) so the
+/// Algorithm-1 threshold semantics carry over.
+///
+/// # Errors
+///
+/// As for [`score_design`] minus the dataset/training failure modes.
+pub fn score_design_with_heuristic(
+    netlist: &Netlist,
+    key_input_names: &[String],
+    heuristic: muxlink_graph::heuristics::Heuristic,
+) -> Result<ScoredDesign, AttackError> {
+    let t0 = Instant::now();
+    let extracted = extract(netlist, key_input_names)?;
+    if extracted.muxes.is_empty() {
+        return Err(AttackError::NoKeyMuxes);
+    }
+    let mut scores: MuxScores = Vec::with_capacity(extracted.muxes.len());
+    for m in &extracted.muxes {
+        let raw0 = heuristic.score(&extracted.graph, m.link0());
+        let raw1 = heuristic.score(&extracted.graph, m.link1());
+        let sum = raw0 + raw1;
+        let (l0, l1) = if sum > 0.0 {
+            (raw0 / sum, raw1 / sum)
+        } else {
+            (0.5, 0.5)
+        };
+        scores.push((l0, l1));
+    }
+    let elapsed = t0.elapsed();
+    Ok(ScoredDesign {
+        extracted,
+        scores,
+        key_len: key_input_names.len(),
+        train_report: TrainReport {
+            history: Vec::new(),
+            best_epoch: 0,
+            best_val_accuracy: f64::NAN,
+        },
+        k: 0,
+        timings: Timings {
+            extract: elapsed,
+            ..Timings::default()
+        },
+    })
+}
+
+/// Full attack at the configured threshold.
+///
+/// # Errors
+///
+/// As for [`score_design`].
+pub fn attack(
+    netlist: &Netlist,
+    key_input_names: &[String],
+    cfg: &MuxLinkConfig,
+) -> Result<AttackOutcome, AttackError> {
+    let scored = score_design(netlist, key_input_names, cfg)?;
+    let guess = scored.recover_key(cfg.th);
+    Ok(AttackOutcome { guess, scored })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::score_key;
+    use muxlink_benchgen::synth::SynthConfig;
+    use muxlink_locking::{dmux, symmetric, LockOptions};
+
+    fn quick() -> MuxLinkConfig {
+        MuxLinkConfig::quick()
+    }
+
+    #[test]
+    fn attack_runs_end_to_end_on_dmux() {
+        let design = SynthConfig::new("d", 16, 8, 260).generate(11);
+        let locked = dmux::lock(&design, &LockOptions::new(8, 3)).unwrap();
+        let out = attack(&locked.netlist, &locked.key_input_names(), &quick()).unwrap();
+        assert_eq!(out.guess.len(), 8);
+        let m = score_key(&out.guess, &locked.key);
+        // With the quick profile we still expect far-better-than-random
+        // behaviour on a small design.
+        assert!(m.precision() > 0.5, "precision {}", m.precision());
+    }
+
+    #[test]
+    fn attack_runs_end_to_end_on_symmetric() {
+        let design = SynthConfig::new("d", 16, 8, 260).generate(12);
+        let locked = symmetric::lock(&design, &LockOptions::new(8, 3)).unwrap();
+        let out = attack(&locked.netlist, &locked.key_input_names(), &quick()).unwrap();
+        assert_eq!(out.guess.len(), 8);
+    }
+
+    #[test]
+    fn scored_design_rethresholds_without_retraining() {
+        let design = SynthConfig::new("d", 16, 8, 220).generate(13);
+        let locked = dmux::lock(&design, &LockOptions::new(6, 5)).unwrap();
+        let scored = score_design(&locked.netlist, &locked.key_input_names(), &quick()).unwrap();
+        let loose = scored.recover_key(0.0);
+        let strict = scored.recover_key(1.0);
+        let x_loose = loose.iter().filter(|v| **v == KeyValue::X).count();
+        let x_strict = strict.iter().filter(|v| **v == KeyValue::X).count();
+        assert!(x_strict >= x_loose, "stricter th must abstain at least as much");
+        assert_eq!(x_strict, 6, "th=1.0 abstains on every bit");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let design = SynthConfig::new("d", 14, 6, 180).generate(14);
+        let locked = dmux::lock(&design, &LockOptions::new(4, 7)).unwrap();
+        let a = attack(&locked.netlist, &locked.key_input_names(), &quick()).unwrap();
+        let b = attack(&locked.netlist, &locked.key_input_names(), &quick()).unwrap();
+        assert_eq!(a.guess, b.guess);
+        assert_eq!(a.scored.scores, b.scored.scores);
+    }
+
+    #[test]
+    fn heuristic_scoring_is_fast_and_thresholdable() {
+        use muxlink_graph::heuristics::Heuristic;
+        let design = SynthConfig::new("d", 16, 8, 300).generate(21);
+        let locked = dmux::lock(&design, &LockOptions::new(12, 4)).unwrap();
+        let scored = score_design_with_heuristic(
+            &locked.netlist,
+            &locked.key_input_names(),
+            Heuristic::ResourceAllocation,
+        )
+        .unwrap();
+        assert_eq!(scored.scores.len(), locked.mux_instances().len());
+        for &(l0, l1) in &scored.scores {
+            assert!((0.0..=1.0).contains(&l0) && (0.0..=1.0).contains(&l1));
+            assert!((l0 + l1 - 1.0).abs() < 1e-9);
+        }
+        // Full-abstain at the strictest threshold.
+        let strict = scored.recover_key(1.01);
+        assert!(strict.iter().all(|v| *v == KeyValue::X));
+    }
+
+    #[test]
+    fn unlocked_design_is_rejected() {
+        let design = SynthConfig::new("d", 10, 4, 100).generate(15);
+        let err = attack(&design, &[], &quick()).unwrap_err();
+        assert!(matches!(err, AttackError::NoKeyMuxes));
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let design = SynthConfig::new("d", 12, 6, 150).generate(16);
+        let locked = dmux::lock(&design, &LockOptions::new(4, 2)).unwrap();
+        let scored = score_design(&locked.netlist, &locked.key_input_names(), &quick()).unwrap();
+        assert!(scored.timings.total() > std::time::Duration::ZERO);
+        assert!(scored.k >= 10);
+    }
+}

@@ -1,0 +1,70 @@
+//! Design recovery: apply a (possibly partial) deciphered key to a locked
+//! netlist and produce the attacker's reconstruction.
+
+use muxlink_locking::{apply_key_values, KeyValue, LockError, LockedNetlist};
+use muxlink_netlist::Netlist;
+
+/// Reconstructs the design from a fully decided guess.
+///
+/// # Errors
+///
+/// [`LockError::UndecidedKeyBit`] when the guess contains `X` — resolve
+/// undecided bits first (e.g. with [`resolve_x_with`]).
+pub fn reconstruct(locked: &LockedNetlist, guess: &[KeyValue]) -> Result<Netlist, LockError> {
+    apply_key_values(locked, guess)
+}
+
+/// Replaces every `X` in a guess with a fixed fallback bit (a pragmatic
+/// attacker completes the key with a constant or with per-bit coin flips
+/// before taping out a clone).
+#[must_use]
+pub fn resolve_x_with(guess: &[KeyValue], fallback: bool) -> Vec<KeyValue> {
+    guess
+        .iter()
+        .map(|v| match v {
+            KeyValue::X => KeyValue::from_bool(fallback),
+            other => *other,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muxlink_benchgen::synth::SynthConfig;
+    use muxlink_locking::{dmux, LockOptions};
+    use muxlink_netlist::sim::exhaustive_equiv;
+
+    #[test]
+    fn reconstruct_with_true_key_is_equivalent() {
+        let design = SynthConfig::new("d", 12, 6, 160).generate(1);
+        let locked = dmux::lock(&design, &LockOptions::new(6, 4)).unwrap();
+        let rec = reconstruct(&locked, &locked.key.to_values()).unwrap();
+        assert!(exhaustive_equiv(&design, &rec).unwrap());
+    }
+
+    #[test]
+    fn x_resolution_fills_gaps() {
+        let guess = vec![KeyValue::X, KeyValue::One, KeyValue::X];
+        assert_eq!(
+            resolve_x_with(&guess, false),
+            vec![KeyValue::Zero, KeyValue::One, KeyValue::Zero]
+        );
+        assert_eq!(
+            resolve_x_with(&guess, true),
+            vec![KeyValue::One, KeyValue::One, KeyValue::One]
+        );
+    }
+
+    #[test]
+    fn reconstruct_rejects_undecided() {
+        let design = SynthConfig::new("d", 12, 6, 160).generate(2);
+        let locked = dmux::lock(&design, &LockOptions::new(4, 4)).unwrap();
+        let mut guess = locked.key.to_values();
+        guess[1] = KeyValue::X;
+        assert!(matches!(
+            reconstruct(&locked, &guess),
+            Err(LockError::UndecidedKeyBit(1))
+        ));
+    }
+}

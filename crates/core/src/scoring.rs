@@ -1,0 +1,71 @@
+//! Bridging the graph substrate to the GNN: subgraph → feature matrix →
+//! `GraphSample`, plus SortPool-`k` selection.
+
+use muxlink_gnn::{GraphSample, Matrix};
+use muxlink_graph::features::node_feature_matrix;
+use muxlink_graph::Subgraph;
+
+/// Converts an enclosing subgraph into a GNN input sample.
+#[must_use]
+pub fn to_graph_sample(sg: &Subgraph, max_label: u32, label: Option<bool>) -> GraphSample {
+    let fm = node_feature_matrix(sg, max_label);
+    GraphSample {
+        adj: sg.adj.clone(),
+        features: Matrix::from_vec(fm.rows, fm.cols, fm.data),
+        label,
+    }
+}
+
+/// Picks the SortPooling size `k` such that `percentile` of the given
+/// subgraph sizes are ≤ `k` (paper: 60 %), clamped to at least `min_k`.
+#[must_use]
+pub fn choose_k(sizes: &[usize], percentile: f64, min_k: usize) -> usize {
+    if sizes.is_empty() {
+        return min_k;
+    }
+    let mut sorted: Vec<usize> = sizes.to_vec();
+    sorted.sort_unstable();
+    let pos = ((sorted.len() as f64 * percentile).ceil() as usize)
+        .clamp(1, sorted.len());
+    sorted[pos - 1].max(min_k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muxlink_graph::graph::{CircuitGraph, Link};
+    use muxlink_graph::subgraph::enclosing_subgraph;
+    use muxlink_netlist::{GateId, GateType};
+
+    #[test]
+    fn sample_has_matching_shapes() {
+        let g = CircuitGraph::from_edges(
+            (0..4).map(GateId::from_index).collect(),
+            vec![GateType::Nand; 4],
+            &[Link::new(0, 1), Link::new(1, 2), Link::new(2, 3)],
+        );
+        let sg = enclosing_subgraph(&g, Link::new(1, 2), 2, None);
+        let s = to_graph_sample(&sg, sg.max_label(), Some(true));
+        assert_eq!(s.adj.len(), s.features.rows());
+        assert_eq!(s.label, Some(true));
+    }
+
+    #[test]
+    fn choose_k_sixty_percent_rule() {
+        // Ten sizes; 60 % of subgraphs must fit in k.
+        let sizes = vec![5, 8, 10, 12, 15, 18, 20, 30, 40, 100];
+        let k = choose_k(&sizes, 0.6, 10);
+        assert_eq!(k, 18);
+    }
+
+    #[test]
+    fn choose_k_respects_minimum() {
+        assert_eq!(choose_k(&[2, 3, 4], 0.6, 10), 10);
+        assert_eq!(choose_k(&[], 0.6, 10), 10);
+    }
+
+    #[test]
+    fn choose_k_full_percentile() {
+        assert_eq!(choose_k(&[4, 7, 9], 1.0, 1), 9);
+    }
+}

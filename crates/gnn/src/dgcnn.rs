@@ -1,0 +1,738 @@
+//! The Deep Graph Convolutional Neural Network (DGCNN) of Zhang et al.
+//! (AAAI 2018), in the exact configuration the MuxLink paper uses:
+//!
+//! * four graph-convolution layers with {32, 32, 32, 1} output channels and
+//!   `tanh` activations — `H_{l+1} = tanh(D̃⁻¹(A+I) H_l W_l)` (paper Eq. 4),
+//! * concatenation `H_{1:L}` followed by **SortPooling** to `k` rows,
+//! * two 1-D convolution layers with {16, 32} channels (`ReLU`), the first
+//!   with kernel/stride equal to the concatenated width, the second with
+//!   kernel 5 after a max-pool of size 2,
+//! * a 128-unit fully-connected layer, dropout 0.5, and a softmax over the
+//!   two link/no-link classes.
+//!
+//! Forward and backward passes are hand-written; gradients are verified
+//! against finite differences in the test suite.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::{seeded_rng, Matrix};
+use crate::param::{AdamConfig, Param};
+use crate::sample::{propagate, propagate_back, GraphSample};
+
+/// Hyper-parameters of the DGCNN (defaults = the paper's topology).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DgcnnConfig {
+    /// Input feature width (8 gate bits + DRNL one-hot width).
+    pub input_dim: usize,
+    /// Output channels of each graph-convolution layer.
+    pub gc_channels: Vec<usize>,
+    /// Channels of the first 1-D convolution.
+    pub conv1_channels: usize,
+    /// Channels of the second 1-D convolution.
+    pub conv2_channels: usize,
+    /// Kernel width of the second 1-D convolution.
+    pub conv2_kernel: usize,
+    /// Width of the fully-connected layer.
+    pub dense_dim: usize,
+    /// Dropout rate applied after the fully-connected layer.
+    pub dropout: f32,
+    /// SortPooling size: subgraphs are truncated/padded to `k` rows.
+    pub k: usize,
+    /// Weight-initialisation seed.
+    pub seed: u64,
+}
+
+impl DgcnnConfig {
+    /// The paper's architecture for a given input width and SortPool `k`
+    /// (`k` is clamped up to the structural minimum).
+    #[must_use]
+    pub fn paper(input_dim: usize, k: usize) -> Self {
+        let mut cfg = Self {
+            input_dim,
+            gc_channels: vec![32, 32, 32, 1],
+            conv1_channels: 16,
+            conv2_channels: 32,
+            conv2_kernel: 5,
+            dense_dim: 128,
+            dropout: 0.5,
+            k,
+            seed: 0,
+        };
+        cfg.k = cfg.k.max(cfg.min_k());
+        cfg
+    }
+
+    /// Smallest legal `k`: after the stride-2 max-pool the sequence must
+    /// still cover one kernel of the second convolution.
+    #[must_use]
+    pub fn min_k(&self) -> usize {
+        2 * self.conv2_kernel
+    }
+
+    /// Total concatenated channel width `Σ gc_channels`.
+    #[must_use]
+    pub fn concat_width(&self) -> usize {
+        self.gc_channels.iter().sum()
+    }
+
+    fn k2(&self) -> usize {
+        self.k / 2
+    }
+
+    fn k3(&self) -> usize {
+        self.k2() + 1 - self.conv2_kernel
+    }
+}
+
+/// The model: all trainable parameters plus the architecture description.
+///
+/// Serialisable (weights, Adam state and architecture) so trained
+/// attack models can be checkpointed and reloaded.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dgcnn {
+    cfg: DgcnnConfig,
+    gc: Vec<Param>,
+    conv1_w: Param,
+    conv1_b: Param,
+    conv2_w: Param,
+    conv2_b: Param,
+    dense1_w: Param,
+    dense1_b: Param,
+    dense2_w: Param,
+    dense2_b: Param,
+}
+
+/// All intermediate activations of one forward pass, retained for
+/// backpropagation.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    gc_inputs: Vec<Matrix>,
+    gc_outputs: Vec<Matrix>,
+    perm: Vec<usize>,
+    pooled: Matrix,
+    conv1_out: Matrix,
+    pool_idx: Vec<u8>,
+    pool_out: Matrix,
+    conv2_out: Matrix,
+    flat: Matrix,
+    d1_out: Matrix,
+    drop_mask: Matrix,
+    d1_dropped: Matrix,
+    /// Softmax class probabilities `[no-link, link]`.
+    pub probs: [f32; 2],
+}
+
+impl Cache {
+    /// Probability that the target pair is a true link.
+    #[must_use]
+    pub fn link_probability(&self) -> f32 {
+        self.probs[1]
+    }
+
+    /// Cross-entropy loss against a boolean label.
+    #[must_use]
+    pub fn loss(&self, label: bool) -> f32 {
+        let p = self.probs[usize::from(label)].max(1e-12);
+        -p.ln()
+    }
+}
+
+impl Dgcnn {
+    /// Initialises the model with Glorot-uniform weights (deterministic in
+    /// `cfg.seed`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg.k < cfg.min_k()` or any dimension is zero.
+    #[must_use]
+    pub fn new(cfg: DgcnnConfig) -> Self {
+        assert!(cfg.k >= cfg.min_k(), "k must be at least {}", cfg.min_k());
+        assert!(cfg.input_dim > 0 && !cfg.gc_channels.is_empty());
+        let mut rng = seeded_rng(cfg.seed);
+        let mut gc = Vec::new();
+        let mut prev = cfg.input_dim;
+        for &c in &cfg.gc_channels {
+            gc.push(Param::new(Matrix::glorot(prev, c, &mut rng)));
+            prev = c;
+        }
+        let ccat = cfg.concat_width();
+        let conv1_w = Param::new(Matrix::glorot(cfg.conv1_channels, ccat, &mut rng));
+        let conv1_b = Param::new(Matrix::zeros(1, cfg.conv1_channels));
+        let conv2_w = Param::new(Matrix::glorot(
+            cfg.conv2_channels,
+            cfg.conv2_kernel * cfg.conv1_channels,
+            &mut rng,
+        ));
+        let conv2_b = Param::new(Matrix::zeros(1, cfg.conv2_channels));
+        let dense_in = cfg.k3() * cfg.conv2_channels;
+        let dense1_w = Param::new(Matrix::glorot(dense_in, cfg.dense_dim, &mut rng));
+        let dense1_b = Param::new(Matrix::zeros(1, cfg.dense_dim));
+        let dense2_w = Param::new(Matrix::glorot(cfg.dense_dim, 2, &mut rng));
+        let dense2_b = Param::new(Matrix::zeros(1, 2));
+        Self {
+            cfg,
+            gc,
+            conv1_w,
+            conv1_b,
+            conv2_w,
+            conv2_b,
+            dense1_w,
+            dense1_b,
+            dense2_w,
+            dense2_b,
+        }
+    }
+
+    /// The architecture description.
+    #[must_use]
+    pub fn config(&self) -> &DgcnnConfig {
+        &self.cfg
+    }
+
+    /// Forward pass. `dropout_rng` enables (inverted) dropout — pass
+    /// `Some` during training, `None` for deterministic inference.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the sample's feature width differs from
+    /// `cfg.input_dim`.
+    #[must_use]
+    pub fn forward(&self, s: &GraphSample, dropout_rng: Option<&mut StdRng>) -> Cache {
+        assert_eq!(
+            s.features.cols(),
+            self.cfg.input_dim,
+            "feature width mismatch"
+        );
+        let n = s.node_count();
+        let mut gc_inputs = Vec::with_capacity(self.gc.len());
+        let mut gc_outputs: Vec<Matrix> = Vec::with_capacity(self.gc.len());
+        let mut h = s.features.clone();
+        for p in &self.gc {
+            let a = propagate(&s.adj, &h);
+            let mut z = a.matmul(&p.w);
+            z.map_inplace(f32::tanh);
+            gc_inputs.push(a);
+            gc_outputs.push(z.clone());
+            h = z;
+        }
+
+        // Concatenate H¹…Hᴸ column-wise.
+        let ccat = self.cfg.concat_width();
+        let mut hcat = Matrix::zeros(n, ccat);
+        for i in 0..n {
+            let row = hcat.row_mut(i);
+            let mut off = 0;
+            for hl in &gc_outputs {
+                row[off..off + hl.cols()].copy_from_slice(hl.row(i));
+                off += hl.cols();
+            }
+        }
+
+        // SortPooling: order rows by the last channel (Hᴸ), descending.
+        let k = self.cfg.k;
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            let va = hcat.get(a, ccat - 1);
+            let vb = hcat.get(b, ccat - 1);
+            vb.partial_cmp(&va)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        order.truncate(k);
+        let mut pooled = Matrix::zeros(k, ccat);
+        for (t, &src) in order.iter().enumerate() {
+            pooled.row_mut(t).copy_from_slice(hcat.row(src));
+        }
+
+        // Conv1: kernel = stride = ccat over the flattened sequence, which
+        // is exactly a per-row linear map.
+        let c1 = self.cfg.conv1_channels;
+        let mut conv1_out = pooled.matmul_t(&self.conv1_w.w);
+        for t in 0..k {
+            for o in 0..c1 {
+                let v = conv1_out.get(t, o) + self.conv1_b.w.get(0, o);
+                conv1_out.set(t, o, v.max(0.0)); // ReLU
+            }
+        }
+
+        // MaxPool1d(2, 2).
+        let k2 = self.cfg.k2();
+        let mut pool_out = Matrix::zeros(k2, c1);
+        let mut pool_idx = vec![0u8; k2 * c1];
+        for t in 0..k2 {
+            for o in 0..c1 {
+                let a = conv1_out.get(2 * t, o);
+                let b = conv1_out.get(2 * t + 1, o);
+                if a >= b {
+                    pool_out.set(t, o, a);
+                } else {
+                    pool_out.set(t, o, b);
+                    pool_idx[t * c1 + o] = 1;
+                }
+            }
+        }
+
+        // Conv2: kernel `conv2_kernel`, stride 1, ReLU.
+        let c2 = self.cfg.conv2_channels;
+        let kk = self.cfg.conv2_kernel;
+        let k3 = self.cfg.k3();
+        let mut conv2_out = Matrix::zeros(k3, c2);
+        for t in 0..k3 {
+            for o in 0..c2 {
+                let wrow = self.conv2_w.w.row(o);
+                let mut acc = self.conv2_b.w.get(0, o);
+                for dt in 0..kk {
+                    let prow = pool_out.row(t + dt);
+                    let wseg = &wrow[dt * c1..(dt + 1) * c1];
+                    for (w, p) in wseg.iter().zip(prow) {
+                        acc += w * p;
+                    }
+                }
+                conv2_out.set(t, o, acc.max(0.0));
+            }
+        }
+
+        // Flatten → dense(128) → ReLU → dropout → dense(2) → softmax.
+        let flat = Matrix::from_vec(1, k3 * c2, conv2_out.data().to_vec());
+        let mut d1_out = flat.matmul(&self.dense1_w.w);
+        for (o, b) in d1_out.data_mut().iter_mut().zip(self.dense1_b.w.data()) {
+            *o = (*o + b).max(0.0);
+        }
+        let mut drop_mask = Matrix::from_vec(1, self.cfg.dense_dim, vec![1.0; self.cfg.dense_dim]);
+        if let Some(rng) = dropout_rng {
+            let keep = 1.0 - self.cfg.dropout;
+            for m in drop_mask.data_mut() {
+                *m = if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 };
+            }
+        }
+        let d1_dropped = d1_out.hadamard(&drop_mask);
+        let mut logits = d1_dropped.matmul(&self.dense2_w.w);
+        for (o, b) in logits.data_mut().iter_mut().zip(self.dense2_b.w.data()) {
+            *o += b;
+        }
+        let (l0, l1) = (logits.get(0, 0), logits.get(0, 1));
+        let m = l0.max(l1);
+        let e0 = (l0 - m).exp();
+        let e1 = (l1 - m).exp();
+        let z = e0 + e1;
+        let probs = [e0 / z, e1 / z];
+
+        Cache {
+            gc_inputs,
+            gc_outputs,
+            perm: order,
+            pooled,
+            conv1_out,
+            pool_idx,
+            pool_out,
+            conv2_out,
+            flat,
+            d1_out,
+            drop_mask,
+            d1_dropped,
+            probs,
+        }
+    }
+
+    /// Accumulates gradients of the cross-entropy loss for one sample into
+    /// the parameters (call [`Dgcnn::zero_grads`] per minibatch and
+    /// [`Dgcnn::adam_step`] afterwards).
+    pub fn backward(&mut self, s: &GraphSample, cache: &Cache, label: bool) {
+        let cfg = self.cfg.clone();
+        let (k, c1, c2, kk, k2, k3, ccat) = (
+            cfg.k,
+            cfg.conv1_channels,
+            cfg.conv2_channels,
+            cfg.conv2_kernel,
+            cfg.k2(),
+            cfg.k3(),
+            cfg.concat_width(),
+        );
+
+        // Softmax + CE.
+        let mut dlogits = Matrix::from_vec(1, 2, vec![cache.probs[0], cache.probs[1]]);
+        let target = usize::from(label);
+        dlogits.data_mut()[target] -= 1.0;
+
+        // Dense 2.
+        self.dense2_w
+            .grad
+            .add_assign(&cache.d1_dropped.t_matmul(&dlogits));
+        self.dense2_b.grad.add_assign(&dlogits);
+        let dd1_dropped = dlogits.matmul_t(&self.dense2_w.w);
+
+        // Dropout + ReLU of dense 1.
+        let mut dd1 = dd1_dropped.hadamard(&cache.drop_mask);
+        for (g, &o) in dd1.data_mut().iter_mut().zip(cache.d1_out.data()) {
+            if o <= 0.0 {
+                *g = 0.0;
+            }
+        }
+        self.dense1_w.grad.add_assign(&cache.flat.t_matmul(&dd1));
+        self.dense1_b.grad.add_assign(&dd1);
+        let dflat = dd1.matmul_t(&self.dense1_w.w);
+
+        // Un-flatten + ReLU of conv2.
+        let mut dconv2 = Matrix::from_vec(k3, c2, dflat.data().to_vec());
+        for (g, &o) in dconv2.data_mut().iter_mut().zip(cache.conv2_out.data()) {
+            if o <= 0.0 {
+                *g = 0.0;
+            }
+        }
+
+        // Conv2 parameter and input gradients.
+        let mut dpool = Matrix::zeros(k2, c1);
+        for t in 0..k3 {
+            for o in 0..c2 {
+                let g = dconv2.get(t, o);
+                if g == 0.0 {
+                    continue;
+                }
+                self.conv2_b.grad.data_mut()[o] += g;
+                for dt in 0..kk {
+                    let prow = cache.pool_out.row(t + dt);
+                    let wrow = self.conv2_w.w.row(o);
+                    let gw = &mut self.conv2_w.grad.row_mut(o)[dt * c1..(dt + 1) * c1];
+                    for i in 0..c1 {
+                        gw[i] += g * prow[i];
+                    }
+                    let dprow = dpool.row_mut(t + dt);
+                    let wseg = &wrow[dt * c1..(dt + 1) * c1];
+                    for i in 0..c1 {
+                        dprow[i] += g * wseg[i];
+                    }
+                }
+            }
+        }
+
+        // Max-pool routing + ReLU of conv1.
+        let mut dconv1 = Matrix::zeros(k, c1);
+        for t in 0..k2 {
+            for o in 0..c1 {
+                let src = 2 * t + usize::from(cache.pool_idx[t * c1 + o]);
+                let g = dpool.get(t, o);
+                if g != 0.0 && cache.conv1_out.get(src, o) > 0.0 {
+                    let v = dconv1.get(src, o) + g;
+                    dconv1.set(src, o, v);
+                }
+            }
+        }
+
+        // Conv1 (per-row linear) gradients.
+        self.conv1_w.grad.add_assign(&dconv1.t_matmul(&cache.pooled));
+        for t in 0..k {
+            for o in 0..c1 {
+                self.conv1_b.grad.data_mut()[o] += dconv1.get(t, o);
+            }
+        }
+        let dpooled = dconv1.matmul(&self.conv1_w.w);
+
+        // Un-SortPool (padded rows vanish).
+        let n = s.node_count();
+        let mut dhcat = Matrix::zeros(n, ccat);
+        for (t, &src) in cache.perm.iter().enumerate() {
+            dhcat.row_mut(src).copy_from_slice(dpooled.row(t));
+        }
+
+        // Split the concat gradient per GC layer.
+        let mut dh_per_layer: Vec<Matrix> = Vec::with_capacity(self.gc.len());
+        let mut off = 0;
+        for hl in &cache.gc_outputs {
+            let c = hl.cols();
+            let mut d = Matrix::zeros(n, c);
+            for i in 0..n {
+                d.row_mut(i).copy_from_slice(&dhcat.row(i)[off..off + c]);
+            }
+            dh_per_layer.push(d);
+            off += c;
+        }
+
+        // Graph-convolution chain, last to first.
+        let mut dh = dh_per_layer.pop().expect("at least one GC layer");
+        for l in (0..self.gc.len()).rev() {
+            // tanh'
+            let mut dz = std::mem::replace(&mut dh, Matrix::zeros(0, 0));
+            for (g, &o) in dz.data_mut().iter_mut().zip(cache.gc_outputs[l].data()) {
+                *g *= 1.0 - o * o;
+            }
+            self.gc[l]
+                .grad
+                .add_assign(&cache.gc_inputs[l].t_matmul(&dz));
+            if l > 0 {
+                let mut prev = propagate_back(&s.adj, &dz.matmul_t(&self.gc[l].w));
+                let from_concat = dh_per_layer.pop().expect("one per remaining layer");
+                prev.add_assign(&from_concat);
+                dh = prev;
+            }
+        }
+    }
+
+    /// Convenience: deterministic inference probability that the sample's
+    /// target pair is a link.
+    #[must_use]
+    pub fn predict(&self, s: &GraphSample) -> f32 {
+        self.forward(s, None).link_probability()
+    }
+
+    /// Clears all gradient accumulators.
+    pub fn zero_grads(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// One Adam step over all parameters (`t` is 1-based, `scale` divides
+    /// the accumulated gradients, typically `1/batch_size`).
+    pub fn adam_step(&mut self, opt: &AdamConfig, t: usize, scale: f32) {
+        for p in self.params_mut() {
+            p.adam_step(opt, t, scale);
+        }
+    }
+
+    /// Snapshot of all weights (for best-on-validation model selection).
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<Matrix> {
+        self.params().iter().map(|p| p.w.clone()).collect()
+    }
+
+    /// Restores a snapshot taken from the *same* architecture.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the snapshot layout does not match.
+    pub fn restore(&mut self, snapshot: &[Matrix]) {
+        let params = self.params_mut();
+        assert_eq!(params.len(), snapshot.len(), "snapshot layout mismatch");
+        for (p, w) in params.into_iter().zip(snapshot) {
+            assert_eq!((p.w.rows(), p.w.cols()), (w.rows(), w.cols()));
+            p.w = w.clone();
+        }
+    }
+
+    /// Total number of scalar parameters.
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.params()
+            .iter()
+            .map(|p| p.w.rows() * p.w.cols())
+            .sum()
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut v: Vec<&Param> = self.gc.iter().collect();
+        v.extend([
+            &self.conv1_w,
+            &self.conv1_b,
+            &self.conv2_w,
+            &self.conv2_b,
+            &self.dense1_w,
+            &self.dense1_b,
+            &self.dense2_w,
+            &self.dense2_b,
+        ]);
+        v
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v: Vec<&mut Param> = self.gc.iter_mut().collect();
+        v.extend([
+            &mut self.conv1_w,
+            &mut self.conv1_b,
+            &mut self.conv2_w,
+            &mut self.conv2_b,
+            &mut self.dense1_w,
+            &mut self.dense1_b,
+            &mut self.dense2_w,
+            &mut self.dense2_b,
+        ]);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> DgcnnConfig {
+        DgcnnConfig {
+            input_dim: 5,
+            gc_channels: vec![3, 1],
+            conv1_channels: 2,
+            conv2_channels: 2,
+            conv2_kernel: 2,
+            dense_dim: 4,
+            dropout: 0.0,
+            k: 4,
+            seed: 3,
+        }
+    }
+
+    fn tiny_sample(seed: u64) -> GraphSample {
+        let mut rng = seeded_rng(seed);
+        let n = 5;
+        let adj = vec![vec![1, 2], vec![0, 3], vec![0], vec![1, 4], vec![3]];
+        GraphSample {
+            adj,
+            features: Matrix::glorot(n, 5, &mut rng),
+            label: Some(seed % 2 == 0),
+        }
+    }
+
+    #[test]
+    fn forward_produces_probability_distribution() {
+        let model = Dgcnn::new(tiny_cfg());
+        let c = model.forward(&tiny_sample(1), None);
+        assert!((c.probs[0] + c.probs[1] - 1.0).abs() < 1e-5);
+        assert!(c.probs[1] >= 0.0 && c.probs[1] <= 1.0);
+    }
+
+    #[test]
+    fn forward_deterministic_without_dropout() {
+        let model = Dgcnn::new(tiny_cfg());
+        let s = tiny_sample(2);
+        assert_eq!(model.predict(&s), model.predict(&s));
+    }
+
+    #[test]
+    fn padding_handles_small_graphs() {
+        // k = 4 but graph has 2 nodes: rows must pad with zeros, not panic.
+        let model = Dgcnn::new(tiny_cfg());
+        let mut rng = seeded_rng(9);
+        let s = GraphSample {
+            adj: vec![vec![1], vec![0]],
+            features: Matrix::glorot(2, 5, &mut rng),
+            label: None,
+        };
+        let p = model.predict(&s);
+        assert!(p.is_finite());
+    }
+
+    /// Full-model gradient check against central finite differences.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut model = Dgcnn::new(tiny_cfg());
+        let s = tiny_sample(4);
+        let label = true;
+
+        model.zero_grads();
+        let cache = model.forward(&s, None);
+        model.backward(&s, &cache, label);
+
+        // Collect analytic grads.
+        let analytic: Vec<Matrix> = model.params().iter().map(|p| p.grad.clone()).collect();
+        let eps = 3e-3f32;
+        for (pi, ag) in analytic.iter().enumerate() {
+            // Check a handful of entries per parameter tensor.
+            let len = ag.data().len();
+            let step = (len / 5).max(1);
+            for idx in (0..len).step_by(step) {
+                let orig = {
+                    let p = &model.params()[pi].w;
+                    p.data()[idx]
+                };
+                set_param(&mut model, pi, idx, orig + eps);
+                let lp = model.forward(&s, None).loss(label);
+                set_param(&mut model, pi, idx, orig - eps);
+                let lm = model.forward(&s, None).loss(label);
+                set_param(&mut model, pi, idx, orig);
+                let numeric = (lp - lm) / (2.0 * eps);
+                let a = ag.data()[idx];
+                assert!(
+                    (a - numeric).abs() < 2e-2 + 0.05 * numeric.abs().max(a.abs()),
+                    "param {pi} idx {idx}: analytic {a} vs numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    fn set_param(model: &mut Dgcnn, pi: usize, idx: usize, v: f32) {
+        model.params_mut()[pi].w.data_mut()[idx] = v;
+    }
+
+    #[test]
+    fn training_reduces_loss_on_one_sample() {
+        let mut model = Dgcnn::new(tiny_cfg());
+        let s = tiny_sample(6);
+        let opt = AdamConfig {
+            lr: 0.01,
+            ..AdamConfig::default()
+        };
+        let before = model.forward(&s, None).loss(true);
+        for t in 1..=60 {
+            model.zero_grads();
+            let c = model.forward(&s, None);
+            model.backward(&s, &c, true);
+            model.adam_step(&opt, t, 1.0);
+        }
+        let after = model.forward(&s, None).loss(true);
+        assert!(after < before * 0.5, "loss {before} -> {after}");
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut model = Dgcnn::new(tiny_cfg());
+        let s = tiny_sample(7);
+        let snap = model.snapshot();
+        let p0 = model.predict(&s);
+        // Perturb.
+        let opt = AdamConfig {
+            lr: 0.05,
+            ..AdamConfig::default()
+        };
+        model.zero_grads();
+        let c = model.forward(&s, None);
+        model.backward(&s, &c, false);
+        model.adam_step(&opt, 1, 1.0);
+        assert_ne!(model.predict(&s), p0);
+        model.restore(&snap);
+        assert_eq!(model.predict(&s), p0);
+    }
+
+    #[test]
+    fn serialisation_round_trips_predictions() {
+        let model = Dgcnn::new(tiny_cfg());
+        let s = tiny_sample(11);
+        let json = serde_json::to_string(&model).unwrap();
+        let restored: Dgcnn = serde_json::from_str(&json).unwrap();
+        assert_eq!(model.predict(&s), restored.predict(&s));
+        assert_eq!(model.parameter_count(), restored.parameter_count());
+    }
+
+    #[test]
+    fn paper_config_dimensions() {
+        let cfg = DgcnnConfig::paper(40, 30);
+        assert_eq!(cfg.concat_width(), 97);
+        assert_eq!(cfg.min_k(), 10);
+        let model = Dgcnn::new(cfg);
+        assert!(model.parameter_count() > 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least")]
+    fn too_small_k_rejected() {
+        let mut cfg = tiny_cfg();
+        cfg.k = 1;
+        let _ = Dgcnn::new(cfg);
+    }
+
+    #[test]
+    fn dropout_masks_at_training_time_only() {
+        let mut cfg = tiny_cfg();
+        cfg.dropout = 0.5;
+        let model = Dgcnn::new(cfg);
+        let s = tiny_sample(8);
+        let mut rng = seeded_rng(0);
+        let draws: Vec<[f32; 2]> = (0..16)
+            .map(|_| model.forward(&s, Some(&mut rng)).probs)
+            .collect();
+        // Stochastic passes must not all coincide …
+        assert!(
+            draws.iter().any(|d| *d != draws[0]),
+            "dropout produced 16 identical outputs"
+        );
+        // … while inference is deterministic.
+        assert_eq!(model.forward(&s, None).probs, model.forward(&s, None).probs);
+    }
+}

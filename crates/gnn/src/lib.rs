@@ -1,0 +1,50 @@
+//! # muxlink-gnn
+//!
+//! A from-scratch, CPU-only, dependency-light implementation of the
+//! **DGCNN** graph classifier the MuxLink paper uses for link prediction.
+//!
+//! Why from scratch? The reproduction targets pure Rust: no PyTorch
+//! bindings, no GPU. Enclosing subgraphs are small (tens to a few hundred
+//! nodes), so dense `f32` math is entirely sufficient, deterministic and
+//! easy to gradient-check (see `dgcnn::tests::gradients_match_finite_differences`).
+//!
+//! Components:
+//!
+//! * [`Matrix`] — row-major dense matrix with the handful of products the
+//!   model needs.
+//! * [`GraphSample`] + [`sample::propagate`] — the normalised propagation
+//!   operator `S = D̃⁻¹(A+I)` of DGCNN's Eq. (4) and its adjoint.
+//! * [`Dgcnn`] — the full model (graph convolutions, SortPooling, 1-D
+//!   convolutions, dense head) with hand-written backprop.
+//! * [`trainer::train`] — Adam minibatch loop with best-on-validation
+//!   selection.
+//!
+//! # Example
+//!
+//! ```
+//! use muxlink_gnn::{Dgcnn, DgcnnConfig, GraphSample, Matrix};
+//!
+//! let model = Dgcnn::new(DgcnnConfig::paper(9, 10));
+//! let sample = GraphSample {
+//!     adj: vec![vec![1], vec![0]],
+//!     features: Matrix::zeros(2, 9),
+//!     label: None,
+//! };
+//! let p = model.predict(&sample);
+//! assert!((0.0..=1.0).contains(&p));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dgcnn;
+pub mod matrix;
+pub mod param;
+pub mod sample;
+pub mod trainer;
+
+pub use dgcnn::{Cache, Dgcnn, DgcnnConfig};
+pub use matrix::Matrix;
+pub use param::{AdamConfig, Param};
+pub use sample::GraphSample;
+pub use trainer::{evaluate, train, EpochStats, TrainConfig, TrainReport};

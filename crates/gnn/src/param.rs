@@ -1,0 +1,120 @@
+//! Trainable parameters with accumulated gradients and Adam state.
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+
+/// One weight tensor with its gradient accumulator and Adam moments.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Param {
+    /// Current weights.
+    pub w: Matrix,
+    /// Accumulated gradient (sum over the current minibatch).
+    pub grad: Matrix,
+    m: Matrix,
+    v: Matrix,
+}
+
+impl Param {
+    /// Wraps an initialised weight matrix.
+    #[must_use]
+    pub fn new(w: Matrix) -> Self {
+        let (r, c) = (w.rows(), w.cols());
+        Self {
+            w,
+            grad: Matrix::zeros(r, c),
+            m: Matrix::zeros(r, c),
+            v: Matrix::zeros(r, c),
+        }
+    }
+
+    /// Clears the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    /// One Adam update with bias correction; `t` is the 1-based step count
+    /// and `scale` divides the accumulated gradient (minibatch size).
+    pub fn adam_step(&mut self, opt: &AdamConfig, t: usize, scale: f32) {
+        let b1t = 1.0 - opt.beta1.powi(t as i32);
+        let b2t = 1.0 - opt.beta2.powi(t as i32);
+        for i in 0..self.w.data().len() {
+            let g = self.grad.data()[i] * scale;
+            let m = opt.beta1 * self.m.data()[i] + (1.0 - opt.beta1) * g;
+            let v = opt.beta2 * self.v.data()[i] + (1.0 - opt.beta2) * g * g;
+            self.m.data_mut()[i] = m;
+            self.v.data_mut()[i] = v;
+            let mhat = m / b1t;
+            let vhat = v / b2t;
+            self.w.data_mut()[i] -= opt.lr * mhat / (vhat.sqrt() + opt.eps);
+        }
+    }
+}
+
+/// Adam hyper-parameters (paper: initial learning rate 1e-4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdamConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        Self {
+            lr: 1e-4,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::seeded_rng;
+
+    #[test]
+    fn adam_descends_simple_quadratic() {
+        // Minimise f(w) = w² with gradient 2w.
+        let mut p = Param::new(Matrix::from_vec(1, 1, vec![1.0]));
+        let opt = AdamConfig {
+            lr: 0.05,
+            ..AdamConfig::default()
+        };
+        for t in 1..=500 {
+            p.zero_grad();
+            let w = p.w.get(0, 0);
+            p.grad.set(0, 0, 2.0 * w);
+            p.adam_step(&opt, t, 1.0);
+        }
+        assert!(p.w.get(0, 0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut rng = seeded_rng(1);
+        let mut p = Param::new(Matrix::glorot(3, 3, &mut rng));
+        p.grad.set(1, 1, 5.0);
+        p.zero_grad();
+        assert!(p.grad.data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn scale_divides_batch_gradient() {
+        let mut p1 = Param::new(Matrix::from_vec(1, 1, vec![0.0]));
+        let mut p2 = Param::new(Matrix::from_vec(1, 1, vec![0.0]));
+        let opt = AdamConfig::default();
+        p1.grad.set(0, 0, 4.0);
+        p2.grad.set(0, 0, 1.0);
+        p1.adam_step(&opt, 1, 0.25);
+        p2.adam_step(&opt, 1, 1.0);
+        assert!((p1.w.get(0, 0) - p2.w.get(0, 0)).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,114 @@
+//! Model-facing input type and the normalised graph-propagation operator.
+
+use crate::matrix::Matrix;
+
+/// One graph-classification example: local adjacency lists plus a node
+/// feature matrix (and, for training, a binary label).
+#[derive(Debug, Clone)]
+pub struct GraphSample {
+    /// Sorted adjacency lists over local node indices.
+    pub adj: Vec<Vec<u32>>,
+    /// `n × d` node features.
+    pub features: Matrix,
+    /// Class label (`true` = positive/link) when known.
+    pub label: Option<bool>,
+}
+
+impl GraphSample {
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+}
+
+/// Applies the DGCNN propagation `S·H` with `S = D̃⁻¹(A + I)`:
+/// each output row is the degree-normalised sum of the node's own row and
+/// its neighbours' rows.
+#[must_use]
+pub fn propagate(adj: &[Vec<u32>], h: &Matrix) -> Matrix {
+    let n = adj.len();
+    let c = h.cols();
+    assert_eq!(h.rows(), n);
+    let mut out = Matrix::zeros(n, c);
+    for i in 0..n {
+        let scale = 1.0 / (1.0 + adj[i].len() as f32);
+        // Own row.
+        let mut acc: Vec<f32> = h.row(i).to_vec();
+        for &j in &adj[i] {
+            for (a, &b) in acc.iter_mut().zip(h.row(j as usize)) {
+                *a += b;
+            }
+        }
+        for (o, a) in out.row_mut(i).iter_mut().zip(&acc) {
+            *o = a * scale;
+        }
+    }
+    out
+}
+
+/// Applies `Sᵀ·G` — the adjoint of [`propagate`], needed for
+/// backpropagation: `dH = Sᵀ·dY`.
+#[must_use]
+pub fn propagate_back(adj: &[Vec<u32>], g: &Matrix) -> Matrix {
+    let n = adj.len();
+    let c = g.cols();
+    assert_eq!(g.rows(), n);
+    let mut out = Matrix::zeros(n, c);
+    for i in 0..n {
+        let scale = 1.0 / (1.0 + adj[i].len() as f32);
+        // Row i of G, scaled, lands on node i itself and its neighbours.
+        let grow: Vec<f32> = g.row(i).iter().map(|&x| x * scale).collect();
+        for (o, &v) in out.row_mut(i).iter_mut().zip(&grow) {
+            *o += v;
+        }
+        for &j in &adj[i] {
+            for (o, &v) in out.row_mut(j as usize).iter_mut().zip(&grow) {
+                *o += v;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::seeded_rng;
+
+    fn path_adj() -> Vec<Vec<u32>> {
+        vec![vec![1], vec![0, 2], vec![1]]
+    }
+
+    #[test]
+    fn propagate_averages_neighbourhood() {
+        let h = Matrix::from_vec(3, 1, vec![1.0, 2.0, 4.0]);
+        let p = propagate(&path_adj(), &h);
+        // Node 0: (1+2)/2 = 1.5 ; node 1: (1+2+4)/3 ; node 2: (2+4)/2.
+        assert!((p.get(0, 0) - 1.5).abs() < 1e-6);
+        assert!((p.get(1, 0) - 7.0 / 3.0).abs() < 1e-6);
+        assert!((p.get(2, 0) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn propagate_back_is_adjoint() {
+        // <S·H, G> must equal <H, Sᵀ·G> for random H, G.
+        let adj = vec![vec![1, 2], vec![0], vec![0, 3], vec![2]];
+        let mut rng = seeded_rng(3);
+        let h = Matrix::glorot(4, 3, &mut rng);
+        let g = Matrix::glorot(4, 3, &mut rng);
+        let sh = propagate(&adj, &h);
+        let stg = propagate_back(&adj, &g);
+        let lhs: f32 = sh.data().iter().zip(g.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = h.data().iter().zip(stg.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-4, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn isolated_node_keeps_own_features() {
+        let adj = vec![vec![], vec![]];
+        let h = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let p = propagate(&adj, &h);
+        assert_eq!(p, h);
+    }
+}

@@ -1,0 +1,224 @@
+//! Step ③+④ batched: dataset generation for GNN training and validation.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{CircuitGraph, Link};
+use crate::sampling::sample_links;
+use crate::subgraph::{enclosing_subgraph, Subgraph};
+
+/// One labelled training example: an enclosing subgraph and whether its
+/// target pair is an observed wire.
+#[derive(Debug, Clone)]
+pub struct LinkSample {
+    /// The sampled link.
+    pub link: Link,
+    /// True for observed (positive) links.
+    pub label: bool,
+    /// The enclosing subgraph around the link.
+    pub subgraph: Subgraph,
+}
+
+/// A train/validation split of link samples.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Training samples (shuffled, balanced).
+    pub train: Vec<LinkSample>,
+    /// Validation samples (paper: 10 % of the sampled links).
+    pub val: Vec<LinkSample>,
+    /// Largest DRNL label over all samples — fixes the feature width.
+    pub max_label: u32,
+}
+
+impl Dataset {
+    /// Total number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.train.len() + self.val.len()
+    }
+
+    /// True when the dataset contains no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Dataset-generation parameters (paper defaults: `h = 3`,
+/// `max_train_links = 100_000`, 10 % validation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetConfig {
+    /// Enclosing-subgraph hop count.
+    pub h: usize,
+    /// Upper bound on sampled links (positives + negatives).
+    pub max_train_links: usize,
+    /// Fraction of samples held out for validation.
+    pub val_fraction: f64,
+    /// Optional cap on subgraph size (nearest nodes kept).
+    pub max_subgraph_nodes: Option<usize>,
+    /// Sampling/shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        Self {
+            h: 3,
+            max_train_links: 100_000,
+            val_fraction: 0.10,
+            max_subgraph_nodes: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Builds a balanced, shuffled, split dataset of enclosing subgraphs from
+/// the observed/unobserved links of `graph`, never sampling any link in
+/// `targets`.
+#[must_use]
+pub fn build_dataset(graph: &CircuitGraph, targets: &[Link], cfg: &DatasetConfig) -> Dataset {
+    let exclude: HashSet<Link> = targets.iter().copied().collect();
+    let sampling = sample_links(graph, &exclude, cfg.max_train_links, cfg.seed);
+
+    let mut samples: Vec<LinkSample> = Vec::new();
+    for (links, label) in [(&sampling.positives, true), (&sampling.negatives, false)] {
+        for &link in links {
+            let subgraph = enclosing_subgraph(graph, link, cfg.h, cfg.max_subgraph_nodes);
+            samples.push(LinkSample {
+                link,
+                label,
+                subgraph,
+            });
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x9E37_79B9));
+    samples.shuffle(&mut rng);
+
+    let max_label = samples
+        .iter()
+        .map(|s| s.subgraph.max_label())
+        .max()
+        .unwrap_or(1);
+    let val_len = ((samples.len() as f64) * cfg.val_fraction).round() as usize;
+    let val = samples.split_off(samples.len().saturating_sub(val_len));
+    Dataset {
+        train: samples,
+        val,
+        max_label,
+    }
+}
+
+/// Extracts the (unlabelled) enclosing subgraphs for the attack-time target
+/// links, using the same `h`/cap as training.
+#[must_use]
+pub fn target_subgraphs(
+    graph: &CircuitGraph,
+    targets: &[Link],
+    cfg: &DatasetConfig,
+) -> Vec<Subgraph> {
+    targets
+        .iter()
+        .map(|&l| enclosing_subgraph(graph, l, cfg.h, cfg.max_subgraph_nodes))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muxlink_netlist::{GateId, GateType};
+
+    fn ring(n: usize) -> CircuitGraph {
+        let edges: Vec<Link> = (0..n)
+            .map(|i| Link::new(i as u32, ((i + 1) % n) as u32))
+            .collect();
+        CircuitGraph::from_edges(
+            (0..n).map(GateId::from_index).collect(),
+            vec![GateType::Nor; n],
+            &edges,
+        )
+    }
+
+    fn cfg(max_links: usize) -> DatasetConfig {
+        DatasetConfig {
+            h: 2,
+            max_train_links: max_links,
+            val_fraction: 0.10,
+            max_subgraph_nodes: None,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn dataset_is_balanced_and_split() {
+        let g = ring(100);
+        let ds = build_dataset(&g, &[], &cfg(80));
+        assert_eq!(ds.len(), 80);
+        assert_eq!(ds.val.len(), 8);
+        let pos = ds
+            .train
+            .iter()
+            .chain(&ds.val)
+            .filter(|s| s.label)
+            .count();
+        assert_eq!(pos, 40);
+    }
+
+    #[test]
+    fn positive_subgraphs_do_not_contain_their_link() {
+        let g = ring(60);
+        let ds = build_dataset(&g, &[], &cfg(40));
+        for s in ds.train.iter().chain(&ds.val) {
+            let (lf, lg) = s.subgraph.target;
+            assert!(
+                !s.subgraph.adj[lf as usize].contains(&lg),
+                "target edge leaked into subgraph"
+            );
+        }
+    }
+
+    #[test]
+    fn targets_never_sampled() {
+        let g = ring(50);
+        let targets = vec![Link::new(0, 1), Link::new(10, 30)];
+        let ds = build_dataset(&g, &targets, &cfg(1000));
+        for s in ds.train.iter().chain(&ds.val) {
+            assert!(!targets.contains(&s.link));
+        }
+    }
+
+    #[test]
+    fn max_label_covers_all_samples() {
+        let g = ring(80);
+        let ds = build_dataset(&g, &[], &cfg(60));
+        for s in ds.train.iter().chain(&ds.val) {
+            assert!(s.subgraph.max_label() <= ds.max_label);
+        }
+    }
+
+    #[test]
+    fn target_subgraphs_align_with_targets() {
+        let g = ring(40);
+        let targets = vec![Link::new(3, 17), Link::new(5, 6)];
+        let sgs = target_subgraphs(&g, &targets, &cfg(10));
+        assert_eq!(sgs.len(), 2);
+        for (sg, t) in sgs.iter().zip(&targets) {
+            let (lf, lg) = sg.target;
+            assert_eq!(sg.nodes[lf as usize], t.a);
+            assert_eq!(sg.nodes[lg as usize], t.b);
+        }
+    }
+
+    #[test]
+    fn deterministic_dataset() {
+        let g = ring(64);
+        let a = build_dataset(&g, &[], &cfg(50));
+        let b = build_dataset(&g, &[], &cfg(50));
+        let la: Vec<_> = a.train.iter().map(|s| (s.link, s.label)).collect();
+        let lb: Vec<_> = b.train.iter().map(|s| (s.link, s.label)).collect();
+        assert_eq!(la, lb);
+    }
+}

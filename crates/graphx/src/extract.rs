@@ -1,0 +1,391 @@
+//! Step ①–②: identify the key MUXes, remove them, and convert the locked
+//! netlist into an undirected gate graph with marked target links.
+//!
+//! The attacker traces the key inputs from the tamper-proof memory (here:
+//! the key-input net names), finds the MUXes they select, deletes them from
+//! the graph, and records *both* data wires of every MUX as candidate
+//! ("target") links — one of which is the true wire the GNN must identify.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use muxlink_netlist::{GateId, GateType, Netlist};
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{CircuitGraph, Link};
+
+/// Errors raised when a locked netlist violates the structural assumptions
+/// of MUX-based locking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExtractError {
+    /// A named key input does not exist in the netlist.
+    UnknownKeyInput(String),
+    /// A key input drives a gate that is not a MUX select pin.
+    KeyInputNotMuxSelect {
+        /// The offending key input.
+        key_input: String,
+        /// The non-MUX gate type it feeds.
+        gate_type: GateType,
+    },
+    /// A key MUX data input is driven by a primary input (no gate node to
+    /// link against).
+    MuxDataFromPrimaryInput(String),
+    /// A key MUX data input is driven by another key MUX (chained MUXes
+    /// are outside the D-MUX/S5 constructions).
+    ChainedMux(String),
+    /// A key MUX output must feed exactly one ordinary gate.
+    BadMuxFanout {
+        /// The MUX output net.
+        net: String,
+        /// Number of ordinary-gate sinks found.
+        sinks: usize,
+    },
+}
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownKeyInput(k) => write!(f, "unknown key input `{k}`"),
+            Self::KeyInputNotMuxSelect {
+                key_input,
+                gate_type,
+            } => write!(
+                f,
+                "key input `{key_input}` feeds a {gate_type} gate, not a MUX select"
+            ),
+            Self::MuxDataFromPrimaryInput(n) => {
+                write!(f, "MUX data input `{n}` is a primary input")
+            }
+            Self::ChainedMux(n) => write!(f, "MUX data input `{n}` comes from another key MUX"),
+            Self::BadMuxFanout { net, sinks } => write!(
+                f,
+                "key MUX output `{net}` must feed exactly one gate, found {sinks}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+/// One key-controlled MUX as seen by the attacker: a key bit, a sink gate
+/// node and two candidate source nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MuxCandidate {
+    /// The MUX gate in the locked netlist (removed from the graph).
+    pub mux_gate: GateId,
+    /// Key-bit index (parsed from the key-input name suffix).
+    pub key_bit: usize,
+    /// Graph node of the gate consuming the MUX output.
+    pub sink: u32,
+    /// Graph node driving data input 0 (selected by key = 0).
+    pub src0: u32,
+    /// Graph node driving data input 1 (selected by key = 1).
+    pub src1: u32,
+}
+
+impl MuxCandidate {
+    /// The candidate link that is true when the key bit is 0.
+    #[must_use]
+    pub fn link0(&self) -> Link {
+        Link::new(self.src0, self.sink)
+    }
+
+    /// The candidate link that is true when the key bit is 1.
+    #[must_use]
+    pub fn link1(&self) -> Link {
+        Link::new(self.src1, self.sink)
+    }
+}
+
+/// The attacker's view after step ②: the MUX-free gate graph plus every
+/// MUX's candidate links.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExtractedDesign {
+    /// The undirected gate graph (key MUXes removed, target links absent).
+    pub graph: CircuitGraph,
+    /// One entry per key MUX, ordered by key bit then gate id.
+    pub muxes: Vec<MuxCandidate>,
+}
+
+impl ExtractedDesign {
+    /// Every target link (both candidates of every MUX), deduplicated.
+    #[must_use]
+    pub fn target_links(&self) -> Vec<Link> {
+        let mut s: Vec<Link> = self
+            .muxes
+            .iter()
+            .flat_map(|m| [m.link0(), m.link1()])
+            .collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+}
+
+/// Extracts the gate graph and MUX candidates from a locked netlist given
+/// the (attacker-visible) key-input net names.
+///
+/// Key-bit indices are taken from each name's position in `key_inputs`.
+///
+/// # Errors
+///
+/// Any [`ExtractError`] when the netlist does not look like a MUX-locked
+/// design (wrong key wiring, chained MUXes, PI-driven data inputs, MUX
+/// fan-out ≠ 1).
+pub fn extract(netlist: &Netlist, key_inputs: &[String]) -> Result<ExtractedDesign, ExtractError> {
+    // 1. Resolve key inputs and find the key MUXes.
+    let mut key_nets = HashMap::new();
+    for (bit, name) in key_inputs.iter().enumerate() {
+        let id = netlist
+            .find_net(name)
+            .ok_or_else(|| ExtractError::UnknownKeyInput(name.clone()))?;
+        key_nets.insert(id, bit);
+    }
+    let mut mux_gates: HashMap<GateId, usize> = HashMap::new();
+    for (gid, gate) in netlist.gates() {
+        for (pin, &inp) in gate.inputs().iter().enumerate() {
+            if let Some(&bit) = key_nets.get(&inp) {
+                if gate.ty() != GateType::Mux || pin != 0 {
+                    return Err(ExtractError::KeyInputNotMuxSelect {
+                        key_input: netlist.net(inp).name().to_owned(),
+                        gate_type: gate.ty(),
+                    });
+                }
+                mux_gates.insert(gid, bit);
+            }
+        }
+    }
+
+    // 2. Number the ordinary gates as graph nodes.
+    let mut node_of_gate: HashMap<GateId, u32> = HashMap::new();
+    let mut gate_of_node = Vec::new();
+    let mut gate_types = Vec::new();
+    for (gid, gate) in netlist.gates() {
+        if mux_gates.contains_key(&gid) {
+            continue;
+        }
+        node_of_gate.insert(gid, gate_of_node.len() as u32);
+        gate_of_node.push(gid);
+        // Non-key MUX gates cannot be one-hot encoded; treat any remaining
+        // MUX as an error via encoding_index (defensive: D-MUX/S5 insert
+        // all MUXes with key selects, so none should remain).
+        gate_types.push(gate.ty());
+    }
+
+    // 3. Build candidates and collect target links.
+    let mut muxes = Vec::new();
+    let fanout = netlist.fanout_map();
+    for (&mux, &key_bit) in &mux_gates {
+        let gate = netlist.gate(mux);
+        let data0 = gate.inputs()[1];
+        let data1 = gate.inputs()[2];
+        let mut srcs = [0u32; 2];
+        for (i, &d) in [data0, data1].iter().enumerate() {
+            let drv = netlist
+                .net(d)
+                .driver()
+                .ok_or_else(|| ExtractError::MuxDataFromPrimaryInput(
+                    netlist.net(d).name().to_owned(),
+                ))?;
+            if mux_gates.contains_key(&drv) {
+                return Err(ExtractError::ChainedMux(netlist.net(d).name().to_owned()));
+            }
+            srcs[i] = node_of_gate[&drv];
+        }
+        let out = gate.output();
+        let sinks: Vec<GateId> = fanout[out.index()]
+            .iter()
+            .copied()
+            .filter(|g| !mux_gates.contains_key(g))
+            .collect();
+        let chained = fanout[out.index()].len() != sinks.len();
+        if chained {
+            return Err(ExtractError::ChainedMux(netlist.net(out).name().to_owned()));
+        }
+        if sinks.len() != 1 {
+            return Err(ExtractError::BadMuxFanout {
+                net: netlist.net(out).name().to_owned(),
+                sinks: sinks.len(),
+            });
+        }
+        muxes.push(MuxCandidate {
+            mux_gate: mux,
+            key_bit,
+            sink: node_of_gate[&sinks[0]],
+            src0: srcs[0],
+            src1: srcs[1],
+        });
+    }
+    muxes.sort_by_key(|m| (m.key_bit, m.mux_gate));
+
+    // 4. Observed edges: every gate-to-gate wire not involving a key MUX,
+    //    minus the target links.
+    let targets: HashSet<Link> = muxes
+        .iter()
+        .flat_map(|m| [m.link0(), m.link1()])
+        .collect();
+    let mut edges = Vec::new();
+    for (gid, gate) in netlist.gates() {
+        if mux_gates.contains_key(&gid) {
+            continue;
+        }
+        let a = node_of_gate[&gid];
+        for &inp in gate.inputs() {
+            if let Some(drv) = netlist.net(inp).driver() {
+                if mux_gates.contains_key(&drv) {
+                    continue; // the mux-output wire is replaced by target links
+                }
+                let link = Link::new(node_of_gate[&drv], a);
+                if !targets.contains(&link) {
+                    edges.push(link);
+                }
+            }
+        }
+    }
+    let graph = CircuitGraph::from_edges(gate_of_node, gate_types, &edges);
+    Ok(ExtractedDesign { graph, muxes })
+}
+
+/// Convenience wrapper: extracts from a `muxlink-locking`-style locked
+/// design given the key-input names in key-bit order.
+///
+/// (Takes the pieces rather than the `LockedNetlist` type to keep this
+/// crate independent of the locking crate.)
+///
+/// # Errors
+///
+/// As for [`extract`].
+pub fn extract_with_names(
+    netlist: &Netlist,
+    key_input_names: &[String],
+) -> Result<ExtractedDesign, ExtractError> {
+    extract(netlist, key_input_names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muxlink_netlist::bench_format::parse;
+
+    /// Hand-built S5-style locality:
+    ///   f1 = NOT(a), f2 = AND(a, b) feed two MUXes crossing into g1, g2.
+    fn locked_pair() -> Netlist {
+        parse(
+            "locked",
+            "INPUT(a)\nINPUT(b)\nINPUT(keyinput0)\nINPUT(keyinput1)\n\
+             OUTPUT(y1)\nOUTPUT(y2)\n\
+             f1 = NOT(a)\nf2 = AND(a, b)\n\
+             m1 = MUX(keyinput0, f1, f2)\n\
+             m2 = MUX(keyinput1, f1, f2)\n\
+             g1 = NOR(m1, b)\ng2 = XOR(m2, a)\n\
+             y1 = BUFF(g1)\ny2 = BUFF(g2)\n",
+        )
+        .unwrap()
+    }
+
+    fn keys(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("keyinput{i}")).collect()
+    }
+
+    #[test]
+    fn extraction_builds_mux_free_graph() {
+        let n = locked_pair();
+        let ex = extract(&n, &keys(2)).unwrap();
+        // Nodes: f1, f2, g1, g2, y1, y2 (MUXes removed; PIs/POs are nets,
+        // not nodes).
+        assert_eq!(ex.graph.node_count(), 6);
+        assert_eq!(ex.muxes.len(), 2);
+        // No node should be a MUX.
+        assert!(ex
+            .graph
+            .gate_types
+            .iter()
+            .all(|t| t.encoding_index().is_some()));
+    }
+
+    #[test]
+    fn target_links_excluded_from_edges() {
+        let n = locked_pair();
+        let ex = extract(&n, &keys(2)).unwrap();
+        for link in ex.target_links() {
+            assert!(
+                !ex.graph.has_edge(link.a, link.b),
+                "target link {link:?} must not be observed"
+            );
+        }
+        // Each MUX contributes two distinct candidates.
+        for m in &ex.muxes {
+            assert_ne!(m.link0(), m.link1());
+        }
+    }
+
+    #[test]
+    fn key_bits_parsed_in_order() {
+        let n = locked_pair();
+        let ex = extract(&n, &keys(2)).unwrap();
+        assert_eq!(ex.muxes[0].key_bit, 0);
+        assert_eq!(ex.muxes[1].key_bit, 1);
+    }
+
+    #[test]
+    fn unknown_key_input_rejected() {
+        let n = locked_pair();
+        let err = extract(&n, &["nosuchkey".to_owned()]).unwrap_err();
+        assert!(matches!(err, ExtractError::UnknownKeyInput(_)));
+    }
+
+    #[test]
+    fn xor_key_gate_rejected() {
+        let n = parse(
+            "x",
+            "INPUT(a)\nINPUT(keyinput0)\nOUTPUT(y)\n\
+             t = XOR(a, keyinput0)\ny = BUFF(t)\n",
+        )
+        .unwrap();
+        let err = extract(&n, &keys(1)).unwrap_err();
+        assert!(matches!(err, ExtractError::KeyInputNotMuxSelect { .. }));
+    }
+
+    #[test]
+    fn pi_driven_data_input_rejected() {
+        let n = parse(
+            "p",
+            "INPUT(a)\nINPUT(b)\nINPUT(keyinput0)\nOUTPUT(y)\n\
+             f = NOT(a)\nm = MUX(keyinput0, f, b)\ny = AND(m, a)\n",
+        )
+        .unwrap();
+        let err = extract(&n, &keys(1)).unwrap_err();
+        assert!(matches!(err, ExtractError::MuxDataFromPrimaryInput(_)));
+    }
+
+    #[test]
+    fn locked_designs_from_locking_crate_extract_cleanly() {
+        use muxlink_locking::{dmux, symmetric, LockOptions};
+        let design = muxlink_benchgen::synth::SynthConfig::new("d", 16, 8, 300).generate(3);
+        for locked in [
+            dmux::lock(&design, &LockOptions::new(16, 5)).unwrap(),
+            symmetric::lock(&design, &LockOptions::new(16, 5)).unwrap(),
+        ] {
+            let ex = extract(&locked.netlist, &locked.key_input_names()).unwrap();
+            assert_eq!(
+                ex.muxes.len(),
+                locked.mux_instances().len(),
+                "every inserted MUX must be recovered"
+            );
+            // Ground-truth cross-check: the true link of every MUX matches
+            // the locking metadata.
+            for (cand, inst) in ex.muxes.iter().zip(locked.mux_instances()) {
+                assert_eq!(cand.mux_gate, inst.gate);
+                assert_eq!(cand.key_bit, inst.key_bit);
+                let true_src = if locked.key.bit(inst.key_bit) {
+                    cand.src1
+                } else {
+                    cand.src0
+                };
+                let true_driver = locked.netlist.net(inst.true_input).driver().unwrap();
+                assert_eq!(ex.graph.gate_of_node[true_src as usize], true_driver);
+            }
+        }
+    }
+}

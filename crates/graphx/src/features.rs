@@ -1,0 +1,120 @@
+//! Step ④: node information matrix construction.
+//!
+//! Each subgraph node gets an 8-bit one-hot of its Boolean function
+//! concatenated with a one-hot of its DRNL label. The label dimension is a
+//! dataset-wide constant (the largest label observed), exactly as in the
+//! paper ("the dimension of X depends on the largest assigned label in a
+//! given dataset").
+
+use muxlink_netlist::GATE_TYPE_COUNT;
+
+use crate::subgraph::Subgraph;
+
+/// Row-major dense feature matrix (`rows × cols`) of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureMatrix {
+    /// Number of rows (subgraph nodes).
+    pub rows: usize,
+    /// Number of columns (8 + max_label + 1).
+    pub cols: usize,
+    /// Row-major data.
+    pub data: Vec<f32>,
+}
+
+impl FeatureMatrix {
+    /// Value at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+}
+
+/// Number of feature columns for a dataset whose largest DRNL label is
+/// `max_label`: the 8 gate-type bits plus labels `0..=max_label`.
+#[must_use]
+pub fn feature_cols(max_label: u32) -> usize {
+    GATE_TYPE_COUNT + max_label as usize + 1
+}
+
+/// Builds the node information matrix X for one subgraph.
+///
+/// Labels exceeding `max_label` (possible at attack time when a candidate
+/// subgraph is deeper than anything seen in training) are clamped into the
+/// last label bucket.
+#[must_use]
+pub fn node_feature_matrix(sg: &Subgraph, max_label: u32) -> FeatureMatrix {
+    let cols = feature_cols(max_label);
+    let mut data = vec![0.0f32; sg.node_count() * cols];
+    for (i, (&label, ty)) in sg.labels.iter().zip(&sg.gate_types).enumerate() {
+        let row = &mut data[i * cols..(i + 1) * cols];
+        let t = ty
+            .encoding_index()
+            .expect("graph nodes are plain encoded gates");
+        row[t] = 1.0;
+        let l = label.min(max_label) as usize;
+        row[GATE_TYPE_COUNT + l] = 1.0;
+    }
+    FeatureMatrix {
+        rows: sg.node_count(),
+        cols,
+        data,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{CircuitGraph, Link};
+    use crate::subgraph::enclosing_subgraph;
+    use muxlink_netlist::{GateId, GateType};
+
+    fn tiny_subgraph() -> Subgraph {
+        let g = CircuitGraph::from_edges(
+            (0..3).map(GateId::from_index).collect(),
+            vec![GateType::And, GateType::Xor, GateType::Not],
+            &[Link::new(0, 1), Link::new(1, 2)],
+        );
+        enclosing_subgraph(&g, Link::new(0, 2), 2, None)
+    }
+
+    #[test]
+    fn one_hot_rows_sum_to_two() {
+        let sg = tiny_subgraph();
+        let m = node_feature_matrix(&sg, sg.max_label());
+        for r in 0..m.rows {
+            let s: f32 = (0..m.cols).map(|c| m.get(r, c)).sum();
+            assert_eq!(s, 2.0, "gate one-hot + label one-hot");
+        }
+    }
+
+    #[test]
+    fn gate_type_bit_set_correctly() {
+        let sg = tiny_subgraph();
+        let m = node_feature_matrix(&sg, sg.max_label());
+        for (i, ty) in sg.gate_types.iter().enumerate() {
+            assert_eq!(m.get(i, ty.encoding_index().unwrap()), 1.0);
+        }
+    }
+
+    #[test]
+    fn label_overflow_clamped() {
+        let sg = tiny_subgraph();
+        // Force a tiny label budget; everything must clamp, not panic.
+        let m = node_feature_matrix(&sg, 0);
+        assert_eq!(m.cols, feature_cols(0));
+        for r in 0..m.rows {
+            assert_eq!(m.get(r, GATE_TYPE_COUNT), 1.0);
+        }
+    }
+
+    #[test]
+    fn dimensions_follow_max_label() {
+        assert_eq!(feature_cols(0), 9);
+        assert_eq!(feature_cols(7), 16);
+    }
+}

@@ -1,0 +1,157 @@
+//! The undirected gate graph: nodes are gates, edges are wires.
+//!
+//! Primary inputs and outputs are deliberately not represented — the paper
+//! captures "the composition of gates and their connectivity" only.
+
+use muxlink_netlist::{GateId, GateType};
+use serde::{Deserialize, Serialize};
+
+/// An (unordered) candidate or observed link between two graph nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Link {
+    /// First endpoint (node index).
+    pub a: u32,
+    /// Second endpoint (node index).
+    pub b: u32,
+}
+
+impl Link {
+    /// Canonicalised link (endpoints sorted).
+    #[must_use]
+    pub fn new(a: u32, b: u32) -> Self {
+        if a <= b {
+            Self { a, b }
+        } else {
+            Self { a: b, b: a }
+        }
+    }
+}
+
+/// Undirected multigraph-free gate graph with per-node gate types.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CircuitGraph {
+    /// For each node, the originating gate in the locked netlist.
+    pub gate_of_node: Vec<GateId>,
+    /// Per-node gate type (always one of [`GateType::ENCODED`]).
+    pub gate_types: Vec<GateType>,
+    /// Sorted adjacency lists over node indices.
+    pub adj: Vec<Vec<u32>>,
+}
+
+impl CircuitGraph {
+    /// Number of nodes (gates).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Whether an edge between `a` and `b` is present.
+    #[must_use]
+    pub fn has_edge(&self, a: u32, b: u32) -> bool {
+        self.adj[a as usize].binary_search(&b).is_ok()
+    }
+
+    /// All edges as canonical [`Link`]s, sorted.
+    #[must_use]
+    pub fn edges(&self) -> Vec<Link> {
+        let mut out = Vec::with_capacity(self.edge_count());
+        for (a, nbrs) in self.adj.iter().enumerate() {
+            for &b in nbrs {
+                if (a as u32) < b {
+                    out.push(Link::new(a as u32, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds a graph from an edge list (deduplicated, self-loops dropped).
+    #[must_use]
+    pub fn from_edges(
+        gate_of_node: Vec<GateId>,
+        gate_types: Vec<GateType>,
+        edges: &[Link],
+    ) -> Self {
+        let n = gate_of_node.len();
+        assert_eq!(n, gate_types.len());
+        let mut adj = vec![Vec::new(); n];
+        for l in edges {
+            if l.a == l.b {
+                continue;
+            }
+            adj[l.a as usize].push(l.b);
+            adj[l.b as usize].push(l.a);
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        Self {
+            gate_of_node,
+            gate_types,
+            adj,
+        }
+    }
+
+    /// Average node degree.
+    #[must_use]
+    pub fn average_degree(&self) -> f64 {
+        if self.adj.is_empty() {
+            0.0
+        } else {
+            2.0 * self.edge_count() as f64 / self.node_count() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> CircuitGraph {
+        CircuitGraph::from_edges(
+            vec![GateId::from_index(0), GateId::from_index(1), GateId::from_index(2)],
+            vec![GateType::And, GateType::Or, GateType::Not],
+            &[Link::new(0, 1), Link::new(1, 2)],
+        )
+    }
+
+    #[test]
+    fn link_canonicalisation() {
+        assert_eq!(Link::new(5, 2), Link::new(2, 5));
+        assert_eq!(Link::new(2, 5).a, 2);
+    }
+
+    #[test]
+    fn edge_queries() {
+        let g = path3();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.edges(), vec![Link::new(0, 1), Link::new(1, 2)]);
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_ignored() {
+        let g = CircuitGraph::from_edges(
+            vec![GateId::from_index(0), GateId::from_index(1)],
+            vec![GateType::And, GateType::Or],
+            &[Link::new(0, 1), Link::new(1, 0), Link::new(0, 0)],
+        );
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn average_degree() {
+        let g = path3();
+        assert!((g.average_degree() - 4.0 / 3.0).abs() < 1e-12);
+    }
+}

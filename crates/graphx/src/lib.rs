@@ -1,0 +1,36 @@
+//! # muxlink-graph
+//!
+//! Graph substrate for the MuxLink attack: converts a locked netlist into
+//! the undirected gate graph the paper's GNN operates on, extracts *h*-hop
+//! enclosing subgraphs around links, labels nodes with DRNL + gate-type
+//! one-hots, and samples balanced positive/negative link datasets.
+//!
+//! Pipeline (paper Fig. 5 steps ①–④):
+//!
+//! 1. [`extract::extract`] — trace key inputs, remove key MUXes, build the
+//!    undirected gate graph, mark every possible MUX input wire as a
+//!    *target link*.
+//! 2. [`subgraph::enclosing_subgraph`] — induce the h-hop neighbourhood of
+//!    a node pair.
+//! 3. [`drnl`] — double-radius node labeling (Zhang & Chen, NeurIPS'18).
+//! 4. [`features::node_feature_matrix`] — 8-bit gate-type one-hot ⊕ DRNL
+//!    one-hot.
+//! 5. [`dataset::build_dataset`] — balanced observed/unobserved link
+//!    samples with a validation split (paper: ≤ 100 000 links, 10 % val).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod drnl;
+pub mod extract;
+pub mod features;
+pub mod graph;
+pub mod heuristics;
+pub mod sampling;
+pub mod subgraph;
+
+pub use dataset::{build_dataset, Dataset, LinkSample};
+pub use extract::{extract, ExtractError, ExtractedDesign, MuxCandidate};
+pub use graph::{CircuitGraph, Link};
+pub use subgraph::{enclosing_subgraph, Subgraph};

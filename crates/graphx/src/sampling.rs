@@ -1,0 +1,139 @@
+//! Positive/negative link sampling for self-supervised training.
+//!
+//! MuxLink trains on the target netlist itself: observed wires are positive
+//! examples, random unconnected gate pairs are negatives. No circuit
+//! library and no re-locking is needed.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{CircuitGraph, Link};
+
+/// A balanced sample of observed (positive) and unobserved (negative)
+/// links.
+#[derive(Debug, Clone)]
+pub struct LinkSampling {
+    /// Observed wires (present in the graph).
+    pub positives: Vec<Link>,
+    /// Unobserved pairs (absent from graph and target set).
+    pub negatives: Vec<Link>,
+}
+
+/// Samples up to `max_links` training links (half positive, half negative),
+/// never touching `exclude` (the target links whose truth is unknown).
+///
+/// Deterministic in `seed`. The negative pool is drawn by rejection
+/// sampling; for pathological graphs (nearly complete) fewer negatives than
+/// positives may be returned — the caller balances by truncation.
+#[must_use]
+pub fn sample_links(
+    graph: &CircuitGraph,
+    exclude: &HashSet<Link>,
+    max_links: usize,
+    seed: u64,
+) -> LinkSampling {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut positives: Vec<Link> = graph
+        .edges()
+        .into_iter()
+        .filter(|l| !exclude.contains(l))
+        .collect();
+    positives.shuffle(&mut rng);
+    let half = (max_links / 2).max(1);
+    positives.truncate(half);
+
+    let n = graph.node_count() as u32;
+    let mut negatives = Vec::with_capacity(positives.len());
+    let mut seen: HashSet<Link> = HashSet::new();
+    let mut attempts = 0usize;
+    let budget = positives.len() * 64 + 1024;
+    while negatives.len() < positives.len() && attempts < budget && n >= 2 {
+        attempts += 1;
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a == b {
+            continue;
+        }
+        let l = Link::new(a, b);
+        if graph.has_edge(l.a, l.b) || exclude.contains(&l) || !seen.insert(l) {
+            continue;
+        }
+        negatives.push(l);
+    }
+    // Keep the sample balanced even if negatives ran dry.
+    positives.truncate(negatives.len().max(1).min(positives.len()));
+    LinkSampling {
+        positives,
+        negatives,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muxlink_netlist::{GateId, GateType};
+
+    fn grid(n: usize) -> CircuitGraph {
+        // A ring with n nodes.
+        let edges: Vec<Link> = (0..n)
+            .map(|i| Link::new(i as u32, ((i + 1) % n) as u32))
+            .collect();
+        CircuitGraph::from_edges(
+            (0..n).map(GateId::from_index).collect(),
+            vec![GateType::Nand; n],
+            &edges,
+        )
+    }
+
+    #[test]
+    fn balanced_and_disjoint() {
+        let g = grid(64);
+        let s = sample_links(&g, &HashSet::new(), 60, 3);
+        assert_eq!(s.positives.len(), s.negatives.len());
+        assert_eq!(s.positives.len(), 30);
+        for p in &s.positives {
+            assert!(g.has_edge(p.a, p.b));
+        }
+        for q in &s.negatives {
+            assert!(!g.has_edge(q.a, q.b));
+        }
+    }
+
+    #[test]
+    fn excluded_links_never_sampled() {
+        let g = grid(32);
+        let mut exclude = HashSet::new();
+        exclude.insert(Link::new(0, 1));
+        exclude.insert(Link::new(5, 20)); // a non-edge, excluded as target
+        let s = sample_links(&g, &exclude, 1000, 9);
+        assert!(!s.positives.contains(&Link::new(0, 1)));
+        assert!(!s.negatives.contains(&Link::new(5, 20)));
+    }
+
+    #[test]
+    fn respects_max_links() {
+        let g = grid(128);
+        let s = sample_links(&g, &HashSet::new(), 10, 1);
+        assert!(s.positives.len() + s.negatives.len() <= 10);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = grid(48);
+        let a = sample_links(&g, &HashSet::new(), 40, 7);
+        let b = sample_links(&g, &HashSet::new(), 40, 7);
+        assert_eq!(a.positives, b.positives);
+        assert_eq!(a.negatives, b.negatives);
+    }
+
+    #[test]
+    fn no_duplicate_negatives() {
+        let g = grid(16);
+        let s = sample_links(&g, &HashSet::new(), 32, 2);
+        let set: HashSet<_> = s.negatives.iter().collect();
+        assert_eq!(set.len(), s.negatives.len());
+    }
+}

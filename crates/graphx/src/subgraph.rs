@@ -1,0 +1,322 @@
+//! Step ③: h-hop enclosing subgraph extraction around a (candidate) link.
+
+use std::collections::VecDeque;
+
+use muxlink_netlist::GateType;
+use serde::{Deserialize, Serialize};
+
+use crate::drnl;
+use crate::graph::{CircuitGraph, Link};
+
+/// An enclosing subgraph around a target node pair, ready for GNN
+/// consumption: local adjacency, DRNL labels and per-node gate types.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Subgraph {
+    /// Original graph node index per local node.
+    pub nodes: Vec<u32>,
+    /// Local adjacency lists (indices into `nodes`), target edge removed.
+    pub adj: Vec<Vec<u32>>,
+    /// DRNL label per local node (targets are 1).
+    pub labels: Vec<u32>,
+    /// Gate type per local node.
+    pub gate_types: Vec<GateType>,
+    /// Local indices of the target pair `(f, g)`.
+    pub target: (u32, u32),
+}
+
+impl Subgraph {
+    /// Number of nodes in the subgraph.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of undirected edges in the subgraph.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Largest DRNL label present.
+    #[must_use]
+    pub fn max_label(&self) -> u32 {
+        self.labels.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Extracts the h-hop enclosing subgraph of `link` from `graph`.
+///
+/// Per the paper, the subgraph is induced on
+/// `{ j | d(j,f) ≤ h or d(j,g) ≤ h }`, and the direct link between the
+/// target nodes — if observed — is removed before labeling (the GNN must
+/// never see the answer). When `max_nodes` is set and the neighbourhood is
+/// larger, the nodes nearest to the targets are kept (deterministic
+/// BFS-order truncation; the two targets always survive).
+#[must_use]
+pub fn enclosing_subgraph(
+    graph: &CircuitGraph,
+    link: Link,
+    h: usize,
+    max_nodes: Option<usize>,
+) -> Subgraph {
+    let (f, g) = (link.a, link.b);
+    let dist_f = bounded_bfs(graph, f, h, link);
+    let dist_g = bounded_bfs(graph, g, h, link);
+
+    // Collect member nodes, targets first, then by min-distance (BFS-like
+    // order) for deterministic truncation.
+    let mut members: Vec<u32> = (0..graph.node_count() as u32)
+        .filter(|&j| dist_f[j as usize] <= h || dist_g[j as usize] <= h)
+        .collect();
+    members.sort_by_key(|&j| {
+        let key = if j == f || j == g {
+            0
+        } else {
+            1 + dist_f[j as usize].min(dist_g[j as usize])
+        };
+        (key, j)
+    });
+    if let Some(cap) = max_nodes {
+        members.truncate(cap.max(2));
+    }
+
+    let mut local_of: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    for (i, &j) in members.iter().enumerate() {
+        local_of.insert(j, i as u32);
+    }
+    let lf = local_of[&f];
+    let lg = local_of[&g];
+
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); members.len()];
+    for (i, &j) in members.iter().enumerate() {
+        for &nb in &graph.adj[j as usize] {
+            if let Some(&li) = local_of.get(&nb) {
+                // Drop the direct target edge in both directions.
+                let is_target_edge = (j == f && nb == g) || (j == g && nb == f);
+                if !is_target_edge {
+                    adj[i].push(li);
+                }
+            }
+        }
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+        list.dedup();
+    }
+
+    let labels = drnl::compute_labels(&adj, lf, lg);
+    let gate_types = members
+        .iter()
+        .map(|&j| graph.gate_types[j as usize])
+        .collect();
+    Subgraph {
+        nodes: members,
+        adj,
+        labels,
+        gate_types,
+        target: (lf, lg),
+    }
+}
+
+/// Extracts the h-hop neighbourhood subgraph around a *single* node
+/// (key-gate-centric extraction, as used by OMLA-style attacks on XOR
+/// locking). Both target slots point at the centre; labels are
+/// `1 + distance` from the centre (centre = 1), zero never occurs.
+#[must_use]
+pub fn node_subgraph(
+    graph: &CircuitGraph,
+    center: u32,
+    h: usize,
+    max_nodes: Option<usize>,
+) -> Subgraph {
+    let dist = bounded_bfs(graph, center, h, Link::new(u32::MAX, u32::MAX));
+    let mut members: Vec<u32> = (0..graph.node_count() as u32)
+        .filter(|&j| dist[j as usize] <= h)
+        .collect();
+    members.sort_by_key(|&j| (dist[j as usize], j));
+    if let Some(cap) = max_nodes {
+        members.truncate(cap.max(1));
+    }
+    let mut local_of = std::collections::HashMap::new();
+    for (i, &j) in members.iter().enumerate() {
+        local_of.insert(j, i as u32);
+    }
+    let lc = local_of[&center];
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); members.len()];
+    for (i, &j) in members.iter().enumerate() {
+        for &nb in &graph.adj[j as usize] {
+            if let Some(&li) = local_of.get(&nb) {
+                adj[i].push(li);
+            }
+        }
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+        list.dedup();
+    }
+    // Distance labels within the subgraph.
+    let labels = crate::drnl::bfs_without(&adj, lc, u32::MAX)
+        .into_iter()
+        .map(|d| if d == crate::drnl::UNREACHABLE { 0 } else { d + 1 })
+        .collect();
+    let gate_types = members
+        .iter()
+        .map(|&j| graph.gate_types[j as usize])
+        .collect();
+    Subgraph {
+        nodes: members,
+        adj,
+        labels,
+        gate_types,
+        target: (lc, lc),
+    }
+}
+
+/// BFS distances from `source` capped at `h`, never traversing the target
+/// edge itself. Unvisited nodes get `usize::MAX`.
+fn bounded_bfs(graph: &CircuitGraph, source: u32, h: usize, skip: Link) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; graph.node_count()];
+    let mut q = VecDeque::new();
+    dist[source as usize] = 0;
+    q.push_back(source);
+    while let Some(u) = q.pop_front() {
+        if dist[u as usize] == h {
+            continue;
+        }
+        for &v in &graph.adj[u as usize] {
+            let is_target_edge = Link::new(u, v) == skip;
+            if is_target_edge || dist[v as usize] != usize::MAX {
+                continue;
+            }
+            dist[v as usize] = dist[u as usize] + 1;
+            q.push_back(v);
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muxlink_netlist::GateId;
+
+    /// Chain 0-1-2-3-4-5 plus a branch 2-6.
+    fn chain_graph() -> CircuitGraph {
+        let n = 7;
+        CircuitGraph::from_edges(
+            (0..n).map(GateId::from_index).collect(),
+            vec![GateType::And; n],
+            &[
+                Link::new(0, 1),
+                Link::new(1, 2),
+                Link::new(2, 3),
+                Link::new(3, 4),
+                Link::new(4, 5),
+                Link::new(2, 6),
+            ],
+        )
+    }
+
+    #[test]
+    fn one_hop_subgraph_contains_neighbours_only() {
+        let g = chain_graph();
+        let sg = enclosing_subgraph(&g, Link::new(2, 3), 1, None);
+        // 1 hop around {2,3}: nodes 1,2,3,4,6.
+        let mut nodes = sg.nodes.clone();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![1, 2, 3, 4, 6]);
+    }
+
+    #[test]
+    fn target_edge_removed_but_targets_present() {
+        let g = chain_graph();
+        let sg = enclosing_subgraph(&g, Link::new(2, 3), 2, None);
+        let (lf, lg) = sg.target;
+        assert!(!sg.adj[lf as usize].contains(&lg));
+        assert_eq!(sg.labels[lf as usize], 1);
+        assert_eq!(sg.labels[lg as usize], 1);
+    }
+
+    #[test]
+    fn larger_h_grows_subgraph() {
+        let g = chain_graph();
+        let s1 = enclosing_subgraph(&g, Link::new(2, 3), 1, None);
+        let s2 = enclosing_subgraph(&g, Link::new(2, 3), 2, None);
+        let s3 = enclosing_subgraph(&g, Link::new(2, 3), 3, None);
+        assert!(s1.node_count() <= s2.node_count());
+        assert!(s2.node_count() <= s3.node_count());
+        assert_eq!(s3.node_count(), 7);
+    }
+
+    #[test]
+    fn nonexistent_link_subgraph_keeps_real_structure() {
+        // Candidate link (0, 6): not an edge; subgraph must still include
+        // both neighbourhoods.
+        let g = chain_graph();
+        let sg = enclosing_subgraph(&g, Link::new(0, 6), 1, None);
+        let mut nodes = sg.nodes.clone();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![0, 1, 2, 6]);
+    }
+
+    #[test]
+    fn truncation_keeps_targets_and_nearest() {
+        let g = chain_graph();
+        let sg = enclosing_subgraph(&g, Link::new(2, 3), 3, Some(4));
+        assert_eq!(sg.node_count(), 4);
+        assert!(sg.nodes.contains(&2));
+        assert!(sg.nodes.contains(&3));
+        // The retained non-targets are at distance 1.
+        for (i, &orig) in sg.nodes.iter().enumerate() {
+            if orig != 2 && orig != 3 {
+                assert!(sg.labels[i] <= drnl::drnl_label(1, 2).max(drnl::drnl_label(1, 1)));
+            }
+        }
+    }
+
+    #[test]
+    fn labels_via_subgraph_distances() {
+        let g = chain_graph();
+        let sg = enclosing_subgraph(&g, Link::new(1, 3), 2, None);
+        // Node 2 sits between the targets: df=1, dg=1 -> label 2.
+        let pos2 = sg.nodes.iter().position(|&n| n == 2).unwrap();
+        assert_eq!(sg.labels[pos2], drnl::drnl_label(1, 1));
+    }
+
+    #[test]
+    fn node_subgraph_distances_and_membership() {
+        let g = chain_graph();
+        let sg = node_subgraph(&g, 2, 1, None);
+        let mut nodes = sg.nodes.clone();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![1, 2, 3, 6]);
+        let (lc, _) = sg.target;
+        assert_eq!(sg.nodes[lc as usize], 2);
+        assert_eq!(sg.labels[lc as usize], 1);
+        for (i, &orig) in sg.nodes.iter().enumerate() {
+            if orig != 2 {
+                assert_eq!(sg.labels[i], 2, "1-hop neighbours get label 2");
+            }
+        }
+    }
+
+    #[test]
+    fn node_subgraph_caps_deterministically() {
+        let g = chain_graph();
+        let a = node_subgraph(&g, 2, 3, Some(3));
+        let b = node_subgraph(&g, 2, 3, Some(3));
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.node_count(), 3);
+        assert!(a.nodes.contains(&2));
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let g = chain_graph();
+        let a = enclosing_subgraph(&g, Link::new(2, 3), 2, None);
+        let b = enclosing_subgraph(&g, Link::new(2, 3), 2, None);
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.adj, b.adj);
+        assert_eq!(a.labels, b.labels);
+    }
+}

@@ -1,0 +1,159 @@
+//! Applying a key to a locked design: collapse every key-gate according to
+//! the key bits and strip the key interface, producing a plain netlist
+//! comparable to the original.
+
+use std::collections::HashSet;
+
+use muxlink_netlist::{GateType, Netlist, NetlistError};
+
+use crate::{Key, KeyValue, LockError, LockedNetlist};
+
+/// Collapses all key-gates of `locked` under the fully specified `key` and
+/// returns the recovered plain netlist (key inputs removed).
+///
+/// # Errors
+///
+/// [`LockError::KeyLengthMismatch`] when `key` has the wrong width, plus
+/// netlist errors from reconstruction.
+pub fn apply_key(locked: &LockedNetlist, key: &Key) -> Result<Netlist, LockError> {
+    if key.len() != locked.key.len() {
+        return Err(LockError::KeyLengthMismatch {
+            expected: locked.key.len(),
+            got: key.len(),
+        });
+    }
+    let mut n = locked.netlist.clone();
+    for loc in &locked.localities {
+        for m in &loc.muxes {
+            let selected = if key.bit(m.key_bit) { m.in1 } else { m.in0 };
+            n.replace_gate(m.gate, GateType::Buf, &[selected])?;
+        }
+        for kg in &loc.xors {
+            let gate = n.gate(kg.gate);
+            let wire = gate.inputs()[0];
+            let is_xnor = gate.ty() == GateType::Xnor;
+            let key_bit = key.bit(kg.key_bit);
+            // XOR(w,k) = w ⊕ k ; XNOR(w,k) = ¬(w ⊕ k).
+            let inverts = key_bit != is_xnor;
+            let ty = if inverts { GateType::Not } else { GateType::Buf };
+            n.replace_gate(kg.gate, ty, &[wire])?;
+        }
+    }
+    let key_names: HashSet<String> = locked.key_input_names().into_iter().collect();
+    remove_inputs(&n, &key_names).map_err(LockError::from)
+}
+
+/// Like [`apply_key`] but takes attack-style [`KeyValue`]s; any `X` entry
+/// is an error (enumerate the assignments at the call site — see the
+/// metrics module of `muxlink-core` for the Fig. 8 averaging).
+///
+/// # Errors
+///
+/// [`LockError::UndecidedKeyBit`] on the first `X`, plus the
+/// [`apply_key`] errors.
+pub fn apply_key_values(
+    locked: &LockedNetlist,
+    values: &[KeyValue],
+) -> Result<Netlist, LockError> {
+    if values.len() != locked.key.len() {
+        return Err(LockError::KeyLengthMismatch {
+            expected: locked.key.len(),
+            got: values.len(),
+        });
+    }
+    let bits: Vec<bool> = values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| v.as_bool().ok_or(LockError::UndecidedKeyBit(i)))
+        .collect::<Result<_, _>>()?;
+    apply_key(locked, &Key::from_bits(bits))
+}
+
+/// Rebuilds a netlist without the named primary inputs; they must be
+/// unread (which holds after every key-gate has been collapsed).
+fn remove_inputs(netlist: &Netlist, names: &HashSet<String>) -> Result<Netlist, NetlistError> {
+    let mut out = Netlist::new(netlist.name().to_owned());
+    let mut map: Vec<Option<muxlink_netlist::NetId>> = vec![None; netlist.net_count()];
+    for &pi in netlist.inputs() {
+        let name = netlist.net(pi).name();
+        if names.contains(name) {
+            continue;
+        }
+        map[pi.index()] = Some(out.add_input(name.to_owned())?);
+    }
+    let order = muxlink_netlist::traversal::topological_order(netlist)?;
+    for gid in order {
+        let gate = netlist.gate(gid);
+        // Gates reading a removed key input would be an internal bug: every
+        // key-gate was collapsed to BUF/NOT of a data wire first.
+        let ins: Vec<muxlink_netlist::NetId> = gate
+            .inputs()
+            .iter()
+            .map(|&n| {
+                map[n.index()].ok_or_else(|| {
+                    NetlistError::Undriven(netlist.net(n).name().to_owned())
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let id = out.add_gate(netlist.net(gate.output()).name().to_owned(), gate.ty(), &ins)?;
+        map[gate.output().index()] = Some(id);
+    }
+    for &po in netlist.outputs() {
+        let id = map[po.index()].ok_or_else(|| {
+            NetlistError::Undriven(netlist.net(po).name().to_owned())
+        })?;
+        out.mark_output(id)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dmux, LockOptions};
+    use muxlink_benchgen::synth::SynthConfig;
+
+    #[test]
+    fn apply_removes_key_interface() {
+        let n = SynthConfig::new("m", 10, 5, 120).generate(6);
+        let locked = dmux::lock(&n, &LockOptions::new(6, 2)).unwrap();
+        let rec = apply_key(&locked, &locked.key).unwrap();
+        assert_eq!(rec.inputs().len(), n.inputs().len());
+        assert!(rec.find_net("keyinput0").is_none());
+        assert!(rec.validate().is_ok());
+    }
+
+    #[test]
+    fn wrong_length_key_rejected() {
+        let n = SynthConfig::new("m", 10, 5, 120).generate(6);
+        let locked = dmux::lock(&n, &LockOptions::new(6, 2)).unwrap();
+        assert!(matches!(
+            apply_key(&locked, &Key::from_bits(vec![true; 5])),
+            Err(LockError::KeyLengthMismatch { expected: 6, got: 5 })
+        ));
+    }
+
+    #[test]
+    fn x_values_rejected() {
+        let n = SynthConfig::new("m", 10, 5, 120).generate(6);
+        let locked = dmux::lock(&n, &LockOptions::new(4, 2)).unwrap();
+        let mut vals = locked.key.to_values();
+        vals[2] = KeyValue::X;
+        assert!(matches!(
+            apply_key_values(&locked, &vals),
+            Err(LockError::UndecidedKeyBit(2))
+        ));
+    }
+
+    #[test]
+    fn values_path_matches_key_path() {
+        let n = SynthConfig::new("m", 10, 5, 120).generate(6);
+        let locked = dmux::lock(&n, &LockOptions::new(4, 9)).unwrap();
+        let a = apply_key(&locked, &locked.key).unwrap();
+        let b = apply_key_values(&locked, &locked.key.to_values()).unwrap();
+        assert_eq!(
+            muxlink_netlist::bench_format::write(&a).unwrap(),
+            muxlink_netlist::bench_format::write(&b).unwrap()
+        );
+    }
+}

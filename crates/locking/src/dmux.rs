@@ -1,0 +1,404 @@
+//! Deceptive MUX-based locking (D-MUX) — strategies S1–S4 and the
+//! cost-aware eD-MUX selection policy.
+//!
+//! D-MUX inserts pairs of wires into key-controlled MUXes such that every
+//! MUX data input is equally likely to be the true wire, leaving no
+//! structural key leakage:
+//!
+//! * **S1** — two multi-output nodes `{fi, fj}`, two MUXes, two key bits.
+//! * **S2** — two multi-output nodes, one MUX, one key bit.
+//! * **S3** — one multi-output node `fi` and one single-output node `fj`,
+//!   one MUX (on an output of `fi`), one key bit.
+//! * **S4** — no restrictions on `{fi, fj}`; two MUXes share one key bit.
+//!
+//! All strategies guarantee **no circuit reduction** for any key value
+//! (every data wire keeps at least one reader under either selection) and
+//! **no combinational loops** (checked via reachability before insertion).
+//!
+//! The enhanced policy **eD-MUX** (used by the paper's evaluation) draws
+//! uniformly from the viable strategies among S1–S3 and falls back to the
+//! always-applicable but costlier S4 only when none of them fits.
+
+use muxlink_netlist::Netlist;
+use rand::Rng;
+
+use crate::site::{single_mux_locality, LockBuilder};
+use crate::{LockError, LockOptions, LockedNetlist, Locality, Strategy};
+
+/// Number of random node-sampling attempts per strategy before it is
+/// declared non-viable for the current netlist state.
+const TRIES: usize = 64;
+
+/// Locks a design with the eD-MUX policy.
+///
+/// # Errors
+///
+/// [`LockError::EmptyKey`] for a zero key size and
+/// [`LockError::InsufficientSites`] when the design runs out of viable
+/// MUX-pair sites before all key bits are placed.
+///
+/// # Example
+///
+/// ```
+/// use muxlink_locking::{dmux, LockOptions};
+/// let design = muxlink_benchgen::c17();
+/// let locked = dmux::lock(&design, &LockOptions::new(4, 1))?;
+/// assert_eq!(locked.key.len(), 4);
+/// # Ok::<(), muxlink_locking::LockError>(())
+/// ```
+pub fn lock(netlist: &Netlist, opts: &LockOptions) -> Result<LockedNetlist, LockError> {
+    lock_with_strategies(
+        netlist,
+        opts,
+        &[Strategy::S1, Strategy::S2, Strategy::S3],
+        true,
+    )
+}
+
+/// Locks a design using only the given D-MUX strategies (uniformly random
+/// among the viable ones each step), optionally falling back to S4.
+///
+/// # Errors
+///
+/// As for [`lock`]; additionally every entry of `strategies` must be one of
+/// S1–S3 (S4 is reachable via `s4_fallback`).
+pub fn lock_with_strategies(
+    netlist: &Netlist,
+    opts: &LockOptions,
+    strategies: &[Strategy],
+    s4_fallback: bool,
+) -> Result<LockedNetlist, LockError> {
+    if opts.key_size == 0 {
+        return Err(LockError::EmptyKey);
+    }
+    assert!(
+        strategies
+            .iter()
+            .all(|s| matches!(s, Strategy::S1 | Strategy::S2 | Strategy::S3)),
+        "lock_with_strategies accepts S1-S3 (S4 is the fallback)"
+    );
+    let mut b = LockBuilder::new(netlist, opts.seed);
+    while b.keys_placed() < opts.key_size {
+        let remaining = opts.key_size - b.keys_placed();
+        // Shuffle the viable preferred strategies.
+        let mut pool: Vec<Strategy> = strategies
+            .iter()
+            .copied()
+            .filter(|s| s.key_bits() <= remaining)
+            .collect();
+        let mut placed = false;
+        while !pool.is_empty() {
+            let pick = b.rng.gen_range(0..pool.len());
+            let strategy = pool.swap_remove(pick);
+            let loc = match strategy {
+                Strategy::S1 => try_s1(&mut b),
+                Strategy::S2 => try_s2(&mut b),
+                Strategy::S3 => try_s3(&mut b),
+                _ => unreachable!("filtered above"),
+            };
+            if let Some(loc) = loc {
+                b.push_locality(loc);
+                placed = true;
+                break;
+            }
+        }
+        if placed {
+            continue;
+        }
+        if s4_fallback {
+            if let Some(loc) = try_s4(&mut b) {
+                b.push_locality(loc);
+                continue;
+            }
+        }
+        return Err(LockError::InsufficientSites {
+            requested: opts.key_size,
+            placed: b.keys_placed(),
+        });
+    }
+    b.finish()
+}
+
+/// S1: two multi-output nodes, two MUXes, two individual key bits.
+fn try_s1(b: &mut LockBuilder) -> Option<Locality> {
+    let multi = b.candidates(Some(true));
+    if multi.len() < 2 {
+        return None;
+    }
+    for _ in 0..TRIES {
+        let fi = b.choose(&multi)?;
+        let fj = b.choose(&multi)?;
+        if fi == fj {
+            continue;
+        }
+        let gi = match b.choose(&b.gate_sinks(fi)) {
+            Some(g) => g,
+            None => continue,
+        };
+        let gj = match b.choose(&b.gate_sinks(fj)) {
+            Some(g) => g,
+            None => continue,
+        };
+        if gi == gj || !b.can_insert(fi, fj, gi) || !b.can_insert(fj, fi, gj) {
+            continue;
+        }
+        let ki_val = b.rng.gen::<bool>();
+        let kj_val = b.rng.gen::<bool>();
+        let (ki, ki_net) = b.add_key_input(ki_val);
+        let (kj, kj_net) = b.add_key_input(kj_val);
+        let m1 = b.insert_mux(ki, ki_net, ki_val, fi, fj, gi);
+        let m2 = b.insert_mux(kj, kj_net, kj_val, fj, fi, gj);
+        return Some(Locality {
+            strategy: Strategy::S1,
+            muxes: vec![m1, m2],
+            xors: Vec::new(),
+            key_bits: vec![ki, kj],
+        });
+    }
+    None
+}
+
+/// S2: two multi-output nodes, one MUX on a random output of a random one.
+fn try_s2(b: &mut LockBuilder) -> Option<Locality> {
+    let multi = b.candidates(Some(true));
+    if multi.len() < 2 {
+        return None;
+    }
+    for _ in 0..TRIES {
+        let fi = b.choose(&multi)?;
+        let fj = b.choose(&multi)?;
+        if fi == fj {
+            continue;
+        }
+        // Randomly choose which of the pair gets locked.
+        let (f_sel, f_other) = if b.rng.gen() { (fi, fj) } else { (fj, fi) };
+        let g = match b.choose(&b.gate_sinks(f_sel)) {
+            Some(g) => g,
+            None => continue,
+        };
+        if !b.can_insert(f_sel, f_other, g) {
+            continue;
+        }
+        let k_val = b.rng.gen::<bool>();
+        let (k, k_net) = b.add_key_input(k_val);
+        let m = b.insert_mux(k, k_net, k_val, f_sel, f_other, g);
+        return Some(single_mux_locality(Strategy::S2, m));
+    }
+    None
+}
+
+/// S3: one multi-output node `fi` (locked) + one single-output decoy `fj`.
+fn try_s3(b: &mut LockBuilder) -> Option<Locality> {
+    let multi = b.candidates(Some(true));
+    let single = b.candidates(Some(false));
+    if multi.is_empty() || single.is_empty() {
+        return None;
+    }
+    for _ in 0..TRIES {
+        let fi = b.choose(&multi)?;
+        let fj = b.choose(&single)?;
+        if fi == fj {
+            continue;
+        }
+        let g = match b.choose(&b.gate_sinks(fi)) {
+            Some(g) => g,
+            None => continue,
+        };
+        if !b.can_insert(fi, fj, g) {
+            continue;
+        }
+        let k_val = b.rng.gen::<bool>();
+        let (k, k_net) = b.add_key_input(k_val);
+        let m = b.insert_mux(k, k_net, k_val, fi, fj, g);
+        return Some(single_mux_locality(Strategy::S3, m));
+    }
+    None
+}
+
+/// S4: unrestricted nodes; one key bit drives two MUXes whose data inputs
+/// appear in opposite orders.
+fn try_s4(b: &mut LockBuilder) -> Option<Locality> {
+    let any = b.candidates(None);
+    if any.len() < 2 {
+        return None;
+    }
+    // S4 is the last resort, so try harder before giving up.
+    for _ in 0..TRIES * 4 {
+        let fi = b.choose(&any)?;
+        let fj = b.choose(&any)?;
+        if fi == fj {
+            continue;
+        }
+        let gi = match b.choose(&b.gate_sinks(fi)) {
+            Some(g) => g,
+            None => continue,
+        };
+        let gj = match b.choose(&b.gate_sinks(fj)) {
+            Some(g) => g,
+            None => continue,
+        };
+        if gi == gj || !b.can_insert(fi, fj, gi) || !b.can_insert(fj, fi, gj) {
+            continue;
+        }
+        let k_val = b.rng.gen::<bool>();
+        let (k, k_net) = b.add_key_input(k_val);
+        let m1 = b.insert_mux(k, k_net, k_val, fi, fj, gi);
+        let m2 = b.insert_mux(k, k_net, k_val, fj, fi, gj);
+        return Some(Locality {
+            strategy: Strategy::S4,
+            muxes: vec![m1, m2],
+            xors: Vec::new(),
+            key_bits: vec![k],
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply_key;
+    use muxlink_benchgen::synth::SynthConfig;
+    use muxlink_netlist::sim::exhaustive_equiv;
+    use muxlink_netlist::GateType;
+
+    fn medium() -> Netlist {
+        SynthConfig::new("m", 16, 8, 300).generate(42)
+    }
+
+    #[test]
+    fn lock_places_exact_key_size() {
+        let n = medium();
+        for k in [1, 7, 32] {
+            let locked = lock(&n, &LockOptions::new(k, 5)).unwrap();
+            assert_eq!(locked.key.len(), k);
+            assert_eq!(locked.key_inputs.len(), k);
+            assert!(locked.netlist.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn locked_design_is_correct_under_right_key() {
+        let n = medium();
+        let locked = lock(&n, &LockOptions::new(16, 3)).unwrap();
+        let recovered = apply_key(&locked, &locked.key).unwrap();
+        assert!(exhaustive_equiv(&n, &recovered).unwrap());
+    }
+
+    #[test]
+    fn wrong_key_corrupts_function() {
+        let n = medium();
+        let locked = lock(&n, &LockOptions::new(16, 3)).unwrap();
+        let mut wrong_bits = locked.key.bits().to_vec();
+        for b in &mut wrong_bits {
+            *b = !*b;
+        }
+        let wrong = apply_key(&locked, &crate::Key::from_bits(wrong_bits)).unwrap();
+        assert!(!exhaustive_equiv(&n, &wrong).unwrap());
+    }
+
+    #[test]
+    fn mux_count_matches_localities() {
+        let n = medium();
+        let locked = lock(&n, &LockOptions::new(24, 9)).unwrap();
+        let muxes = locked
+            .netlist
+            .gates()
+            .filter(|(_, g)| g.ty() == GateType::Mux)
+            .count();
+        let expected: usize = locked.localities.iter().map(|l| l.muxes.len()).sum();
+        assert_eq!(muxes, expected);
+        let key_bits: usize = locked.localities.iter().map(|l| l.key_bits.len()).sum();
+        assert_eq!(key_bits, 24);
+    }
+
+    #[test]
+    fn no_circuit_reduction_for_any_single_key_flip() {
+        // The central D-MUX guarantee: hard-coding a key bit either way
+        // must not strand logic.
+        let n = medium();
+        let locked = lock(&n, &LockOptions::new(8, 11)).unwrap();
+        for bit in 0..8 {
+            let mut sizes = Vec::new();
+            for v in [false, true] {
+                let mut consts = std::collections::HashMap::new();
+                consts.insert(format!("keyinput{bit}"), v);
+                let re = muxlink_netlist::opt::resynthesize(&locked.netlist, &consts).unwrap();
+                sizes.push(re.gate_count() as i64);
+            }
+            // Resynthesis folds buffers/MUXes either way (and reconvergent
+            // structure lets a couple of extra gates fold on one side);
+            // what D-MUX guarantees is that neither key value strands a
+            // whole logic cone, so the cofactors stay essentially the
+            // same size — far from the cone-sized collapse naive MUX
+            // locking exhibits.
+            assert!(
+                (sizes[0] - sizes[1]).abs() <= 8,
+                "bit {bit}: cofactor sizes diverge {sizes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let n = medium();
+        let a = lock(&n, &LockOptions::new(8, 1)).unwrap();
+        let b = lock(&n, &LockOptions::new(8, 1)).unwrap();
+        assert_eq!(
+            muxlink_netlist::bench_format::write(&a.netlist).unwrap(),
+            muxlink_netlist::bench_format::write(&b.netlist).unwrap()
+        );
+        assert_eq!(a.key, b.key);
+        let c = lock(&n, &LockOptions::new(8, 2)).unwrap();
+        assert_ne!(a.key.bits(), c.key.bits());
+    }
+
+    #[test]
+    fn zero_key_rejected() {
+        let n = medium();
+        assert!(matches!(
+            lock(&n, &LockOptions::new(0, 0)),
+            Err(LockError::EmptyKey)
+        ));
+    }
+
+    #[test]
+    fn strategies_are_recorded() {
+        let n = medium();
+        let locked = lock(&n, &LockOptions::new(32, 17)).unwrap();
+        assert!(!locked.localities.is_empty());
+        for loc in &locked.localities {
+            assert!(matches!(
+                loc.strategy,
+                Strategy::S1 | Strategy::S2 | Strategy::S3 | Strategy::S4
+            ));
+            assert_eq!(loc.key_bits.len(), loc.strategy.key_bits());
+            assert_eq!(loc.muxes.len(), loc.strategy.mux_count());
+        }
+    }
+
+    #[test]
+    fn tiny_design_runs_out_of_sites() {
+        // c17 has 6 gates; asking for 64 bits must fail gracefully.
+        let n = muxlink_benchgen::c17();
+        match lock(&n, &LockOptions::new(64, 0)) {
+            Err(LockError::InsufficientSites { requested, placed }) => {
+                assert_eq!(requested, 64);
+                assert!(placed < 64);
+            }
+            other => panic!("expected InsufficientSites, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn s1_only_uses_two_bits_per_locality() {
+        let n = medium();
+        let locked =
+            lock_with_strategies(&n, &LockOptions::new(8, 21), &[Strategy::S1], false).unwrap();
+        for loc in &locked.localities {
+            assert_eq!(loc.strategy, Strategy::S1);
+            assert_eq!(loc.key_bits.len(), 2);
+        }
+        assert_eq!(locked.localities.len(), 4);
+    }
+}

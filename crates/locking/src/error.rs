@@ -1,0 +1,65 @@
+use std::fmt;
+
+use muxlink_netlist::NetlistError;
+
+/// Errors produced while locking a design or applying a key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LockError {
+    /// The design has too few viable locking sites for the requested key
+    /// size (reports how many bits were actually placed).
+    InsufficientSites {
+        /// Key bits requested.
+        requested: usize,
+        /// Key bits successfully placed before running out of sites.
+        placed: usize,
+    },
+    /// The requested key size was zero.
+    EmptyKey,
+    /// A key vector of the wrong length was supplied.
+    KeyLengthMismatch {
+        /// Expected number of bits.
+        expected: usize,
+        /// Provided number of bits.
+        got: usize,
+    },
+    /// A key with undecided (X) bits was used where a fully specified key
+    /// is required.
+    UndecidedKeyBit(usize),
+    /// Underlying netlist manipulation failed.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InsufficientSites { requested, placed } => write!(
+                f,
+                "design exhausted viable locking sites: placed {placed} of {requested} key bits"
+            ),
+            Self::EmptyKey => write!(f, "key size must be at least 1"),
+            Self::KeyLengthMismatch { expected, got } => {
+                write!(f, "key length mismatch: expected {expected}, got {got}")
+            }
+            Self::UndecidedKeyBit(i) => {
+                write!(f, "key bit {i} is undecided (X); a concrete value is required")
+            }
+            Self::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for LockError {
+    fn from(e: NetlistError) -> Self {
+        Self::Netlist(e)
+    }
+}

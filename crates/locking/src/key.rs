@@ -1,0 +1,150 @@
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The value an attack assigns to one key bit: a concrete guess or an
+/// abstention (`X`), which the paper's precision metric counts as correct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KeyValue {
+    /// Key bit is 0.
+    Zero,
+    /// Key bit is 1.
+    One,
+    /// The attack declined to guess this bit.
+    X,
+}
+
+impl KeyValue {
+    /// Concrete boolean value, or `None` for `X`.
+    #[must_use]
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Self::Zero => Some(false),
+            Self::One => Some(true),
+            Self::X => None,
+        }
+    }
+
+    /// Builds a concrete value from a boolean.
+    #[must_use]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Self::One
+        } else {
+            Self::Zero
+        }
+    }
+}
+
+impl fmt::Display for KeyValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Zero => f.write_str("0"),
+            Self::One => f.write_str("1"),
+            Self::X => f.write_str("X"),
+        }
+    }
+}
+
+/// A fully specified secret key: the defender's ground truth.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Key {
+    bits: Vec<bool>,
+}
+
+impl Key {
+    /// Wraps explicit bits.
+    #[must_use]
+    pub fn from_bits(bits: Vec<bool>) -> Self {
+        Self { bits }
+    }
+
+    /// Samples a uniformly random key (deterministic in `seed`).
+    #[must_use]
+    pub fn random(len: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self {
+            bits: (0..len).map(|_| rng.gen()).collect(),
+        }
+    }
+
+    /// Number of key bits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// True when the key has no bits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Value of bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    #[must_use]
+    pub fn bit(&self, i: usize) -> bool {
+        self.bits[i]
+    }
+
+    /// All bits in order.
+    #[must_use]
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// The key as attack-style [`KeyValue`]s (no `X` entries).
+    #[must_use]
+    pub fn to_values(&self) -> Vec<KeyValue> {
+        self.bits.iter().map(|&b| KeyValue::from_bool(b)).collect()
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.bits {
+            f.write_str(if b { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_deterministic() {
+        assert_eq!(Key::random(64, 1), Key::random(64, 1));
+        assert_ne!(Key::random(64, 1), Key::random(64, 2));
+    }
+
+    #[test]
+    fn display_renders_bits() {
+        let k = Key::from_bits(vec![true, false, true]);
+        assert_eq!(k.to_string(), "101");
+        assert_eq!(KeyValue::X.to_string(), "X");
+    }
+
+    #[test]
+    fn values_round_trip() {
+        let k = Key::random(16, 9);
+        let vals = k.to_values();
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(v.as_bool(), Some(k.bit(i)));
+        }
+        assert_eq!(KeyValue::X.as_bool(), None);
+    }
+
+    #[test]
+    fn empty_key() {
+        let k = Key::from_bits(vec![]);
+        assert!(k.is_empty());
+        assert_eq!(k.len(), 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! # muxlink-locking
+//!
+//! Logic-locking substrate for the MuxLink reproduction.
+//!
+//! Implements the two "learning-resilient" defenses the paper attacks plus
+//! the two background baselines from its Fig. 1:
+//!
+//! * **D-MUX** (Sisejkovic et al., TCAD 2021): locking strategies S1–S4 and
+//!   the cost-aware **eD-MUX** policy (S4 only when S1–S3 are not viable) —
+//!   [`dmux`].
+//! * **Symmetric MUX-based locking** (Alaql et al., TVLSI 2021): strategy
+//!   S5 — [`symmetric`].
+//! * **XOR/XNOR locking** (classic; leaks the key through the gate type) —
+//!   [`xor`].
+//! * **Naive MUX locking** (no fan-out discipline; vulnerable to SAAM) —
+//!   [`naive_mux`].
+//!
+//! All schemes return a [`LockedNetlist`]: the locked circuit, the correct
+//! key, and per-locality metadata (which MUX belongs to which key bit and
+//! which data input is the true wire) used by the evaluation harness to
+//! score attacks. The metadata is of course **not** available to attacks —
+//! they only receive [`LockedNetlist::netlist`] and the key-input names,
+//! exactly the oracle-less threat model of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use muxlink_locking::{dmux, LockOptions};
+//!
+//! # fn main() -> Result<(), muxlink_locking::LockError> {
+//! let design = muxlink_benchgen::c17();
+//! let locked = dmux::lock(&design, &LockOptions::new(2, 7))?;
+//! assert_eq!(locked.key.len(), 2);
+//! // The locked netlist gained key inputs and MUX gates.
+//! assert!(locked.netlist.inputs().len() > design.inputs().len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod apply;
+pub mod dmux;
+mod error;
+mod key;
+mod locked;
+pub mod naive_mux;
+mod site;
+pub mod symmetric;
+pub mod trll;
+pub mod xor;
+
+pub use apply::{apply_key, apply_key_values};
+pub use error::LockError;
+pub use key::{Key, KeyValue};
+pub use locked::{KeyGate, LockedNetlist, Locality, MuxInstance, Strategy};
+pub use site::KEY_INPUT_PREFIX;
+
+/// Options shared by all locking schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockOptions {
+    /// Number of key bits to insert.
+    pub key_size: usize,
+    /// RNG seed controlling site selection and key-bit values.
+    pub seed: u64,
+}
+
+impl LockOptions {
+    /// Creates options for a `key_size`-bit lock with the given seed.
+    #[must_use]
+    pub fn new(key_size: usize, seed: u64) -> Self {
+        Self { key_size, seed }
+    }
+}

@@ -1,0 +1,131 @@
+use muxlink_netlist::{GateId, NetId, Netlist};
+use serde::{Deserialize, Serialize};
+
+use crate::Key;
+
+/// The locking strategy that produced a [`Locality`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// D-MUX: two multi-output nodes, two MUXes, two key bits.
+    S1,
+    /// D-MUX: two multi-output nodes, one MUX, one key bit.
+    S2,
+    /// D-MUX: multi-output `fi` + single-output `fj`, one MUX, one key bit.
+    S3,
+    /// D-MUX: unrestricted nodes, two MUXes, **one shared** key bit.
+    S4,
+    /// Symmetric MUX locking: like S4 but two individual key bits.
+    S5,
+    /// Classic XOR/XNOR key-gate (baseline).
+    Xor,
+    /// Naive MUX insertion without fan-out discipline (baseline).
+    NaiveMux,
+}
+
+impl Strategy {
+    /// Number of key bits one locality of this strategy consumes.
+    #[must_use]
+    pub fn key_bits(self) -> usize {
+        match self {
+            Strategy::S1 | Strategy::S5 => 2,
+            _ => 1,
+        }
+    }
+
+    /// Number of MUX key-gates one locality inserts (0 for XOR locking).
+    #[must_use]
+    pub fn mux_count(self) -> usize {
+        match self {
+            Strategy::S1 | Strategy::S4 | Strategy::S5 => 2,
+            Strategy::S2 | Strategy::S3 | Strategy::NaiveMux => 1,
+            Strategy::Xor => 0,
+        }
+    }
+}
+
+/// One inserted MUX key-gate and its ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MuxInstance {
+    /// The MUX gate in the locked netlist.
+    pub gate: GateId,
+    /// Index of the key bit wired to the select input.
+    pub key_bit: usize,
+    /// Data input selected when the key bit is 0.
+    pub in0: NetId,
+    /// Data input selected when the key bit is 1.
+    pub in1: NetId,
+    /// The sink gate whose input was routed through the MUX.
+    pub sink: GateId,
+    /// Ground truth: the data input that restores the original function
+    /// (equals `in0` when the correct key bit is 0).
+    pub true_input: NetId,
+}
+
+/// One inserted XOR/XNOR key-gate (baseline schemes only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeyGate {
+    /// The XOR/XNOR gate in the locked netlist.
+    pub gate: GateId,
+    /// Index of the controlling key bit.
+    pub key_bit: usize,
+}
+
+/// One locked locality: the unit the paper's post-processing reasons about
+/// (S1/S4/S5 localities pair two MUXes; S2/S3 have one).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Locality {
+    /// Which strategy built this locality.
+    pub strategy: Strategy,
+    /// The MUX key-gates of the locality (empty for XOR locking).
+    pub muxes: Vec<MuxInstance>,
+    /// The XOR key-gates of the locality (empty for MUX schemes).
+    pub xors: Vec<KeyGate>,
+    /// The key-bit indices this locality consumes, in order.
+    pub key_bits: Vec<usize>,
+}
+
+/// A locked design: the circuit handed to the attacker plus the defender's
+/// ground truth used only for scoring.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LockedNetlist {
+    /// The locked circuit (what the attacker reverse-engineers from GDSII).
+    pub netlist: Netlist,
+    /// The correct key (ground truth; scoring only).
+    pub key: Key,
+    /// Key-input nets, indexed by key bit.
+    pub key_inputs: Vec<NetId>,
+    /// Per-locality metadata (ground truth; scoring only).
+    pub localities: Vec<Locality>,
+}
+
+impl LockedNetlist {
+    /// Names of the key-input nets in key-bit order (`keyinput0`, …) —
+    /// this *is* attacker-visible: key inputs are traced from the
+    /// tamper-proof memory.
+    #[must_use]
+    pub fn key_input_names(&self) -> Vec<String> {
+        self.key_inputs
+            .iter()
+            .map(|&n| self.netlist.net(n).name().to_owned())
+            .collect()
+    }
+
+    /// All MUX instances across localities, ordered by key bit then
+    /// insertion.
+    #[must_use]
+    pub fn mux_instances(&self) -> Vec<&MuxInstance> {
+        let mut v: Vec<&MuxInstance> = self
+            .localities
+            .iter()
+            .flat_map(|l| l.muxes.iter())
+            .collect();
+        v.sort_by_key(|m| (m.key_bit, m.gate));
+        v
+    }
+
+    /// Overhead in gates relative to an original gate count.
+    #[must_use]
+    pub fn gate_overhead(&self, original_gates: usize) -> usize {
+        self.netlist.gate_count().saturating_sub(original_gates)
+    }
+}

@@ -1,0 +1,106 @@
+//! Naive MUX-based locking (the Fig. 1 ③ baseline).
+//!
+//! Inserts key MUXes without any fan-out discipline: the true wire may be a
+//! single-output node, in which case the wrong key value leaves its entire
+//! logic cone dangling ("open net"). This is exactly the structural
+//! vulnerability the SAAM attack exploits and that D-MUX/S5 were designed
+//! to eliminate.
+
+use muxlink_netlist::Netlist;
+use rand::Rng;
+
+use crate::site::{single_mux_locality, LockBuilder};
+use crate::{LockError, LockOptions, LockedNetlist, Strategy};
+
+const TRIES: usize = 128;
+
+/// Locks a design with one undisciplined key MUX per key bit.
+///
+/// # Errors
+///
+/// [`LockError::EmptyKey`] and [`LockError::InsufficientSites`] as for the
+/// other schemes.
+pub fn lock(netlist: &Netlist, opts: &LockOptions) -> Result<LockedNetlist, LockError> {
+    if opts.key_size == 0 {
+        return Err(LockError::EmptyKey);
+    }
+    let mut b = LockBuilder::new(netlist, opts.seed);
+    'outer: while b.keys_placed() < opts.key_size {
+        let any = b.candidates(None);
+        for _ in 0..TRIES {
+            let f_true = match b.choose(&any) {
+                Some(f) => f,
+                None => break,
+            };
+            let f_false = match b.choose(&any) {
+                Some(f) => f,
+                None => break,
+            };
+            if f_true == f_false {
+                continue;
+            }
+            let sink = match b.choose(&b.gate_sinks(f_true)) {
+                Some(g) => g,
+                None => continue,
+            };
+            if !b.can_insert(f_true, f_false, sink) {
+                continue;
+            }
+            let k_val = b.rng.gen::<bool>();
+            let (k, k_net) = b.add_key_input(k_val);
+            let m = b.insert_mux(k, k_net, k_val, f_true, f_false, sink);
+            b.push_locality(single_mux_locality(Strategy::NaiveMux, m));
+            continue 'outer;
+        }
+        return Err(LockError::InsufficientSites {
+            requested: opts.key_size,
+            placed: b.keys_placed(),
+        });
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply_key;
+    use muxlink_benchgen::synth::SynthConfig;
+    use muxlink_netlist::sim::exhaustive_equiv;
+
+    #[test]
+    fn correct_key_restores_function() {
+        let n = SynthConfig::new("m", 12, 6, 200).generate(8);
+        let locked = lock(&n, &LockOptions::new(8, 1)).unwrap();
+        let rec = apply_key(&locked, &locked.key).unwrap();
+        assert!(exhaustive_equiv(&n, &rec).unwrap());
+    }
+
+    #[test]
+    fn some_true_wires_become_saam_vulnerable() {
+        // With no fan-out discipline, some locked localities leave the true
+        // wire readable only through the MUX — the SAAM giveaway.
+        let n = SynthConfig::new("m", 16, 8, 300).generate(2);
+        let locked = lock(&n, &LockOptions::new(32, 4)).unwrap();
+        let vulnerable = locked
+            .localities
+            .iter()
+            .filter(|loc| {
+                let m = &loc.muxes[0];
+                // True wire's only reader is the MUX itself.
+                locked.netlist.fanout_count(m.true_input) == 1
+            })
+            .count();
+        assert!(
+            vulnerable > 0,
+            "expected at least one dangling-true-wire site"
+        );
+    }
+
+    #[test]
+    fn key_size_respected() {
+        let n = SynthConfig::new("m", 12, 6, 200).generate(8);
+        let locked = lock(&n, &LockOptions::new(13, 9)).unwrap();
+        assert_eq!(locked.key.len(), 13);
+        assert_eq!(locked.localities.len(), 13);
+    }
+}

@@ -1,0 +1,283 @@
+//! Shared site-selection and MUX-insertion machinery for all MUX-based
+//! locking schemes.
+
+use std::collections::HashSet;
+
+use muxlink_netlist::{traversal, GateId, GateType, NetId, Netlist};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Key, KeyGate, LockError, LockedNetlist, Locality, MuxInstance, Strategy};
+
+/// Prefix of key-input net names (`keyinput0`, `keyinput1`, …) — the
+/// convention used by the logic-locking community's BENCH exchanges, and
+/// what attacks look for when tracing key gates.
+pub const KEY_INPUT_PREFIX: &str = "keyinput";
+
+/// Mutable state threaded through a locking run.
+pub(crate) struct LockBuilder {
+    pub netlist: Netlist,
+    pub rng: StdRng,
+    key_prefix: String,
+    key_bits: Vec<bool>,
+    key_inputs: Vec<NetId>,
+    localities: Vec<Locality>,
+    /// Output nets of inserted key MUXes (excluded from future f/g pools).
+    mux_outputs: HashSet<NetId>,
+    /// Inserted key-gate ids (excluded as sinks).
+    key_gates: HashSet<GateId>,
+}
+
+impl LockBuilder {
+    pub fn new(netlist: &Netlist, seed: u64) -> Self {
+        Self {
+            netlist: netlist.clone(),
+            rng: StdRng::seed_from_u64(seed),
+            key_prefix: KEY_INPUT_PREFIX.to_owned(),
+            key_bits: Vec::new(),
+            key_inputs: Vec::new(),
+            localities: Vec::new(),
+            mux_outputs: HashSet::new(),
+            key_gates: HashSet::new(),
+        }
+    }
+
+    /// Overrides the key-input naming prefix (default `keyinput`); used
+    /// by attacks that re-lock an already locked design for training and
+    /// must avoid name collisions.
+    pub fn set_key_prefix(&mut self, prefix: impl Into<String>) {
+        self.key_prefix = prefix.into();
+    }
+
+    /// Registers a new key bit with the given correct value; returns
+    /// `(bit index, key-input net)`.
+    pub fn add_key_input(&mut self, value: bool) -> (usize, NetId) {
+        let idx = self.key_bits.len();
+        let net = self
+            .netlist
+            .add_input(format!("{}{idx}", self.key_prefix))
+            .expect("key input names are unique by construction");
+        self.key_bits.push(value);
+        self.key_inputs.push(net);
+        (idx, net)
+    }
+
+    pub fn keys_placed(&self) -> usize {
+        self.key_bits.len()
+    }
+
+    /// Candidate f-nodes: nets driven by ordinary gates (not key MUXes).
+    /// `multi_output` filters on fan-out: `Some(true)` ⇒ ≥ 2 readers,
+    /// `Some(false)` ⇒ exactly 1, `None` ⇒ any.
+    pub fn candidates(&self, multi_output: Option<bool>) -> Vec<NetId> {
+        self.netlist
+            .net_ids()
+            .filter(|&n| {
+                let net = self.netlist.net(n);
+                match net.driver() {
+                    Some(_) if !self.mux_outputs.contains(&n) => {}
+                    _ => return false,
+                }
+                match multi_output {
+                    None => true,
+                    Some(want_multi) => {
+                        let fo = self.netlist.fanout_count(n);
+                        if want_multi {
+                            fo >= 2
+                        } else {
+                            fo == 1
+                        }
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Ordinary-gate sinks of `f` (the "output nodes" D-MUX selects from).
+    pub fn gate_sinks(&self, f: NetId) -> Vec<GateId> {
+        muxlink_netlist::cones::output_nodes(&self.netlist, f)
+            .into_iter()
+            .filter(|g| !self.key_gates.contains(g))
+            .collect()
+    }
+
+    /// Checks whether routing `sink`'s `f_true` input through a MUX with
+    /// decoy `f_false` is structurally sound: distinct wires, the decoy is
+    /// not already feeding the sink, and no combinational loop arises.
+    pub fn can_insert(&self, f_true: NetId, f_false: NetId, sink: GateId) -> bool {
+        if f_true == f_false {
+            return false;
+        }
+        let gate = self.netlist.gate(sink);
+        if !gate.inputs().contains(&f_true) || gate.inputs().contains(&f_false) {
+            return false;
+        }
+        // New edge f_false → sink: a loop appears iff sink's output
+        // already reaches f_false.
+        !traversal::reaches(&self.netlist, gate.output(), f_false)
+    }
+
+    /// Inserts one key MUX: `sink`'s `f_true` input is replaced by
+    /// `MUX(key_net, in0, in1)` where the correct `key_value` selects
+    /// `f_true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`LockBuilder::can_insert`] would return false (callers
+    /// must check first).
+    pub fn insert_mux(
+        &mut self,
+        key_bit: usize,
+        key_net: NetId,
+        key_value: bool,
+        f_true: NetId,
+        f_false: NetId,
+        sink: GateId,
+    ) -> MuxInstance {
+        assert!(
+            self.can_insert(f_true, f_false, sink),
+            "insert_mux preconditions violated"
+        );
+        let (in0, in1) = if key_value {
+            (f_false, f_true)
+        } else {
+            (f_true, f_false)
+        };
+        let name = self.netlist.fresh_net_name("keymux");
+        let out = self
+            .netlist
+            .add_gate(name, GateType::Mux, &[key_net, in0, in1])
+            .expect("fresh name, known nets");
+        let mux_gate = self.netlist.net(out).driver().expect("just added");
+        let rewired = self
+            .netlist
+            .rewire_input(sink, f_true, out)
+            .expect("ids valid");
+        debug_assert!(rewired, "f_true checked as an input of sink");
+        self.mux_outputs.insert(out);
+        self.key_gates.insert(mux_gate);
+        MuxInstance {
+            gate: mux_gate,
+            key_bit,
+            in0,
+            in1,
+            sink,
+            true_input: f_true,
+        }
+    }
+
+    /// Inserts a key gate of explicit type `ty` (XOR/XNOR) on `wire`
+    /// before `sink`, optionally followed by a fresh inverter (TRLL's
+    /// mode C). The caller is responsible for choosing the key value that
+    /// preserves functionality. Returns `None` when `wire` does not feed
+    /// `sink`.
+    pub fn insert_keyed_gate(
+        &mut self,
+        key_bit: usize,
+        key_net: NetId,
+        ty: GateType,
+        wire: NetId,
+        sink: GateId,
+        with_inverter: bool,
+    ) -> Option<KeyGate> {
+        if !self.netlist.gate(sink).inputs().contains(&wire) {
+            return None;
+        }
+        let name = self.netlist.fresh_net_name("keyxor");
+        let key_out = self
+            .netlist
+            .add_gate(name, ty, &[wire, key_net])
+            .expect("fresh name, known nets");
+        let gate = self.netlist.net(key_out).driver().expect("just added");
+        let routed = if with_inverter {
+            let inv_name = self.netlist.fresh_net_name("keyinv");
+            let inv_out = self
+                .netlist
+                .add_gate(inv_name, GateType::Not, &[key_out])
+                .expect("fresh name, known nets");
+            self.mux_outputs.insert(inv_out);
+            inv_out
+        } else {
+            key_out
+        };
+        self.netlist
+            .rewire_input(sink, wire, routed)
+            .expect("ids valid");
+        self.mux_outputs.insert(key_out);
+        self.key_gates.insert(gate);
+        Some(KeyGate { gate, key_bit })
+    }
+
+    /// Registers a gate mutated in place (e.g. an inverter replaced by a
+    /// TRLL key gate) so later site selection skips it.
+    pub fn mark_key_gate(&mut self, gate: GateId, output: NetId) {
+        self.key_gates.insert(gate);
+        self.mux_outputs.insert(output);
+    }
+
+    /// Inserts one XOR/XNOR key-gate on `wire` before `sink` (baseline
+    /// schemes). With correct key value 0 an XOR is inserted (identity when
+    /// the key input is 0); with value 1 an XNOR.
+    pub fn insert_xor(
+        &mut self,
+        key_bit: usize,
+        key_net: NetId,
+        key_value: bool,
+        wire: NetId,
+        sink: GateId,
+    ) -> Option<KeyGate> {
+        if !self.netlist.gate(sink).inputs().contains(&wire) {
+            return None;
+        }
+        let ty = if key_value {
+            GateType::Xnor
+        } else {
+            GateType::Xor
+        };
+        let name = self.netlist.fresh_net_name("keyxor");
+        let out = self
+            .netlist
+            .add_gate(name, ty, &[wire, key_net])
+            .expect("fresh name, known nets");
+        let gate = self.netlist.net(out).driver().expect("just added");
+        self.netlist
+            .rewire_input(sink, wire, out)
+            .expect("ids valid");
+        self.mux_outputs.insert(out);
+        self.key_gates.insert(gate);
+        Some(KeyGate { gate, key_bit })
+    }
+
+    pub fn push_locality(&mut self, locality: Locality) {
+        self.localities.push(locality);
+    }
+
+    /// Picks a random element of a slice.
+    pub fn choose<T: Copy>(&mut self, pool: &[T]) -> Option<T> {
+        if pool.is_empty() {
+            None
+        } else {
+            Some(pool[self.rng.gen_range(0..pool.len())])
+        }
+    }
+
+    pub fn finish(self) -> Result<LockedNetlist, LockError> {
+        debug_assert!(self.netlist.validate().is_ok());
+        Ok(LockedNetlist {
+            netlist: self.netlist,
+            key: Key::from_bits(self.key_bits),
+            key_inputs: self.key_inputs,
+            localities: self.localities,
+        })
+    }
+}
+
+/// Convenience used by the scheme modules to build a one-MUX locality.
+pub(crate) fn single_mux_locality(strategy: Strategy, m: MuxInstance) -> Locality {
+    Locality {
+        strategy,
+        key_bits: vec![m.key_bit],
+        muxes: vec![m],
+        xors: Vec::new(),
+    }
+}

@@ -1,0 +1,185 @@
+//! Symmetric MUX-based locking (Alaql et al., TVLSI 2021) — strategy S5.
+//!
+//! S5 is structurally the S4 pairing (two MUXes sharing the data inputs
+//! `{fi, fj}`) but with **two individual key inputs** `{ki, kj}` and both
+//! `fi`, `fj` being **single-output** nodes. Because the true wires cross
+//! (`ki` passes `fi` to `gi`, `kj` passes `fj` to `gj`) exactly two of the
+//! four key combinations are plausible — `{0,1}` and `{1,0}` — and the
+//! correct pair is chosen uniformly. Each data wire always feeds both
+//! MUXes, so no selection strands logic (SAAM-resilient), and the
+//! interconnected true cones defeat constant-propagation feature deltas
+//! (SWEEP/SCOPE-resilient).
+
+use muxlink_netlist::Netlist;
+use rand::Rng;
+
+use crate::site::LockBuilder;
+use crate::{LockError, LockOptions, LockedNetlist, Locality, Strategy};
+
+const TRIES: usize = 256;
+
+/// Locks a design with symmetric MUX-based locking (S5).
+///
+/// Each locality consumes two key bits, so `opts.key_size` should be even;
+/// an odd size leaves the final bit unplaced and fails with
+/// [`LockError::InsufficientSites`].
+///
+/// # Errors
+///
+/// [`LockError::EmptyKey`] for zero key size,
+/// [`LockError::InsufficientSites`] when the design lacks enough viable
+/// single-output pairs.
+///
+/// # Example
+///
+/// ```
+/// use muxlink_locking::{symmetric, LockOptions};
+/// let design = muxlink_benchgen::synth::SynthConfig::new("d", 16, 8, 200).generate(1);
+/// let locked = symmetric::lock(&design, &LockOptions::new(8, 3))?;
+/// assert_eq!(locked.localities.len(), 4); // two bits per locality
+/// # Ok::<(), muxlink_locking::LockError>(())
+/// ```
+pub fn lock(netlist: &Netlist, opts: &LockOptions) -> Result<LockedNetlist, LockError> {
+    if opts.key_size == 0 {
+        return Err(LockError::EmptyKey);
+    }
+    let mut b = LockBuilder::new(netlist, opts.seed);
+    while b.keys_placed() + 1 < opts.key_size {
+        match try_s5(&mut b) {
+            Some(loc) => b.push_locality(loc),
+            None => {
+                return Err(LockError::InsufficientSites {
+                    requested: opts.key_size,
+                    placed: b.keys_placed(),
+                })
+            }
+        }
+    }
+    if b.keys_placed() < opts.key_size {
+        // Odd key size: S5 cannot place a lone bit.
+        return Err(LockError::InsufficientSites {
+            requested: opts.key_size,
+            placed: b.keys_placed(),
+        });
+    }
+    b.finish()
+}
+
+fn try_s5(b: &mut LockBuilder) -> Option<Locality> {
+    let single = b.candidates(Some(false));
+    if single.len() < 2 {
+        return None;
+    }
+    for _ in 0..TRIES {
+        let fi = b.choose(&single)?;
+        let fj = b.choose(&single)?;
+        if fi == fj {
+            continue;
+        }
+        let gi = match b.choose(&b.gate_sinks(fi)) {
+            Some(g) => g,
+            None => continue,
+        };
+        let gj = match b.choose(&b.gate_sinks(fj)) {
+            Some(g) => g,
+            None => continue,
+        };
+        if gi == gj || !b.can_insert(fi, fj, gi) || !b.can_insert(fj, fi, gj) {
+            continue;
+        }
+        // The two plausible key pairs are {0,1} and {1,0}; pick one.
+        let ki_val = b.rng.gen::<bool>();
+        let kj_val = !ki_val;
+        let (ki, ki_net) = b.add_key_input(ki_val);
+        let (kj, kj_net) = b.add_key_input(kj_val);
+        let m1 = b.insert_mux(ki, ki_net, ki_val, fi, fj, gi);
+        let m2 = b.insert_mux(kj, kj_net, kj_val, fj, fi, gj);
+        return Some(Locality {
+            strategy: Strategy::S5,
+            muxes: vec![m1, m2],
+            xors: Vec::new(),
+            key_bits: vec![ki, kj],
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply_key;
+    use muxlink_benchgen::synth::SynthConfig;
+    use muxlink_netlist::sim::exhaustive_equiv;
+
+    fn medium() -> Netlist {
+        SynthConfig::new("m", 16, 8, 300).generate(42)
+    }
+
+    #[test]
+    fn key_pairs_are_complementary() {
+        let n = medium();
+        let locked = lock(&n, &LockOptions::new(16, 7)).unwrap();
+        for loc in &locked.localities {
+            assert_eq!(loc.strategy, Strategy::S5);
+            let [ki, kj] = [loc.key_bits[0], loc.key_bits[1]];
+            assert_ne!(
+                locked.key.bit(ki),
+                locked.key.bit(kj),
+                "S5 key pairs must be {{0,1}} or {{1,0}}"
+            );
+        }
+    }
+
+    #[test]
+    fn correct_key_restores_function() {
+        let n = medium();
+        let locked = lock(&n, &LockOptions::new(12, 2)).unwrap();
+        let recovered = apply_key(&locked, &locked.key).unwrap();
+        assert!(exhaustive_equiv(&n, &recovered).unwrap());
+    }
+
+    #[test]
+    fn both_data_wires_feed_both_muxes() {
+        // The SAAM-resilience property: within a locality, fi and fj are
+        // data inputs of both MUXes.
+        let n = medium();
+        let locked = lock(&n, &LockOptions::new(8, 5)).unwrap();
+        for loc in &locked.localities {
+            let [m1, m2] = [&loc.muxes[0], &loc.muxes[1]];
+            assert_eq!(
+                {
+                    let mut a = [m1.in0, m1.in1];
+                    a.sort_unstable();
+                    a
+                },
+                {
+                    let mut b = [m2.in0, m2.in1];
+                    b.sort_unstable();
+                    b
+                },
+                "the two MUXes of an S5 locality share their data inputs"
+            );
+        }
+    }
+
+    #[test]
+    fn odd_key_size_fails() {
+        let n = medium();
+        assert!(matches!(
+            lock(&n, &LockOptions::new(7, 0)),
+            Err(LockError::InsufficientSites { placed: 6, .. })
+        ));
+    }
+
+    #[test]
+    fn fewer_localities_than_dmux_for_same_key_size() {
+        // The paper's "Effect of the LL Scheme" observation: S5 spends two
+        // bits per locality, D-MUX often one.
+        let n = medium();
+        let k = 16;
+        let s5 = lock(&n, &LockOptions::new(k, 3)).unwrap();
+        let dm = crate::dmux::lock(&n, &LockOptions::new(k, 3)).unwrap();
+        assert_eq!(s5.localities.len(), k / 2);
+        assert!(dm.localities.len() >= s5.localities.len());
+    }
+}

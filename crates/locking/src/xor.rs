@@ -1,0 +1,129 @@
+//! Classic XOR/XNOR logic locking (the Fig. 1 ② baseline).
+//!
+//! An XOR key-gate passes its wire unchanged when the key bit is 0; an
+//! XNOR when the key bit is 1. Without re-synthesis the gate *type*
+//! therefore leaks the key bit directly — the leakage that SAIL-style ML
+//! attacks exploit and that motivated learning-resilient MUX locking.
+
+use muxlink_netlist::Netlist;
+use rand::Rng;
+
+use crate::site::LockBuilder;
+use crate::{LockError, LockOptions, LockedNetlist, Locality, Strategy};
+
+const TRIES: usize = 64;
+
+/// Locks a design by inserting `key_size` XOR/XNOR key-gates on random
+/// internal wires.
+///
+/// # Errors
+///
+/// [`LockError::EmptyKey`] and [`LockError::InsufficientSites`] as for the
+/// MUX schemes.
+///
+/// # Example
+///
+/// ```
+/// use muxlink_locking::{xor, LockOptions};
+/// let design = muxlink_benchgen::c17();
+/// let locked = xor::lock(&design, &LockOptions::new(3, 1))?;
+/// assert_eq!(locked.key.len(), 3);
+/// # Ok::<(), muxlink_locking::LockError>(())
+/// ```
+pub fn lock(netlist: &Netlist, opts: &LockOptions) -> Result<LockedNetlist, LockError> {
+    lock_named(netlist, opts, crate::KEY_INPUT_PREFIX)
+}
+
+/// Like [`lock`] but with a custom key-input naming prefix — needed when
+/// re-locking an already locked design (e.g. to build OMLA-style training
+/// data) without clashing with the existing `keyinput*` nets.
+///
+/// # Errors
+///
+/// As for [`lock`].
+pub fn lock_named(
+    netlist: &Netlist,
+    opts: &LockOptions,
+    key_prefix: &str,
+) -> Result<LockedNetlist, LockError> {
+    if opts.key_size == 0 {
+        return Err(LockError::EmptyKey);
+    }
+    let mut b = LockBuilder::new(netlist, opts.seed);
+    b.set_key_prefix(key_prefix);
+    'outer: while b.keys_placed() < opts.key_size {
+        let wires = b.candidates(None);
+        for _ in 0..TRIES {
+            let w = match b.choose(&wires) {
+                Some(w) => w,
+                None => break,
+            };
+            let sink = match b.choose(&b.gate_sinks(w)) {
+                Some(g) => g,
+                None => continue,
+            };
+            let k_val = b.rng.gen::<bool>();
+            let (k, k_net) = b.add_key_input(k_val);
+            if let Some(kg) = b.insert_xor(k, k_net, k_val, w, sink) {
+                b.push_locality(Locality {
+                    strategy: Strategy::Xor,
+                    muxes: Vec::new(),
+                    xors: vec![kg],
+                    key_bits: vec![k],
+                });
+                continue 'outer;
+            }
+            unreachable!("sink chosen from gate_sinks(w) must contain w");
+        }
+        return Err(LockError::InsufficientSites {
+            requested: opts.key_size,
+            placed: b.keys_placed(),
+        });
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply_key;
+    use muxlink_benchgen::synth::SynthConfig;
+    use muxlink_netlist::sim::exhaustive_equiv;
+    use muxlink_netlist::GateType;
+
+    #[test]
+    fn gate_type_leaks_key_bit() {
+        // The defining weakness of unsynthesised XOR locking.
+        let n = SynthConfig::new("m", 12, 6, 150).generate(4);
+        let locked = lock(&n, &LockOptions::new(16, 8)).unwrap();
+        for loc in &locked.localities {
+            let kg = &loc.xors[0];
+            let ty = locked.netlist.gate(kg.gate).ty();
+            let bit = locked.key.bit(kg.key_bit);
+            match ty {
+                GateType::Xor => assert!(!bit),
+                GateType::Xnor => assert!(bit),
+                other => panic!("unexpected key-gate type {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn correct_key_restores_function() {
+        let n = SynthConfig::new("m", 12, 6, 150).generate(4);
+        let locked = lock(&n, &LockOptions::new(8, 3)).unwrap();
+        let rec = apply_key(&locked, &locked.key).unwrap();
+        assert!(exhaustive_equiv(&n, &rec).unwrap());
+    }
+
+    #[test]
+    fn fully_wrong_key_corrupts_function() {
+        // (A single flipped bit can be masked by redundant logic in a
+        // random netlist; inverting the whole key cannot.)
+        let n = SynthConfig::new("m", 12, 6, 150).generate(4);
+        let locked = lock(&n, &LockOptions::new(4, 5)).unwrap();
+        let bits: Vec<bool> = locked.key.bits().iter().map(|b| !b).collect();
+        let wrong = apply_key(&locked, &crate::Key::from_bits(bits)).unwrap();
+        assert!(!exhaustive_equiv(&n, &wrong).unwrap());
+    }
+}

@@ -1,0 +1,335 @@
+//! Reader and writer for the BENCH netlist format.
+//!
+//! BENCH is the plain-text format used throughout the logic-locking
+//! literature (ISCAS-85/ITC-99 distributions, D-MUX, SWEEP, SCOPE and the
+//! original MuxLink release all exchange circuits in BENCH):
+//!
+//! ```text
+//! # comment
+//! INPUT(G1)
+//! OUTPUT(G22)
+//! G10 = NAND(G1, G3)
+//! G22 = MUX(keyinput0, G10, G17)
+//! ```
+//!
+//! The MUX extension follows the MuxLink convention: the first operand is
+//! the select line, then `in0` (selected by 0) and `in1` (selected by 1).
+
+use crate::{GateType, Netlist, NetlistError};
+
+/// Parses BENCH text into a [`Netlist`].
+///
+/// Gate lines may appear in any order (forward references are allowed); the
+/// result is validated (single driver, no dangling nets, acyclic).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] with a line number for syntax problems,
+/// plus any structural error surfaced by [`Netlist::validate`].
+pub fn parse(name: &str, text: &str) -> Result<Netlist, NetlistError> {
+    struct PendingGate {
+        line: usize,
+        out: String,
+        ty: GateType,
+        ins: Vec<String>,
+    }
+
+    let mut inputs: Vec<(usize, String)> = Vec::new();
+    let mut outputs: Vec<(usize, String)> = Vec::new();
+    let mut pending: Vec<PendingGate> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let code = match raw.split('#').next() {
+            Some(c) => c.trim(),
+            None => continue,
+        };
+        if code.is_empty() {
+            continue;
+        }
+        if let Some(rest) = strip_directive(code, "INPUT") {
+            inputs.push((line, rest?.to_owned()));
+        } else if let Some(rest) = strip_directive(code, "OUTPUT") {
+            outputs.push((line, rest?.to_owned()));
+        } else if let Some(eq) = code.find('=') {
+            let out = code[..eq].trim();
+            let rhs = code[eq + 1..].trim();
+            if out.is_empty() {
+                return Err(NetlistError::Parse {
+                    line,
+                    msg: "missing output name before `=`".into(),
+                });
+            }
+            let open = rhs.find('(').ok_or_else(|| NetlistError::Parse {
+                line,
+                msg: format!("expected `TYPE(...)` on right-hand side, got `{rhs}`"),
+            })?;
+            if !rhs.ends_with(')') {
+                return Err(NetlistError::Parse {
+                    line,
+                    msg: "missing closing `)`".into(),
+                });
+            }
+            let ty: GateType =
+                rhs[..open]
+                    .trim()
+                    .parse()
+                    .map_err(|_| NetlistError::Parse {
+                        line,
+                        msg: format!("unknown gate type `{}`", rhs[..open].trim()),
+                    })?;
+            let args = &rhs[open + 1..rhs.len() - 1];
+            let ins: Vec<String> = if args.trim().is_empty() {
+                Vec::new()
+            } else {
+                args.split(',').map(|a| a.trim().to_owned()).collect()
+            };
+            if ins.iter().any(String::is_empty) {
+                return Err(NetlistError::Parse {
+                    line,
+                    msg: "empty operand in gate argument list".into(),
+                });
+            }
+            pending.push(PendingGate {
+                line,
+                out: out.to_owned(),
+                ty,
+                ins,
+            });
+        } else {
+            return Err(NetlistError::Parse {
+                line,
+                msg: format!("unrecognised line `{code}`"),
+            });
+        }
+    }
+
+    let mut netlist = Netlist::new(name);
+    for (line, n) in &inputs {
+        netlist.add_input(n.clone()).map_err(|e| wrap(*line, e))?;
+    }
+    // Declare all gate outputs first so forward references resolve.
+    for g in &pending {
+        if netlist.find_net(&g.out).is_none() {
+            netlist.add_net(g.out.clone()).map_err(|e| wrap(g.line, e))?;
+        }
+    }
+    for g in &pending {
+        let out = netlist.find_net(&g.out).expect("declared above");
+        let mut ids = Vec::with_capacity(g.ins.len());
+        for i in &g.ins {
+            let id = netlist
+                .find_net(i)
+                .ok_or_else(|| NetlistError::Parse {
+                    line: g.line,
+                    msg: format!("net `{i}` is never defined"),
+                })?;
+            ids.push(id);
+        }
+        netlist
+            .add_gate_with_output(out, g.ty, &ids)
+            .map_err(|e| wrap(g.line, e))?;
+    }
+    for (line, o) in &outputs {
+        let id = netlist.find_net(o).ok_or_else(|| NetlistError::Parse {
+            line: *line,
+            msg: format!("OUTPUT names undefined net `{o}`"),
+        })?;
+        netlist.mark_output(id).map_err(|e| wrap(*line, e))?;
+    }
+    netlist.validate()?;
+    Ok(netlist)
+}
+
+fn strip_directive<'a>(
+    code: &'a str,
+    kw: &str,
+) -> Option<Result<&'a str, NetlistError>> {
+    let upper = code.to_ascii_uppercase();
+    if !upper.starts_with(kw) {
+        return None;
+    }
+    let rest = code[kw.len()..].trim();
+    if let Some(inner) = rest
+        .strip_prefix('(')
+        .and_then(|r| r.strip_suffix(')'))
+    {
+        let inner = inner.trim();
+        if inner.is_empty() {
+            Some(Err(NetlistError::Parse {
+                line: 0,
+                msg: format!("empty {kw} directive"),
+            }))
+        } else {
+            Some(Ok(inner))
+        }
+    } else {
+        Some(Err(NetlistError::Parse {
+            line: 0,
+            msg: format!("malformed {kw} directive `{code}`"),
+        }))
+    }
+}
+
+fn wrap(line: usize, e: NetlistError) -> NetlistError {
+    match e {
+        NetlistError::Parse { msg, .. } => NetlistError::Parse { line, msg },
+        other => NetlistError::Parse {
+            line,
+            msg: other.to_string(),
+        },
+    }
+}
+
+/// Serialises a [`Netlist`] to BENCH text.
+///
+/// Gates are emitted in topological order so the output is also readable by
+/// strictly single-pass tools.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalLoop`] when the netlist is cyclic
+/// (topological emission is impossible).
+pub fn write(netlist: &Netlist) -> Result<String, NetlistError> {
+    let order = crate::traversal::topological_order(netlist)?;
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n", netlist.name()));
+    out.push_str(&format!(
+        "# {} inputs, {} outputs, {} gates\n",
+        netlist.inputs().len(),
+        netlist.outputs().len(),
+        netlist.gate_count()
+    ));
+    for &i in netlist.inputs() {
+        out.push_str(&format!("INPUT({})\n", netlist.net(i).name()));
+    }
+    for &o in netlist.outputs() {
+        out.push_str(&format!("OUTPUT({})\n", netlist.net(o).name()));
+    }
+    for gid in order {
+        let gate = netlist.gate(gid);
+        let ins: Vec<&str> = gate
+            .inputs()
+            .iter()
+            .map(|&n| netlist.net(n).name())
+            .collect();
+        out.push_str(&format!(
+            "{} = {}({})\n",
+            netlist.net(gate.output()).name(),
+            gate.ty().bench_name(),
+            ins.join(", ")
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C17_LIKE: &str = "\
+# sample
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G6)
+G4 = NAND(G1, G2)
+G5 = NAND(G2, G3)
+G6 = NAND(G4, G5)
+";
+
+    #[test]
+    fn parse_basic() {
+        let n = parse("sample", C17_LIKE).unwrap();
+        assert_eq!(n.gate_count(), 3);
+        assert_eq!(n.inputs().len(), 3);
+        assert_eq!(n.outputs().len(), 1);
+    }
+
+    #[test]
+    fn forward_references_allowed() {
+        let text = "\
+INPUT(a)
+OUTPUT(y)
+y = NOT(x)
+x = BUFF(a)
+";
+        let n = parse("fwd", text).unwrap();
+        assert_eq!(n.gate_count(), 2);
+    }
+
+    #[test]
+    fn mux_parses_with_three_operands() {
+        let text = "\
+INPUT(k)
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = MUX(k, a, b)
+";
+        let n = parse("m", text).unwrap();
+        let y = n.find_net("y").unwrap();
+        let g = n.gate(n.net(y).driver().unwrap());
+        assert_eq!(g.ty(), GateType::Mux);
+        assert_eq!(g.inputs().len(), 3);
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let n = parse("sample", C17_LIKE).unwrap();
+        let text = write(&n).unwrap();
+        let n2 = parse("sample2", &text).unwrap();
+        assert_eq!(n.gate_count(), n2.gate_count());
+        assert_eq!(n.input_names(), n2.input_names());
+        assert_eq!(n.output_names(), n2.output_names());
+        // Same gate types per output net name.
+        for (_, g) in n.gates() {
+            let name = n.net(g.output()).name();
+            let id2 = n2.find_net(name).unwrap();
+            assert_eq!(n2.gate(n2.net(id2).driver().unwrap()).ty(), g.ty());
+        }
+    }
+
+    #[test]
+    fn error_on_unknown_type() {
+        let text = "INPUT(a)\nOUTPUT(y)\ny = FOO(a)\n";
+        let err = parse("e", text).unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn error_on_undefined_operand() {
+        let text = "INPUT(a)\nOUTPUT(y)\ny = NOT(zz)\n";
+        let err = parse("e", text).unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn error_on_duplicate_definition() {
+        let text = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUFF(a)\n";
+        assert!(parse("e", text).is_err());
+    }
+
+    #[test]
+    fn error_on_missing_paren() {
+        let text = "INPUT(a)\nOUTPUT(y)\ny = NOT(a\n";
+        let err = parse("e", text).unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { .. }));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "\n\n# hello\nINPUT(a)   # trailing\nOUTPUT(y)\ny = BUFF(a)\n";
+        let n = parse("c", text).unwrap();
+        assert_eq!(n.gate_count(), 1);
+    }
+
+    #[test]
+    fn output_can_be_an_input_net() {
+        // Pass-through designs are legal BENCH.
+        let text = "INPUT(a)\nOUTPUT(a)\n";
+        let n = parse("p", text).unwrap();
+        assert_eq!(n.gate_count(), 0);
+        assert!(n.validate().is_ok());
+    }
+}

@@ -1,0 +1,64 @@
+use std::fmt;
+
+/// Errors produced while constructing, parsing, or validating a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A net name was declared twice.
+    DuplicateNet(String),
+    /// A referenced net name does not exist.
+    UnknownNet(String),
+    /// A net has more than one driver (gate output or primary input).
+    MultipleDrivers(String),
+    /// A net that is used has no driver.
+    Undriven(String),
+    /// A gate was built with the wrong number of inputs for its type.
+    BadArity {
+        /// Gate type name.
+        gate: &'static str,
+        /// Inputs the type expects (human-readable).
+        expected: &'static str,
+        /// Inputs actually provided.
+        got: usize,
+    },
+    /// The combinational netlist contains a cycle through this net.
+    CombinationalLoop(String),
+    /// A BENCH line could not be parsed.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// The netlist has no primary outputs (nothing to observe).
+    NoOutputs,
+    /// An operation referred to a gate id that does not exist.
+    UnknownGate(u32),
+    /// Two netlists could not be compared (mismatched interface).
+    InterfaceMismatch(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DuplicateNet(n) => write!(f, "duplicate net name `{n}`"),
+            Self::UnknownNet(n) => write!(f, "unknown net `{n}`"),
+            Self::MultipleDrivers(n) => write!(f, "net `{n}` has multiple drivers"),
+            Self::Undriven(n) => write!(f, "net `{n}` is used but never driven"),
+            Self::BadArity {
+                gate,
+                expected,
+                got,
+            } => write!(f, "gate {gate} expects {expected} inputs, got {got}"),
+            Self::CombinationalLoop(n) => {
+                write!(f, "combinational loop detected through net `{n}`")
+            }
+            Self::Parse { line, msg } => write!(f, "parse error on line {line}: {msg}"),
+            Self::NoOutputs => write!(f, "netlist has no primary outputs"),
+            Self::UnknownGate(g) => write!(f, "unknown gate id {g}"),
+            Self::InterfaceMismatch(m) => write!(f, "netlist interface mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}

@@ -1,0 +1,319 @@
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::NetlistError;
+
+/// Number of plain combinational gate types that receive a one-hot encoding
+/// in the MuxLink node-information matrix (the paper's "8-bit one-hot
+/// encoded vector").
+pub const GATE_TYPE_COUNT: usize = 8;
+
+/// The Boolean function computed by a [`Gate`](crate::Gate).
+///
+/// The first eight variants are the plain combinational cells that receive
+/// the paper's 8-bit one-hot feature encoding. [`GateType::Mux`] is the
+/// key-gate inserted by MUX-based locking (select, in0, in1 — output equals
+/// `in1` when select is 1). [`GateType::Const0`]/[`GateType::Const1`] only
+/// appear in resynthesised netlists produced by [`crate::opt`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum GateType {
+    /// Logical AND of all inputs.
+    And,
+    /// Negated AND.
+    Nand,
+    /// Logical OR of all inputs.
+    Or,
+    /// Negated OR.
+    Nor,
+    /// Exclusive OR (parity) of all inputs.
+    Xor,
+    /// Negated parity.
+    Xnor,
+    /// Inverter (single input).
+    Not,
+    /// Buffer (single input).
+    Buf,
+    /// 2:1 multiplexer: inputs are `[select, in0, in1]`.
+    Mux,
+    /// Constant logic-0 (no inputs). Produced only by optimisation.
+    Const0,
+    /// Constant logic-1 (no inputs). Produced only by optimisation.
+    Const1,
+}
+
+impl GateType {
+    /// All gate types in declaration order.
+    pub const ALL: [GateType; 11] = [
+        GateType::And,
+        GateType::Nand,
+        GateType::Or,
+        GateType::Nor,
+        GateType::Xor,
+        GateType::Xnor,
+        GateType::Not,
+        GateType::Buf,
+        GateType::Mux,
+        GateType::Const0,
+        GateType::Const1,
+    ];
+
+    /// The eight plain cell types that get one-hot encoded by MuxLink.
+    pub const ENCODED: [GateType; GATE_TYPE_COUNT] = [
+        GateType::And,
+        GateType::Nand,
+        GateType::Or,
+        GateType::Nor,
+        GateType::Xor,
+        GateType::Xnor,
+        GateType::Not,
+        GateType::Buf,
+    ];
+
+    /// Index of this type in the 8-wide one-hot feature encoding, or `None`
+    /// for types that never appear in an extracted gate graph (MUX key-gates
+    /// are removed before extraction; constants only exist after resynthesis).
+    #[must_use]
+    pub fn encoding_index(self) -> Option<usize> {
+        match self {
+            GateType::And => Some(0),
+            GateType::Nand => Some(1),
+            GateType::Or => Some(2),
+            GateType::Nor => Some(3),
+            GateType::Xor => Some(4),
+            GateType::Xnor => Some(5),
+            GateType::Not => Some(6),
+            GateType::Buf => Some(7),
+            _ => None,
+        }
+    }
+
+    /// BENCH-format keyword for this gate type.
+    #[must_use]
+    pub fn bench_name(self) -> &'static str {
+        match self {
+            GateType::And => "AND",
+            GateType::Nand => "NAND",
+            GateType::Or => "OR",
+            GateType::Nor => "NOR",
+            GateType::Xor => "XOR",
+            GateType::Xnor => "XNOR",
+            GateType::Not => "NOT",
+            GateType::Buf => "BUFF",
+            GateType::Mux => "MUX",
+            GateType::Const0 => "CONST0",
+            GateType::Const1 => "CONST1",
+        }
+    }
+
+    /// Checks that `n` inputs is a legal arity for this gate type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadArity`] when the arity is illegal
+    /// (e.g. a three-input NOT or a two-input MUX).
+    pub fn check_arity(self, n: usize) -> Result<(), NetlistError> {
+        let (ok, expected) = match self {
+            GateType::And | GateType::Nand | GateType::Or | GateType::Nor => (n >= 2, "2 or more"),
+            GateType::Xor | GateType::Xnor => (n >= 2, "2 or more"),
+            GateType::Not | GateType::Buf => (n == 1, "exactly 1"),
+            GateType::Mux => (n == 3, "exactly 3 (select, in0, in1)"),
+            GateType::Const0 | GateType::Const1 => (n == 0, "exactly 0"),
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(NetlistError::BadArity {
+                gate: self.bench_name(),
+                expected,
+                got: n,
+            })
+        }
+    }
+
+    /// Evaluates the gate over bit-parallel 64-wide input words.
+    ///
+    /// Each bit lane is an independent input pattern. For [`GateType::Mux`]
+    /// the inputs must be ordered `[select, in0, in1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when the arity is illegal; use
+    /// [`GateType::check_arity`] (enforced by [`crate::Netlist::add_gate`])
+    /// to rule this out statically.
+    #[must_use]
+    pub fn eval_words(self, inputs: &[u64]) -> u64 {
+        debug_assert!(self.check_arity(inputs.len()).is_ok());
+        match self {
+            GateType::And => inputs.iter().fold(!0u64, |a, &b| a & b),
+            GateType::Nand => !inputs.iter().fold(!0u64, |a, &b| a & b),
+            GateType::Or => inputs.iter().fold(0u64, |a, &b| a | b),
+            GateType::Nor => !inputs.iter().fold(0u64, |a, &b| a | b),
+            GateType::Xor => inputs.iter().fold(0u64, |a, &b| a ^ b),
+            GateType::Xnor => !inputs.iter().fold(0u64, |a, &b| a ^ b),
+            GateType::Not => !inputs[0],
+            GateType::Buf => inputs[0],
+            GateType::Mux => {
+                let (s, a, b) = (inputs[0], inputs[1], inputs[2]);
+                (!s & a) | (s & b)
+            }
+            GateType::Const0 => 0,
+            GateType::Const1 => !0u64,
+        }
+    }
+
+    /// Evaluates the gate over plain booleans (single-pattern convenience).
+    #[must_use]
+    pub fn eval_bool(self, inputs: &[bool]) -> bool {
+        let words: Vec<u64> = inputs.iter().map(|&b| if b { !0 } else { 0 }).collect();
+        self.eval_words(&words) & 1 == 1
+    }
+
+    /// Unit-gate area proxy used by the SWEEP/SCOPE feature extractor
+    /// (roughly NAND2-equivalent cell areas).
+    #[must_use]
+    pub fn area_cost(self) -> f64 {
+        match self {
+            GateType::Nand | GateType::Nor => 1.0,
+            GateType::And | GateType::Or => 1.5,
+            GateType::Not => 0.5,
+            GateType::Buf => 0.75,
+            GateType::Xor | GateType::Xnor => 2.5,
+            GateType::Mux => 3.0,
+            GateType::Const0 | GateType::Const1 => 0.0,
+        }
+    }
+
+    /// True for the inverting cell functions (output is negated form).
+    #[must_use]
+    pub fn is_inverting(self) -> bool {
+        matches!(
+            self,
+            GateType::Nand | GateType::Nor | GateType::Xnor | GateType::Not
+        )
+    }
+}
+
+impl fmt::Display for GateType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.bench_name())
+    }
+}
+
+impl FromStr for GateType {
+    type Err = NetlistError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "AND" => Ok(GateType::And),
+            "NAND" => Ok(GateType::Nand),
+            "OR" => Ok(GateType::Or),
+            "NOR" => Ok(GateType::Nor),
+            "XOR" => Ok(GateType::Xor),
+            "XNOR" => Ok(GateType::Xnor),
+            "NOT" | "INV" => Ok(GateType::Not),
+            "BUF" | "BUFF" => Ok(GateType::Buf),
+            "MUX" => Ok(GateType::Mux),
+            "CONST0" => Ok(GateType::Const0),
+            "CONST1" => Ok(GateType::Const1),
+            other => Err(NetlistError::Parse {
+                line: 0,
+                msg: format!("unknown gate type `{other}`"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_covers_exactly_eight_types() {
+        let encoded: Vec<_> = GateType::ALL
+            .iter()
+            .filter(|t| t.encoding_index().is_some())
+            .collect();
+        assert_eq!(encoded.len(), GATE_TYPE_COUNT);
+        // Indices are a permutation of 0..8.
+        let mut idx: Vec<_> = encoded
+            .iter()
+            .map(|t| t.encoding_index().unwrap())
+            .collect();
+        idx.sort_unstable();
+        assert_eq!(idx, (0..GATE_TYPE_COUNT).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn eval_two_input_truth_tables() {
+        let cases = [
+            (GateType::And, [0b0001u64]),
+            (GateType::Nand, [0b1110]),
+            (GateType::Or, [0b0111]),
+            (GateType::Nor, [0b1000]),
+            (GateType::Xor, [0b0110]),
+            (GateType::Xnor, [0b1001]),
+        ];
+        // Lanes 0..4 enumerate (a,b) = (0,0),(1,0),(0,1),(1,1).
+        let a = 0b0101u64;
+        let b = 0b0011u64;
+        for (ty, [expect]) in cases {
+            assert_eq!(ty.eval_words(&[a, b]) & 0xF, expect, "{ty}");
+        }
+    }
+
+    #[test]
+    fn eval_mux_select_semantics() {
+        let s = 0b0101u64;
+        let in0 = 0b0011u64;
+        let in1 = 0b1111u64;
+        // s=0 picks in0, s=1 picks in1.
+        assert_eq!(GateType::Mux.eval_words(&[s, in0, in1]) & 0xF, 0b0111);
+    }
+
+    #[test]
+    fn eval_multi_input_parity() {
+        // XOR over three inputs = parity.
+        let a = 0b0101_0101u64;
+        let b = 0b0011_0011u64;
+        let c = 0b0000_1111u64;
+        let got = GateType::Xor.eval_words(&[a, b, c]) & 0xFF;
+        assert_eq!(got, 0b0110_1001 & 0xFF);
+        assert_eq!(GateType::Xnor.eval_words(&[a, b, c]) & 0xFF, !0b0110_1001u64 & 0xFF);
+    }
+
+    #[test]
+    fn arity_checks() {
+        assert!(GateType::Not.check_arity(1).is_ok());
+        assert!(GateType::Not.check_arity(2).is_err());
+        assert!(GateType::And.check_arity(1).is_err());
+        assert!(GateType::And.check_arity(5).is_ok());
+        assert!(GateType::Mux.check_arity(3).is_ok());
+        assert!(GateType::Mux.check_arity(2).is_err());
+        assert!(GateType::Const0.check_arity(0).is_ok());
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for ty in GateType::ALL {
+            let parsed: GateType = ty.bench_name().parse().unwrap();
+            assert_eq!(parsed, ty);
+        }
+        assert!("FROB".parse::<GateType>().is_err());
+    }
+
+    #[test]
+    fn bool_eval_matches_words() {
+        for ty in [GateType::And, GateType::Xor, GateType::Nor] {
+            for a in [false, true] {
+                for b in [false, true] {
+                    let w = ty.eval_words(&[a as u64 * !0, b as u64 * !0]) & 1 == 1;
+                    assert_eq!(ty.eval_bool(&[a, b]), w);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,621 @@
+//! Lightweight resynthesis: constant propagation, algebraic folding,
+//! buffer/double-inverter collapsing and dead-logic elimination.
+//!
+//! This pass plays the role of the commercial synthesis step in the SWEEP
+//! and SCOPE constant-propagation attacks: each key input is hard-coded to
+//! 0 and then 1, the circuit is re-optimised, and the *difference* between
+//! the two optimised circuits' features is what leaks (or, for D-MUX and
+//! symmetric MUX locking, deliberately does not leak) the key.
+
+use std::collections::HashMap;
+
+use crate::{GateType, NetId, Netlist, NetlistError};
+
+/// Symbolic value of a net during reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Value {
+    Const(bool),
+    /// A net id in the *new* netlist.
+    Signal(NetId),
+}
+
+/// Rebuilds `netlist` with the given primary inputs fixed to constants
+/// (by name), propagating constants, folding trivial gates, collapsing
+/// buffers and double inverters, and removing logic that no longer feeds
+/// any primary output.
+///
+/// Primary inputs that are not assigned survive unchanged; assigned inputs
+/// disappear from the interface (exactly like tying a pin in synthesis).
+/// Primary outputs keep their names — an output that collapses to a
+/// constant is driven by a `CONST0`/`CONST1` cell.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnknownNet`] when an assignment names a missing
+/// net, and propagates loop errors.
+pub fn resynthesize(
+    netlist: &Netlist,
+    constants: &HashMap<String, bool>,
+) -> Result<Netlist, NetlistError> {
+    for name in constants.keys() {
+        if netlist.find_net(name).is_none() {
+            return Err(NetlistError::UnknownNet(name.clone()));
+        }
+    }
+    let order = crate::traversal::topological_order(netlist)?;
+    let mut out = Netlist::new(netlist.name().to_owned());
+    let mut value: Vec<Option<Value>> = vec![None; netlist.net_count()];
+
+    for &pi in netlist.inputs() {
+        let name = netlist.net(pi).name();
+        if let Some(&c) = constants.get(name) {
+            value[pi.index()] = Some(Value::Const(c));
+        } else {
+            let id = out.add_input(name.to_owned())?;
+            value[pi.index()] = Some(Value::Signal(id));
+        }
+    }
+
+    for gid in order {
+        let gate = netlist.gate(gid);
+        let ins: Vec<Value> = gate
+            .inputs()
+            .iter()
+            .map(|&n| value[n.index()].expect("topological order guarantees defined inputs"))
+            .collect();
+        let name = netlist.net(gate.output()).name().to_owned();
+        let v = fold_gate(&mut out, gate.ty(), &ins, &name)?;
+        value[gate.output().index()] = Some(v);
+    }
+
+    for &po in netlist.outputs() {
+        let name = netlist.net(po).name().to_owned();
+        let v = value[po.index()].expect("outputs validated as driven");
+        let id = materialise_as(&mut out, v, &name)?;
+        out.mark_output(id)?;
+    }
+
+    Ok(strip_dead(&out))
+}
+
+/// Ensures `v` is available in `out` as a net carrying exactly `name`
+/// (inserting a buffer or constant cell when the value lives under a
+/// different name).
+fn materialise_as(out: &mut Netlist, v: Value, name: &str) -> Result<NetId, NetlistError> {
+    match v {
+        Value::Const(c) => {
+            if let Some(existing) = out.find_net(name) {
+                // Name already taken by a surviving signal of the same name.
+                return Ok(existing);
+            }
+            let ty = if c { GateType::Const1 } else { GateType::Const0 };
+            out.add_gate(name.to_owned(), ty, &[])
+        }
+        Value::Signal(id) => {
+            if out.net(id).name() == name {
+                Ok(id)
+            } else if let Some(existing) = out.find_net(name) {
+                Ok(existing)
+            } else {
+                out.add_gate(name.to_owned(), GateType::Buf, &[id])
+            }
+        }
+    }
+}
+
+/// Folds one gate over already-simplified input values, emitting at most
+/// one new gate into `out`.
+fn fold_gate(
+    out: &mut Netlist,
+    ty: GateType,
+    ins: &[Value],
+    name: &str,
+) -> Result<Value, NetlistError> {
+    match ty {
+        GateType::And | GateType::Nand => {
+            let invert = ty == GateType::Nand;
+            let mut sig: Vec<NetId> = Vec::new();
+            for v in ins {
+                match v {
+                    Value::Const(false) => return Ok(Value::Const(invert)),
+                    Value::Const(true) => {}
+                    Value::Signal(id) => {
+                        if !sig.contains(id) {
+                            sig.push(*id);
+                        }
+                    }
+                }
+            }
+            reduce_monotone(out, sig, invert, GateType::And, GateType::Nand, true, name)
+        }
+        GateType::Or | GateType::Nor => {
+            let invert = ty == GateType::Nor;
+            let mut sig: Vec<NetId> = Vec::new();
+            for v in ins {
+                match v {
+                    Value::Const(true) => return Ok(Value::Const(!invert)),
+                    Value::Const(false) => {}
+                    Value::Signal(id) => {
+                        if !sig.contains(id) {
+                            sig.push(*id);
+                        }
+                    }
+                }
+            }
+            reduce_monotone(out, sig, invert, GateType::Or, GateType::Nor, false, name)
+        }
+        GateType::Xor | GateType::Xnor => {
+            let mut parity = ty == GateType::Xnor;
+            let mut sig: Vec<NetId> = Vec::new();
+            for v in ins {
+                match v {
+                    Value::Const(c) => parity ^= c,
+                    Value::Signal(id) => {
+                        // x ⊕ x = 0: cancel pairs.
+                        if let Some(pos) = sig.iter().position(|s| s == id) {
+                            sig.remove(pos);
+                        } else {
+                            sig.push(*id);
+                        }
+                    }
+                }
+            }
+            match sig.len() {
+                0 => Ok(Value::Const(parity)),
+                1 => {
+                    if parity {
+                        emit_not(out, sig[0], name)
+                    } else {
+                        Ok(Value::Signal(sig[0]))
+                    }
+                }
+                _ => {
+                    let gty = if parity { GateType::Xnor } else { GateType::Xor };
+                    let id = out.add_gate(unique(out, name), gty, &sig)?;
+                    Ok(Value::Signal(id))
+                }
+            }
+        }
+        GateType::Not => match ins[0] {
+            Value::Const(c) => Ok(Value::Const(!c)),
+            Value::Signal(id) => emit_not(out, id, name),
+        },
+        GateType::Buf => Ok(ins[0]),
+        GateType::Mux => {
+            let (s, a, b) = (ins[0], ins[1], ins[2]);
+            match s {
+                Value::Const(false) => Ok(a),
+                Value::Const(true) => Ok(b),
+                Value::Signal(sid) => {
+                    if a == b {
+                        return Ok(a);
+                    }
+                    match (a, b) {
+                        // MUX(s, 0, 1) = s ; MUX(s, 1, 0) = !s.
+                        (Value::Const(false), Value::Const(true)) => Ok(Value::Signal(sid)),
+                        (Value::Const(true), Value::Const(false)) => emit_not(out, sid, name),
+                        // MUX(s, 0, b) = s AND b ; MUX(s, 1, b) = !s OR b, etc.
+                        (Value::Const(false), Value::Signal(bid)) => {
+                            let id = out.add_gate(unique(out, name), GateType::And, &[sid, bid])?;
+                            Ok(Value::Signal(id))
+                        }
+                        (Value::Signal(aid), Value::Const(true)) => {
+                            let id = out.add_gate(unique(out, name), GateType::Or, &[sid, aid])?;
+                            Ok(Value::Signal(id))
+                        }
+                        (Value::Const(true), Value::Signal(bid)) => {
+                            let ns = require_not(out, sid)?;
+                            let id = out.add_gate(unique(out, name), GateType::Or, &[ns, bid])?;
+                            Ok(Value::Signal(id))
+                        }
+                        (Value::Signal(aid), Value::Const(false)) => {
+                            let ns = require_not(out, sid)?;
+                            let id = out.add_gate(unique(out, name), GateType::And, &[ns, aid])?;
+                            Ok(Value::Signal(id))
+                        }
+                        (Value::Signal(aid), Value::Signal(bid)) => {
+                            let id = out
+                                .add_gate(unique(out, name), GateType::Mux, &[sid, aid, bid])?;
+                            Ok(Value::Signal(id))
+                        }
+                        (Value::Const(_), Value::Const(_)) => unreachable!("a == b handled"),
+                    }
+                }
+            }
+        }
+        GateType::Const0 => Ok(Value::Const(false)),
+        GateType::Const1 => Ok(Value::Const(true)),
+    }
+}
+
+/// Shared tail for AND/NAND/OR/NOR after constant elimination:
+/// `sig` holds the distinct symbolic operands; `absorbing_all` tells which
+/// constant an empty operand list folds to (AND of nothing = 1, OR = 0).
+fn reduce_monotone(
+    out: &mut Netlist,
+    sig: Vec<NetId>,
+    invert: bool,
+    plain: GateType,
+    inverted: GateType,
+    is_and: bool,
+    name: &str,
+) -> Result<Value, NetlistError> {
+    match sig.len() {
+        // AND of nothing = 1, OR of nothing = 0, then apply inversion.
+        0 => Ok(Value::Const(is_and ^ invert)),
+        1 => {
+            if invert {
+                emit_not(out, sig[0], name)
+            } else {
+                Ok(Value::Signal(sig[0]))
+            }
+        }
+        _ => {
+            let ty = if invert { inverted } else { plain };
+            let id = out.add_gate(unique(out, name), ty, &sig)?;
+            Ok(Value::Signal(id))
+        }
+    }
+}
+
+/// Emits `NOT(id)`, collapsing double inversion when `id` is itself driven
+/// by a NOT in the new netlist.
+fn emit_not(out: &mut Netlist, id: NetId, name: &str) -> Result<Value, NetlistError> {
+    if let Some(drv) = out.net(id).driver() {
+        let g = out.gate(drv);
+        if g.ty() == GateType::Not {
+            return Ok(Value::Signal(g.inputs()[0]));
+        }
+    }
+    let new = out.add_gate(unique(out, name), GateType::Not, &[id])?;
+    Ok(Value::Signal(new))
+}
+
+/// Like [`emit_not`] but returns the [`NetId`] (creating a helper name).
+fn require_not(out: &mut Netlist, id: NetId) -> Result<NetId, NetlistError> {
+    match emit_not(out, id, "opt_inv")? {
+        Value::Signal(n) => Ok(n),
+        Value::Const(_) => unreachable!("NOT of a signal is a signal"),
+    }
+}
+
+/// Picks `name` when free in `out`, otherwise a fresh derived name.
+fn unique(out: &Netlist, name: &str) -> String {
+    if out.find_net(name).is_none() {
+        name.to_owned()
+    } else {
+        out.fresh_net_name(name)
+    }
+}
+
+/// Structural hash-consing: merges gates computing the same function over
+/// the same (canonicalised) inputs, in one topological sweep — the
+/// common-subexpression-elimination step of a synthesis flow. Symmetric
+/// gate types compare with sorted inputs; MUX inputs stay ordered.
+///
+/// # Errors
+///
+/// Propagates loop errors from the topological sort.
+pub fn dedup_structural(netlist: &Netlist) -> Result<Netlist, NetlistError> {
+    let order = crate::traversal::topological_order(netlist)?;
+    let mut out = Netlist::new(netlist.name().to_owned());
+    // Old net -> new net (after merging).
+    let mut map: Vec<Option<NetId>> = vec![None; netlist.net_count()];
+    for &pi in netlist.inputs() {
+        map[pi.index()] = Some(out.add_input(netlist.net(pi).name().to_owned())?);
+    }
+    let mut seen: HashMap<(GateType, Vec<NetId>), NetId> = HashMap::new();
+    for gid in order {
+        let gate = netlist.gate(gid);
+        let mut ins: Vec<NetId> = gate
+            .inputs()
+            .iter()
+            .map(|n| map[n.index()].expect("topological order"))
+            .collect();
+        let symmetric = !matches!(gate.ty(), GateType::Mux);
+        let mut key_ins = ins.clone();
+        if symmetric {
+            key_ins.sort_unstable();
+            ins = key_ins.clone();
+        }
+        let key = (gate.ty(), key_ins);
+        let new_net = if let Some(&existing) = seen.get(&key) {
+            existing
+        } else {
+            let id = out.add_gate(
+                netlist.net(gate.output()).name().to_owned(),
+                gate.ty(),
+                &ins,
+            )?;
+            seen.insert(key, id);
+            id
+        };
+        map[gate.output().index()] = Some(new_net);
+    }
+    for &po in netlist.outputs() {
+        let target = map[po.index()].expect("outputs driven");
+        // Preserve the output name: alias through a buffer when the
+        // surviving twin carries a different name.
+        let id = if out.net(target).name() == netlist.net(po).name()
+            || netlist.net(po).is_input()
+        {
+            target
+        } else if let Some(existing) = out.find_net(netlist.net(po).name()) {
+            existing
+        } else {
+            out.add_gate(netlist.net(po).name().to_owned(), GateType::Buf, &[target])?
+        };
+        out.mark_output(id)?;
+    }
+    Ok(strip_dead(&out))
+}
+
+/// Removes every gate that does not (transitively) feed a primary output.
+/// Unused primary inputs are preserved (the interface is part of the
+/// design), unused internal logic is not.
+#[must_use]
+pub fn strip_dead(netlist: &Netlist) -> Netlist {
+    let live = crate::cones::live_gates(netlist);
+    let mut out = Netlist::new(netlist.name().to_owned());
+    let mut map: HashMap<NetId, NetId> = HashMap::new();
+    for &pi in netlist.inputs() {
+        let id = out
+            .add_input(netlist.net(pi).name().to_owned())
+            .expect("unique names in source netlist");
+        map.insert(pi, id);
+    }
+    let order = crate::traversal::topological_order(netlist)
+        .expect("strip_dead requires an acyclic netlist");
+    for gid in order {
+        if !live.contains(&gid) {
+            continue;
+        }
+        let gate = netlist.gate(gid);
+        let ins: Vec<NetId> = gate.inputs().iter().map(|n| map[n]).collect();
+        let id = out
+            .add_gate(
+                netlist.net(gate.output()).name().to_owned(),
+                gate.ty(),
+                &ins,
+            )
+            .expect("unique names in source netlist");
+        map.insert(gate.output(), id);
+    }
+    for &po in netlist.outputs() {
+        let id = map[&po];
+        out.mark_output(id).expect("net exists");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_format::parse;
+    use crate::sim::exhaustive_equiv;
+
+    fn fix(name: &str, v: bool) -> HashMap<String, bool> {
+        let mut m = HashMap::new();
+        m.insert(name.to_owned(), v);
+        m
+    }
+
+    #[test]
+    fn and_with_zero_collapses() {
+        let n = parse(
+            "t",
+            "INPUT(a)\nINPUT(k)\nOUTPUT(y)\ny = AND(a, k)\n",
+        )
+        .unwrap();
+        let r = resynthesize(&n, &fix("k", false)).unwrap();
+        // y is constant 0.
+        let y = r.find_net("y").unwrap();
+        assert_eq!(r.gate(r.net(y).driver().unwrap()).ty(), GateType::Const0);
+        let r1 = resynthesize(&n, &fix("k", true)).unwrap();
+        // y aliases a through a buffer.
+        let y1 = r1.find_net("y").unwrap();
+        assert_eq!(r1.gate(r1.net(y1).driver().unwrap()).ty(), GateType::Buf);
+    }
+
+    #[test]
+    fn mux_select_constant_picks_branch() {
+        let n = parse(
+            "t",
+            "INPUT(a)\nINPUT(b)\nINPUT(k)\nOUTPUT(y)\n\
+             t0 = NOT(a)\nt1 = AND(a, b)\ny = MUX(k, t0, t1)\n",
+        )
+        .unwrap();
+        let r0 = resynthesize(&n, &fix("k", false)).unwrap();
+        // Only NOT survives (t1 becomes dead logic).
+        assert_eq!(
+            r0.gate_type_histogram().get(&GateType::And).copied(),
+            None,
+            "dead AND should be stripped: {:?}",
+            r0.gate_type_histogram()
+        );
+        let r1 = resynthesize(&n, &fix("k", true)).unwrap();
+        assert_eq!(r1.gate_type_histogram().get(&GateType::Not).copied(), None);
+    }
+
+    #[test]
+    fn resynth_preserves_function_on_unassigned_inputs() {
+        let n = parse(
+            "t",
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nOUTPUT(z)\n\
+             t1 = NAND(a, b)\nt2 = XOR(t1, c)\nt3 = NOR(a, c)\n\
+             y = MUX(b, t2, t3)\nz = XNOR(t1, t3)\n",
+        )
+        .unwrap();
+        let empty = HashMap::new();
+        let r = resynthesize(&n, &empty).unwrap();
+        assert!(exhaustive_equiv(&n, &r).unwrap());
+    }
+
+    #[test]
+    fn resynth_with_constant_matches_cofactor() {
+        let n = parse(
+            "t",
+            "INPUT(a)\nINPUT(b)\nINPUT(k)\nOUTPUT(y)\n\
+             t1 = XOR(a, k)\nt2 = OR(b, k)\ny = AND(t1, t2)\n",
+        )
+        .unwrap();
+        for kv in [false, true] {
+            let r = resynthesize(&n, &fix("k", kv)).unwrap();
+            // Build the expected cofactor by simulation comparison.
+            let sim_full = crate::sim::Simulator::new(&n).unwrap();
+            let sim_cof = crate::sim::Simulator::new(&r).unwrap();
+            // r's inputs are a, b (k eliminated).
+            assert_eq!(r.inputs().len(), 2);
+            for a in [false, true] {
+                for b in [false, true] {
+                    let full = sim_full.run_bools(&[a, b, kv]);
+                    let aidx = r
+                        .inputs()
+                        .iter()
+                        .position(|&i| r.net(i).name() == "a")
+                        .unwrap();
+                    let mut pat = [false, false];
+                    pat[aidx] = a;
+                    pat[1 - aidx] = b;
+                    let cof = sim_cof.run_bools(&pat);
+                    assert_eq!(full, cof, "a={a} b={b} k={kv}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn double_inverter_collapses() {
+        let n = parse(
+            "t",
+            "INPUT(a)\nOUTPUT(y)\nt1 = NOT(a)\nt2 = NOT(t1)\ny = BUFF(t2)\n",
+        )
+        .unwrap();
+        let r = resynthesize(&n, &HashMap::new()).unwrap();
+        // Everything collapses to y = BUFF(a).
+        assert_eq!(r.gate_count(), 1);
+        assert_eq!(
+            r.gate(r.net(r.find_net("y").unwrap()).driver().unwrap()).ty(),
+            GateType::Buf
+        );
+    }
+
+    #[test]
+    fn xor_cancellation() {
+        let n = parse(
+            "t",
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b, a)\n",
+        )
+        .unwrap();
+        let r = resynthesize(&n, &HashMap::new()).unwrap();
+        // XOR(a,b,a) = b.
+        assert!(exhaustive_equiv(
+            &parse("e", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = BUFF(b)\n").unwrap(),
+            &r
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn output_constant_materialised() {
+        let n = parse("t", "INPUT(k)\nOUTPUT(y)\ny = AND(k, k)\n").unwrap();
+        let r = resynthesize(&n, &fix("k", true)).unwrap();
+        let y = r.find_net("y").unwrap();
+        assert_eq!(r.gate(r.net(y).driver().unwrap()).ty(), GateType::Const1);
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn dedup_merges_identical_gates() {
+        let n = parse(
+            "t",
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n\
+             t1 = AND(a, b)\nt2 = AND(b, a)\nt3 = AND(a, b)\n\
+             y = XOR(t1, t2, t3)\n",
+        )
+        .unwrap();
+        let d = dedup_structural(&n).unwrap();
+        // The three ANDs collapse into one; XOR(t,t,t) stays an XOR over
+        // one repeated operand? No — its inputs all map to the same net,
+        // which the netlist layer permits; simulation semantics preserved.
+        let ands = d
+            .gate_type_histogram()
+            .get(&GateType::And)
+            .copied()
+            .unwrap_or(0);
+        assert_eq!(ands, 1, "commutative duplicates must merge");
+        assert!(exhaustive_equiv(&n, &d).unwrap());
+    }
+
+    #[test]
+    fn dedup_respects_mux_input_order() {
+        let n = parse(
+            "t",
+            "INPUT(s)\nINPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\n\
+             m1 = MUX(s, a, b)\nm2 = MUX(s, b, a)\n\
+             y = BUFF(m1)\nz = BUFF(m2)\n",
+        )
+        .unwrap();
+        let d = dedup_structural(&n).unwrap();
+        let muxes = d
+            .gate_type_histogram()
+            .get(&GateType::Mux)
+            .copied()
+            .unwrap_or(0);
+        assert_eq!(muxes, 2, "MUXes with swapped data inputs differ");
+        assert!(exhaustive_equiv(&n, &d).unwrap());
+    }
+
+    #[test]
+    fn dedup_preserves_output_names_of_merged_twins() {
+        let n = parse(
+            "t",
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y1)\nOUTPUT(y2)\n\
+             y1 = NOR(a, b)\ny2 = NOR(b, a)\n",
+        )
+        .unwrap();
+        let d = dedup_structural(&n).unwrap();
+        assert!(d.find_net("y1").is_some());
+        assert!(d.find_net("y2").is_some());
+        assert!(exhaustive_equiv(&n, &d).unwrap());
+    }
+
+    #[test]
+    fn strip_dead_removes_unreferenced_logic() {
+        let n = parse(
+            "t",
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n\
+             dead1 = AND(a, b)\ndead2 = NOT(dead1)\ny = OR(a, b)\n",
+        )
+        .unwrap();
+        let r = strip_dead(&n);
+        assert_eq!(r.gate_count(), 1);
+        assert_eq!(r.inputs().len(), 2);
+    }
+
+    #[test]
+    fn unknown_constant_net_rejected() {
+        let n = parse("t", "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
+        assert!(matches!(
+            resynthesize(&n, &fix("nope", true)),
+            Err(NetlistError::UnknownNet(_))
+        ));
+    }
+
+    #[test]
+    fn no_reduction_for_balanced_mux_pair() {
+        // The property D-MUX guarantees: hard-coding either key value keeps
+        // both cones alive, so the resynthesised sizes match.
+        let n = parse(
+            "t",
+            "INPUT(a)\nINPUT(b)\nINPUT(k)\nOUTPUT(y1)\nOUTPUT(y2)\n\
+             f1 = NAND(a, b)\nf2 = NOR(a, b)\n\
+             m1 = MUX(k, f1, f2)\nm2 = MUX(k, f2, f1)\n\
+             y1 = NOT(m1)\ny2 = NOT(m2)\n",
+        )
+        .unwrap();
+        let r0 = resynthesize(&n, &fix("k", false)).unwrap();
+        let r1 = resynthesize(&n, &fix("k", true)).unwrap();
+        assert_eq!(r0.gate_count(), r1.gate_count());
+    }
+}

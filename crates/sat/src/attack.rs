@@ -1,0 +1,340 @@
+//! The oracle-guided SAT attack (Subramanyan et al., HOST 2015).
+//!
+//! Two copies of the locked circuit share their functional inputs but
+//! carry independent key vectors; a **miter** asserts that some output
+//! differs. While the miter is satisfiable, the satisfying functional
+//! input is a *distinguishing input pattern* (DIP): the oracle (here: a
+//! simulator of the original design, standing in for the unlocked chip)
+//! reveals the correct response, and both copies are constrained to
+//! reproduce it. When the miter becomes unsatisfiable, any key consistent
+//! with all recorded DIPs is functionally correct.
+
+use std::collections::HashMap;
+
+use muxlink_netlist::sim::Simulator;
+use muxlink_netlist::{Netlist, NetlistError};
+
+use crate::cnf::CircuitCnf;
+use crate::solver::{Lit, SolveResult, Solver, Var};
+
+/// SAT-attack settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SatAttackConfig {
+    /// Upper bound on DIP iterations (safety valve; the attack normally
+    /// terminates by UNSAT long before).
+    pub max_iterations: usize,
+}
+
+impl Default for SatAttackConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 4096,
+        }
+    }
+}
+
+/// Outcome of a successful SAT attack.
+#[derive(Debug, Clone)]
+pub struct SatAttackResult {
+    /// The recovered key, by key-input name.
+    pub key: HashMap<String, bool>,
+    /// Number of distinguishing input patterns queried.
+    pub dip_count: usize,
+    /// Whether the recovered key reproduces the oracle on a random sample
+    /// (cheap post-verification; the algorithm guarantees it).
+    pub functionally_correct: bool,
+}
+
+/// Errors raised by the attack.
+#[derive(Debug)]
+pub enum SatAttackError {
+    /// A key input is missing from the locked netlist.
+    UnknownKeyInput(String),
+    /// The iteration cap was hit before convergence.
+    IterationLimit(usize),
+    /// The final key-extraction query was unsatisfiable — the locked
+    /// design admits no key consistent with the oracle (broken locking).
+    NoConsistentKey,
+    /// Netlist/simulation failure.
+    Netlist(NetlistError),
+}
+
+impl std::fmt::Display for SatAttackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownKeyInput(k) => write!(f, "unknown key input `{k}`"),
+            Self::IterationLimit(n) => write!(f, "no convergence after {n} DIPs"),
+            Self::NoConsistentKey => write!(f, "no key consistent with the oracle"),
+            Self::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SatAttackError {}
+
+impl From<NetlistError> for SatAttackError {
+    fn from(e: NetlistError) -> Self {
+        Self::Netlist(e)
+    }
+}
+
+/// Runs the oracle-guided SAT attack.
+///
+/// `oracle` is the original design (its simulator plays the unlocked
+/// chip). Functional inputs are matched by name; `key_inputs` are the
+/// locked design's key nets.
+///
+/// # Errors
+///
+/// See [`SatAttackError`].
+pub fn sat_attack(
+    locked: &Netlist,
+    key_inputs: &[String],
+    oracle: &Netlist,
+    cfg: &SatAttackConfig,
+) -> Result<SatAttackResult, SatAttackError> {
+    for k in key_inputs {
+        if locked.find_net(k).is_none() {
+            return Err(SatAttackError::UnknownKeyInput(k.clone()));
+        }
+    }
+    let functional_inputs: Vec<String> = locked
+        .input_names()
+        .into_iter()
+        .filter(|n| !key_inputs.contains(&(*n).to_owned()))
+        .map(str::to_owned)
+        .collect();
+    let oracle_sim = Simulator::new(oracle)?;
+
+    // Miter solver: two copies sharing functional inputs. A separate
+    // extraction solver accumulates only the DIP consistency constraints
+    // (no miter clause), so the final key query stays satisfiable.
+    let mut ext_solver = Solver::new();
+    let ext_base = CircuitCnf::encode(&mut ext_solver, locked);
+    let mut solver = Solver::new();
+    let copy_a = CircuitCnf::encode(&mut solver, locked);
+    let copy_b = CircuitCnf::encode(&mut solver, locked);
+    for name in &functional_inputs {
+        tie_equal(&mut solver, copy_a.input_vars[name], copy_b.input_vars[name]);
+    }
+    // Miter output: OR over per-output XORs, asserted true.
+    let diff_vars: Vec<Var> = locked
+        .output_names()
+        .iter()
+        .map(|name| {
+            let d = solver.new_var();
+            xor_def(
+                &mut solver,
+                d,
+                copy_a.output_vars[*name],
+                copy_b.output_vars[*name],
+            );
+            d
+        })
+        .collect();
+    let big: Vec<Lit> = diff_vars.iter().map(|&v| Lit::pos(v)).collect();
+    solver.add_clause(&big);
+
+    // DIP loop.
+    let mut dip_count = 0usize;
+    loop {
+        match solver.solve(&[]) {
+            SolveResult::Unsat => break,
+            SolveResult::Sat(model) => {
+                dip_count += 1;
+                if dip_count > cfg.max_iterations {
+                    return Err(SatAttackError::IterationLimit(cfg.max_iterations));
+                }
+                // Extract the DIP (functional inputs in oracle order).
+                let pattern: Vec<bool> = oracle
+                    .inputs()
+                    .iter()
+                    .map(|&n| {
+                        let name = oracle.net(n).name();
+                        let v = copy_a.input_vars[name];
+                        model[v.0 as usize]
+                    })
+                    .collect();
+                let response = oracle_sim.run_bools(&pattern);
+                // Constrain both miter copies — and the extraction
+                // solver's key — to reproduce the oracle on the DIP.
+                for cnf in [&copy_a, &copy_b] {
+                    add_io_constraint(
+                        &mut solver,
+                        locked,
+                        cnf,
+                        oracle,
+                        &pattern,
+                        &response,
+                        key_inputs,
+                    );
+                }
+                add_io_constraint(
+                    &mut ext_solver,
+                    locked,
+                    &ext_base,
+                    oracle,
+                    &pattern,
+                    &response,
+                    key_inputs,
+                );
+            }
+        }
+    }
+
+    // Key extraction: any key satisfying all accumulated DIP constraints.
+    let model = match ext_solver.solve(&[]) {
+        SolveResult::Sat(m) => m,
+        SolveResult::Unsat => return Err(SatAttackError::NoConsistentKey),
+    };
+    let key: HashMap<String, bool> = key_inputs
+        .iter()
+        .map(|k| (k.clone(), model[ext_base.input_vars[k].0 as usize]))
+        .collect();
+
+    // Cheap verification against the oracle.
+    let functionally_correct = verify(locked, oracle, &key)?;
+    Ok(SatAttackResult {
+        key,
+        dip_count,
+        functionally_correct,
+    })
+}
+
+/// Adds "copy of `locked` with the miter's key variables, inputs fixed to
+/// `pattern`, outputs fixed to `response`".
+fn add_io_constraint(
+    solver: &mut Solver,
+    locked: &Netlist,
+    miter_copy: &CircuitCnf,
+    oracle: &Netlist,
+    pattern: &[bool],
+    response: &[bool],
+    key_inputs: &[String],
+) {
+    let fresh = CircuitCnf::encode(solver, locked);
+    // Tie keys to the miter copy's keys.
+    for k in key_inputs {
+        tie_equal(solver, fresh.input_vars[k], miter_copy.input_vars[k]);
+    }
+    // Fix functional inputs to the DIP.
+    for (i, &n) in oracle.inputs().iter().enumerate() {
+        let name = oracle.net(n).name();
+        let v = fresh.input_vars[name];
+        solver.add_clause(&[Lit::with_sign(v, pattern[i])]);
+    }
+    // Fix outputs to the oracle response.
+    for (i, &n) in oracle.outputs().iter().enumerate() {
+        let name = oracle.net(n).name();
+        let v = fresh.output_vars[name];
+        solver.add_clause(&[Lit::with_sign(v, response[i])]);
+    }
+}
+
+fn tie_equal(solver: &mut Solver, a: Var, b: Var) {
+    solver.add_clause(&[Lit::neg(a), Lit::pos(b)]);
+    solver.add_clause(&[Lit::pos(a), Lit::neg(b)]);
+}
+
+/// `d = a ⊕ b`.
+fn xor_def(solver: &mut Solver, d: Var, a: Var, b: Var) {
+    solver.add_clause(&[Lit::neg(d), Lit::pos(a), Lit::pos(b)]);
+    solver.add_clause(&[Lit::neg(d), Lit::neg(a), Lit::neg(b)]);
+    solver.add_clause(&[Lit::pos(d), Lit::pos(a), Lit::neg(b)]);
+    solver.add_clause(&[Lit::pos(d), Lit::neg(a), Lit::pos(b)]);
+}
+
+/// Verifies the key on random patterns (plus exhaustively for tiny
+/// designs).
+fn verify(
+    locked: &Netlist,
+    oracle: &Netlist,
+    key: &HashMap<String, bool>,
+) -> Result<bool, NetlistError> {
+    let report = muxlink_netlist::sim::hamming_distance_with_key(
+        oracle, locked, key, 4096, 0xD1CE,
+    )?;
+    Ok(report.bits_differing == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muxlink_benchgen::synth::SynthConfig;
+    use muxlink_locking::{dmux, naive_mux, symmetric, xor, LockOptions};
+
+    fn attack_and_check(
+        design: &Netlist,
+        locked: &muxlink_locking::LockedNetlist,
+    ) -> SatAttackResult {
+        let r = sat_attack(
+            &locked.netlist,
+            &locked.key_input_names(),
+            design,
+            &SatAttackConfig::default(),
+        )
+        .unwrap();
+        assert!(
+            r.functionally_correct,
+            "SAT attack must recover a functionally correct key"
+        );
+        r
+    }
+
+    #[test]
+    fn breaks_xor_locked_c17() {
+        let c17 = muxlink_benchgen::c17();
+        let locked = xor::lock(&c17, &LockOptions::new(4, 1)).unwrap();
+        let r = attack_and_check(&c17, &locked);
+        assert!(r.dip_count <= 32);
+    }
+
+    #[test]
+    fn breaks_dmux_with_an_oracle() {
+        // The threat-model contrast: D-MUX resists oracle-less ML attacks
+        // but makes no SAT-resilience claim.
+        let design = SynthConfig::new("s", 10, 5, 80).generate(3);
+        let locked = dmux::lock(&design, &LockOptions::new(8, 2)).unwrap();
+        let r = attack_and_check(&design, &locked);
+        assert!(r.dip_count <= 64);
+    }
+
+    #[test]
+    fn breaks_symmetric_with_an_oracle() {
+        let design = SynthConfig::new("s", 10, 5, 80).generate(4);
+        let locked = symmetric::lock(&design, &LockOptions::new(8, 2)).unwrap();
+        attack_and_check(&design, &locked);
+    }
+
+    #[test]
+    fn breaks_naive_mux_quickly() {
+        let design = SynthConfig::new("s", 10, 5, 80).generate(5);
+        let locked = naive_mux::lock(&design, &LockOptions::new(6, 2)).unwrap();
+        let r = attack_and_check(&design, &locked);
+        assert!(r.dip_count <= 64);
+    }
+
+    #[test]
+    fn recovered_key_may_differ_but_function_matches() {
+        // Functional (not literal) key recovery is the SAT attack's
+        // guarantee — on designs with redundant keys the bits may differ.
+        let design = SynthConfig::new("s", 8, 4, 60).generate(6);
+        let locked = xor::lock(&design, &LockOptions::new(6, 7)).unwrap();
+        let r = attack_and_check(&design, &locked);
+        assert_eq!(r.key.len(), 6);
+    }
+
+    #[test]
+    fn unknown_key_input_rejected() {
+        let design = SynthConfig::new("s", 8, 4, 60).generate(7);
+        let locked = xor::lock(&design, &LockOptions::new(2, 8)).unwrap();
+        let err = sat_attack(
+            &locked.netlist,
+            &["ghost".to_owned()],
+            &design,
+            &SatAttackConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SatAttackError::UnknownKeyInput(_)));
+    }
+}

@@ -1,0 +1,213 @@
+//! Tseitin encoding of combinational netlists into CNF.
+
+use std::collections::HashMap;
+
+use muxlink_netlist::{GateType, NetId, Netlist};
+
+use crate::solver::{Lit, Solver, Var};
+
+/// The variable mapping produced by encoding one copy of a netlist.
+#[derive(Debug, Clone)]
+pub struct CircuitCnf {
+    /// SAT variable per net (indexed by [`NetId::index`]).
+    pub net_vars: Vec<Var>,
+    /// Primary-input variables by name.
+    pub input_vars: HashMap<String, Var>,
+    /// Primary-output variables by name.
+    pub output_vars: HashMap<String, Var>,
+}
+
+impl CircuitCnf {
+    /// Encodes `netlist` into `solver` with the Tseitin transformation;
+    /// each net gets one variable, each gate a small clause set.
+    ///
+    /// Multiple copies of the same (or different) netlists can share a
+    /// solver; callers tie copies together through the returned maps.
+    #[must_use]
+    pub fn encode(solver: &mut Solver, netlist: &Netlist) -> Self {
+        let net_vars: Vec<Var> = (0..netlist.net_count()).map(|_| solver.new_var()).collect();
+        for (_, gate) in netlist.gates() {
+            let out = net_vars[gate.output().index()];
+            let ins: Vec<Var> = gate
+                .inputs()
+                .iter()
+                .map(|n: &NetId| net_vars[n.index()])
+                .collect();
+            encode_gate(solver, gate.ty(), out, &ins);
+        }
+        let input_vars = netlist
+            .inputs()
+            .iter()
+            .map(|&n| (netlist.net(n).name().to_owned(), net_vars[n.index()]))
+            .collect();
+        let output_vars = netlist
+            .outputs()
+            .iter()
+            .map(|&n| (netlist.net(n).name().to_owned(), net_vars[n.index()]))
+            .collect();
+        Self {
+            net_vars,
+            input_vars,
+            output_vars,
+        }
+    }
+}
+
+/// Emits the Tseitin clauses for `out = ty(ins)`.
+fn encode_gate(solver: &mut Solver, ty: GateType, out: Var, ins: &[Var]) {
+    let o = Lit::pos(out);
+    let no = Lit::neg(out);
+    match ty {
+        GateType::And | GateType::Nand => {
+            let (o, no) = if ty == GateType::Nand { (no, o) } else { (o, no) };
+            // out → each input ; all inputs → out.
+            let mut big: Vec<Lit> = vec![o];
+            for &i in ins {
+                solver.add_clause(&[no, Lit::pos(i)]);
+                big.push(Lit::neg(i));
+            }
+            solver.add_clause(&big);
+        }
+        GateType::Or | GateType::Nor => {
+            let (o, no) = if ty == GateType::Nor { (no, o) } else { (o, no) };
+            let mut big: Vec<Lit> = vec![no];
+            for &i in ins {
+                solver.add_clause(&[o, Lit::neg(i)]);
+                big.push(Lit::pos(i));
+            }
+            solver.add_clause(&big);
+        }
+        GateType::Xor | GateType::Xnor => {
+            // Chain XORs through fresh variables for arity > 2.
+            let mut acc = ins[0];
+            for (idx, &i) in ins.iter().enumerate().skip(1) {
+                let target = if idx == ins.len() - 1 {
+                    out
+                } else {
+                    solver.new_var()
+                };
+                let invert = idx == ins.len() - 1 && ty == GateType::Xnor;
+                encode_xor2(solver, target, acc, i, invert);
+                acc = target;
+            }
+        }
+        GateType::Not => {
+            solver.add_clause(&[no, Lit::neg(ins[0])]);
+            solver.add_clause(&[o, Lit::pos(ins[0])]);
+        }
+        GateType::Buf => {
+            solver.add_clause(&[no, Lit::pos(ins[0])]);
+            solver.add_clause(&[o, Lit::neg(ins[0])]);
+        }
+        GateType::Mux => {
+            let (s, a, b) = (ins[0], ins[1], ins[2]);
+            // out = (¬s ∧ a) ∨ (s ∧ b)
+            solver.add_clause(&[Lit::pos(s), Lit::neg(a), o]);
+            solver.add_clause(&[Lit::pos(s), Lit::pos(a), no]);
+            solver.add_clause(&[Lit::neg(s), Lit::neg(b), o]);
+            solver.add_clause(&[Lit::neg(s), Lit::pos(b), no]);
+        }
+        GateType::Const0 => {
+            solver.add_clause(&[no]);
+        }
+        GateType::Const1 => {
+            solver.add_clause(&[o]);
+        }
+    }
+}
+
+/// `target = a ⊕ b` (or XNOR when `invert`).
+fn encode_xor2(solver: &mut Solver, target: Var, a: Var, b: Var, invert: bool) {
+    let (t, nt) = if invert {
+        (Lit::neg(target), Lit::pos(target))
+    } else {
+        (Lit::pos(target), Lit::neg(target))
+    };
+    solver.add_clause(&[nt, Lit::pos(a), Lit::pos(b)]);
+    solver.add_clause(&[nt, Lit::neg(a), Lit::neg(b)]);
+    solver.add_clause(&[t, Lit::pos(a), Lit::neg(b)]);
+    solver.add_clause(&[t, Lit::neg(a), Lit::pos(b)]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muxlink_netlist::bench_format::parse;
+    use muxlink_netlist::sim::Simulator;
+
+    /// Cross-checks the CNF encoding against simulation: for every input
+    /// pattern, force the inputs in SAT and verify the outputs agree.
+    fn check_netlist(text: &str) {
+        let n = parse("t", text).unwrap();
+        let sim = Simulator::new(&n).unwrap();
+        let mut solver = Solver::new();
+        let cnf = CircuitCnf::encode(&mut solver, &n);
+        let k = n.inputs().len();
+        assert!(k <= 10, "test circuits stay small");
+        for m in 0..(1u32 << k) {
+            let pattern: Vec<bool> = (0..k).map(|i| m >> i & 1 == 1).collect();
+            let expect = sim.run_bools(&pattern);
+            let assumptions: Vec<Lit> = n
+                .inputs()
+                .iter()
+                .enumerate()
+                .map(|(i, &net)| {
+                    let v = cnf.input_vars[n.net(net).name()];
+                    Lit::with_sign(v, pattern[i])
+                })
+                .collect();
+            match solver.solve(&assumptions) {
+                crate::solver::SolveResult::Sat(model) => {
+                    for (oi, &onet) in n.outputs().iter().enumerate() {
+                        let v = cnf.output_vars[n.net(onet).name()];
+                        assert_eq!(
+                            model[v.0 as usize], expect[oi],
+                            "pattern {m:b}, output {}",
+                            n.net(onet).name()
+                        );
+                    }
+                }
+                crate::solver::SolveResult::Unsat => panic!("combinational CNF must be sat"),
+            }
+        }
+    }
+
+    #[test]
+    fn basic_gates_encode_correctly() {
+        check_netlist(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y1)\nOUTPUT(y2)\nOUTPUT(y3)\n\
+             y1 = AND(a, b)\ny2 = NOR(a, b)\ny3 = XOR(a, b)\n",
+        );
+    }
+
+    #[test]
+    fn wide_gates_encode_correctly() {
+        check_netlist(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y1)\nOUTPUT(y2)\n\
+             y1 = NAND(a, b, c, d)\ny2 = XNOR(a, b, c)\n",
+        );
+    }
+
+    #[test]
+    fn mux_and_buffers_encode_correctly() {
+        check_netlist(
+            "INPUT(s)\nINPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\n\
+             y = MUX(s, a, b)\nt = NOT(a)\nz = BUFF(t)\n",
+        );
+    }
+
+    #[test]
+    fn nested_logic_encodes_correctly() {
+        check_netlist(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\n\
+             t1 = NAND(a, b)\nt2 = XOR(t1, c)\nt3 = NOR(a, c)\ny = MUX(b, t2, t3)\n",
+        );
+    }
+
+    #[test]
+    fn c17_encodes_correctly() {
+        let n = muxlink_benchgen::c17();
+        let text = muxlink_netlist::bench_format::write(&n).unwrap();
+        check_netlist(&text);
+    }
+}

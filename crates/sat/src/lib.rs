@@ -1,0 +1,37 @@
+//! # muxlink-sat
+//!
+//! Oracle-guided SAT-attack substrate (Subramanyan et al., HOST 2015) —
+//! the *other* threat model the paper positions MuxLink against.
+//!
+//! MuxLink is oracle-less; the classical SAT attack instead assumes a
+//! working chip (oracle). D-MUX and S5 make no SAT-resilience claims, so
+//! an adversary **with** an oracle breaks them in a handful of
+//! distinguishing-input queries — this crate demonstrates that contrast
+//! with an entirely from-scratch stack:
+//!
+//! * [`solver`] — a compact CDCL SAT solver (watched literals, first-UIP
+//!   learning, restarts), brute-force cross-checked in its tests;
+//! * [`cnf`] — Tseitin encoding of gate-level netlists;
+//! * [`attack`] — miter construction and the DIP-refinement loop.
+//!
+//! ```
+//! use muxlink_locking::{dmux, LockOptions};
+//! use muxlink_sat::attack::{sat_attack, SatAttackConfig};
+//!
+//! let design = muxlink_benchgen::c17();
+//! let locked = dmux::lock(&design, &LockOptions::new(2, 1)).unwrap();
+//! let result = sat_attack(&locked.netlist, &locked.key_input_names(), &design,
+//!                         &SatAttackConfig::default()).unwrap();
+//! assert!(result.functionally_correct);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod cnf;
+pub mod solver;
+
+pub use attack::{sat_attack, SatAttackConfig, SatAttackResult};
+pub use cnf::CircuitCnf;
+pub use solver::{Lit, SolveResult, Solver, Var};

@@ -1,0 +1,3 @@
+//! Placeholder library target: the runnable content of this package lives
+//! in the example targets (`cargo run -p muxlink-examples --example
+//! quickstart`).

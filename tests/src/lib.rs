@@ -1,0 +1,9 @@
+//! Shared helpers for the integration tests in `tests/tests/`.
+
+use muxlink_netlist::Netlist;
+
+/// A mid-sized reconvergent test design, deterministic in `seed`.
+pub fn test_design(gates: usize, seed: u64) -> Netlist {
+    muxlink_benchgen::synth::SynthConfig::new(format!("it_{gates}_{seed}"), 16, 8, gates)
+        .generate(seed)
+}

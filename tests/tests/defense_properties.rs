@@ -1,0 +1,124 @@
+//! Cross-crate checks of the security properties the defense papers claim
+//! (and that the locking substrate must therefore reproduce).
+
+use std::collections::HashMap;
+
+use muxlink_attack_baselines::saam_attack;
+use muxlink_benchgen::ant_rnt::{ant_netlist, rnt_netlist};
+use muxlink_core::metrics::score_key;
+use muxlink_integration_tests::test_design;
+use muxlink_locking::{apply_key, dmux, naive_mux, symmetric, xor, KeyValue, LockOptions};
+use muxlink_netlist::sim::hamming_distance;
+
+#[test]
+fn every_scheme_preserves_function_under_correct_key() {
+    let design = test_design(350, 1);
+    let opts = LockOptions::new(12, 5);
+    for locked in [
+        dmux::lock(&design, &opts).unwrap(),
+        symmetric::lock(&design, &opts).unwrap(),
+        xor::lock(&design, &opts).unwrap(),
+        naive_mux::lock(&design, &opts).unwrap(),
+    ] {
+        let recovered = apply_key(&locked, &locked.key).unwrap();
+        let hd = hamming_distance(&design, &recovered, 8192, 0).unwrap();
+        assert_eq!(hd.bits_differing, 0, "correct key must restore function");
+    }
+}
+
+#[test]
+fn saam_separates_naive_from_learning_resilient() {
+    let design = test_design(500, 2);
+    let opts = LockOptions::new(20, 7);
+
+    let naive = naive_mux::lock(&design, &opts).unwrap();
+    let naive_guess = saam_attack(&naive.netlist, &naive.key_input_names()).unwrap();
+    let naive_m = score_key(&naive_guess, &naive.key);
+    assert!(
+        naive_m.correct > 0,
+        "SAAM must decide (correctly) on naive MUX locking"
+    );
+    assert_eq!(
+        naive_m.correct + naive_m.x_count,
+        naive_m.total,
+        "SAAM decisions are provably correct"
+    );
+
+    for locked in [
+        dmux::lock(&design, &opts).unwrap(),
+        symmetric::lock(&design, &opts).unwrap(),
+    ] {
+        let guess = saam_attack(&locked.netlist, &locked.key_input_names()).unwrap();
+        assert!(guess.iter().all(|v| *v == KeyValue::X));
+    }
+}
+
+#[test]
+fn dmux_passes_ant_and_rnt() {
+    // The D-MUX selling point: it locks both an AND-only netlist (where
+    // XOR-style schemes degenerate) and a random netlist.
+    let ant = ant_netlist(16, 8, 256, 3);
+    let rnt = rnt_netlist(16, 8, 256, 3);
+    for design in [ant, rnt] {
+        let locked = dmux::lock(&design, &LockOptions::new(8, 1)).unwrap();
+        assert_eq!(locked.key.len(), 8);
+        let recovered = apply_key(&locked, &locked.key).unwrap();
+        let hd = hamming_distance(&design, &recovered, 4096, 1).unwrap();
+        assert_eq!(hd.bits_differing, 0);
+    }
+}
+
+#[test]
+fn wrong_keys_corrupt_more_bits_the_more_bits_are_wrong() {
+    let design = test_design(400, 9);
+    let locked = dmux::lock(&design, &LockOptions::new(16, 11)).unwrap();
+    let mut prev_hd = 0.0f64;
+    for wrong_bits in [0usize, 4, 16] {
+        let mut bits = locked.key.bits().to_vec();
+        for b in bits.iter_mut().take(wrong_bits) {
+            *b = !*b;
+        }
+        let recovered = apply_key(&locked, &muxlink_locking::Key::from_bits(bits)).unwrap();
+        let hd = hamming_distance(&design, &recovered, 8192, 2).unwrap();
+        assert!(
+            hd.fraction() >= prev_hd - 0.02,
+            "HD should (weakly) grow with wrong bits"
+        );
+        prev_hd = hd.fraction();
+    }
+    assert!(prev_hd > 0.0, "a fully wrong key must corrupt outputs");
+}
+
+#[test]
+fn cofactor_sizes_stay_balanced_for_resilient_schemes() {
+    let design = test_design(400, 4);
+    for locked in [
+        dmux::lock(&design, &LockOptions::new(8, 3)).unwrap(),
+        symmetric::lock(&design, &LockOptions::new(8, 3)).unwrap(),
+    ] {
+        for bit in 0..locked.key.len() {
+            let mut sizes = Vec::new();
+            for v in [false, true] {
+                let mut c = HashMap::new();
+                c.insert(format!("keyinput{bit}"), v);
+                let r = muxlink_netlist::opt::resynthesize(&locked.netlist, &c).unwrap();
+                sizes.push(r.gate_count() as i64);
+            }
+            assert!(
+                (sizes[0] - sizes[1]).abs() <= 10,
+                "bit {bit} cofactors diverge: {sizes:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn locked_netlists_round_trip_through_bench_format() {
+    let design = test_design(300, 6);
+    let locked = dmux::lock(&design, &LockOptions::new(8, 8)).unwrap();
+    let text = muxlink_netlist::bench_format::write(&locked.netlist).unwrap();
+    let parsed = muxlink_netlist::bench_format::parse("rt", &text).unwrap();
+    assert_eq!(parsed.gate_count(), locked.netlist.gate_count());
+    let hd = hamming_distance(&locked.netlist, &parsed, 2048, 0).unwrap();
+    assert_eq!(hd.bits_differing, 0);
+}
