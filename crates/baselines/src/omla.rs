@@ -190,7 +190,9 @@ pub fn omla_attack(
     }
 
     // 2. Train the DGCNN on the known gates (10% validation split).
-    let val_len = (train_samples.len() / 10).max(1).min(train_samples.len() - 1);
+    let val_len = (train_samples.len() / 10)
+        .max(1)
+        .min(train_samples.len() - 1);
     let val = train_samples.split_off(train_samples.len() - val_len);
     let mut model_cfg = DgcnnConfig::paper(feature_cols(max_label), 10);
     let sizes: Vec<usize> = train_samples.iter().map(|s| s.adj.len()).collect();
@@ -199,7 +201,7 @@ pub fn omla_attack(
     if !sorted.is_empty() {
         model_cfg.k = sorted[(sorted.len() * 6 / 10).min(sorted.len() - 1)].max(model_cfg.min_k());
     }
-    model_cfg.seed = cfg.seed ^ 0xBADC_0DE;
+    model_cfg.seed = cfg.seed ^ 0x0BAD_C0DE;
     let mut model = Dgcnn::new(model_cfg);
     let train_cfg = TrainConfig {
         epochs: cfg.epochs,
@@ -256,8 +258,7 @@ mod tests {
     fn omla_breaks_plain_xor_locking() {
         let design = SynthConfig::new("m", 16, 8, 400).generate(2);
         let locked = xor::lock(&design, &LockOptions::new(16, 3)).unwrap();
-        let guess =
-            omla_attack(&locked.netlist, &locked.key_input_names(), &quick_cfg()).unwrap();
+        let guess = omla_attack(&locked.netlist, &locked.key_input_names(), &quick_cfg()).unwrap();
         let decided: Vec<_> = guess
             .iter()
             .enumerate()
@@ -281,8 +282,8 @@ mod tests {
         // have nothing to grab onto in a MUX-locked design.
         let design = SynthConfig::new("m", 12, 6, 200).generate(4);
         let locked = dmux::lock(&design, &LockOptions::new(8, 5)).unwrap();
-        let err = omla_attack(&locked.netlist, &locked.key_input_names(), &quick_cfg())
-            .unwrap_err();
+        let err =
+            omla_attack(&locked.netlist, &locked.key_input_names(), &quick_cfg()).unwrap_err();
         assert!(matches!(err, OmlaError::NoXorKeyGates));
     }
 

@@ -22,11 +22,7 @@ impl KeyBitFeatures {
     /// key value.
     #[must_use]
     pub fn delta(&self) -> Vec<f64> {
-        self.f0
-            .iter()
-            .zip(&self.f1)
-            .map(|(a, b)| a - b)
-            .collect()
+        self.f0.iter().zip(&self.f1).map(|(a, b)| a - b).collect()
     }
 
     /// L1 magnitude of the delta (0 ⇒ the bit leaks nothing through
@@ -43,10 +39,7 @@ impl KeyBitFeatures {
 /// # Errors
 ///
 /// Propagates unknown-net and loop errors from the netlist layer.
-pub fn key_bit_features(
-    locked: &Netlist,
-    key_input: &str,
-) -> Result<KeyBitFeatures, NetlistError> {
+pub fn key_bit_features(locked: &Netlist, key_input: &str) -> Result<KeyBitFeatures, NetlistError> {
     let mut features = Vec::with_capacity(2);
     for v in [false, true] {
         let mut constants = HashMap::new();
@@ -82,7 +75,10 @@ mod tests {
                 leaking += 1;
             }
         }
-        assert!(leaking >= 6, "XOR locking should leak on most bits, got {leaking}");
+        assert!(
+            leaking >= 6,
+            "XOR locking should leak on most bits, got {leaking}"
+        );
     }
 
     #[test]
@@ -114,8 +110,7 @@ mod tests {
         assert!(per_bit <= 2.0, "deltas should stay local, avg {per_bit}");
         if rule_decided >= 6 {
             assert!(
-                rule_correct * 10 >= rule_decided * 2
-                    && rule_correct * 10 <= rule_decided * 8,
+                rule_correct * 10 >= rule_decided * 2 && rule_correct * 10 <= rule_decided * 8,
                 "gate-count rule should be uninformative: {rule_correct}/{rule_decided}"
             );
         }

@@ -19,10 +19,7 @@ use muxlink_netlist::{GateType, Netlist, NetlistError};
 /// [`NetlistError::UnknownNet`] when a key input does not exist. A key
 /// input that does not drive a MUX select yields `X` (SAAM only reasons
 /// about MUX key-gates).
-pub fn saam_attack(
-    locked: &Netlist,
-    key_inputs: &[String],
-) -> Result<Vec<KeyValue>, NetlistError> {
+pub fn saam_attack(locked: &Netlist, key_inputs: &[String]) -> Result<Vec<KeyValue>, NetlistError> {
     let mut out = Vec::with_capacity(key_inputs.len());
     let output_nets: std::collections::HashSet<_> = locked.outputs().iter().copied().collect();
     for name in key_inputs {
@@ -38,9 +35,7 @@ pub fn saam_attack(
             let (in0, in1) = (gate.inputs()[1], gate.inputs()[2]);
             // A wire dangles when deselected iff the MUX is its only
             // reader and it is not a primary output.
-            let dangles = |net| {
-                locked.fanout_count(net) == 1 && !output_nets.contains(&net)
-            };
+            let dangles = |net| locked.fanout_count(net) == 1 && !output_nets.contains(&net);
             let d0 = dangles(in0);
             let d1 = dangles(in1);
             let this = match (d0, d1) {

@@ -29,7 +29,7 @@ fn bench_subgraph(c: &mut Criterion) {
 
 fn bench_gnn(c: &mut Criterion) {
     let cfg = DgcnnConfig::paper(24, 30);
-    let mut model = Dgcnn::new(cfg);
+    let model = Dgcnn::new(cfg);
     let mut rng = muxlink_gnn::matrix::seeded_rng(7);
     // A 60-node random graph sample.
     let n = 60usize;
@@ -49,9 +49,8 @@ fn bench_gnn(c: &mut Criterion) {
     });
     c.bench_function("dgcnn_forward_backward", |b| {
         b.iter(|| {
-            model.zero_grads();
             let cache = model.forward(&sample, None);
-            model.backward(&sample, &cache, true);
+            model.backward(&sample, &cache, true)
         });
     });
 }
@@ -72,7 +71,9 @@ fn bench_locking(c: &mut Criterion) {
 fn bench_sim(c: &mut Criterion) {
     let design = SynthConfig::new("k", 32, 16, 2000).generate(4);
     let sim = Simulator::new(&design).unwrap();
-    let words: Vec<u64> = (0..32).map(|i| 0x9E37_79B9_7F4A_7C15u64.rotate_left(i)).collect();
+    let words: Vec<u64> = (0..32)
+        .map(|i| 0x9E37_79B9_7F4A_7C15u64.rotate_left(i))
+        .collect();
     c.bench_function("sim_2000_gates_64_patterns", |b| {
         b.iter(|| sim.run_words(&words));
     });

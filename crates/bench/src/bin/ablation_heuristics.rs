@@ -70,8 +70,16 @@ fn main() {
         let kpas: Vec<f64> = entries.iter().filter_map(|(_, m, _)| m.kpa_pct()).collect();
         rows.push(AblationRow {
             scorer: name,
-            ac: entries.iter().map(|(_, m, _)| m.accuracy_pct()).sum::<f64>() / n,
-            pc: entries.iter().map(|(_, m, _)| m.precision_pct()).sum::<f64>() / n,
+            ac: entries
+                .iter()
+                .map(|(_, m, _)| m.accuracy_pct())
+                .sum::<f64>()
+                / n,
+            pc: entries
+                .iter()
+                .map(|(_, m, _)| m.precision_pct())
+                .sum::<f64>()
+                / n,
             kpa: if kpas.is_empty() {
                 None
             } else {

@@ -71,8 +71,6 @@ fn main() {
     }
     println!("Ablation — MuxLink vs generator reconvergence (D-MUX, {gates} gates, K={key})");
     println!("{}", table.render());
-    println!(
-        "expectation: near-random at p = 0 (structureless DAG), paper-like at p ≥ 0.45"
-    );
+    println!("expectation: near-random at p = 0 (structureless DAG), paper-like at p ≥ 0.45");
     maybe_write_json(&opts, &rows);
 }

@@ -41,7 +41,11 @@ fn main() {
     let mut dist_total = 0;
     for m in &ex.muxes {
         let truth = locked.key.bit(m.key_bit);
-        let (t, f) = if truth { (m.src1, m.src0) } else { (m.src0, m.src1) };
+        let (t, f) = if truth {
+            (m.src1, m.src0)
+        } else {
+            (m.src0, m.src1)
+        };
         let dt = bfs_dist(&ex.graph.adj, t, m.sink);
         let df = bfs_dist(&ex.graph.adj, f, m.sink);
         let ct = common_neighbors(&ex.graph.adj, t, m.sink);

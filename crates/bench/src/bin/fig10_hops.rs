@@ -31,17 +31,17 @@ fn main() {
         .collect();
     eprintln!("fig10: {} attack jobs …", jobs.len());
     let seed = opts.seed;
-    let results: Vec<Option<(usize, f64, f64, Option<f64>, f64)>> =
-        parallel_map(jobs, move |(profile, h)| {
-            let cfg = base_cfg.clone().with_h(h);
-            match run_attack("ISCAS-85", &profile, Scheme::DMux, key, &cfg, seed) {
-                Ok((res, _, _, _)) => Some((h, res.ac, res.pc, res.kpa, res.seconds)),
-                Err(e) => {
-                    eprintln!("warning: {e}");
-                    None
-                }
+    type HopResult = (usize, f64, f64, Option<f64>, f64);
+    let results: Vec<Option<HopResult>> = parallel_map(jobs, move |(profile, h)| {
+        let cfg = base_cfg.clone().with_h(h);
+        match run_attack("ISCAS-85", &profile, Scheme::DMux, key, &cfg, seed) {
+            Ok((res, _, _, _)) => Some((h, res.ac, res.pc, res.kpa, res.seconds)),
+            Err(e) => {
+                eprintln!("warning: {e}");
+                None
             }
-        });
+        }
+    });
 
     let mut rows = Vec::new();
     for &h in &hops {

@@ -31,7 +31,9 @@ struct Fig2Row {
 fn main() {
     let opts = HarnessOptions::parse(std::env::args().skip(1));
     let copies: u64 = if opts.paper_scale { 100 } else { 3 };
-    let key_size = opts.key_size.unwrap_or(if opts.paper_scale { 64 } else { 16 });
+    let key_size = opts
+        .key_size
+        .unwrap_or(if opts.paper_scale { 64 } else { 16 });
     let suite = opts.iscas85();
 
     // Generate all locked copies up front: bench × copy × scheme.
@@ -75,12 +77,16 @@ fn main() {
             // SCOPE: direct, unsupervised.
             let mut scope_m = Vec::new();
             for l in &mine {
-                let guess =
-                    scope_attack(&l.netlist, &l.key_input_names(), &ScopeConfig::default())
-                        .expect("resynthesis succeeds");
+                let guess = scope_attack(&l.netlist, &l.key_input_names(), &ScopeConfig::default())
+                    .expect("resynthesis succeeds");
                 scope_m.push(score_key(&guess, &l.key));
             }
-            rows.push(average_row(scheme.label(), "SCOPE", &profile.name, &scope_m));
+            rows.push(average_row(
+                scheme.label(),
+                "SCOPE",
+                &profile.name,
+                &scope_m,
+            ));
 
             // SWEEP: leave-one-benchmark-out training.
             let mut train = Vec::new();
@@ -98,7 +104,12 @@ fn main() {
                     .expect("resynthesis succeeds");
                 sweep_m.push(score_key(&guess, &l.key));
             }
-            rows.push(average_row(scheme.label(), "SWEEP", &profile.name, &sweep_m));
+            rows.push(average_row(
+                scheme.label(),
+                "SWEEP",
+                &profile.name,
+                &sweep_m,
+            ));
         }
     }
 
@@ -124,9 +135,7 @@ fn main() {
         );
     } else {
         let avg = decided.iter().sum::<f64>() / decided.len() as f64;
-        println!(
-            "avg KPA over rows with decisions: {avg:.2}%  (paper Fig. 2 ⓐ: ≈50% ⇒ resilient)"
-        );
+        println!("avg KPA over rows with decisions: {avg:.2}%  (paper Fig. 2 ⓐ: ≈50% ⇒ resilient)");
     }
 
     maybe_write_json(&opts, &rows);

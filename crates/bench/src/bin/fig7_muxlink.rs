@@ -36,8 +36,7 @@ fn main() {
     let seed = opts.seed;
     let results: Vec<Result<AttackRunResult, String>> =
         parallel_map(jobs, move |(suite, profile, scheme, k)| {
-            run_attack(&suite, &profile, scheme, k, &cfg, seed)
-                .map(|(res, _, _, _)| res)
+            run_attack(&suite, &profile, scheme, k, &cfg, seed).map(|(res, _, _, _)| res)
         });
 
     let mut ok: Vec<AttackRunResult> = Vec::new();

@@ -78,9 +78,7 @@ fn main() {
     println!("{}", table.render());
     if !rows.is_empty() {
         let avg = rows.iter().map(|r| r.hd_percent).sum::<f64>() / rows.len() as f64;
-        println!(
-            "average HD {avg:.2}%  (paper: 3.39% — attacker goal 0%, defender goal 50%)"
-        );
+        println!("average HD {avg:.2}%  (paper: 3.39% — attacker goal 0%, defender goal 50%)");
     }
 
     maybe_write_json(&opts, &rows);

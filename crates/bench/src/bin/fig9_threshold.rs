@@ -82,7 +82,11 @@ fn main() {
                 th,
                 ac: avg(&acs),
                 pc: avg(&pcs),
-                kpa: if kpas.is_empty() { None } else { Some(avg(&kpas)) },
+                kpa: if kpas.is_empty() {
+                    None
+                } else {
+                    Some(avg(&kpas))
+                },
                 decided_fraction: avg(&decided),
             });
         }

@@ -1,6 +1,6 @@
 //! Shared attack-run machinery for the figure binaries: locks a synthetic
 //! benchmark, runs MuxLink, scores it, and fans tasks out across CPU
-//! cores with crossbeam.
+//! cores with scoped threads.
 
 use std::time::Instant;
 
@@ -135,26 +135,40 @@ where
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
         .min(jobs.len().max(1));
-    let jobs: Vec<(usize, T)> = jobs.into_iter().enumerate().collect();
-    let queue = crossbeam::queue::SegQueue::new();
-    for j in jobs {
-        queue.push(j);
+    if workers <= 1 {
+        return jobs.into_iter().map(f).collect();
     }
+    let queue: std::sync::Mutex<Vec<(usize, T)>> =
+        std::sync::Mutex::new(jobs.into_iter().enumerate().collect());
+    let n = queue.lock().expect("fresh mutex").len();
+    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let job = queue.lock().expect("no poisoned workers").pop();
+                        match job {
+                            Some((i, job)) => local.push((i, f(job))),
+                            None => break,
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
     let mut results: Vec<Option<R>> = Vec::new();
-    let n = queue.len();
     results.resize_with(n, || None);
-    let results_mutex = std::sync::Mutex::new(&mut results);
-    crossbeam::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|_| {
-                while let Some((i, job)) = queue.pop() {
-                    let r = f(job);
-                    results_mutex.lock().expect("no poisoned workers")[i] = Some(r);
-                }
-            });
+    for bucket in buckets {
+        for (i, r) in bucket {
+            results[i] = Some(r);
         }
-    })
-    .expect("worker panicked");
+    }
     results
         .into_iter()
         .map(|r| r.expect("every job produces a result"))

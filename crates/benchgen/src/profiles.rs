@@ -36,12 +36,7 @@ impl Profile {
     /// Generates the synthetic stand-in netlist (deterministic in `seed`).
     #[must_use]
     pub fn generate(&self, seed: u64) -> Netlist {
-        let mut cfg = SynthConfig::new(
-            self.name.clone(),
-            self.inputs,
-            self.outputs,
-            self.gates,
-        );
+        let mut cfg = SynthConfig::new(self.name.clone(), self.inputs, self.outputs, self.gates);
         cfg.mix = self.mix.clone();
         cfg.generate(seed)
     }

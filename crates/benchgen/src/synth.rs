@@ -164,18 +164,17 @@ impl SynthConfig {
         let mut gate_inputs: Vec<Vec<NetId>> = Vec::with_capacity(self.gates);
         let mut gate_outputs: Vec<NetId> = Vec::with_capacity(self.gates);
 
-        let mark_read = |net: NetId,
-                             unread: &mut Vec<NetId>,
-                             unread_pos: &mut Vec<Option<usize>>| {
-            if let Some(pos) = unread_pos[net.index()] {
-                let last = *unread.last().expect("pos valid implies non-empty");
-                unread.swap_remove(pos);
-                unread_pos[net.index()] = None;
-                if last != net {
-                    unread_pos[last.index()] = Some(pos);
+        let mark_read =
+            |net: NetId, unread: &mut Vec<NetId>, unread_pos: &mut Vec<Option<usize>>| {
+                if let Some(pos) = unread_pos[net.index()] {
+                    let last = *unread.last().expect("pos valid implies non-empty");
+                    unread.swap_remove(pos);
+                    unread_pos[net.index()] = None;
+                    if last != net {
+                        unread_pos[last.index()] = Some(pos);
+                    }
                 }
-            }
-        };
+            };
 
         for g in 0..self.gates {
             // When the remaining gate budget is barely enough to absorb the
@@ -207,69 +206,69 @@ impl SynthConfig {
             // Up to four attempts to find an input set whose output is not
             // (likely) constant on the shadow patterns.
             for attempt in 0..4 {
-            ins.clear();
-            let mut guard = 0;
-            while ins.len() < arity {
-                guard += 1;
-                // Non-first inputs: prefer the vicinity of the first input
-                // (reconvergent fanout, as real synthesis emits).
-                let vicinity_pick = if !ins.is_empty()
-                    && !absorbing
-                    && rng.gen::<f64>() < self.reconvergence_prob
-                {
-                    let x = ins[0];
-                    let mut pool: Vec<NetId> = Vec::new();
-                    if let Some(d) = producer[x.index()] {
-                        pool.extend(&gate_inputs[d]); // grandparents
-                    }
-                    for &r in &readers[x.index()] {
-                        pool.push(gate_outputs[r]); // one-gate detours
-                        pool.extend(&gate_inputs[r]); // siblings at a sink
-                    }
-                    pool.retain(|&c| c != x);
-                    if pool.is_empty() {
-                        None
+                ins.clear();
+                let mut guard = 0;
+                while ins.len() < arity {
+                    guard += 1;
+                    // Non-first inputs: prefer the vicinity of the first input
+                    // (reconvergent fanout, as real synthesis emits).
+                    let vicinity_pick = if !ins.is_empty()
+                        && !absorbing
+                        && rng.gen::<f64>() < self.reconvergence_prob
+                    {
+                        let x = ins[0];
+                        let mut pool: Vec<NetId> = Vec::new();
+                        if let Some(d) = producer[x.index()] {
+                            pool.extend(&gate_inputs[d]); // grandparents
+                        }
+                        for &r in &readers[x.index()] {
+                            pool.push(gate_outputs[r]); // one-gate detours
+                            pool.extend(&gate_inputs[r]); // siblings at a sink
+                        }
+                        pool.retain(|&c| c != x);
+                        if pool.is_empty() {
+                            None
+                        } else {
+                            Some(pool[rng.gen_range(0..pool.len())])
+                        }
                     } else {
-                        Some(pool[rng.gen_range(0..pool.len())])
-                    }
-                } else {
-                    None
-                };
-                let cand = if let Some(c) = vicinity_pick {
-                    c
-                } else if !unread.is_empty()
-                    && unread.len() > self.outputs
-                    && (absorbing || rng.gen::<f64>() < 0.5)
-                {
-                    // Steer toward the output target by consuming unread nets.
-                    unread[rng.gen_range(0..unread.len())]
-                } else if rng.gen::<f64>() < self.locality_prob && nets.len() > window {
-                    let lo = nets.len() - window;
-                    nets[rng.gen_range(lo..nets.len())]
-                } else {
-                    nets[rng.gen_range(0..nets.len())]
-                };
-                if !ins.contains(&cand) {
-                    ins.push(cand);
-                } else if guard > 64 {
-                    // Degenerate small pools: allow falling back to any net.
-                    let cand = nets[rng.gen_range(0..nets.len())];
+                        None
+                    };
+                    let cand = if let Some(c) = vicinity_pick {
+                        c
+                    } else if !unread.is_empty()
+                        && unread.len() > self.outputs
+                        && (absorbing || rng.gen::<f64>() < 0.5)
+                    {
+                        // Steer toward the output target by consuming unread nets.
+                        unread[rng.gen_range(0..unread.len())]
+                    } else if rng.gen::<f64>() < self.locality_prob && nets.len() > window {
+                        let lo = nets.len() - window;
+                        nets[rng.gen_range(lo..nets.len())]
+                    } else {
+                        nets[rng.gen_range(0..nets.len())]
+                    };
                     if !ins.contains(&cand) {
                         ins.push(cand);
-                    }
-                    if guard > 256 {
-                        break;
+                    } else if guard > 64 {
+                        // Degenerate small pools: allow falling back to any net.
+                        let cand = nets[rng.gen_range(0..nets.len())];
+                        if !ins.contains(&cand) {
+                            ins.push(cand);
+                        }
+                        if guard > 256 {
+                            break;
+                        }
                     }
                 }
-            }
-            if ins.len() == arity && attempt < 3 {
-                let words: Vec<u64> = ins.iter().map(|i| shadow[i.index()]).collect();
-                let w = ty.eval_words(&words);
-                if w == 0 || w == !0u64 {
-                    continue; // likely constant — re-pick the inputs
+                if ins.len() == arity && attempt < 3 {
+                    let words: Vec<u64> = ins.iter().map(|i| shadow[i.index()]).collect();
+                    let w = ty.eval_words(&words);
+                    if w == 0 || w == !0u64 {
+                        continue; // likely constant — re-pick the inputs
+                    }
                 }
-            }
-            break;
+                break;
             }
             // Tiny pools may not supply enough distinct nets for the arity;
             // downgrade to whatever we found.
@@ -349,7 +348,7 @@ mod tests {
         let n = cfg.generate(3);
         let got = n.outputs().len();
         assert!(
-            got >= 20 && got <= 40,
+            (20..=40).contains(&got),
             "outputs {got} should be near target 20"
         );
     }
@@ -369,10 +368,7 @@ mod tests {
         let n = cfg.generate(5);
         for (_, g) in n.gates() {
             // Degenerate arity downgrades to BUF are allowed but rare.
-            assert!(matches!(
-                g.ty(),
-                GateType::And | GateType::Buf
-            ));
+            assert!(matches!(g.ty(), GateType::And | GateType::Buf));
         }
         let h = n.gate_type_histogram();
         assert!(h.get(&GateType::And).copied().unwrap_or(0) > 50);
@@ -395,10 +391,7 @@ mod tests {
         // a healthy share of them.
         let cfg = SynthConfig::new("t", 24, 12, 400);
         let n = cfg.generate(9);
-        let multi = n
-            .net_ids()
-            .filter(|&net| n.fanout_count(net) > 1)
-            .count();
+        let multi = n.net_ids().filter(|&net| n.fanout_count(net) > 1).count();
         assert!(multi > 20, "expected many multi-fanout nets, got {multi}");
     }
 

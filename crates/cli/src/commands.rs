@@ -21,7 +21,7 @@ subcommands:
   lock      --scheme <dmux|symmetric|xor|naive-mux|trll>
             --key-size n [--seed n] in.bench -o out.bench [--key-out key.txt]
   attack    --method <muxlink|scope|saam|sail> [--th f] [--hops n]
-            [--paper] [--seed n] in.bench [-o guess.txt]
+            [--threads n] [--paper] [--seed n] in.bench [-o guess.txt]
   sat-attack --oracle original.bench in.bench [-o guess.txt]
   evaluate  --original o.bench --locked l.bench --guess g.txt
             [--key k.txt] [--patterns n]
@@ -59,8 +59,7 @@ fn load_netlist(path: &str) -> Result<Netlist, CliError> {
 }
 
 fn save_netlist(path: &str, netlist: &Netlist) -> Result<(), CliError> {
-    let text =
-        bench_format::write(netlist).map_err(|e| CliError::Domain(e.to_string()))?;
+    let text = bench_format::write(netlist).map_err(|e| CliError::Domain(e.to_string()))?;
     fs::write(path, text)?;
     Ok(())
 }
@@ -86,8 +85,7 @@ fn generate(cmd: &Command) -> Result<String, CliError> {
         let gates: usize = cmd.parse_flag("--gates", 300)?;
         let inputs: usize = cmd.parse_flag("--inputs", 16)?;
         let outputs: usize = cmd.parse_flag("--outputs", 8)?;
-        muxlink_benchgen::synth::SynthConfig::new("custom", inputs, outputs, gates)
-            .generate(seed)
+        muxlink_benchgen::synth::SynthConfig::new("custom", inputs, outputs, gates).generate(seed)
     } else if profile_name == "c17" {
         muxlink_benchgen::c17()
     } else {
@@ -169,17 +167,16 @@ fn attack(cmd: &Command) -> Result<String, CliError> {
             cfg.th = cmd.parse_flag("--th", cfg.th)?;
             cfg.h = cmd.parse_flag("--hops", cfg.h)?;
             cfg.seed = cmd.parse_flag("--seed", cfg.seed)?;
+            // 0 = all cores; results are identical for any thread count.
+            cfg.threads = cmd.parse_flag("--threads", cfg.threads)?;
             muxlink_attack(&locked, &names, &cfg)
                 .map_err(|e| CliError::Domain(e.to_string()))?
                 .guess
         }
         "scope" => scope_attack(&locked, &names, &ScopeConfig::default())
             .map_err(|e| CliError::Domain(e.to_string()))?,
-        "saam" => {
-            saam_attack(&locked, &names).map_err(|e| CliError::Domain(e.to_string()))?
-        }
-        "sail" => sail_lite_attack(&locked, &names)
-            .map_err(|e| CliError::Domain(e.to_string()))?,
+        "saam" => saam_attack(&locked, &names).map_err(|e| CliError::Domain(e.to_string()))?,
+        "sail" => sail_lite_attack(&locked, &names).map_err(|e| CliError::Domain(e.to_string()))?,
         other => {
             return Err(CliError::Usage(format!("unknown attack method `{other}`")));
         }
@@ -328,14 +325,32 @@ mod tests {
         let guess = tmp("guess.txt");
 
         let out = run(&cmd(&[
-            "generate", "--profile", "custom", "--gates", "200", "--seed", "3", "-o", &design,
+            "generate",
+            "--profile",
+            "custom",
+            "--gates",
+            "200",
+            "--seed",
+            "3",
+            "-o",
+            &design,
         ]))
         .unwrap();
         assert!(out.contains("200 gates"));
 
         let out = run(&cmd(&[
-            "lock", "--scheme", "dmux", "--key-size", "8", "--seed", "5", &design, "-o",
-            &locked, "--key-out", &key,
+            "lock",
+            "--scheme",
+            "dmux",
+            "--key-size",
+            "8",
+            "--seed",
+            "5",
+            &design,
+            "-o",
+            &locked,
+            "--key-out",
+            &key,
         ]))
         .unwrap();
         assert!(out.contains("K = 8"));
@@ -344,8 +359,17 @@ mod tests {
         assert!(out.contains("recovered key"));
 
         let out = run(&cmd(&[
-            "evaluate", "--original", &design, "--locked", &locked, "--guess", &guess,
-            "--key", &key, "--patterns", "2048",
+            "evaluate",
+            "--original",
+            &design,
+            "--locked",
+            &locked,
+            "--guess",
+            &guess,
+            "--key",
+            &key,
+            "--patterns",
+            "2048",
         ]))
         .unwrap();
         assert!(out.contains("AC "));
@@ -356,16 +380,72 @@ mod tests {
     }
 
     #[test]
+    fn attack_threads_flag_is_accepted_and_invariant() {
+        let design = tmp("thr_design.bench");
+        let locked = tmp("thr_locked.bench");
+        run(&cmd(&[
+            "generate",
+            "--profile",
+            "custom",
+            "--gates",
+            "140",
+            "--seed",
+            "4",
+            "-o",
+            &design,
+        ]))
+        .unwrap();
+        run(&cmd(&[
+            "lock",
+            "--scheme",
+            "dmux",
+            "--key-size",
+            "4",
+            "--seed",
+            "6",
+            &design,
+            "-o",
+            &locked,
+        ]))
+        .unwrap();
+        let one = run(&cmd(&["attack", "--threads", "1", &locked])).unwrap();
+        let four = run(&cmd(&["attack", "--threads", "4", &locked])).unwrap();
+        assert_eq!(one, four, "recovered key must not depend on --threads");
+        assert!(matches!(
+            run(&cmd(&["attack", "--threads", "bogus", &locked])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
     fn sat_attack_round_trip() {
         let design = tmp("sat_design.bench");
         let locked = tmp("sat_locked.bench");
         run(&cmd(&[
-            "generate", "--profile", "custom", "--gates", "60", "--inputs", "8", "--outputs",
-            "4", "--seed", "2", "-o", &design,
+            "generate",
+            "--profile",
+            "custom",
+            "--gates",
+            "60",
+            "--inputs",
+            "8",
+            "--outputs",
+            "4",
+            "--seed",
+            "2",
+            "-o",
+            &design,
         ]))
         .unwrap();
         run(&cmd(&[
-            "lock", "--scheme", "xor", "--key-size", "4", &design, "-o", &locked,
+            "lock",
+            "--scheme",
+            "xor",
+            "--key-size",
+            "4",
+            &design,
+            "-o",
+            &locked,
         ]))
         .unwrap();
         let out = run(&cmd(&["sat-attack", "--oracle", &design, &locked])).unwrap();
@@ -379,12 +459,18 @@ mod tests {
             Err(CliError::Usage(_))
         ));
         let design = tmp("x.bench");
-        run(&cmd(&[
-            "generate", "--profile", "c17", "-o", &design,
-        ]))
-        .unwrap();
+        run(&cmd(&["generate", "--profile", "c17", "-o", &design])).unwrap();
         assert!(matches!(
-            run(&cmd(&["lock", "--scheme", "nope", "--key-size", "2", &design, "-o", &design])),
+            run(&cmd(&[
+                "lock",
+                "--scheme",
+                "nope",
+                "--key-size",
+                "2",
+                &design,
+                "-o",
+                &design
+            ])),
             Err(CliError::Usage(_))
         ));
     }
@@ -392,7 +478,14 @@ mod tests {
     #[test]
     fn help_lists_subcommands() {
         let h = run(&cmd(&["help"])).unwrap();
-        for sub in ["generate", "lock", "attack", "sat-attack", "evaluate", "stats"] {
+        for sub in [
+            "generate",
+            "lock",
+            "attack",
+            "sat-attack",
+            "evaluate",
+            "stats",
+        ] {
             assert!(h.contains(sub), "help should mention {sub}");
         }
     }

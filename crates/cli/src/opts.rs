@@ -59,6 +59,7 @@ const VALUED: &[&str] = &[
     "--method",
     "--th",
     "--hops",
+    "--threads",
     "--guess",
     "--key",
     "--original",
@@ -83,9 +84,9 @@ impl Command {
         while let Some(arg) = it.next() {
             if arg.starts_with('-') && arg.len() > 1 {
                 if VALUED.contains(&arg.as_str()) {
-                    let v = it.next().ok_or_else(|| {
-                        CliError::Usage(format!("flag {arg} expects a value"))
-                    })?;
+                    let v = it
+                        .next()
+                        .ok_or_else(|| CliError::Usage(format!("flag {arg} expects a value")))?;
                     flags.insert(arg, v);
                 } else {
                     flags.insert(arg, "true".to_owned());
@@ -163,7 +164,14 @@ mod tests {
     #[test]
     fn parses_subcommand_flags_and_positionals() {
         let c = parse(&[
-            "lock", "--scheme", "dmux", "--key-size", "64", "in.bench", "-o", "out.bench",
+            "lock",
+            "--scheme",
+            "dmux",
+            "--key-size",
+            "64",
+            "in.bench",
+            "-o",
+            "out.bench",
         ]);
         assert_eq!(c.name, "lock");
         assert_eq!(c.flag_or("--scheme", ""), "dmux");

@@ -29,6 +29,10 @@ pub struct MuxLinkConfig {
     pub k_percentile: f64,
     /// Master seed (sampling, initialisation, shuffling, dropout).
     pub seed: u64,
+    /// Worker threads for dataset build, training and scoring
+    /// (0 = all cores). Results are bit-identical for any value: every
+    /// parallel stage reduces in a fixed order.
+    pub threads: usize,
 }
 
 impl Default for MuxLinkConfig {
@@ -44,6 +48,7 @@ impl Default for MuxLinkConfig {
             learning_rate: 1e-4,
             k_percentile: 0.6,
             seed: 0,
+            threads: 0,
         }
     }
 }
@@ -72,6 +77,7 @@ impl MuxLinkConfig {
             learning_rate: 1e-3,
             k_percentile: 0.6,
             seed: 0,
+            threads: 0,
         }
     }
 
@@ -95,6 +101,14 @@ impl MuxLinkConfig {
         self.seed = seed;
         self
     }
+
+    /// Returns a copy with a different worker-thread count (0 = all
+    /// cores).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -115,9 +129,20 @@ mod tests {
 
     #[test]
     fn builders_change_single_fields() {
-        let c = MuxLinkConfig::quick().with_h(4).with_th(0.5).with_seed(9);
+        let c = MuxLinkConfig::quick()
+            .with_h(4)
+            .with_th(0.5)
+            .with_seed(9)
+            .with_threads(2);
         assert_eq!(c.h, 4);
         assert!((c.th - 0.5).abs() < 1e-12);
         assert_eq!(c.seed, 9);
+        assert_eq!(c.threads, 2);
+    }
+
+    #[test]
+    fn default_uses_all_cores() {
+        assert_eq!(MuxLinkConfig::paper().threads, 0);
+        assert_eq!(MuxLinkConfig::quick().threads, 0);
     }
 }

@@ -13,6 +13,8 @@ pub enum AttackError {
     /// The sampled training dataset is empty (design too small for the
     /// requested configuration).
     EmptyDataset,
+    /// The requested worker-thread pool could not be built.
+    ThreadPool(String),
 }
 
 impl fmt::Display for AttackError {
@@ -21,6 +23,7 @@ impl fmt::Display for AttackError {
             Self::Extract(e) => write!(f, "graph extraction failed: {e}"),
             Self::NoKeyMuxes => write!(f, "design contains no key-controlled MUXes"),
             Self::EmptyDataset => write!(f, "no training links could be sampled"),
+            Self::ThreadPool(e) => write!(f, "worker pool construction failed: {e}"),
         }
     }
 }

@@ -186,8 +186,7 @@ mod tests {
     fn perfect_guess_gives_zero_hd() {
         let design = SynthConfig::new("d", 12, 6, 150).generate(3);
         let locked = dmux::lock(&design, &LockOptions::new(6, 1)).unwrap();
-        let hd = hamming_with_guess(&design, &locked, &locked.key.to_values(), 2048, 8, 0)
-            .unwrap();
+        let hd = hamming_with_guess(&design, &locked, &locked.key.to_values(), 2048, 8, 0).unwrap();
         assert_eq!(hd, 0.0);
     }
 

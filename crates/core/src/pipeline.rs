@@ -1,17 +1,23 @@
 //! The end-to-end MuxLink pipeline: extract → self-supervise → score →
 //! post-process.
+//!
+//! The expensive stages (dataset build, training, scoring) run on a
+//! scoped rayon pool sized by [`MuxLinkConfig::threads`] (0 = all
+//! cores). Every parallel stage reduces in a fixed order, so the scores
+//! and the recovered key are bit-identical for any thread count.
 
 use std::time::Instant;
 
 use muxlink_gnn::{Dgcnn, DgcnnConfig, GraphSample, TrainConfig, TrainReport};
-use muxlink_graph::dataset::{build_dataset, target_subgraphs, DatasetConfig};
+use muxlink_graph::dataset::{build_dataset, DatasetConfig};
 use muxlink_graph::{extract, ExtractedDesign};
 use muxlink_locking::KeyValue;
 use muxlink_netlist::Netlist;
+use rayon::prelude::*;
 
 use crate::postprocess::{recover_key, MuxScores};
-use crate::report::Timings;
-use crate::scoring::{choose_k, to_graph_sample};
+use crate::report::{StageThreads, Timings};
+use crate::scoring::{choose_k, score_muxes, to_graph_sample};
 use crate::{AttackError, MuxLinkConfig};
 
 /// A trained-and-scored design: everything the cheap post-processing stage
@@ -48,12 +54,35 @@ pub struct AttackOutcome {
 /// # Errors
 ///
 /// [`AttackError::Extract`] for malformed locked designs,
-/// [`AttackError::NoKeyMuxes`] when there is nothing to attack, and
-/// [`AttackError::EmptyDataset`] when no training links could be sampled.
+/// [`AttackError::NoKeyMuxes`] when there is nothing to attack,
+/// [`AttackError::EmptyDataset`] when no training links could be
+/// sampled, and [`AttackError::ThreadPool`] when a dedicated pool of
+/// `cfg.threads` workers could not be built.
 pub fn score_design(
     netlist: &Netlist,
     key_input_names: &[String],
     cfg: &MuxLinkConfig,
+) -> Result<ScoredDesign, AttackError> {
+    if cfg.threads == 0 {
+        // Default: run on the ambient pool (all cores, or whatever the
+        // caller already installed) instead of building a fresh one per
+        // attack.
+        return score_design_on_pool(netlist, key_input_names, cfg, rayon::current_num_threads());
+    }
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(cfg.threads)
+        .build()
+        .map_err(|e| AttackError::ThreadPool(e.to_string()))?;
+    pool.install(|| score_design_on_pool(netlist, key_input_names, cfg, pool.current_num_threads()))
+}
+
+/// [`score_design`] body, running on an already-installed rayon pool of
+/// `pool_threads` workers.
+fn score_design_on_pool(
+    netlist: &Netlist,
+    key_input_names: &[String],
+    cfg: &MuxLinkConfig,
+    pool_threads: usize,
 ) -> Result<ScoredDesign, AttackError> {
     let t0 = Instant::now();
     let extracted = extract(netlist, key_input_names)?;
@@ -83,16 +112,14 @@ pub fn score_design(
         .map(|s| s.subgraph.node_count())
         .collect();
     let max_label = dataset.max_label;
-    let train_samples: Vec<GraphSample> = dataset
-        .train
-        .iter()
-        .map(|s| to_graph_sample(&s.subgraph, max_label, Some(s.label)))
-        .collect();
-    let val_samples: Vec<GraphSample> = dataset
-        .val
-        .iter()
-        .map(|s| to_graph_sample(&s.subgraph, max_label, Some(s.label)))
-        .collect();
+    let to_samples = |link_samples: &[muxlink_graph::dataset::LinkSample]| -> Vec<GraphSample> {
+        link_samples
+            .par_iter()
+            .map(|s| to_graph_sample(&s.subgraph, max_label, Some(s.label)))
+            .collect()
+    };
+    let train_samples = to_samples(&dataset.train);
+    let val_samples = to_samples(&dataset.val);
     let t_dataset = t1.elapsed();
 
     // Model setup and training.
@@ -115,16 +142,9 @@ pub fn score_design(
     let train_report = muxlink_gnn::train(&mut model, &train_samples, &val_samples, &train_cfg);
     let t_train = t2.elapsed();
 
-    // Score both candidate links of every MUX.
+    // Score both candidate links of every MUX (parallel over MUXes).
     let t3 = Instant::now();
-    let mut scores: MuxScores = Vec::with_capacity(extracted.muxes.len());
-    for m in &extracted.muxes {
-        let sg0 = target_subgraphs(&extracted.graph, &[m.link0()], &ds_cfg);
-        let sg1 = target_subgraphs(&extracted.graph, &[m.link1()], &ds_cfg);
-        let s0 = to_graph_sample(&sg0[0], max_label, None);
-        let s1 = to_graph_sample(&sg1[0], max_label, None);
-        scores.push((f64::from(model.predict(&s0)), f64::from(model.predict(&s1))));
-    }
+    let scores: MuxScores = score_muxes(&model, &extracted, &ds_cfg, max_label);
     let t_score = t3.elapsed();
 
     Ok(ScoredDesign {
@@ -138,6 +158,7 @@ pub fn score_design(
             dataset: t_dataset,
             train: t_train,
             score: t_score,
+            threads: StageThreads::uniform(pool_threads),
         },
     })
 }
@@ -256,7 +277,10 @@ mod tests {
         let strict = scored.recover_key(1.0);
         let x_loose = loose.iter().filter(|v| **v == KeyValue::X).count();
         let x_strict = strict.iter().filter(|v| **v == KeyValue::X).count();
-        assert!(x_strict >= x_loose, "stricter th must abstain at least as much");
+        assert!(
+            x_strict >= x_loose,
+            "stricter th must abstain at least as much"
+        );
         assert_eq!(x_strict, 6, "th=1.0 abstains on every bit");
     }
 
@@ -268,6 +292,30 @@ mod tests {
         let b = attack(&locked.netlist, &locked.key_input_names(), &quick()).unwrap();
         assert_eq!(a.guess, b.guess);
         assert_eq!(a.scored.scores, b.scored.scores);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_attack_outcome() {
+        let design = SynthConfig::new("d", 14, 6, 200).generate(18);
+        let locked = dmux::lock(&design, &LockOptions::new(6, 3)).unwrap();
+        let names = locked.key_input_names();
+        let a = attack(&locked.netlist, &names, &quick().with_threads(1)).unwrap();
+        let b = attack(&locked.netlist, &names, &quick().with_threads(4)).unwrap();
+        assert_eq!(a.guess, b.guess, "key guess must not depend on threads");
+        assert_eq!(
+            a.scored.scores, b.scored.scores,
+            "scores must be bit-identical"
+        );
+        assert_eq!(
+            a.scored.train_report, b.scored.train_report,
+            "training history must be bit-identical"
+        );
+        assert_eq!(a.scored.timings.threads.train, 1);
+        assert_eq!(b.scored.timings.threads.train, 4);
+        assert_eq!(
+            b.scored.timings.threads.extract, 1,
+            "extraction is sequential"
+        );
     }
 
     #[test]

@@ -65,7 +65,11 @@ pub fn recover_key(
                 let (l0, l1) = scores[i];
                 let delta = (l0 - l1).abs();
                 if delta >= th && l0 != l1 {
-                    key[m.key_bit] = if l0 > l1 { KeyValue::Zero } else { KeyValue::One };
+                    key[m.key_bit] = if l0 > l1 {
+                        KeyValue::Zero
+                    } else {
+                        KeyValue::One
+                    };
                 }
             }
         }
@@ -270,7 +274,10 @@ mod tests {
         assert!(kinds.contains(&LocalityKind::PairedTwoKeys));
         assert!(kinds.contains(&LocalityKind::Single));
         let d2 = design(vec![mux(0, 5, 1, 2), mux(0, 6, 2, 1)]);
-        assert_eq!(classify_localities(&d2), vec![LocalityKind::PairedSharedKey]);
+        assert_eq!(
+            classify_localities(&d2),
+            vec![LocalityKind::PairedSharedKey]
+        );
     }
 
     #[test]

@@ -8,6 +8,32 @@ use serde::{Deserialize, Serialize};
 
 use crate::metrics::KeyMetrics;
 
+/// Worker-thread counts used by each pipeline stage (1 = sequential).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StageThreads {
+    /// Graph extraction (always sequential today).
+    pub extract: usize,
+    /// Dataset generation.
+    pub dataset: usize,
+    /// DGCNN training.
+    pub train: usize,
+    /// Target-link scoring.
+    pub score: usize,
+}
+
+impl StageThreads {
+    /// All stages on `n` threads except extraction (sequential).
+    #[must_use]
+    pub fn uniform(n: usize) -> Self {
+        Self {
+            extract: 1,
+            dataset: n,
+            train: n,
+            score: n,
+        }
+    }
+}
+
 /// Wall-clock breakdown of the expensive pipeline stages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct Timings {
@@ -19,6 +45,8 @@ pub struct Timings {
     pub train: Duration,
     /// Target-link scoring.
     pub score: Duration,
+    /// Worker threads each stage ran with.
+    pub threads: StageThreads,
 }
 
 impl Timings {
@@ -96,11 +124,14 @@ impl fmt::Display for AttackReport {
         writeln!(f, "  GNN val accuracy {:.2}%", self.val_accuracy * 100.0)?;
         write!(
             f,
-            "  time: extract {:?}, dataset {:?}, train {:?}, score {:?} (total {:?})",
+            "  time: extract {:?}, dataset {:?}×{}t, train {:?}×{}t, score {:?}×{}t (total {:?})",
             self.timings.extract,
             self.timings.dataset,
+            self.timings.threads.dataset.max(1),
             self.timings.train,
+            self.timings.threads.train.max(1),
             self.timings.score,
+            self.timings.threads.score.max(1),
             self.timings.total()
         )
     }
@@ -134,7 +165,10 @@ mod tests {
             dataset: Duration::from_millis(2),
             train: Duration::from_millis(3),
             score: Duration::from_millis(4),
+            threads: StageThreads::uniform(4),
         };
         assert_eq!(t.total(), Duration::from_millis(10));
+        assert_eq!(t.threads.extract, 1);
+        assert_eq!(t.threads.train, 4);
     }
 }

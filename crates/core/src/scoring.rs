@@ -1,9 +1,15 @@
 //! Bridging the graph substrate to the GNN: subgraph → feature matrix →
-//! `GraphSample`, plus SortPool-`k` selection.
+//! `GraphSample`, plus SortPool-`k` selection and parallel target
+//! scoring.
 
-use muxlink_gnn::{GraphSample, Matrix};
+use muxlink_gnn::{Dgcnn, GraphSample, Matrix};
+use muxlink_graph::dataset::{target_subgraphs, DatasetConfig};
 use muxlink_graph::features::node_feature_matrix;
-use muxlink_graph::Subgraph;
+use muxlink_graph::graph::Link;
+use muxlink_graph::{ExtractedDesign, Subgraph};
+use rayon::prelude::*;
+
+use crate::postprocess::MuxScores;
 
 /// Converts an enclosing subgraph into a GNN input sample.
 #[must_use]
@@ -16,6 +22,32 @@ pub fn to_graph_sample(sg: &Subgraph, max_label: u32, label: Option<bool>) -> Gr
     }
 }
 
+/// Scores both candidate links of every key MUX with the trained model.
+///
+/// Subgraph extraction goes through [`target_subgraphs`] (the same code
+/// path the training dataset uses) over the flattened link list, then
+/// predictions run in parallel; both stages preserve order, so the
+/// scores stay aligned with `extracted.muxes` for any thread count.
+#[must_use]
+pub fn score_muxes(
+    model: &Dgcnn,
+    extracted: &ExtractedDesign,
+    ds_cfg: &DatasetConfig,
+    max_label: u32,
+) -> MuxScores {
+    let links: Vec<Link> = extracted
+        .muxes
+        .iter()
+        .flat_map(|m| [m.link0(), m.link1()])
+        .collect();
+    let subgraphs = target_subgraphs(&extracted.graph, &links, ds_cfg);
+    let probs: Vec<f64> = subgraphs
+        .par_iter()
+        .map(|sg| f64::from(model.predict(&to_graph_sample(sg, max_label, None))))
+        .collect();
+    probs.chunks_exact(2).map(|p| (p[0], p[1])).collect()
+}
+
 /// Picks the SortPooling size `k` such that `percentile` of the given
 /// subgraph sizes are ≤ `k` (paper: 60 %), clamped to at least `min_k`.
 #[must_use]
@@ -25,8 +57,7 @@ pub fn choose_k(sizes: &[usize], percentile: f64, min_k: usize) -> usize {
     }
     let mut sorted: Vec<usize> = sizes.to_vec();
     sorted.sort_unstable();
-    let pos = ((sorted.len() as f64 * percentile).ceil() as usize)
-        .clamp(1, sorted.len());
+    let pos = ((sorted.len() as f64 * percentile).ceil() as usize).clamp(1, sorted.len());
     sorted[pos - 1].max(min_k)
 }
 

@@ -45,6 +45,6 @@ pub mod trainer;
 
 pub use dgcnn::{Cache, Dgcnn, DgcnnConfig};
 pub use matrix::Matrix;
-pub use param::{AdamConfig, Param};
+pub use param::{AdamConfig, Gradients, Param};
 pub use sample::GraphSample;
 pub use trainer::{evaluate, train, EpochStats, TrainConfig, TrainReport};

@@ -117,6 +117,11 @@ impl Matrix {
 
     /// Matrix product `self × rhs`.
     ///
+    /// The three product kernels below are the hottest loops in the
+    /// model; they iterate whole row slices (`chunks_exact` / `zip`) so
+    /// the inner loops carry no per-element bounds checks or index
+    /// arithmetic, and skip zero multipliers (common after ReLU).
+    ///
     /// # Panics
     ///
     /// Panics when inner dimensions disagree.
@@ -124,14 +129,15 @@ impl Matrix {
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.rows, "matmul shape mismatch");
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
+        for (lrow, orow) in self
+            .data
+            .chunks_exact(self.cols.max(1))
+            .zip(out.data.chunks_exact_mut(rhs.cols.max(1)))
+        {
+            for (&a, rrow) in lrow.iter().zip(rhs.data.chunks_exact(rhs.cols.max(1))) {
                 if a == 0.0 {
                     continue;
                 }
-                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
                 for (o, &b) in orow.iter_mut().zip(rrow) {
                     *o += a * b;
                 }
@@ -149,14 +155,15 @@ impl Matrix {
     pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.rows, rhs.rows, "t_matmul shape mismatch");
         let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for r in 0..self.rows {
-            let lrow = &self.data[r * self.cols..(r + 1) * self.cols];
-            let rrow = &rhs.data[r * rhs.cols..(r + 1) * rhs.cols];
-            for (i, &a) in lrow.iter().enumerate() {
+        for (lrow, rrow) in self
+            .data
+            .chunks_exact(self.cols.max(1))
+            .zip(rhs.data.chunks_exact(rhs.cols.max(1)))
+        {
+            for (&a, orow) in lrow.iter().zip(out.data.chunks_exact_mut(rhs.cols.max(1))) {
                 if a == 0.0 {
                     continue;
                 }
-                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
                 for (o, &b) in orow.iter_mut().zip(rrow) {
                     *o += a * b;
                 }
@@ -174,15 +181,17 @@ impl Matrix {
     pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.cols, "matmul_t shape mismatch");
         let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let lrow = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..rhs.rows {
-                let rrow = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
+        for (lrow, orow) in self
+            .data
+            .chunks_exact(self.cols.max(1))
+            .zip(out.data.chunks_exact_mut(rhs.rows.max(1)))
+        {
+            for (o, rrow) in orow.iter_mut().zip(rhs.data.chunks_exact(rhs.cols.max(1))) {
                 let mut s = 0.0;
                 for (&a, &b) in lrow.iter().zip(rrow) {
                     s += a * b;
                 }
-                out.data[i * rhs.rows + j] = s;
+                *o = s;
             }
         }
         out
@@ -192,9 +201,9 @@ impl Matrix {
     #[must_use]
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+        for (r, row) in self.data.chunks_exact(self.cols.max(1)).enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                out.data[c * self.rows + r] = v;
             }
         }
         out

@@ -31,11 +31,11 @@ pub fn propagate(adj: &[Vec<u32>], h: &Matrix) -> Matrix {
     let c = h.cols();
     assert_eq!(h.rows(), n);
     let mut out = Matrix::zeros(n, c);
-    for i in 0..n {
-        let scale = 1.0 / (1.0 + adj[i].len() as f32);
+    for (i, nbrs) in adj.iter().enumerate() {
+        let scale = 1.0 / (1.0 + nbrs.len() as f32);
         // Own row.
         let mut acc: Vec<f32> = h.row(i).to_vec();
-        for &j in &adj[i] {
+        for &j in nbrs {
             for (a, &b) in acc.iter_mut().zip(h.row(j as usize)) {
                 *a += b;
             }
@@ -55,14 +55,14 @@ pub fn propagate_back(adj: &[Vec<u32>], g: &Matrix) -> Matrix {
     let c = g.cols();
     assert_eq!(g.rows(), n);
     let mut out = Matrix::zeros(n, c);
-    for i in 0..n {
-        let scale = 1.0 / (1.0 + adj[i].len() as f32);
+    for (i, nbrs) in adj.iter().enumerate() {
+        let scale = 1.0 / (1.0 + nbrs.len() as f32);
         // Row i of G, scaled, lands on node i itself and its neighbours.
         let grow: Vec<f32> = g.row(i).iter().map(|&x| x * scale).collect();
         for (o, &v) in out.row_mut(i).iter_mut().zip(&grow) {
             *o += v;
         }
-        for &j in &adj[i] {
+        for &j in nbrs {
             for (o, &v) in out.row_mut(j as usize).iter_mut().zip(&grow) {
                 *o += v;
             }

@@ -1,8 +1,18 @@
 //! Minibatch training loop with best-on-validation model selection
 //! (the paper trains 100 epochs with Adam at lr 1e-4 and keeps the model
 //! that performs best on the 10 % validation split).
+//!
+//! # Parallelism and determinism
+//!
+//! Each minibatch member's forward/backward runs on the ambient rayon
+//! pool (size it with `rayon::ThreadPool::install`); per-sample
+//! [`Gradients`](crate::param::Gradients) are then reduced **in sample
+//! order** and dropout seeds are pre-drawn sequentially from the
+//! training RNG, so the result is bit-identical for any thread count.
 
 use rand::seq::SliceRandom;
+use rand::Rng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::dgcnn::Dgcnn;
@@ -63,17 +73,24 @@ pub struct TrainReport {
 /// dropout). Samples without labels are skipped.
 #[must_use]
 pub fn evaluate(model: &Dgcnn, samples: &[GraphSample]) -> (f64, f64) {
+    // Parallel forward passes; the reduction below runs in sample order,
+    // so the reported loss is independent of the thread count.
+    let per_sample: Vec<Option<(f64, bool)>> = samples
+        .par_iter()
+        .map(|s| {
+            s.label.map(|label| {
+                let cache = model.forward(s, None);
+                let hit = (cache.link_probability() >= 0.5) == label;
+                (f64::from(cache.loss(label)), hit)
+            })
+        })
+        .collect();
     let mut loss = 0.0;
     let mut correct = 0usize;
     let mut count = 0usize;
-    for s in samples {
-        let Some(label) = s.label else { continue };
-        let cache = model.forward(s, None);
-        loss += f64::from(cache.loss(label));
-        let predicted = cache.link_probability() >= 0.5;
-        if predicted == label {
-            correct += 1;
-        }
+    for (l, hit) in per_sample.into_iter().flatten() {
+        loss += l;
+        correct += usize::from(hit);
         count += 1;
     }
     if count == 0 {
@@ -108,22 +125,43 @@ pub fn train(
         let mut epoch_loss = 0.0f64;
         let mut seen = 0usize;
         for batch in order.chunks(cfg.batch_size) {
-            model.zero_grads();
-            let mut batch_count = 0usize;
-            for &i in batch {
-                let s = &train[i];
-                let Some(label) = s.label else { continue };
-                let cache = model.forward(s, Some(&mut rng));
-                epoch_loss += f64::from(cache.loss(label));
-                model.backward(s, &cache, label);
-                batch_count += 1;
-            }
-            if batch_count == 0 {
+            // Dropout seeds are drawn sequentially from the training RNG
+            // *before* the parallel region, so the stream every sample
+            // sees is fixed by (cfg.seed, epoch, batch position) alone.
+            let jobs: Vec<(usize, u64)> = batch
+                .iter()
+                .filter(|&&i| train[i].label.is_some())
+                .map(|&i| (i, rng.gen::<u64>()))
+                .collect();
+            if jobs.is_empty() {
                 continue;
             }
+            // Per-sample forward/backward in parallel against frozen
+            // weights; `collect` preserves job order.
+            let frozen: &Dgcnn = model;
+            let results: Vec<(f64, crate::param::Gradients)> = jobs
+                .par_iter()
+                .map(|&(i, dropout_seed)| {
+                    let s = &train[i];
+                    let label = s.label.expect("jobs are pre-filtered to labelled samples");
+                    let mut dropout_rng = seeded_rng(dropout_seed);
+                    let cache = frozen.forward(s, Some(&mut dropout_rng));
+                    let loss = f64::from(cache.loss(label));
+                    (loss, frozen.backward(s, &cache, label))
+                })
+                .collect();
+            // Deterministic reduction: fold losses and gradients in
+            // sample order, independent of which thread produced them.
+            let mut results = results.into_iter();
+            let (first_loss, mut grads) = results.next().expect("non-empty batch");
+            epoch_loss += first_loss;
+            for (loss, g) in results {
+                epoch_loss += loss;
+                grads.merge(&g);
+            }
             step += 1;
-            model.adam_step(&cfg.adam, step, 1.0 / batch_count as f32);
-            seen += batch_count;
+            model.adam_step(&grads, &cfg.adam, step, 1.0 / jobs.len() as f32);
+            seen += jobs.len();
         }
         let train_loss = if seen == 0 {
             f64::NAN
@@ -282,6 +320,34 @@ mod tests {
         let r2 = train(&mut m2, &data[..16], &data[16..], &cfg);
         assert_eq!(r1, r2);
         assert_eq!(m1.predict(&data[0]), m2.predict(&data[0]));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let data = toy_dataset(24, 9);
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 4,
+            ..TrainConfig::default()
+        };
+        let run = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            pool.install(|| {
+                let mut m = Dgcnn::new(toy_cfg());
+                let r = train(&mut m, &data[..20], &data[20..], &cfg);
+                (r, m.predict(&data[0]))
+            })
+        };
+        let (r1, p1) = run(1);
+        let (r4, p4) = run(4);
+        assert_eq!(
+            r1, r4,
+            "TrainReport must be bit-identical across thread counts"
+        );
+        assert_eq!(p1, p4, "weights must be bit-identical across thread counts");
     }
 
     #[test]

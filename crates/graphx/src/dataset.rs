@@ -1,10 +1,16 @@
 //! Step ③+④ batched: dataset generation for GNN training and validation.
+//!
+//! Each DRNL-labelled enclosing subgraph is independent of every other,
+//! so extraction fans out over the ambient rayon pool; link sampling,
+//! shuffling and the split stay sequential and seed-driven, making the
+//! dataset bit-identical for any thread count.
 
 use std::collections::HashSet;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::graph::{CircuitGraph, Link};
@@ -84,17 +90,22 @@ pub fn build_dataset(graph: &CircuitGraph, targets: &[Link], cfg: &DatasetConfig
     let exclude: HashSet<Link> = targets.iter().copied().collect();
     let sampling = sample_links(graph, &exclude, cfg.max_train_links, cfg.seed);
 
-    let mut samples: Vec<LinkSample> = Vec::new();
-    for (links, label) in [(&sampling.positives, true), (&sampling.negatives, false)] {
-        for &link in links {
-            let subgraph = enclosing_subgraph(graph, link, cfg.h, cfg.max_subgraph_nodes);
-            samples.push(LinkSample {
-                link,
-                label,
-                subgraph,
-            });
-        }
-    }
+    // Fixed job list first (sequential, seed-driven), then parallel
+    // subgraph extraction; `collect` preserves job order.
+    let jobs: Vec<(Link, bool)> = sampling
+        .positives
+        .iter()
+        .map(|&l| (l, true))
+        .chain(sampling.negatives.iter().map(|&l| (l, false)))
+        .collect();
+    let mut samples: Vec<LinkSample> = jobs
+        .par_iter()
+        .map(|&(link, label)| LinkSample {
+            link,
+            label,
+            subgraph: enclosing_subgraph(graph, link, cfg.h, cfg.max_subgraph_nodes),
+        })
+        .collect();
     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x9E37_79B9));
     samples.shuffle(&mut rng);
 
@@ -121,7 +132,7 @@ pub fn target_subgraphs(
     cfg: &DatasetConfig,
 ) -> Vec<Subgraph> {
     targets
-        .iter()
+        .par_iter()
         .map(|&l| enclosing_subgraph(graph, l, cfg.h, cfg.max_subgraph_nodes))
         .collect()
 }
@@ -158,12 +169,7 @@ mod tests {
         let ds = build_dataset(&g, &[], &cfg(80));
         assert_eq!(ds.len(), 80);
         assert_eq!(ds.val.len(), 8);
-        let pos = ds
-            .train
-            .iter()
-            .chain(&ds.val)
-            .filter(|s| s.label)
-            .count();
+        let pos = ds.train.iter().chain(&ds.val).filter(|s| s.label).count();
         assert_eq!(pos, 40);
     }
 
@@ -220,5 +226,55 @@ mod tests {
         let la: Vec<_> = a.train.iter().map(|s| (s.link, s.label)).collect();
         let lb: Vec<_> = b.train.iter().map(|s| (s.link, s.label)).collect();
         assert_eq!(la, lb);
+    }
+
+    /// One full sample-by-sample comparison between a 1-thread and a
+    /// 4-thread build: links, labels, subgraphs and the split must all be
+    /// identical.
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let g = ring(120);
+        let run = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool")
+                .install(|| build_dataset(&g, &[Link::new(0, 3)], &cfg(90)))
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(seq.max_label, par.max_label);
+        for (a, b) in [(&seq.train, &par.train), (&seq.val, &par.val)] {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.link, y.link);
+                assert_eq!(x.label, y.label);
+                assert_eq!(x.subgraph.nodes, y.subgraph.nodes);
+                assert_eq!(x.subgraph.adj, y.subgraph.adj);
+                assert_eq!(x.subgraph.labels, y.subgraph.labels);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_target_subgraphs_match_sequential() {
+        let g = ring(60);
+        let targets: Vec<Link> = (0..20).map(|i| Link::new(i, (i + 7) % 60)).collect();
+        let run = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool")
+                .install(|| target_subgraphs(&g, &targets, &cfg(10)))
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.nodes, b.nodes);
+            assert_eq!(a.adj, b.adj);
+            assert_eq!(a.labels, b.labels);
+            assert_eq!(a.target, b.target);
+        }
     }
 }

@@ -182,12 +182,9 @@ pub fn extract(netlist: &Netlist, key_inputs: &[String]) -> Result<ExtractedDesi
         let data1 = gate.inputs()[2];
         let mut srcs = [0u32; 2];
         for (i, &d) in [data0, data1].iter().enumerate() {
-            let drv = netlist
-                .net(d)
-                .driver()
-                .ok_or_else(|| ExtractError::MuxDataFromPrimaryInput(
-                    netlist.net(d).name().to_owned(),
-                ))?;
+            let drv = netlist.net(d).driver().ok_or_else(|| {
+                ExtractError::MuxDataFromPrimaryInput(netlist.net(d).name().to_owned())
+            })?;
             if mux_gates.contains_key(&drv) {
                 return Err(ExtractError::ChainedMux(netlist.net(d).name().to_owned()));
             }
@@ -221,10 +218,7 @@ pub fn extract(netlist: &Netlist, key_inputs: &[String]) -> Result<ExtractedDesi
 
     // 4. Observed edges: every gate-to-gate wire not involving a key MUX,
     //    minus the target links.
-    let targets: HashSet<Link> = muxes
-        .iter()
-        .flat_map(|m| [m.link0(), m.link1()])
-        .collect();
+    let targets: HashSet<Link> = muxes.iter().flat_map(|m| [m.link0(), m.link1()]).collect();
     let mut edges = Vec::new();
     for (gid, gate) in netlist.gates() {
         if mux_gates.contains_key(&gid) {

@@ -116,7 +116,11 @@ mod tests {
 
     fn path3() -> CircuitGraph {
         CircuitGraph::from_edges(
-            vec![GateId::from_index(0), GateId::from_index(1), GateId::from_index(2)],
+            vec![
+                GateId::from_index(0),
+                GateId::from_index(1),
+                GateId::from_index(2),
+            ],
             vec![GateType::And, GateType::Or, GateType::Not],
             &[Link::new(0, 1), Link::new(1, 2)],
         )

@@ -101,12 +101,10 @@ impl Heuristic {
             Heuristic::PreferentialAttachment => {
                 (graph.adj[a as usize].len() * graph.adj[b as usize].len()) as f64
             }
-            Heuristic::InverseDistance => {
-                match distance_skipping_edge(graph, a, b) {
-                    Some(d) if d > 0 => 1.0 / d as f64,
-                    _ => 0.0,
-                }
-            }
+            Heuristic::InverseDistance => match distance_skipping_edge(graph, a, b) {
+                Some(d) if d > 0 => 1.0 / d as f64,
+                _ => 0.0,
+            },
         }
     }
 }
@@ -279,8 +277,7 @@ mod tests {
         let design = muxlink_benchgen::synth::SynthConfig::new("h", 16, 8, 400).generate(3);
         let locked = dmux::lock(&design, &LockOptions::new(8, 1)).unwrap();
         let ex = crate::extract(&locked.netlist, &locked.key_input_names()).unwrap();
-        let targets: std::collections::HashSet<Link> =
-            ex.target_links().into_iter().collect();
+        let targets: std::collections::HashSet<Link> = ex.target_links().into_iter().collect();
         let sampling = crate::sampling::sample_links(&ex.graph, &targets, 400, 7);
         let mut scores = Vec::new();
         let mut labels = Vec::new();

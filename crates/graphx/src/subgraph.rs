@@ -157,7 +157,13 @@ pub fn node_subgraph(
     // Distance labels within the subgraph.
     let labels = crate::drnl::bfs_without(&adj, lc, u32::MAX)
         .into_iter()
-        .map(|d| if d == crate::drnl::UNREACHABLE { 0 } else { d + 1 })
+        .map(|d| {
+            if d == crate::drnl::UNREACHABLE {
+                0
+            } else {
+                d + 1
+            }
+        })
         .collect();
     let gate_types = members
         .iter()

@@ -35,7 +35,11 @@ pub fn apply_key(locked: &LockedNetlist, key: &Key) -> Result<Netlist, LockError
             let key_bit = key.bit(kg.key_bit);
             // XOR(w,k) = w ⊕ k ; XNOR(w,k) = ¬(w ⊕ k).
             let inverts = key_bit != is_xnor;
-            let ty = if inverts { GateType::Not } else { GateType::Buf };
+            let ty = if inverts {
+                GateType::Not
+            } else {
+                GateType::Buf
+            };
             n.replace_gate(kg.gate, ty, &[wire])?;
         }
     }
@@ -51,10 +55,7 @@ pub fn apply_key(locked: &LockedNetlist, key: &Key) -> Result<Netlist, LockError
 ///
 /// [`LockError::UndecidedKeyBit`] on the first `X`, plus the
 /// [`apply_key`] errors.
-pub fn apply_key_values(
-    locked: &LockedNetlist,
-    values: &[KeyValue],
-) -> Result<Netlist, LockError> {
+pub fn apply_key_values(locked: &LockedNetlist, values: &[KeyValue]) -> Result<Netlist, LockError> {
     if values.len() != locked.key.len() {
         return Err(LockError::KeyLengthMismatch {
             expected: locked.key.len(),
@@ -90,18 +91,20 @@ fn remove_inputs(netlist: &Netlist, names: &HashSet<String>) -> Result<Netlist, 
             .inputs()
             .iter()
             .map(|&n| {
-                map[n.index()].ok_or_else(|| {
-                    NetlistError::Undriven(netlist.net(n).name().to_owned())
-                })
+                map[n.index()]
+                    .ok_or_else(|| NetlistError::Undriven(netlist.net(n).name().to_owned()))
             })
             .collect::<Result<_, _>>()?;
-        let id = out.add_gate(netlist.net(gate.output()).name().to_owned(), gate.ty(), &ins)?;
+        let id = out.add_gate(
+            netlist.net(gate.output()).name().to_owned(),
+            gate.ty(),
+            &ins,
+        )?;
         map[gate.output().index()] = Some(id);
     }
     for &po in netlist.outputs() {
-        let id = map[po.index()].ok_or_else(|| {
-            NetlistError::Undriven(netlist.net(po).name().to_owned())
-        })?;
+        let id = map[po.index()]
+            .ok_or_else(|| NetlistError::Undriven(netlist.net(po).name().to_owned()))?;
         out.mark_output(id)?;
     }
     Ok(out)
@@ -129,7 +132,10 @@ mod tests {
         let locked = dmux::lock(&n, &LockOptions::new(6, 2)).unwrap();
         assert!(matches!(
             apply_key(&locked, &Key::from_bits(vec![true; 5])),
-            Err(LockError::KeyLengthMismatch { expected: 6, got: 5 })
+            Err(LockError::KeyLengthMismatch {
+                expected: 6,
+                got: 5
+            })
         ));
     }
 

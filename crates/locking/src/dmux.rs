@@ -23,7 +23,7 @@ use muxlink_netlist::Netlist;
 use rand::Rng;
 
 use crate::site::{single_mux_locality, LockBuilder};
-use crate::{LockError, LockOptions, LockedNetlist, Locality, Strategy};
+use crate::{Locality, LockError, LockOptions, LockedNetlist, Strategy};
 
 /// Number of random node-sampling attempts per strategy before it is
 /// declared non-viable for the current netlist state.

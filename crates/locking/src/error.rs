@@ -42,7 +42,10 @@ impl fmt::Display for LockError {
                 write!(f, "key length mismatch: expected {expected}, got {got}")
             }
             Self::UndecidedKeyBit(i) => {
-                write!(f, "key bit {i} is undecided (X); a concrete value is required")
+                write!(
+                    f,
+                    "key bit {i} is undecided (X); a concrete value is required"
+                )
             }
             Self::Netlist(e) => write!(f, "netlist error: {e}"),
         }

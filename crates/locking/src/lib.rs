@@ -54,7 +54,7 @@ pub mod xor;
 pub use apply::{apply_key, apply_key_values};
 pub use error::LockError;
 pub use key::{Key, KeyValue};
-pub use locked::{KeyGate, LockedNetlist, Locality, MuxInstance, Strategy};
+pub use locked::{KeyGate, Locality, LockedNetlist, MuxInstance, Strategy};
 pub use site::KEY_INPUT_PREFIX;
 
 /// Options shared by all locking schemes.

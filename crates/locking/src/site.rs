@@ -7,7 +7,7 @@ use muxlink_netlist::{traversal, GateId, GateType, NetId, Netlist};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{Key, KeyGate, LockError, LockedNetlist, Locality, MuxInstance, Strategy};
+use crate::{Key, KeyGate, Locality, LockError, LockedNetlist, MuxInstance, Strategy};
 
 /// Prefix of key-input net names (`keyinput0`, `keyinput1`, …) — the
 /// convention used by the logic-locking community's BENCH exchanges, and

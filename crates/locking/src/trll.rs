@@ -23,7 +23,7 @@ use muxlink_netlist::{GateType, Netlist};
 use rand::Rng;
 
 use crate::site::LockBuilder;
-use crate::{KeyGate, LockError, LockOptions, LockedNetlist, Locality, Strategy};
+use crate::{KeyGate, Locality, LockError, LockOptions, LockedNetlist, Strategy};
 
 const TRIES: usize = 64;
 
@@ -73,26 +73,37 @@ pub fn lock(netlist: &Netlist, opts: &LockOptions) -> Result<LockedNetlist, Lock
         for _ in 0..TRIES {
             match mode {
                 TrllMode::ReplaceInverter => {
-                    let Some(inv) = b.choose(&inverters) else { break };
+                    let Some(inv) = b.choose(&inverters) else {
+                        break;
+                    };
                     let wire = b.netlist.gate(inv).inputs()[0];
                     // Key value 1 with XOR, 0 with XNOR: either way the
                     // collapsed gate inverts, like the NOT it replaces.
                     let use_xor = b.rng.gen::<bool>();
                     let k_val = use_xor;
                     let (k, k_net) = b.add_key_input(k_val);
-                    let ty = if use_xor { GateType::Xor } else { GateType::Xnor };
+                    let ty = if use_xor {
+                        GateType::Xor
+                    } else {
+                        GateType::Xnor
+                    };
                     let out = b.netlist.gate(inv).output();
                     b.netlist
                         .replace_gate(inv, ty, &[wire, k_net])
                         .expect("ids valid");
                     b.mark_key_gate(inv, out);
-                    b.push_locality(xor_locality(KeyGate { gate: inv, key_bit: k }));
+                    b.push_locality(xor_locality(KeyGate {
+                        gate: inv,
+                        key_bit: k,
+                    }));
                     continue 'outer;
                 }
                 TrllMode::InsertBuffer => {
                     let wires = b.candidates(None);
                     let Some(w) = b.choose(&wires) else { break };
-                    let Some(sink) = b.choose(&b.gate_sinks(w)) else { continue };
+                    let Some(sink) = b.choose(&b.gate_sinks(w)) else {
+                        continue;
+                    };
                     let use_xor = b.rng.gen::<bool>();
                     // Buffer semantics: XOR needs k = 0, XNOR needs k = 1.
                     let k_val = !use_xor;
@@ -101,7 +112,11 @@ pub fn lock(netlist: &Netlist, opts: &LockOptions) -> Result<LockedNetlist, Lock
                         .insert_keyed_gate(
                             k,
                             k_net,
-                            if use_xor { GateType::Xor } else { GateType::Xnor },
+                            if use_xor {
+                                GateType::Xor
+                            } else {
+                                GateType::Xnor
+                            },
                             w,
                             sink,
                             false,
@@ -113,7 +128,9 @@ pub fn lock(netlist: &Netlist, opts: &LockOptions) -> Result<LockedNetlist, Lock
                 TrllMode::InsertWithInverter => {
                     let wires = b.candidates(None);
                     let Some(w) = b.choose(&wires) else { break };
-                    let Some(sink) = b.choose(&b.gate_sinks(w)) else { continue };
+                    let Some(sink) = b.choose(&b.gate_sinks(w)) else {
+                        continue;
+                    };
                     let use_xor = b.rng.gen::<bool>();
                     // NOT(XOR(x,1)) = x ; NOT(XNOR(x,0)) = x.
                     let k_val = use_xor;
@@ -122,7 +139,11 @@ pub fn lock(netlist: &Netlist, opts: &LockOptions) -> Result<LockedNetlist, Lock
                         .insert_keyed_gate(
                             k,
                             k_net,
-                            if use_xor { GateType::Xor } else { GateType::Xnor },
+                            if use_xor {
+                                GateType::Xor
+                            } else {
+                                GateType::Xnor
+                            },
                             w,
                             sink,
                             true,
@@ -227,6 +248,11 @@ mod tests {
         // as buffers (mode B). At minimum both XOR and XNOR types appear.
         let h = locked.netlist.gate_type_histogram();
         assert!(h.get(&muxlink_netlist::GateType::Xor).copied().unwrap_or(0) > 0);
-        assert!(h.get(&muxlink_netlist::GateType::Xnor).copied().unwrap_or(0) > 0);
+        assert!(
+            h.get(&muxlink_netlist::GateType::Xnor)
+                .copied()
+                .unwrap_or(0)
+                > 0
+        );
     }
 }

@@ -9,7 +9,7 @@ use muxlink_netlist::Netlist;
 use rand::Rng;
 
 use crate::site::LockBuilder;
-use crate::{LockError, LockOptions, LockedNetlist, Locality, Strategy};
+use crate::{Locality, LockError, LockOptions, LockedNetlist, Strategy};
 
 const TRIES: usize = 64;
 

@@ -70,14 +70,13 @@ pub fn parse(name: &str, text: &str) -> Result<Netlist, NetlistError> {
                     msg: "missing closing `)`".into(),
                 });
             }
-            let ty: GateType =
-                rhs[..open]
-                    .trim()
-                    .parse()
-                    .map_err(|_| NetlistError::Parse {
-                        line,
-                        msg: format!("unknown gate type `{}`", rhs[..open].trim()),
-                    })?;
+            let ty: GateType = rhs[..open]
+                .trim()
+                .parse()
+                .map_err(|_| NetlistError::Parse {
+                    line,
+                    msg: format!("unknown gate type `{}`", rhs[..open].trim()),
+                })?;
             let args = &rhs[open + 1..rhs.len() - 1];
             let ins: Vec<String> = if args.trim().is_empty() {
                 Vec::new()
@@ -111,19 +110,19 @@ pub fn parse(name: &str, text: &str) -> Result<Netlist, NetlistError> {
     // Declare all gate outputs first so forward references resolve.
     for g in &pending {
         if netlist.find_net(&g.out).is_none() {
-            netlist.add_net(g.out.clone()).map_err(|e| wrap(g.line, e))?;
+            netlist
+                .add_net(g.out.clone())
+                .map_err(|e| wrap(g.line, e))?;
         }
     }
     for g in &pending {
         let out = netlist.find_net(&g.out).expect("declared above");
         let mut ids = Vec::with_capacity(g.ins.len());
         for i in &g.ins {
-            let id = netlist
-                .find_net(i)
-                .ok_or_else(|| NetlistError::Parse {
-                    line: g.line,
-                    msg: format!("net `{i}` is never defined"),
-                })?;
+            let id = netlist.find_net(i).ok_or_else(|| NetlistError::Parse {
+                line: g.line,
+                msg: format!("net `{i}` is never defined"),
+            })?;
             ids.push(id);
         }
         netlist
@@ -141,19 +140,13 @@ pub fn parse(name: &str, text: &str) -> Result<Netlist, NetlistError> {
     Ok(netlist)
 }
 
-fn strip_directive<'a>(
-    code: &'a str,
-    kw: &str,
-) -> Option<Result<&'a str, NetlistError>> {
+fn strip_directive<'a>(code: &'a str, kw: &str) -> Option<Result<&'a str, NetlistError>> {
     let upper = code.to_ascii_uppercase();
     if !upper.starts_with(kw) {
         return None;
     }
     let rest = code[kw.len()..].trim();
-    if let Some(inner) = rest
-        .strip_prefix('(')
-        .and_then(|r| r.strip_suffix(')'))
-    {
+    if let Some(inner) = rest.strip_prefix('(').and_then(|r| r.strip_suffix(')')) {
         let inner = inner.trim();
         if inner.is_empty() {
             Some(Err(NetlistError::Parse {

@@ -17,9 +17,7 @@ pub const GATE_TYPE_COUNT: usize = 8;
 /// key-gate inserted by MUX-based locking (select, in0, in1 — output equals
 /// `in1` when select is 1). [`GateType::Const0`]/[`GateType::Const1`] only
 /// appear in resynthesised netlists produced by [`crate::opt`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum GateType {
     /// Logical AND of all inputs.
     And,
@@ -282,7 +280,10 @@ mod tests {
         let c = 0b0000_1111u64;
         let got = GateType::Xor.eval_words(&[a, b, c]) & 0xFF;
         assert_eq!(got, 0b0110_1001 & 0xFF);
-        assert_eq!(GateType::Xnor.eval_words(&[a, b, c]) & 0xFF, !0b0110_1001u64 & 0xFF);
+        assert_eq!(
+            GateType::Xnor.eval_words(&[a, b, c]) & 0xFF,
+            !0b0110_1001u64 & 0xFF
+        );
     }
 
     #[test]

@@ -88,7 +88,11 @@ fn materialise_as(out: &mut Netlist, v: Value, name: &str) -> Result<NetId, Netl
                 // Name already taken by a surviving signal of the same name.
                 return Ok(existing);
             }
-            let ty = if c { GateType::Const1 } else { GateType::Const0 };
+            let ty = if c {
+                GateType::Const1
+            } else {
+                GateType::Const0
+            };
             out.add_gate(name.to_owned(), ty, &[])
         }
         Value::Signal(id) => {
@@ -170,7 +174,11 @@ fn fold_gate(
                     }
                 }
                 _ => {
-                    let gty = if parity { GateType::Xnor } else { GateType::Xor };
+                    let gty = if parity {
+                        GateType::Xnor
+                    } else {
+                        GateType::Xor
+                    };
                     let id = out.add_gate(unique(out, name), gty, &sig)?;
                     Ok(Value::Signal(id))
                 }
@@ -214,8 +222,8 @@ fn fold_gate(
                             Ok(Value::Signal(id))
                         }
                         (Value::Signal(aid), Value::Signal(bid)) => {
-                            let id = out
-                                .add_gate(unique(out, name), GateType::Mux, &[sid, aid, bid])?;
+                            let id =
+                                out.add_gate(unique(out, name), GateType::Mux, &[sid, aid, bid])?;
                             Ok(Value::Signal(id))
                         }
                         (Value::Const(_), Value::Const(_)) => unreachable!("a == b handled"),
@@ -336,9 +344,7 @@ pub fn dedup_structural(netlist: &Netlist) -> Result<Netlist, NetlistError> {
         let target = map[po.index()].expect("outputs driven");
         // Preserve the output name: alias through a buffer when the
         // surviving twin carries a different name.
-        let id = if out.net(target).name() == netlist.net(po).name()
-            || netlist.net(po).is_input()
-        {
+        let id = if out.net(target).name() == netlist.net(po).name() || netlist.net(po).is_input() {
             target
         } else if let Some(existing) = out.find_net(netlist.net(po).name()) {
             existing
@@ -402,11 +408,7 @@ mod tests {
 
     #[test]
     fn and_with_zero_collapses() {
-        let n = parse(
-            "t",
-            "INPUT(a)\nINPUT(k)\nOUTPUT(y)\ny = AND(a, k)\n",
-        )
-        .unwrap();
+        let n = parse("t", "INPUT(a)\nINPUT(k)\nOUTPUT(y)\ny = AND(a, k)\n").unwrap();
         let r = resynthesize(&n, &fix("k", false)).unwrap();
         // y is constant 0.
         let y = r.find_net("y").unwrap();
@@ -495,18 +497,15 @@ mod tests {
         // Everything collapses to y = BUFF(a).
         assert_eq!(r.gate_count(), 1);
         assert_eq!(
-            r.gate(r.net(r.find_net("y").unwrap()).driver().unwrap()).ty(),
+            r.gate(r.net(r.find_net("y").unwrap()).driver().unwrap())
+                .ty(),
             GateType::Buf
         );
     }
 
     #[test]
     fn xor_cancellation() {
-        let n = parse(
-            "t",
-            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b, a)\n",
-        )
-        .unwrap();
+        let n = parse("t", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b, a)\n").unwrap();
         let r = resynthesize(&n, &HashMap::new()).unwrap();
         // XOR(a,b,a) = b.
         assert!(exhaustive_equiv(

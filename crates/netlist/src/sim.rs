@@ -177,7 +177,11 @@ pub fn hamming_distance(
     let mut remaining = patterns;
     while remaining > 0 {
         let lanes = remaining.min(64);
-        let mask = if lanes == 64 { !0u64 } else { (1u64 << lanes) - 1 };
+        let mask = if lanes == 64 {
+            !0u64
+        } else {
+            (1u64 << lanes) - 1
+        };
         let words_a: Vec<u64> = (0..a.inputs().len()).map(|_| rng.gen::<u64>()).collect();
         let words_b: Vec<u64> = b_input_order.iter().map(|&i| words_a[i]).collect();
         let out_a = sim_a.run_words(&words_a);
@@ -210,11 +214,8 @@ pub fn hamming_distance_with_key(
     patterns: usize,
     seed: u64,
 ) -> Result<HammingReport, NetlistError> {
-    let names_a: std::collections::BTreeSet<String> = a
-        .input_names()
-        .into_iter()
-        .map(str::to_owned)
-        .collect();
+    let names_a: std::collections::BTreeSet<String> =
+        a.input_names().into_iter().map(str::to_owned).collect();
     for ia in &names_a {
         if b.find_net(ia).is_none() {
             return Err(NetlistError::InterfaceMismatch(format!(
@@ -237,11 +238,7 @@ pub fn hamming_distance_with_key(
     let mut b_sources = Vec::with_capacity(b.inputs().len());
     for &nb in b.inputs() {
         let name = b.net(nb).name();
-        if let Some(pos) = a
-            .inputs()
-            .iter()
-            .position(|&na| a.net(na).name() == name)
-        {
+        if let Some(pos) = a.inputs().iter().position(|&na| a.net(na).name() == name) {
             b_sources.push(Src::Functional(pos));
         } else if let Some(&v) = key_assignment.get(name) {
             b_sources.push(Src::Fixed(if v { !0 } else { 0 }));
@@ -270,7 +267,11 @@ pub fn hamming_distance_with_key(
     let mut remaining = patterns;
     while remaining > 0 {
         let lanes = remaining.min(64);
-        let mask = if lanes == 64 { !0u64 } else { (1u64 << lanes) - 1 };
+        let mask = if lanes == 64 {
+            !0u64
+        } else {
+            (1u64 << lanes) - 1
+        };
         let words_a: Vec<u64> = (0..a.inputs().len()).map(|_| rng.gen::<u64>()).collect();
         let words_b: Vec<u64> = b_sources
             .iter()
@@ -344,7 +345,11 @@ pub fn exhaustive_equiv(a: &Netlist, b: &Netlist) -> Result<bool, NetlistError> 
             }
         }
         let words_b: Vec<u64> = names_b.iter().map(|&i| words_a[i]).collect();
-        let mask = if lanes == 64 { !0u64 } else { (1u64 << lanes) - 1 };
+        let mask = if lanes == 64 {
+            !0u64
+        } else {
+            (1u64 << lanes) - 1
+        };
         let out_a = sim_a.run_words(&words_a);
         let out_b = sim_b.run_words(&words_b);
         for (ia, &pb) in b_output_order.iter().enumerate() {
@@ -438,11 +443,9 @@ mod tests {
 
     fn xor_pair() -> (Netlist, Netlist) {
         // Two implementations of XOR.
-        let direct = bench_format::parse(
-            "direct",
-            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n",
-        )
-        .unwrap();
+        let direct =
+            bench_format::parse("direct", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n")
+                .unwrap();
         let nand_impl = bench_format::parse(
             "nand_impl",
             "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n\
@@ -474,11 +477,8 @@ mod tests {
     #[test]
     fn inverted_output_has_full_hd() {
         let (a, _) = xor_pair();
-        let inv = bench_format::parse(
-            "inv",
-            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XNOR(a, b)\n",
-        )
-        .unwrap();
+        let inv =
+            bench_format::parse("inv", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XNOR(a, b)\n").unwrap();
         let r = hamming_distance(&a, &inv, 512, 3).unwrap();
         assert_eq!(r.fraction(), 1.0);
         assert!(!exhaustive_equiv(&a, &inv).unwrap());
@@ -486,10 +486,8 @@ mod tests {
 
     #[test]
     fn hd_estimate_near_half_for_unrelated_outputs() {
-        let a = bench_format::parse("a", "INPUT(x)\nINPUT(y)\nOUTPUT(o)\no = AND(x, y)\n")
-            .unwrap();
-        let b = bench_format::parse("b", "INPUT(x)\nINPUT(y)\nOUTPUT(o)\no = OR(x, y)\n")
-            .unwrap();
+        let a = bench_format::parse("a", "INPUT(x)\nINPUT(y)\nOUTPUT(o)\no = AND(x, y)\n").unwrap();
+        let b = bench_format::parse("b", "INPUT(x)\nINPUT(y)\nOUTPUT(o)\no = OR(x, y)\n").unwrap();
         // AND vs OR differ on exactly 2 of 4 patterns → HD = 0.5.
         let r = hamming_distance(&a, &b, 100_000, 99).unwrap();
         assert!((r.fraction() - 0.5).abs() < 0.01, "got {}", r.fraction());
@@ -527,8 +525,7 @@ mod tests {
 
     #[test]
     fn keyed_hd_missing_key_is_error() {
-        let orig =
-            bench_format::parse("o", "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
+        let orig = bench_format::parse("o", "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
         let locked = bench_format::parse(
             "l",
             "INPUT(a)\nINPUT(k0)\nOUTPUT(y)\nt = NOT(a)\ny = MUX(k0, t, a)\n",

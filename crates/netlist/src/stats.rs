@@ -125,11 +125,7 @@ mod tests {
 
     #[test]
     fn delta_of_identical_is_zero() {
-        let n = parse(
-            "s",
-            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n",
-        )
-        .unwrap();
+        let n = parse("s", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n").unwrap();
         let s = NetlistStats::compute(&n).unwrap();
         assert!(s.feature_delta(&s).iter().all(|&d| d == 0.0));
     }

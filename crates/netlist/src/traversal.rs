@@ -120,11 +120,7 @@ pub fn reaches(netlist: &Netlist, from: NetId, to: NetId) -> bool {
 /// Distances beyond the cap are reported as `usize::MAX`. This is the
 /// primitive behind enclosing-subgraph extraction.
 #[must_use]
-pub fn undirected_gate_distances(
-    netlist: &Netlist,
-    source: GateId,
-    max_hops: usize,
-) -> Vec<usize> {
+pub fn undirected_gate_distances(netlist: &Netlist, source: GateId, max_hops: usize) -> Vec<usize> {
     let adj = undirected_gate_adjacency(netlist);
     let mut dist = vec![usize::MAX; netlist.gate_count()];
     let mut q = VecDeque::new();

@@ -115,7 +115,11 @@ pub fn sat_attack(
     let copy_a = CircuitCnf::encode(&mut solver, locked);
     let copy_b = CircuitCnf::encode(&mut solver, locked);
     for name in &functional_inputs {
-        tie_equal(&mut solver, copy_a.input_vars[name], copy_b.input_vars[name]);
+        tie_equal(
+            &mut solver,
+            copy_a.input_vars[name],
+            copy_b.input_vars[name],
+        );
     }
     // Miter output: OR over per-output XORs, asserted true.
     let diff_vars: Vec<Var> = locked
@@ -251,9 +255,8 @@ fn verify(
     oracle: &Netlist,
     key: &HashMap<String, bool>,
 ) -> Result<bool, NetlistError> {
-    let report = muxlink_netlist::sim::hamming_distance_with_key(
-        oracle, locked, key, 4096, 0xD1CE,
-    )?;
+    let report =
+        muxlink_netlist::sim::hamming_distance_with_key(oracle, locked, key, 4096, 0xD1CE)?;
     Ok(report.bits_differing == 0)
 }
 

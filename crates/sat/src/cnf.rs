@@ -59,7 +59,11 @@ fn encode_gate(solver: &mut Solver, ty: GateType, out: Var, ins: &[Var]) {
     let no = Lit::neg(out);
     match ty {
         GateType::And | GateType::Nand => {
-            let (o, no) = if ty == GateType::Nand { (no, o) } else { (o, no) };
+            let (o, no) = if ty == GateType::Nand {
+                (no, o)
+            } else {
+                (o, no)
+            };
             // out → each input ; all inputs → out.
             let mut big: Vec<Lit> = vec![o];
             for &i in ins {
@@ -69,7 +73,11 @@ fn encode_gate(solver: &mut Solver, ty: GateType, out: Var, ins: &[Var]) {
             solver.add_clause(&big);
         }
         GateType::Or | GateType::Nor => {
-            let (o, no) = if ty == GateType::Nor { (no, o) } else { (o, no) };
+            let (o, no) = if ty == GateType::Nor {
+                (no, o)
+            } else {
+                (o, no)
+            };
             let mut big: Vec<Lit> = vec![no];
             for &i in ins {
                 solver.add_clause(&[o, Lit::neg(i)]);
@@ -161,7 +169,8 @@ mod tests {
                     for (oi, &onet) in n.outputs().iter().enumerate() {
                         let v = cnf.output_vars[n.net(onet).name()];
                         assert_eq!(
-                            model[v.0 as usize], expect[oi],
+                            model[v.0 as usize],
+                            expect[oi],
                             "pattern {m:b}, output {}",
                             n.net(onet).name()
                         );

@@ -554,10 +554,10 @@ mod tests {
         for row in &p {
             s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1])]);
         }
-        for hole in 0..2 {
-            for i in 0..3 {
-                for j in i + 1..3 {
-                    s.add_clause(&[Lit::neg(p[i][hole]), Lit::neg(p[j][hole])]);
+        for i in 0..3 {
+            for j in i + 1..3 {
+                for (a, b) in p[i].iter().zip(&p[j]) {
+                    s.add_clause(&[Lit::neg(*a), Lit::neg(*b)]);
                 }
             }
         }
@@ -641,7 +641,11 @@ mod tests {
                     any = true;
                     break;
                 }
-                let got = if consistent { s.solve(&[]).is_sat() } else { false };
+                let got = if consistent {
+                    s.solve(&[]).is_sat()
+                } else {
+                    false
+                };
                 assert_eq!(got, any, "round {round} after {} clauses", formula.len());
                 if !any {
                     break;
@@ -678,9 +682,7 @@ mod tests {
             let mut any = false;
             'outer: for m in 0..(1u32 << nvars) {
                 for clause in &formula {
-                    let sat = clause
-                        .iter()
-                        .any(|&(v, sign)| ((m >> v) & 1 == 1) == sign);
+                    let sat = clause.iter().any(|&(v, sign)| ((m >> v) & 1 == 1) == sign);
                     if !sat {
                         continue 'outer;
                     }

@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = MuxLinkConfig::quick().with_seed(5);
     for (scheme, locked) in [
         ("D-MUX", dmux::lock(&design, &LockOptions::new(16, 2))?),
-        ("Symmetric", symmetric::lock(&design, &LockOptions::new(16, 2))?),
+        (
+            "Symmetric",
+            symmetric::lock(&design, &LockOptions::new(16, 2))?,
+        ),
     ] {
         println!("\n=== {scheme} ===");
         let outcome = attack(&locked.netlist, &locked.key_input_names(), &cfg)?;
@@ -45,11 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let hd = hamming_with_guess(&design, &locked, &outcome.guess, 10_000, 8, 1)?;
         println!("  output HD of the reconstruction: {hd:.2}% (attacker goal: 0%)");
 
-        let x = outcome
-            .guess
-            .iter()
-            .filter(|v| **v == KeyValue::X)
-            .count();
+        let x = outcome.guess.iter().filter(|v| **v == KeyValue::X).count();
         if x > 0 {
             println!("  ({x} undecided bits averaged over their assignments)");
         }

@@ -92,6 +92,9 @@ fn check_scope(locked: &LockedNetlist) -> Result<(), Box<dyn std::error::Error>>
     let kpa = m
         .kpa_pct()
         .map_or_else(|| "n/a (all X)".to_owned(), |v| format!("{v:.1}%"));
-    println!("  SCOPE: KPA {kpa} over {} decided bits", m.total - m.x_count);
+    println!(
+        "  SCOPE: KPA {kpa} over {} decided bits",
+        m.total - m.x_count
+    );
     Ok(())
 }

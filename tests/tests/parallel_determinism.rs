@@ -1,0 +1,62 @@
+//! Cross-crate determinism contract of the parallel execution layer: a
+//! full MuxLink attack must produce bit-identical training histories,
+//! scores and recovered keys for any worker-thread count.
+
+use muxlink_core::{score_design, MuxLinkConfig};
+use muxlink_locking::{dmux, symmetric, LockOptions};
+
+fn run(
+    locked: &muxlink_locking::LockedNetlist,
+    threads: usize,
+) -> (muxlink_core::ScoredDesign, Vec<muxlink_locking::KeyValue>) {
+    let cfg = MuxLinkConfig::quick().with_threads(threads);
+    let scored =
+        score_design(&locked.netlist, &locked.key_input_names(), &cfg).expect("attack should run");
+    let key = scored.recover_key(cfg.th);
+    (scored, key)
+}
+
+#[test]
+fn muxlink_attack_is_thread_count_invariant_on_dmux() {
+    let design = muxlink_benchgen::synth::SynthConfig::new("par", 14, 6, 220).generate(7);
+    let locked = dmux::lock(&design, &LockOptions::new(6, 2)).unwrap();
+    let (s1, k1) = run(&locked, 1);
+    let (s4, k4) = run(&locked, 4);
+
+    assert_eq!(k1, k4, "recovered key must not depend on thread count");
+    assert_eq!(s1.scores, s4.scores, "per-MUX scores must be bit-identical");
+
+    // Bit-identical per-epoch losses, not just the final outcome.
+    assert_eq!(s1.train_report.history.len(), s4.train_report.history.len());
+    for (a, b) in s1.train_report.history.iter().zip(&s4.train_report.history) {
+        assert_eq!(
+            a.train_loss.to_bits(),
+            b.train_loss.to_bits(),
+            "epoch {}",
+            a.epoch
+        );
+        assert_eq!(
+            a.val_loss.to_bits(),
+            b.val_loss.to_bits(),
+            "epoch {}",
+            a.epoch
+        );
+        assert_eq!(a.val_accuracy.to_bits(), b.val_accuracy.to_bits());
+    }
+    assert_eq!(s1.train_report.best_epoch, s4.train_report.best_epoch);
+
+    // Timings report the stage thread counts actually used.
+    assert_eq!(s1.timings.threads.train, 1);
+    assert_eq!(s4.timings.threads.train, 4);
+    assert_eq!(s4.timings.threads.extract, 1, "extraction stays sequential");
+}
+
+#[test]
+fn muxlink_attack_is_thread_count_invariant_on_symmetric() {
+    let design = muxlink_benchgen::synth::SynthConfig::new("par", 12, 6, 180).generate(9);
+    let locked = symmetric::lock(&design, &LockOptions::new(4, 5)).unwrap();
+    let (s1, k1) = run(&locked, 1);
+    let (s3, k3) = run(&locked, 3);
+    assert_eq!(k1, k3);
+    assert_eq!(s1.scores, s3.scores);
+}

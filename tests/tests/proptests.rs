@@ -58,7 +58,7 @@ proptest! {
     #[test]
     fn bfs_distances_satisfy_triangle_steps(g in arb_graph()) {
         // Along any edge, BFS distances differ by at most 1.
-        let dist = bfs_without(&g.adj.iter().map(|v| v.clone()).collect::<Vec<_>>(), 0, u32::MAX);
+        let dist = bfs_without(&g.adj.to_vec(), 0, u32::MAX);
         for (u, nbrs) in g.adj.iter().enumerate() {
             for &v in nbrs {
                 let (du, dv) = (dist[u], dist[v as usize]);

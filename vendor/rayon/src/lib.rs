@@ -1,0 +1,328 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no crates registry, so the subset of rayon
+//! this workspace uses is re-implemented over `std::thread::scope`:
+//!
+//! * `slice.par_iter().map(f).collect::<Vec<_>>()` — order-preserving
+//!   parallel map with dynamic chunk scheduling,
+//! * `ThreadPoolBuilder` / `ThreadPool::install` — a scoped thread-count
+//!   override (the "pool" sizes parallel regions rather than keeping
+//!   persistent workers; regions spawn scoped threads on demand),
+//! * [`current_num_threads`].
+//!
+//! Workers are spawned per parallel region instead of parked in a pool.
+//! For this workspace's workloads (per-sample GNN gradients, per-link
+//! subgraph extraction — hundreds of microseconds to milliseconds each)
+//! the spawn cost is noise; the API is kept source-compatible so a later
+//! PR can swap in upstream rayon by only touching `Cargo.toml`.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`];
+    /// 0 = not inside a pool (use all cores).
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Number of threads parallel regions on this thread will use.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    let n = CURRENT_THREADS.with(Cell::get);
+    if n == 0 {
+        default_threads()
+    } else {
+        n
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (kept for API parity; the
+/// vendored builder cannot actually fail).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default settings (all cores).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the thread count; 0 means all cores.
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the vendored implementation.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads: n })
+    }
+}
+
+/// A sized execution context for parallel regions.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count governing every parallel
+    /// region entered from the calling thread.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        CURRENT_THREADS.with(|c| {
+            let prev = c.get();
+            c.set(self.threads);
+            let guard = RestoreGuard { prev };
+            let out = op();
+            drop(guard);
+            out
+        })
+    }
+
+    /// This pool's thread count.
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+struct RestoreGuard {
+    prev: usize,
+}
+
+impl Drop for RestoreGuard {
+    fn drop(&mut self) {
+        CURRENT_THREADS.with(|c| c.set(self.prev));
+    }
+}
+
+/// A borrowed parallel iterator over a slice.
+pub struct ParIter<'data, T: Sync> {
+    items: &'data [T],
+}
+
+/// A mapped parallel iterator.
+pub struct ParMap<'data, T: Sync, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Applies `f` to every item in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<'data, T, R, F> ParMap<'data, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    /// Runs the map and collects results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        parallel_map(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Order-preserving parallel map with dynamic chunk scheduling.
+fn parallel_map<'data, T, R, F>(items: &'data [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    let len = items.len();
+    let workers = current_num_threads().min(len);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = (len / (workers * 8)).max(1);
+    let next = AtomicUsize::new(0);
+    let next = &next;
+    // Workers inherit the caller's installed thread-count override, so a
+    // nested parallel region inside a sized pool still honours the cap
+    // (matching upstream rayon, where nested work runs on the same pool).
+    let inherited = CURRENT_THREADS.with(Cell::get);
+    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(move || {
+                    CURRENT_THREADS.with(|c| c.set(inherited));
+                    let mut local = Vec::new();
+                    loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= len {
+                            break;
+                        }
+                        let end = start.saturating_add(chunk).min(len);
+                        for (j, item) in items[start..end].iter().enumerate() {
+                            local.push((start + j, f(item)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let mut out: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    for bucket in buckets {
+        for (idx, r) in bucket {
+            out[idx] = Some(r);
+        }
+    }
+    out.into_iter()
+        .map(|o| o.expect("every index computed exactly once"))
+        .collect()
+}
+
+/// `par_iter()` entry point, mirroring rayon's trait of the same name.
+pub trait IntoParallelRefIterator<'data> {
+    /// Item type yielded by reference.
+    type Item: Sync + 'data;
+
+    /// Borrowing parallel iterator.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// The rayon prelude: everything needed for `x.par_iter().map(..).collect()`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn install_restores_on_exit() {
+        let outer = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 2));
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let out: Vec<usize> = pool.install(|| {
+            let items: Vec<usize> = (0..64).collect();
+            items.par_iter().map(|&x| x + 1).collect()
+        });
+        assert_eq!(out.len(), 64);
+        assert_eq!(out[63], 64);
+    }
+
+    #[test]
+    fn zero_threads_means_all_cores() {
+        let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [5u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x * 3).collect();
+        assert_eq!(out, vec![15]);
+    }
+
+    #[test]
+    fn nested_regions_inherit_the_installed_cap() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let seen: Vec<usize> = pool.install(|| {
+            let outer: Vec<usize> = (0..8).collect();
+            outer.par_iter().map(|_| current_num_threads()).collect()
+        });
+        assert!(
+            seen.iter().all(|&n| n == 2),
+            "workers must see the installed cap, got {seen:?}"
+        );
+    }
+
+    #[test]
+    fn results_can_borrow_input() {
+        let items = vec!["alpha".to_owned(), "beta".to_owned()];
+        let out: Vec<&str> = items.par_iter().map(|s| s.as_str()).collect();
+        assert_eq!(out, vec!["alpha", "beta"]);
+    }
+}
