@@ -195,7 +195,7 @@ pub fn omla_attack(
         .min(train_samples.len() - 1);
     let val = train_samples.split_off(train_samples.len() - val_len);
     let mut model_cfg = DgcnnConfig::paper(feature_cols(max_label), 10);
-    let sizes: Vec<usize> = train_samples.iter().map(|s| s.adj.len()).collect();
+    let sizes: Vec<usize> = train_samples.iter().map(GraphSample::node_count).collect();
     let mut sorted = sizes.clone();
     sorted.sort_unstable();
     if !sorted.is_empty() {

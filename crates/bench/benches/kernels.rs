@@ -7,11 +7,32 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use muxlink_benchgen::synth::SynthConfig;
 use muxlink_core::MuxLinkConfig;
-use muxlink_gnn::{Dgcnn, DgcnnConfig, GraphSample, Matrix};
+use muxlink_gnn::sample::{propagate_into, GraphSample};
+use muxlink_gnn::{Csr, Dgcnn, DgcnnConfig, Matrix, Workspace};
 use muxlink_graph::dataset::DatasetConfig;
 use muxlink_graph::{build_dataset, extract};
 use muxlink_locking::{dmux, symmetric, LockOptions};
 use muxlink_netlist::sim::Simulator;
+
+/// Deterministic sparse sample shaped like an enclosing subgraph
+/// (average degree ≈ 3–4, like h-hop gate neighbourhoods).
+fn subgraph_sample(n: usize, input_dim: usize, seed: u64) -> GraphSample {
+    let mut rng = muxlink_gnn::matrix::seeded_rng(seed);
+    let mut lists = vec![Vec::new(); n];
+    for i in 1..n {
+        for j in [i / 2, i / 3] {
+            if j != i {
+                lists[i].push(j as u32);
+                lists[j].push(i as u32);
+            }
+        }
+    }
+    GraphSample {
+        adj: Csr::from_lists(&lists),
+        features: Matrix::glorot(n, input_dim, &mut rng),
+        label: Some(true),
+    }
+}
 
 fn bench_subgraph(c: &mut Criterion) {
     let design = SynthConfig::new("k", 32, 16, 1500).generate(1);
@@ -31,7 +52,8 @@ fn bench_gnn(c: &mut Criterion) {
     let cfg = DgcnnConfig::paper(24, 30);
     let model = Dgcnn::new(cfg);
     let mut rng = muxlink_gnn::matrix::seeded_rng(7);
-    // A 60-node random graph sample.
+    // A 60-node binary-tree sample (legacy shape, kept for continuity
+    // with earlier recorded numbers).
     let n = 60usize;
     let mut adj = vec![Vec::new(); n];
     for i in 1..n {
@@ -40,7 +62,7 @@ fn bench_gnn(c: &mut Criterion) {
         adj[j].push(i as u32);
     }
     let sample = GraphSample {
-        adj,
+        adj: Csr::from_lists(&adj),
         features: Matrix::glorot(n, 24, &mut rng),
         label: Some(true),
     };
@@ -53,6 +75,47 @@ fn bench_gnn(c: &mut Criterion) {
             model.backward(&sample, &cache, true)
         });
     });
+}
+
+/// The CSR propagation kernel `S·H` at realistic enclosing-subgraph
+/// sizes, through the reused-buffer entry point the model uses.
+fn bench_propagate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csr_propagate");
+    for n in [30usize, 100, 300] {
+        let s = subgraph_sample(n, 24, n as u64);
+        let mut out = Matrix::zeros(0, 0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| propagate_into(&s.adj, &s.features, &mut out));
+        });
+    }
+    group.finish();
+}
+
+/// Whole-sample forward (and forward+backward) at realistic
+/// enclosing-subgraph sizes: the allocating path vs. the reused
+/// per-worker workspace path the trainer and scorer run.
+fn bench_forward_sizes(c: &mut Criterion) {
+    let model = Dgcnn::new(DgcnnConfig::paper(24, 30));
+    let mut group = c.benchmark_group("dgcnn_sample");
+    for n in [30usize, 100, 300] {
+        let s = subgraph_sample(n, 24, n as u64);
+        group.bench_with_input(BenchmarkId::new("forward_alloc", n), &n, |b, _| {
+            b.iter(|| model.forward(&s, None));
+        });
+        let mut ws = Workspace::new();
+        group.bench_with_input(BenchmarkId::new("forward_ws", n), &n, |b, _| {
+            b.iter(|| model.predict_into(&s, &mut ws));
+        });
+        let mut ws2 = Workspace::new();
+        let mut grads = model.new_gradients();
+        group.bench_with_input(BenchmarkId::new("fwd_bwd_ws", n), &n, |b, _| {
+            b.iter(|| {
+                model.forward_into(&s, None, &mut ws2);
+                model.backward_into(&s, true, &mut ws2, &mut grads);
+            });
+        });
+    }
+    group.finish();
 }
 
 fn bench_locking(c: &mut Criterion) {
@@ -119,6 +182,8 @@ criterion_group!(
     kernels,
     bench_subgraph,
     bench_gnn,
+    bench_propagate,
+    bench_forward_sizes,
     bench_locking,
     bench_sim,
     bench_resynth,

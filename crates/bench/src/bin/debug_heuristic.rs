@@ -3,10 +3,11 @@
 
 use std::collections::VecDeque;
 
+use muxlink_graph::Csr;
 use muxlink_locking::{dmux, LockOptions};
 
-fn bfs_dist(adj: &[Vec<u32>], a: u32, b: u32) -> usize {
-    let mut dist = vec![usize::MAX; adj.len()];
+fn bfs_dist(adj: &Csr, a: u32, b: u32) -> usize {
+    let mut dist = vec![usize::MAX; adj.node_count()];
     let mut q = VecDeque::new();
     dist[a as usize] = 0;
     q.push_back(a);
@@ -14,7 +15,7 @@ fn bfs_dist(adj: &[Vec<u32>], a: u32, b: u32) -> usize {
         if u == b {
             return dist[u as usize];
         }
-        for &v in &adj[u as usize] {
+        for &v in adj.neighbors(u as usize) {
             if dist[v as usize] == usize::MAX {
                 dist[v as usize] = dist[u as usize] + 1;
                 q.push_back(v);
@@ -24,10 +25,10 @@ fn bfs_dist(adj: &[Vec<u32>], a: u32, b: u32) -> usize {
     usize::MAX
 }
 
-fn common_neighbors(adj: &[Vec<u32>], a: u32, b: u32) -> usize {
-    adj[a as usize]
+fn common_neighbors(adj: &Csr, a: u32, b: u32) -> usize {
+    adj.neighbors(a as usize)
         .iter()
-        .filter(|x| adj[b as usize].binary_search(x).is_ok())
+        .filter(|x| adj.neighbors(b as usize).binary_search(x).is_ok())
         .count()
 }
 

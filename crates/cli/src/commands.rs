@@ -21,7 +21,8 @@ subcommands:
   lock      --scheme <dmux|symmetric|xor|naive-mux|trll>
             --key-size n [--seed n] in.bench -o out.bench [--key-out key.txt]
   attack    --method <muxlink|scope|saam|sail> [--th f] [--hops n]
-            [--threads n] [--paper] [--seed n] in.bench [-o guess.txt]
+            [--threads n] [--paper] [--timings] [--seed n]
+            in.bench [-o guess.txt]
   sat-attack --oracle original.bench in.bench [-o guess.txt]
   evaluate  --original o.bench --locked l.bench --guess g.txt
             [--key k.txt] [--patterns n]
@@ -157,6 +158,7 @@ fn attack(cmd: &Command) -> Result<String, CliError> {
         ));
     }
     let method = cmd.flag_or("--method", "muxlink");
+    let mut timing_line = None;
     let guess: Vec<KeyValue> = match method {
         "muxlink" => {
             let mut cfg = if cmd.has("--paper") {
@@ -169,9 +171,20 @@ fn attack(cmd: &Command) -> Result<String, CliError> {
             cfg.seed = cmd.parse_flag("--seed", cfg.seed)?;
             // 0 = all cores; results are identical for any thread count.
             cfg.threads = cmd.parse_flag("--threads", cfg.threads)?;
-            muxlink_attack(&locked, &names, &cfg)
-                .map_err(|e| CliError::Domain(e.to_string()))?
-                .guess
+            let outcome = muxlink_attack(&locked, &names, &cfg)
+                .map_err(|e| CliError::Domain(e.to_string()))?;
+            if cmd.has("--timings") {
+                let t = &outcome.scored.timings;
+                timing_line = Some(format!(
+                    "timings: extract {:.3}s  dataset {:.3}s  train {:.3}s  score {:.3}s  (total {:.3}s)\n",
+                    t.extract.as_secs_f64(),
+                    t.dataset.as_secs_f64(),
+                    t.train.as_secs_f64(),
+                    t.score.as_secs_f64(),
+                    t.total().as_secs_f64(),
+                ));
+            }
+            outcome.guess
         }
         "scope" => scope_attack(&locked, &names, &ScopeConfig::default())
             .map_err(|e| CliError::Domain(e.to_string()))?,
@@ -187,6 +200,9 @@ fn attack(cmd: &Command) -> Result<String, CliError> {
         "{method} recovered key: {rendered} ({decided}/{} bits decided)\n",
         guess.len()
     );
+    if let Some(line) = timing_line {
+        msg.push_str(&line);
+    }
     if let Some(out) = cmd.flags.get("-o") {
         fs::write(out, keyfile::to_string(&names, &guess))?;
         msg.push_str(&format!("guess written to {out}\n"));
@@ -415,6 +431,10 @@ mod tests {
             run(&cmd(&["attack", "--threads", "bogus", &locked])),
             Err(CliError::Usage(_))
         ));
+        // --timings appends a stage breakdown without touching the key line.
+        let timed = run(&cmd(&["attack", "--threads", "1", "--timings", &locked])).unwrap();
+        assert!(timed.contains("timings: extract"));
+        assert!(timed.starts_with(one.lines().next().unwrap()));
     }
 
     #[test]

@@ -3,8 +3,11 @@
 //!
 //! The expensive stages (dataset build, training, scoring) run on a
 //! scoped rayon pool sized by [`MuxLinkConfig::threads`] (0 = all
-//! cores). Every parallel stage reduces in a fixed order, so the scores
-//! and the recovered key are bit-identical for any thread count.
+//! cores); training and scoring stream samples through one reused
+//! per-worker GNN workspace (`muxlink_gnn::Workspace`), with scoring
+//! entering through `Dgcnn::predict_batch`. Every parallel stage reduces
+//! in a fixed order, so the scores and the recovered key are
+//! bit-identical for any thread count.
 
 use std::time::Instant;
 

@@ -22,12 +22,21 @@ pub fn to_graph_sample(sg: &Subgraph, max_label: u32, label: Option<bool>) -> Gr
     }
 }
 
+/// Upper bound on GNN samples materialised at once while scoring: keeps
+/// the feature matrices of huge designs (thousands of key MUXes) from
+/// all being resident simultaneously, without hurting parallelism.
+const SCORE_CHUNK: usize = 256;
+
 /// Scores both candidate links of every key MUX with the trained model.
 ///
 /// Subgraph extraction goes through [`target_subgraphs`] (the same code
-/// path the training dataset uses) over the flattened link list, then
-/// predictions run in parallel; both stages preserve order, so the
-/// scores stay aligned with `extracted.muxes` for any thread count.
+/// path the training dataset uses) over the flattened link list; the
+/// samples then stream — in bounded chunks — through
+/// [`Dgcnn::predict_batch`], the scoring entry point that reuses one
+/// workspace per rayon worker. Every stage preserves order and chunking
+/// only bounds how many samples exist at once, so the scores stay
+/// aligned with `extracted.muxes` and bit-identical for any thread
+/// count and any chunk size.
 #[must_use]
 pub fn score_muxes(
     model: &Dgcnn,
@@ -41,11 +50,18 @@ pub fn score_muxes(
         .flat_map(|m| [m.link0(), m.link1()])
         .collect();
     let subgraphs = target_subgraphs(&extracted.graph, &links, ds_cfg);
-    let probs: Vec<f64> = subgraphs
-        .par_iter()
-        .map(|sg| f64::from(model.predict(&to_graph_sample(sg, max_label, None))))
-        .collect();
-    probs.chunks_exact(2).map(|p| (p[0], p[1])).collect()
+    let mut probs = Vec::with_capacity(subgraphs.len());
+    for chunk in subgraphs.chunks(SCORE_CHUNK) {
+        let samples: Vec<GraphSample> = chunk
+            .par_iter()
+            .map(|sg| to_graph_sample(sg, max_label, None))
+            .collect();
+        probs.extend(model.predict_batch(&samples));
+    }
+    probs
+        .chunks_exact(2)
+        .map(|p| (f64::from(p[0]), f64::from(p[1])))
+        .collect()
 }
 
 /// Picks the SortPooling size `k` such that `percentile` of the given
@@ -77,7 +93,7 @@ mod tests {
         );
         let sg = enclosing_subgraph(&g, Link::new(1, 2), 2, None);
         let s = to_graph_sample(&sg, sg.max_label(), Some(true));
-        assert_eq!(s.adj.len(), s.features.rows());
+        assert_eq!(s.node_count(), s.features.rows());
         assert_eq!(s.label, Some(true));
     }
 

@@ -15,11 +15,13 @@
 
 use rand::rngs::StdRng;
 use rand::Rng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::matrix::{seeded_rng, Matrix};
 use crate::param::{AdamConfig, Gradients, Param};
-use crate::sample::{propagate, propagate_back, GraphSample};
+use crate::sample::{propagate_back_into, propagate_into, GraphSample};
+use crate::workspace::{BackwardScratch, Workspace};
 
 /// Hyper-parameters of the DGCNN (defaults = the paper's topology).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -106,10 +108,17 @@ pub struct Dgcnn {
 
 /// All intermediate activations of one forward pass, retained for
 /// backpropagation.
-#[derive(Debug, Clone)]
+///
+/// A `Cache` is also a reusable buffer: every field is resized in place
+/// and fully overwritten by each forward pass, so one cache can serve an
+/// unbounded stream of samples without re-allocating (see
+/// [`crate::workspace::Workspace`]). Reuse never changes results — the
+/// bits are identical to a freshly-allocated pass.
+#[derive(Debug, Clone, Default)]
 pub struct Cache {
     gc_inputs: Vec<Matrix>,
     gc_outputs: Vec<Matrix>,
+    hcat: Matrix,
     perm: Vec<usize>,
     pooled: Matrix,
     conv1_out: Matrix,
@@ -120,11 +129,18 @@ pub struct Cache {
     d1_out: Matrix,
     drop_mask: Matrix,
     d1_dropped: Matrix,
+    logits: Matrix,
     /// Softmax class probabilities `[no-link, link]`.
     pub probs: [f32; 2],
 }
 
 impl Cache {
+    /// An empty cache; buffers grow on first forward pass.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// Probability that the target pair is a true link.
     #[must_use]
     pub fn link_probability(&self) -> f32 {
@@ -194,82 +210,114 @@ impl Dgcnn {
     /// Forward pass. `dropout_rng` enables (inverted) dropout — pass
     /// `Some` during training, `None` for deterministic inference.
     ///
+    /// Allocates a fresh [`Cache`]; hot loops should prefer
+    /// [`Dgcnn::forward_into`] with a reused [`Workspace`] — the two are
+    /// bit-for-bit identical.
+    ///
     /// # Panics
     ///
     /// Panics when the sample's feature width differs from
     /// `cfg.input_dim`.
     #[must_use]
     pub fn forward(&self, s: &GraphSample, dropout_rng: Option<&mut StdRng>) -> Cache {
+        let mut cache = Cache::new();
+        self.forward_cache(s, dropout_rng, &mut cache);
+        cache
+    }
+
+    /// [`Dgcnn::forward`] into a reused [`Workspace`]: no per-sample
+    /// allocation once the workspace buffers have grown to the working
+    /// size. Activations land in `ws.cache`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the sample's feature width differs from
+    /// `cfg.input_dim`.
+    pub fn forward_into(
+        &self,
+        s: &GraphSample,
+        dropout_rng: Option<&mut StdRng>,
+        ws: &mut Workspace,
+    ) {
+        self.forward_cache(s, dropout_rng, &mut ws.cache);
+    }
+
+    /// Shared forward implementation writing into a caller-owned cache.
+    fn forward_cache(&self, s: &GraphSample, dropout_rng: Option<&mut StdRng>, cache: &mut Cache) {
         assert_eq!(
             s.features.cols(),
             self.cfg.input_dim,
             "feature width mismatch"
         );
         let n = s.node_count();
-        let mut gc_inputs = Vec::with_capacity(self.gc.len());
-        let mut gc_outputs: Vec<Matrix> = Vec::with_capacity(self.gc.len());
-        let mut h = s.features.clone();
-        for p in &self.gc {
-            let a = propagate(&s.adj, &h);
-            let mut z = a.matmul(&p.w);
-            z.map_inplace(f32::tanh);
-            gc_inputs.push(a);
-            gc_outputs.push(z.clone());
-            h = z;
+        let nlayers = self.gc.len();
+        cache.gc_inputs.resize_with(nlayers, Matrix::default);
+        cache.gc_outputs.resize_with(nlayers, Matrix::default);
+        for (l, p) in self.gc.iter().enumerate() {
+            let (done, rest) = cache.gc_outputs.split_at_mut(l);
+            let h: &Matrix = if l == 0 { &s.features } else { &done[l - 1] };
+            propagate_into(&s.adj, h, &mut cache.gc_inputs[l]);
+            cache.gc_inputs[l].matmul_into(&p.w, &mut rest[0]);
+            rest[0].map_inplace(f32::tanh);
         }
 
         // Concatenate H¹…Hᴸ column-wise.
         let ccat = self.cfg.concat_width();
-        let mut hcat = Matrix::zeros(n, ccat);
+        cache.hcat.resize_for_overwrite(n, ccat);
         for i in 0..n {
-            let row = hcat.row_mut(i);
+            let row = cache.hcat.row_mut(i);
             let mut off = 0;
-            for hl in &gc_outputs {
+            for hl in &cache.gc_outputs {
                 row[off..off + hl.cols()].copy_from_slice(hl.row(i));
                 off += hl.cols();
             }
         }
 
         // SortPooling: order rows by the last channel (Hᴸ), descending.
+        // `total_cmp` keeps the order total even for NaN activations, so
+        // a numerically-degenerate sample cannot destabilise the sort.
         let k = self.cfg.k;
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| {
+        let hcat = &cache.hcat;
+        cache.perm.clear();
+        cache.perm.extend(0..n);
+        cache.perm.sort_by(|&a, &b| {
             let va = hcat.get(a, ccat - 1);
             let vb = hcat.get(b, ccat - 1);
-            vb.partial_cmp(&va)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
+            vb.total_cmp(&va).then(a.cmp(&b))
         });
-        order.truncate(k);
-        let mut pooled = Matrix::zeros(k, ccat);
-        for (t, &src) in order.iter().enumerate() {
-            pooled.row_mut(t).copy_from_slice(hcat.row(src));
+        cache.perm.truncate(k);
+        cache.pooled.resize(k, ccat);
+        for (t, &src) in cache.perm.iter().enumerate() {
+            cache.pooled.row_mut(t).copy_from_slice(cache.hcat.row(src));
         }
 
         // Conv1: kernel = stride = ccat over the flattened sequence, which
         // is exactly a per-row linear map.
         let c1 = self.cfg.conv1_channels;
-        let mut conv1_out = pooled.matmul_t(&self.conv1_w.w);
+        cache
+            .pooled
+            .matmul_t_into(&self.conv1_w.w, &mut cache.conv1_out);
         for t in 0..k {
             for o in 0..c1 {
-                let v = conv1_out.get(t, o) + self.conv1_b.w.get(0, o);
-                conv1_out.set(t, o, v.max(0.0)); // ReLU
+                let v = cache.conv1_out.get(t, o) + self.conv1_b.w.get(0, o);
+                cache.conv1_out.set(t, o, v.max(0.0)); // ReLU
             }
         }
 
         // MaxPool1d(2, 2).
         let k2 = self.cfg.k2();
-        let mut pool_out = Matrix::zeros(k2, c1);
-        let mut pool_idx = vec![0u8; k2 * c1];
+        cache.pool_out.resize_for_overwrite(k2, c1);
+        cache.pool_idx.clear();
+        cache.pool_idx.resize(k2 * c1, 0);
         for t in 0..k2 {
             for o in 0..c1 {
-                let a = conv1_out.get(2 * t, o);
-                let b = conv1_out.get(2 * t + 1, o);
+                let a = cache.conv1_out.get(2 * t, o);
+                let b = cache.conv1_out.get(2 * t + 1, o);
                 if a >= b {
-                    pool_out.set(t, o, a);
+                    cache.pool_out.set(t, o, a);
                 } else {
-                    pool_out.set(t, o, b);
-                    pool_idx[t * c1 + o] = 1;
+                    cache.pool_out.set(t, o, b);
+                    cache.pool_idx[t * c1 + o] = 1;
                 }
             }
         }
@@ -278,66 +326,70 @@ impl Dgcnn {
         let c2 = self.cfg.conv2_channels;
         let kk = self.cfg.conv2_kernel;
         let k3 = self.cfg.k3();
-        let mut conv2_out = Matrix::zeros(k3, c2);
+        cache.conv2_out.resize_for_overwrite(k3, c2);
         for t in 0..k3 {
             for o in 0..c2 {
                 let wrow = self.conv2_w.w.row(o);
                 let mut acc = self.conv2_b.w.get(0, o);
                 for dt in 0..kk {
-                    let prow = pool_out.row(t + dt);
+                    let prow = cache.pool_out.row(t + dt);
                     let wseg = &wrow[dt * c1..(dt + 1) * c1];
                     for (w, p) in wseg.iter().zip(prow) {
                         acc += w * p;
                     }
                 }
-                conv2_out.set(t, o, acc.max(0.0));
+                cache.conv2_out.set(t, o, acc.max(0.0));
             }
         }
 
         // Flatten → dense(128) → ReLU → dropout → dense(2) → softmax.
-        let flat = Matrix::from_vec(1, k3 * c2, conv2_out.data().to_vec());
-        let mut d1_out = flat.matmul(&self.dense1_w.w);
-        for (o, b) in d1_out.data_mut().iter_mut().zip(self.dense1_b.w.data()) {
+        cache.flat.resize_for_overwrite(1, k3 * c2);
+        cache
+            .flat
+            .data_mut()
+            .copy_from_slice(cache.conv2_out.data());
+        cache.flat.matmul_into(&self.dense1_w.w, &mut cache.d1_out);
+        for (o, b) in cache
+            .d1_out
+            .data_mut()
+            .iter_mut()
+            .zip(self.dense1_b.w.data())
+        {
             *o = (*o + b).max(0.0);
         }
-        let mut drop_mask = Matrix::from_vec(1, self.cfg.dense_dim, vec![1.0; self.cfg.dense_dim]);
+        cache.drop_mask.resize_for_overwrite(1, self.cfg.dense_dim);
         if let Some(rng) = dropout_rng {
             let keep = 1.0 - self.cfg.dropout;
-            for m in drop_mask.data_mut() {
+            for m in cache.drop_mask.data_mut() {
                 *m = if rng.gen::<f32>() < keep {
                     1.0 / keep
                 } else {
                     0.0
                 };
             }
+        } else {
+            cache.drop_mask.data_mut().fill(1.0);
         }
-        let d1_dropped = d1_out.hadamard(&drop_mask);
-        let mut logits = d1_dropped.matmul(&self.dense2_w.w);
-        for (o, b) in logits.data_mut().iter_mut().zip(self.dense2_b.w.data()) {
+        cache
+            .d1_out
+            .hadamard_into(&cache.drop_mask, &mut cache.d1_dropped);
+        cache
+            .d1_dropped
+            .matmul_into(&self.dense2_w.w, &mut cache.logits);
+        for (o, b) in cache
+            .logits
+            .data_mut()
+            .iter_mut()
+            .zip(self.dense2_b.w.data())
+        {
             *o += b;
         }
-        let (l0, l1) = (logits.get(0, 0), logits.get(0, 1));
+        let (l0, l1) = (cache.logits.get(0, 0), cache.logits.get(0, 1));
         let m = l0.max(l1);
         let e0 = (l0 - m).exp();
         let e1 = (l1 - m).exp();
         let z = e0 + e1;
-        let probs = [e0 / z, e1 / z];
-
-        Cache {
-            gc_inputs,
-            gc_outputs,
-            perm: order,
-            pooled,
-            conv1_out,
-            pool_idx,
-            pool_out,
-            conv2_out,
-            flat,
-            d1_out,
-            drop_mask,
-            d1_dropped,
-            probs,
-        }
+        cache.probs = [e0 / z, e1 / z];
     }
 
     /// Computes gradients of the cross-entropy loss for one sample.
@@ -346,8 +398,46 @@ impl Dgcnn {
     /// different samples concurrently against the same weights, then
     /// reduce the returned [`Gradients`] in a fixed order
     /// ([`Gradients::merge`]) and apply one [`Dgcnn::adam_step`].
+    ///
+    /// Allocates fresh gradients and scratch; hot loops should prefer
+    /// [`Dgcnn::backward_into`] — the two are bit-for-bit identical.
     #[must_use]
     pub fn backward(&self, s: &GraphSample, cache: &Cache, label: bool) -> Gradients {
+        let mut grads = self.new_gradients();
+        let mut scratch = BackwardScratch::default();
+        self.backward_impl(s, cache, label, &mut scratch, &mut grads);
+        grads
+    }
+
+    /// [`Dgcnn::backward`] using the workspace a preceding
+    /// [`Dgcnn::forward_into`] filled: reads the activations from
+    /// `ws.cache`, reuses `ws`'s backward scratch and writes the result
+    /// into `grads` (every tensor fully overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `grads` does not have this model's parameter layout.
+    pub fn backward_into(
+        &self,
+        s: &GraphSample,
+        label: bool,
+        ws: &mut Workspace,
+        grads: &mut Gradients,
+    ) {
+        let Workspace { cache, scratch } = ws;
+        self.backward_impl(s, cache, label, scratch, grads);
+    }
+
+    /// Shared backward implementation writing into caller-owned buffers.
+    #[allow(clippy::too_many_lines)]
+    fn backward_impl(
+        &self,
+        s: &GraphSample,
+        cache: &Cache,
+        label: bool,
+        scratch: &mut BackwardScratch,
+        grads: &mut Gradients,
+    ) {
         let cfg = &self.cfg;
         let (k, c1, c2, kk, k2, k3, ccat) = (
             cfg.k,
@@ -358,57 +448,78 @@ impl Dgcnn {
             cfg.k3(),
             cfg.concat_width(),
         );
-        let mut conv1_w_g = Matrix::zeros(c1, ccat);
-        let mut conv1_b_g = Matrix::zeros(1, c1);
-        let mut conv2_w_g = Matrix::zeros(c2, kk * c1);
-        let mut conv2_b_g = Matrix::zeros(1, c2);
+        let nlayers = self.gc.len();
+        // Canonical parameter order (must match `params()`): the GC
+        // weights first, then the head tensors.
+        let gt = grads.tensors_mut();
+        assert_eq!(gt.len(), nlayers + 8, "gradient layout mismatch");
+        let (conv1_w_g, conv1_b_g, conv2_w_g, conv2_b_g) =
+            (nlayers, nlayers + 1, nlayers + 2, nlayers + 3);
+        let (dense1_w_g, dense1_b_g, dense2_w_g, dense2_b_g) =
+            (nlayers + 4, nlayers + 5, nlayers + 6, nlayers + 7);
 
         // Softmax + CE.
-        let mut dlogits = Matrix::from_vec(1, 2, vec![cache.probs[0], cache.probs[1]]);
-        let target = usize::from(label);
-        dlogits.data_mut()[target] -= 1.0;
+        scratch.dlogits.resize_for_overwrite(1, 2);
+        scratch.dlogits.data_mut().copy_from_slice(&cache.probs);
+        scratch.dlogits.data_mut()[usize::from(label)] -= 1.0;
 
         // Dense 2.
-        let dense2_w_g = cache.d1_dropped.t_matmul(&dlogits);
-        let dense2_b_g = dlogits.clone();
-        let dd1_dropped = dlogits.matmul_t(&self.dense2_w.w);
+        cache
+            .d1_dropped
+            .t_matmul_into(&scratch.dlogits, &mut gt[dense2_w_g]);
+        gt[dense2_b_g].copy_from(&scratch.dlogits);
+        scratch
+            .dlogits
+            .matmul_t_into(&self.dense2_w.w, &mut scratch.dd1);
 
         // Dropout + ReLU of dense 1.
-        let mut dd1 = dd1_dropped.hadamard(&cache.drop_mask);
-        for (g, &o) in dd1.data_mut().iter_mut().zip(cache.d1_out.data()) {
+        for (g, (&m, &o)) in scratch
+            .dd1
+            .data_mut()
+            .iter_mut()
+            .zip(cache.drop_mask.data().iter().zip(cache.d1_out.data()))
+        {
+            *g *= m;
             if o <= 0.0 {
                 *g = 0.0;
             }
         }
-        let dense1_w_g = cache.flat.t_matmul(&dd1);
-        let dense1_b_g = dd1.clone();
-        let dflat = dd1.matmul_t(&self.dense1_w.w);
+        cache.flat.t_matmul_into(&scratch.dd1, &mut gt[dense1_w_g]);
+        gt[dense1_b_g].copy_from(&scratch.dd1);
+        scratch
+            .dd1
+            .matmul_t_into(&self.dense1_w.w, &mut scratch.dflat);
 
         // Un-flatten + ReLU of conv2.
-        let mut dconv2 = Matrix::from_vec(k3, c2, dflat.data().to_vec());
-        for (g, &o) in dconv2.data_mut().iter_mut().zip(cache.conv2_out.data()) {
-            if o <= 0.0 {
-                *g = 0.0;
-            }
+        scratch.dconv2.resize_for_overwrite(k3, c2);
+        for (g, (&d, &o)) in scratch
+            .dconv2
+            .data_mut()
+            .iter_mut()
+            .zip(scratch.dflat.data().iter().zip(cache.conv2_out.data()))
+        {
+            *g = if o <= 0.0 { 0.0 } else { d };
         }
 
         // Conv2 parameter and input gradients.
-        let mut dpool = Matrix::zeros(k2, c1);
+        gt[conv2_w_g].resize(c2, kk * c1);
+        gt[conv2_b_g].resize(1, c2);
+        scratch.dpool.resize(k2, c1);
         for t in 0..k3 {
             for o in 0..c2 {
-                let g = dconv2.get(t, o);
+                let g = scratch.dconv2.get(t, o);
                 if g == 0.0 {
                     continue;
                 }
-                conv2_b_g.data_mut()[o] += g;
+                gt[conv2_b_g].data_mut()[o] += g;
                 for dt in 0..kk {
                     let prow = cache.pool_out.row(t + dt);
                     let wrow = self.conv2_w.w.row(o);
-                    let gw = &mut conv2_w_g.row_mut(o)[dt * c1..(dt + 1) * c1];
+                    let gw = &mut gt[conv2_w_g].row_mut(o)[dt * c1..(dt + 1) * c1];
                     for i in 0..c1 {
                         gw[i] += g * prow[i];
                     }
-                    let dprow = dpool.row_mut(t + dt);
+                    let dprow = scratch.dpool.row_mut(t + dt);
                     let wseg = &wrow[dt * c1..(dt + 1) * c1];
                     for i in 0..c1 {
                         dprow[i] += g * wseg[i];
@@ -418,76 +529,80 @@ impl Dgcnn {
         }
 
         // Max-pool routing + ReLU of conv1.
-        let mut dconv1 = Matrix::zeros(k, c1);
+        scratch.dconv1.resize(k, c1);
         for t in 0..k2 {
             for o in 0..c1 {
                 let src = 2 * t + usize::from(cache.pool_idx[t * c1 + o]);
-                let g = dpool.get(t, o);
+                let g = scratch.dpool.get(t, o);
                 if g != 0.0 && cache.conv1_out.get(src, o) > 0.0 {
-                    let v = dconv1.get(src, o) + g;
-                    dconv1.set(src, o, v);
+                    let v = scratch.dconv1.get(src, o) + g;
+                    scratch.dconv1.set(src, o, v);
                 }
             }
         }
 
         // Conv1 (per-row linear) gradients.
-        conv1_w_g.add_assign(&dconv1.t_matmul(&cache.pooled));
+        scratch
+            .dconv1
+            .t_matmul_into(&cache.pooled, &mut gt[conv1_w_g]);
+        gt[conv1_b_g].resize(1, c1);
         for t in 0..k {
             for o in 0..c1 {
-                conv1_b_g.data_mut()[o] += dconv1.get(t, o);
+                gt[conv1_b_g].data_mut()[o] += scratch.dconv1.get(t, o);
             }
         }
-        let dpooled = dconv1.matmul(&self.conv1_w.w);
+        scratch
+            .dconv1
+            .matmul_into(&self.conv1_w.w, &mut scratch.dpooled);
 
         // Un-SortPool (padded rows vanish).
         let n = s.node_count();
-        let mut dhcat = Matrix::zeros(n, ccat);
+        scratch.dhcat.resize(n, ccat);
         for (t, &src) in cache.perm.iter().enumerate() {
-            dhcat.row_mut(src).copy_from_slice(dpooled.row(t));
+            scratch
+                .dhcat
+                .row_mut(src)
+                .copy_from_slice(scratch.dpooled.row(t));
         }
 
         // Split the concat gradient per GC layer.
-        let mut dh_per_layer: Vec<Matrix> = Vec::with_capacity(self.gc.len());
+        scratch.dh_layers.resize_with(nlayers, Matrix::default);
         let mut off = 0;
-        for hl in &cache.gc_outputs {
+        for (hl, d) in cache.gc_outputs.iter().zip(&mut scratch.dh_layers) {
             let c = hl.cols();
-            let mut d = Matrix::zeros(n, c);
+            d.resize_for_overwrite(n, c);
             for i in 0..n {
-                d.row_mut(i).copy_from_slice(&dhcat.row(i)[off..off + c]);
+                d.row_mut(i)
+                    .copy_from_slice(&scratch.dhcat.row(i)[off..off + c]);
             }
-            dh_per_layer.push(d);
             off += c;
         }
 
-        // Graph-convolution chain, last to first.
-        let mut gc_g: Vec<Matrix> = self
-            .gc
-            .iter()
-            .map(|p| Matrix::zeros(p.w.rows(), p.w.cols()))
-            .collect();
-        let mut dh = dh_per_layer.pop().expect("at least one GC layer");
-        for l in (0..self.gc.len()).rev() {
+        // Graph-convolution chain, last to first. Each `dh_layers[l]`
+        // holds the concat gradient; for l < L−1 the backprop from layer
+        // l+1 is accumulated into it before its own turn.
+        for l in (0..nlayers).rev() {
             // tanh'
-            let mut dz = std::mem::replace(&mut dh, Matrix::zeros(0, 0));
+            let dz = &mut scratch.dh_layers[l];
             for (g, &o) in dz.data_mut().iter_mut().zip(cache.gc_outputs[l].data()) {
                 *g *= 1.0 - o * o;
             }
-            gc_g[l] = cache.gc_inputs[l].t_matmul(&dz);
+            cache.gc_inputs[l].t_matmul_into(&scratch.dh_layers[l], &mut gt[l]);
             if l > 0 {
-                let mut prev = propagate_back(&s.adj, &dz.matmul_t(&self.gc[l].w));
-                let from_concat = dh_per_layer.pop().expect("one per remaining layer");
-                prev.add_assign(&from_concat);
-                dh = prev;
+                scratch.dh_layers[l].matmul_t_into(&self.gc[l].w, &mut scratch.dzw);
+                propagate_back_into(&s.adj, &scratch.dzw, &mut scratch.dh_prev);
+                scratch.dh_layers[l - 1].add_assign(&scratch.dh_prev);
             }
         }
+    }
 
-        // Canonical parameter order (must match `params()`).
-        let mut tensors = gc_g;
-        tensors.extend([
-            conv1_w_g, conv1_b_g, conv2_w_g, conv2_b_g, dense1_w_g, dense1_b_g, dense2_w_g,
-            dense2_b_g,
-        ]);
-        Gradients::from_tensors(tensors)
+    /// A gradient object with this model's parameter layout, ready for
+    /// [`Dgcnn::backward_into`]. Tensors start empty (`0 × 0`) — the
+    /// backward pass shapes and fully overwrites every one, so nothing
+    /// is zero-filled twice.
+    #[must_use]
+    pub fn new_gradients(&self) -> Gradients {
+        Gradients::from_tensors(vec![Matrix::default(); self.params().len()])
     }
 
     /// Convenience: deterministic inference probability that the sample's
@@ -495,6 +610,26 @@ impl Dgcnn {
     #[must_use]
     pub fn predict(&self, s: &GraphSample) -> f32 {
         self.forward(s, None).link_probability()
+    }
+
+    /// [`Dgcnn::predict`] through a reused [`Workspace`] — the
+    /// zero-allocation scoring path. Bit-identical to [`Dgcnn::predict`].
+    #[must_use]
+    pub fn predict_into(&self, s: &GraphSample, ws: &mut Workspace) -> f32 {
+        self.forward_into(s, None, ws);
+        ws.cache.link_probability()
+    }
+
+    /// Scores a batch of samples on the ambient rayon pool, one reused
+    /// [`Workspace`] per worker. Output order matches input order and is
+    /// bit-identical to mapping [`Dgcnn::predict`] sequentially, for any
+    /// thread count.
+    #[must_use]
+    pub fn predict_batch(&self, samples: &[GraphSample]) -> Vec<f32> {
+        samples
+            .par_iter()
+            .map_init(Workspace::new, |ws, s| self.predict_into(s, ws))
+            .collect()
     }
 
     /// One Adam step over all parameters from a (merged) gradient object
@@ -573,6 +708,7 @@ impl Dgcnn {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use muxlink_graph::Csr;
 
     fn tiny_cfg() -> DgcnnConfig {
         DgcnnConfig {
@@ -591,7 +727,7 @@ mod tests {
     fn tiny_sample(seed: u64) -> GraphSample {
         let mut rng = seeded_rng(seed);
         let n = 5;
-        let adj = vec![vec![1, 2], vec![0, 3], vec![0], vec![1, 4], vec![3]];
+        let adj = Csr::from_lists(&[vec![1, 2], vec![0, 3], vec![0], vec![1, 4], vec![3]]);
         GraphSample {
             adj,
             features: Matrix::glorot(n, 5, &mut rng),
@@ -620,7 +756,7 @@ mod tests {
         let model = Dgcnn::new(tiny_cfg());
         let mut rng = seeded_rng(9);
         let s = GraphSample {
-            adj: vec![vec![1], vec![0]],
+            adj: Csr::from_lists(&[vec![1], vec![0]]),
             features: Matrix::glorot(2, 5, &mut rng),
             label: None,
         };
@@ -744,6 +880,57 @@ mod tests {
         let mut cfg = tiny_cfg();
         cfg.k = 1;
         let _ = Dgcnn::new(cfg);
+    }
+
+    #[test]
+    fn workspace_variants_are_bit_identical() {
+        let model = Dgcnn::new(tiny_cfg());
+        let mut ws = crate::workspace::Workspace::new();
+        // Stream several samples of different sizes through one reused
+        // workspace; every prediction must match the allocating path.
+        for seed in [1u64, 2, 9, 5, 1] {
+            let s = tiny_sample(seed);
+            assert_eq!(model.predict_into(&s, &mut ws), model.predict(&s));
+        }
+        // And the gradients must match too, including dropout streams.
+        let s = tiny_sample(4);
+        let mut rng1 = seeded_rng(42);
+        let mut rng2 = seeded_rng(42);
+        let cache = model.forward(&s, Some(&mut rng1));
+        let fresh = model.backward(&s, &cache, true);
+        model.forward_into(&s, Some(&mut rng2), &mut ws);
+        assert_eq!(ws.cache.probs, cache.probs);
+        let mut reused = model.new_gradients();
+        model.backward_into(&s, true, &mut ws, &mut reused);
+        assert_eq!(reused, fresh);
+        // Second pass over the same dirty buffers: still identical.
+        let mut rng3 = seeded_rng(42);
+        model.forward_into(&s, Some(&mut rng3), &mut ws);
+        model.backward_into(&s, true, &mut ws, &mut reused);
+        assert_eq!(reused, fresh);
+    }
+
+    #[test]
+    fn predict_batch_matches_sequential_predict() {
+        let model = Dgcnn::new(tiny_cfg());
+        let samples: Vec<GraphSample> = (0..8).map(tiny_sample).collect();
+        let batch = model.predict_batch(&samples);
+        let seq: Vec<f32> = samples.iter().map(|s| model.predict(s)).collect();
+        assert_eq!(batch, seq);
+    }
+
+    #[test]
+    fn sort_pooling_survives_nan_activations() {
+        // total_cmp keeps the comparator a total order even when the
+        // sort channel contains NaN — the sort must not panic and the
+        // permutation must stay deterministic.
+        let model = Dgcnn::new(tiny_cfg());
+        let mut s = tiny_sample(3);
+        s.features.data_mut()[0] = f32::NAN;
+        let a = model.forward(&s, None);
+        let b = model.forward(&s, None);
+        assert_eq!(a.probs[0].to_bits(), b.probs[0].to_bits());
+        assert_eq!(a.probs[1].to_bits(), b.probs[1].to_bits());
     }
 
     #[test]

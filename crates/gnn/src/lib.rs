@@ -11,22 +11,25 @@
 //! Components:
 //!
 //! * [`Matrix`] — row-major dense matrix with the handful of products the
-//!   model needs.
+//!   model needs, each with an `_into` twin for buffer reuse.
 //! * [`GraphSample`] + [`sample::propagate`] — the normalised propagation
-//!   operator `S = D̃⁻¹(A+I)` of DGCNN's Eq. (4) and its adjoint.
+//!   operator `S = D̃⁻¹(A+I)` of DGCNN's Eq. (4) and its adjoint, as
+//!   cache-friendly kernels over flat [`Csr`] adjacency.
 //! * [`Dgcnn`] — the full model (graph convolutions, SortPooling, 1-D
 //!   convolutions, dense head) with hand-written backprop.
+//! * [`Workspace`] — reusable per-thread scratch for the zero-allocation
+//!   `forward_into`/`backward_into`/`predict_into` variants.
 //! * [`trainer::train`] — Adam minibatch loop with best-on-validation
-//!   selection.
+//!   selection, one workspace per rayon worker.
 //!
 //! # Example
 //!
 //! ```
-//! use muxlink_gnn::{Dgcnn, DgcnnConfig, GraphSample, Matrix};
+//! use muxlink_gnn::{Csr, Dgcnn, DgcnnConfig, GraphSample, Matrix};
 //!
 //! let model = Dgcnn::new(DgcnnConfig::paper(9, 10));
 //! let sample = GraphSample {
-//!     adj: vec![vec![1], vec![0]],
+//!     adj: Csr::from_lists(&[vec![1], vec![0]]),
 //!     features: Matrix::zeros(2, 9),
 //!     label: None,
 //! };
@@ -42,9 +45,12 @@ pub mod matrix;
 pub mod param;
 pub mod sample;
 pub mod trainer;
+pub mod workspace;
 
 pub use dgcnn::{Cache, Dgcnn, DgcnnConfig};
 pub use matrix::Matrix;
+pub use muxlink_graph::Csr;
 pub use param::{AdamConfig, Gradients, Param};
 pub use sample::GraphSample;
 pub use trainer::{evaluate, train, EpochStats, TrainConfig, TrainReport};
+pub use workspace::Workspace;

@@ -18,6 +18,13 @@ pub struct Matrix {
     data: Vec<f32>,
 }
 
+impl Default for Matrix {
+    /// The empty `0 × 0` matrix (a workspace slot before first use).
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
 impl fmt::Debug for Matrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Matrix({}x{})", self.rows, self.cols)?;
@@ -115,20 +122,68 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Reshapes in place to `rows × cols`, reusing the existing
+    /// allocation whenever its capacity suffices. All entries are reset
+    /// to zero — callers treat the result exactly like a fresh
+    /// [`Matrix::zeros`].
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        let len = rows * cols;
+        if len == self.data.len() {
+            // Fast path: same element count — one memset, no realloc.
+            self.data.fill(0.0);
+        } else {
+            self.data.clear();
+            self.data.resize(len, 0.0);
+        }
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Reshapes in place *without* clearing: existing entries keep stale
+    /// values. Only for buffers whose every entry the caller overwrites
+    /// before reading (row copies, `matmul_t_into`-style full writes) —
+    /// skipping the zeroing keeps fully-overwritten hot-loop buffers
+    /// free of redundant memset traffic.
+    pub fn resize_for_overwrite(&mut self, rows: usize, cols: usize) {
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Makes `self` a copy of `src`, reusing the existing allocation.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.resize_for_overwrite(src.rows, src.cols);
+        self.data.copy_from_slice(&src.data);
+    }
+
     /// Matrix product `self × rhs`.
     ///
     /// The three product kernels below are the hottest loops in the
     /// model; they iterate whole row slices (`chunks_exact` / `zip`) so
     /// the inner loops carry no per-element bounds checks or index
     /// arithmetic, and skip zero multipliers (common after ReLU).
+    /// Each has an `_into` twin that writes into a caller-owned buffer
+    /// (resized, allocation reused) with the identical summation order,
+    /// so the two variants are bit-for-bit interchangeable.
     ///
     /// # Panics
     ///
     /// Panics when inner dimensions disagree.
     #[must_use]
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul`] into a reusable output buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when inner dimensions disagree.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, rhs.rows, "matmul shape mismatch");
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        out.resize(self.rows, rhs.cols);
         for (lrow, orow) in self
             .data
             .chunks_exact(self.cols.max(1))
@@ -143,7 +198,6 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// `selfᵀ × rhs` without materialising the transpose.
@@ -153,8 +207,19 @@ impl Matrix {
     /// Panics when row counts disagree.
     #[must_use]
     pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.t_matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::t_matmul`] into a reusable output buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when row counts disagree.
+    pub fn t_matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, rhs.rows, "t_matmul shape mismatch");
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        out.resize(self.cols, rhs.cols);
         for (lrow, rrow) in self
             .data
             .chunks_exact(self.cols.max(1))
@@ -169,7 +234,6 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// `self × rhsᵀ` without materialising the transpose.
@@ -179,8 +243,20 @@ impl Matrix {
     /// Panics when column counts disagree.
     #[must_use]
     pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_t_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_t`] into a reusable output buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when column counts disagree.
+    pub fn matmul_t_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, rhs.cols, "matmul_t shape mismatch");
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        // Every output entry is written (`*o = s`), so no pre-zeroing.
+        out.resize_for_overwrite(self.rows, rhs.rows);
         for (lrow, orow) in self
             .data
             .chunks_exact(self.cols.max(1))
@@ -194,7 +270,6 @@ impl Matrix {
                 *o = s;
             }
         }
-        out
     }
 
     /// Transposed copy.
@@ -242,14 +317,22 @@ impl Matrix {
     /// Panics on shape mismatch.
     #[must_use]
     pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.hadamard_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::hadamard`] into a reusable output buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn hadamard_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
-        let data = self
-            .data
-            .iter()
-            .zip(&rhs.data)
-            .map(|(&a, &b)| a * b)
-            .collect();
-        Matrix::from_vec(self.rows, self.cols, data)
+        out.resize_for_overwrite(self.rows, self.cols);
+        for (o, (&a, &b)) in out.data.iter_mut().zip(self.data.iter().zip(&rhs.data)) {
+            *o = a * b;
+        }
     }
 
     /// Resets all entries to zero (reusing the allocation).
@@ -354,5 +437,43 @@ mod tests {
     fn norm_known() {
         let a = Matrix::from_vec(1, 2, vec![3., 4.]);
         assert!((a.norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn resize_reuses_and_zeroes() {
+        let mut a = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        a.resize(1, 3);
+        assert_eq!((a.rows(), a.cols()), (1, 3));
+        assert_eq!(a.data(), &[0.0, 0.0, 0.0]);
+        a.resize(3, 2);
+        assert_eq!(a.data(), &[0.0; 6]);
+    }
+
+    #[test]
+    fn copy_from_matches_clone() {
+        let mut rng = seeded_rng(5);
+        let src = Matrix::glorot(3, 4, &mut rng);
+        let mut dst = Matrix::zeros(1, 1);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn into_variants_are_bit_identical_to_allocating_ones() {
+        let mut rng = seeded_rng(6);
+        let a = Matrix::glorot(4, 3, &mut rng);
+        let b = Matrix::glorot(3, 5, &mut rng);
+        let c = Matrix::glorot(4, 5, &mut rng);
+        let d = Matrix::glorot(6, 3, &mut rng);
+        // Dirty, wrongly-shaped buffers must not leak into results.
+        let mut out = Matrix::from_vec(1, 2, vec![7.0, 7.0]);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        a.t_matmul_into(&c, &mut out);
+        assert_eq!(out, a.t_matmul(&c));
+        a.matmul_t_into(&d, &mut out);
+        assert_eq!(out, a.matmul_t(&d));
+        a.hadamard_into(&a, &mut out);
+        assert_eq!(out, a.hadamard(&a));
     }
 }

@@ -47,15 +47,20 @@ impl Param {
         );
         let b1t = 1.0 - opt.beta1.powi(t as i32);
         let b2t = 1.0 - opt.beta2.powi(t as i32);
-        for i in 0..self.w.data().len() {
-            let g = grad.data()[i] * scale;
-            let m = opt.beta1 * self.m.data()[i] + (1.0 - opt.beta1) * g;
-            let v = opt.beta2 * self.v.data()[i] + (1.0 - opt.beta2) * g * g;
-            self.m.data_mut()[i] = m;
-            self.v.data_mut()[i] = v;
-            let mhat = m / b1t;
-            let vhat = v / b2t;
-            self.w.data_mut()[i] -= opt.lr * mhat / (vhat.sqrt() + opt.eps);
+        let Self { w, m, v } = self;
+        for (((w, m), v), &g0) in w
+            .data_mut()
+            .iter_mut()
+            .zip(m.data_mut().iter_mut())
+            .zip(v.data_mut().iter_mut())
+            .zip(grad.data())
+        {
+            let g = g0 * scale;
+            *m = opt.beta1 * *m + (1.0 - opt.beta1) * g;
+            *v = opt.beta2 * *v + (1.0 - opt.beta2) * g * g;
+            let mhat = *m / b1t;
+            let vhat = *v / b2t;
+            *w -= opt.lr * mhat / (vhat.sqrt() + opt.eps);
         }
     }
 }
@@ -79,6 +84,23 @@ impl Gradients {
     #[must_use]
     pub fn tensors(&self) -> &[Matrix] {
         &self.tensors
+    }
+
+    /// Mutable view of the gradient tensors (canonical order) — the
+    /// write target of `Dgcnn::backward_into`.
+    pub fn tensors_mut(&mut self) -> &mut [Matrix] {
+        &mut self.tensors
+    }
+
+    /// Makes `self` an exact copy of `other`, reusing existing tensor
+    /// allocations (the start of a deterministic minibatch reduction:
+    /// copy sample 0, then [`Gradients::merge`] the rest in order).
+    pub fn copy_from(&mut self, other: &Gradients) {
+        self.tensors
+            .resize_with(other.tensors.len(), Matrix::default);
+        for (a, b) in self.tensors.iter_mut().zip(&other.tensors) {
+            a.copy_from(b);
+        }
     }
 
     /// Accumulates `other` into `self` element-wise.

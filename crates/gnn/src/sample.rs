@@ -1,13 +1,32 @@
 //! Model-facing input type and the normalised graph-propagation operator.
+//!
+//! Adjacency is flat CSR ([`Csr`]): two dense arrays (row offsets +
+//! neighbour indices) plus precomputed `1/(1 + deg)` scales. The
+//! propagation kernels walk those arrays linearly — no per-node `Vec`
+//! indirection — and have `_into` variants that write into reusable
+//! buffers for the zero-allocation scoring path.
+//!
+//! # Determinism contract
+//!
+//! [`propagate`] sums each node's own feature row first, then its
+//! neighbours' rows in ascending neighbour order (the order [`Csr`]
+//! stores); [`propagate_back`] scatters in ascending node order. The
+//! summation order is a pure function of the graph, so outputs are
+//! bit-identical across runs, thread counts and buffer reuse. The
+//! adjacency-list reference implementations ([`propagate_ref`],
+//! [`propagate_back_ref`]) define this order; the property suite asserts
+//! exact equality between the CSR kernels and the references.
+
+use muxlink_graph::Csr;
 
 use crate::matrix::Matrix;
 
-/// One graph-classification example: local adjacency lists plus a node
+/// One graph-classification example: flat CSR adjacency plus a node
 /// feature matrix (and, for training, a binary label).
 #[derive(Debug, Clone)]
 pub struct GraphSample {
-    /// Sorted adjacency lists over local node indices.
-    pub adj: Vec<Vec<u32>>,
+    /// CSR adjacency over local node indices (sorted neighbour runs).
+    pub adj: Csr,
     /// `n × d` node features.
     pub features: Matrix,
     /// Class label (`true` = positive/link) when known.
@@ -18,7 +37,7 @@ impl GraphSample {
     /// Number of nodes.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.adj.len()
+        self.adj.node_count()
     }
 }
 
@@ -26,14 +45,85 @@ impl GraphSample {
 /// each output row is the degree-normalised sum of the node's own row and
 /// its neighbours' rows.
 #[must_use]
-pub fn propagate(adj: &[Vec<u32>], h: &Matrix) -> Matrix {
+pub fn propagate(adj: &Csr, h: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(0, 0);
+    propagate_into(adj, h, &mut out);
+    out
+}
+
+/// [`propagate`] into a reusable output buffer (resized in place).
+///
+/// # Panics
+///
+/// Panics when `h` has a different row count than the graph.
+pub fn propagate_into(adj: &Csr, h: &Matrix, out: &mut Matrix) {
+    let n = adj.node_count();
+    let c = h.cols();
+    assert_eq!(h.rows(), n);
+    // Every output row starts from a full copy of the node's own row, so
+    // no pre-zeroing is needed.
+    out.resize_for_overwrite(n, c);
+    for i in 0..n {
+        let orow = out.row_mut(i);
+        // Own row first, then neighbours in ascending order.
+        orow.copy_from_slice(h.row(i));
+        for &j in adj.neighbors(i) {
+            for (o, &b) in orow.iter_mut().zip(h.row(j as usize)) {
+                *o += b;
+            }
+        }
+        let scale = adj.scale(i);
+        for o in orow {
+            *o *= scale;
+        }
+    }
+}
+
+/// Applies `Sᵀ·G` — the adjoint of [`propagate`], needed for
+/// backpropagation: `dH = Sᵀ·dY`.
+#[must_use]
+pub fn propagate_back(adj: &Csr, g: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(0, 0);
+    propagate_back_into(adj, g, &mut out);
+    out
+}
+
+/// [`propagate_back`] into a reusable output buffer (resized in place).
+///
+/// # Panics
+///
+/// Panics when `g` has a different row count than the graph.
+pub fn propagate_back_into(adj: &Csr, g: &Matrix, out: &mut Matrix) {
+    let n = adj.node_count();
+    let c = g.cols();
+    assert_eq!(g.rows(), n);
+    out.resize(n, c);
+    for i in 0..n {
+        let scale = adj.scale(i);
+        // Row i of G, scaled, lands on node i itself and its neighbours.
+        let grow = g.row(i);
+        for (o, &v) in out.row_mut(i).iter_mut().zip(grow) {
+            *o += v * scale;
+        }
+        for &j in adj.neighbors(i) {
+            for (o, &v) in out.row_mut(j as usize).iter_mut().zip(grow) {
+                *o += v * scale;
+            }
+        }
+    }
+}
+
+/// Adjacency-list reference implementation of [`propagate`] — retained as
+/// the executable specification the CSR kernel is property-tested against
+/// (exact bitwise equality).
+#[must_use]
+pub fn propagate_ref(adj: &[Vec<u32>], h: &Matrix) -> Matrix {
     let n = adj.len();
     let c = h.cols();
     assert_eq!(h.rows(), n);
     let mut out = Matrix::zeros(n, c);
     for (i, nbrs) in adj.iter().enumerate() {
         let scale = 1.0 / (1.0 + nbrs.len() as f32);
-        // Own row.
         let mut acc: Vec<f32> = h.row(i).to_vec();
         for &j in nbrs {
             for (a, &b) in acc.iter_mut().zip(h.row(j as usize)) {
@@ -47,17 +137,16 @@ pub fn propagate(adj: &[Vec<u32>], h: &Matrix) -> Matrix {
     out
 }
 
-/// Applies `Sᵀ·G` — the adjoint of [`propagate`], needed for
-/// backpropagation: `dH = Sᵀ·dY`.
+/// Adjacency-list reference implementation of [`propagate_back`] (see
+/// [`propagate_ref`]).
 #[must_use]
-pub fn propagate_back(adj: &[Vec<u32>], g: &Matrix) -> Matrix {
+pub fn propagate_back_ref(adj: &[Vec<u32>], g: &Matrix) -> Matrix {
     let n = adj.len();
     let c = g.cols();
     assert_eq!(g.rows(), n);
     let mut out = Matrix::zeros(n, c);
     for (i, nbrs) in adj.iter().enumerate() {
         let scale = 1.0 / (1.0 + nbrs.len() as f32);
-        // Row i of G, scaled, lands on node i itself and its neighbours.
         let grow: Vec<f32> = g.row(i).iter().map(|&x| x * scale).collect();
         for (o, &v) in out.row_mut(i).iter_mut().zip(&grow) {
             *o += v;
@@ -76,8 +165,8 @@ mod tests {
     use super::*;
     use crate::matrix::seeded_rng;
 
-    fn path_adj() -> Vec<Vec<u32>> {
-        vec![vec![1], vec![0, 2], vec![1]]
+    fn path_adj() -> Csr {
+        Csr::from_lists(&[vec![1], vec![0, 2], vec![1]])
     }
 
     #[test]
@@ -93,7 +182,7 @@ mod tests {
     #[test]
     fn propagate_back_is_adjoint() {
         // <S·H, G> must equal <H, Sᵀ·G> for random H, G.
-        let adj = vec![vec![1, 2], vec![0], vec![0, 3], vec![2]];
+        let adj = Csr::from_lists(&[vec![1, 2], vec![0], vec![0, 3], vec![2]]);
         let mut rng = seeded_rng(3);
         let h = Matrix::glorot(4, 3, &mut rng);
         let g = Matrix::glorot(4, 3, &mut rng);
@@ -106,9 +195,38 @@ mod tests {
 
     #[test]
     fn isolated_node_keeps_own_features() {
-        let adj = vec![vec![], vec![]];
+        let adj = Csr::from_lists(&[vec![], vec![]]);
         let h = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
         let p = propagate(&adj, &h);
         assert_eq!(p, h);
+    }
+
+    #[test]
+    fn csr_kernels_match_reference_bitwise() {
+        let lists = vec![vec![1, 2, 4], vec![0, 3], vec![0], vec![1, 4], vec![0, 3]];
+        let adj = Csr::from_lists(&lists);
+        let mut rng = seeded_rng(11);
+        let h = Matrix::glorot(5, 7, &mut rng);
+        assert_eq!(propagate(&adj, &h), propagate_ref(&lists, &h));
+        assert_eq!(propagate_back(&adj, &h), propagate_back_ref(&lists, &h));
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers_bit_identically() {
+        let adj = Csr::from_lists(&[vec![1], vec![0, 2], vec![1]]);
+        let mut rng = seeded_rng(4);
+        let h = Matrix::glorot(3, 5, &mut rng);
+        let fresh = propagate(&adj, &h);
+        // A dirty, wrongly-shaped buffer must converge to the same bits.
+        let mut reused = Matrix::from_vec(1, 2, vec![9.0, 9.0]);
+        for _ in 0..3 {
+            propagate_into(&adj, &h, &mut reused);
+            assert_eq!(reused, fresh);
+        }
+        let fresh_back = propagate_back(&adj, &h);
+        for _ in 0..3 {
+            propagate_back_into(&adj, &h, &mut reused);
+            assert_eq!(reused, fresh_back);
+        }
     }
 }

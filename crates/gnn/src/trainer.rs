@@ -5,10 +5,22 @@
 //! # Parallelism and determinism
 //!
 //! Each minibatch member's forward/backward runs on the ambient rayon
-//! pool (size it with `rayon::ThreadPool::install`); per-sample
-//! [`Gradients`](crate::param::Gradients) are then reduced **in sample
-//! order** and dropout seeds are pre-drawn sequentially from the
-//! training RNG, so the result is bit-identical for any thread count.
+//! pool (size it with `rayon::ThreadPool::install`), with one reused
+//! [`Workspace`](crate::workspace::Workspace) per worker so the
+//! activation and scratch buffers allocate once per thread, not once
+//! per sample. Each sample writes its
+//! [`Gradients`](crate::param::Gradients) into a pre-sized slot of a
+//! batch-wide pool that is reused across every batch of the run — the
+//! steady-state batch loop performs **no per-sample gradient or
+//! activation allocations** (the per-sample gradient tensors it
+//! replaced sat above malloc's mmap threshold and cost a page-fault
+//! storm per batch; only small per-batch bookkeeping `Vec`s remain).
+//! Slots are then
+//! reduced **in sample order** and dropout seeds are pre-drawn
+//! sequentially from the training RNG, so the result is bit-identical
+//! for any thread count: keeping one slot per sample — rather than
+//! merging inside the workers — is what preserves the fixed reduction
+//! order.
 
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -19,6 +31,7 @@ use crate::dgcnn::Dgcnn;
 use crate::matrix::seeded_rng;
 use crate::param::AdamConfig;
 use crate::sample::GraphSample;
+use crate::workspace::Workspace;
 
 /// Training-loop hyper-parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -73,15 +86,16 @@ pub struct TrainReport {
 /// dropout). Samples without labels are skipped.
 #[must_use]
 pub fn evaluate(model: &Dgcnn, samples: &[GraphSample]) -> (f64, f64) {
-    // Parallel forward passes; the reduction below runs in sample order,
-    // so the reported loss is independent of the thread count.
+    // Parallel forward passes (one reused workspace per worker); the
+    // reduction below runs in sample order, so the reported loss is
+    // independent of the thread count.
     let per_sample: Vec<Option<(f64, bool)>> = samples
         .par_iter()
-        .map(|s| {
+        .map_init(Workspace::new, |ws, s| {
             s.label.map(|label| {
-                let cache = model.forward(s, None);
-                let hit = (cache.link_probability() >= 0.5) == label;
-                (f64::from(cache.loss(label)), hit)
+                model.forward_into(s, None, ws);
+                let hit = (ws.cache.link_probability() >= 0.5) == label;
+                (f64::from(ws.cache.loss(label)), hit)
             })
         })
         .collect();
@@ -119,6 +133,14 @@ pub fn train(
     let mut history = Vec::with_capacity(cfg.epochs);
     let mut best: Option<(usize, f64, f64, Vec<crate::matrix::Matrix>)> = None;
     let mut step = 0usize;
+    // Pre-sized per-batch gradient slots and the reduction accumulator,
+    // reused across every batch of the run: the backward pass fully
+    // overwrites its slot, so no per-sample gradient allocation ever
+    // happens. (Keeping one slot per sample — rather than merging inside
+    // the workers — is what preserves the fixed sample-order reduction.)
+    let mut grad_slots: Vec<crate::param::Gradients> =
+        (0..cfg.batch_size).map(|_| model.new_gradients()).collect();
+    let mut acc = model.new_gradients();
 
     for epoch in 1..=cfg.epochs {
         order.shuffle(&mut rng);
@@ -137,30 +159,33 @@ pub fn train(
                 continue;
             }
             // Per-sample forward/backward in parallel against frozen
-            // weights; `collect` preserves job order.
+            // weights, each worker streaming through one reused
+            // workspace and writing gradients into its sample's slot;
+            // `collect` preserves job order.
             let frozen: &Dgcnn = model;
-            let results: Vec<(f64, crate::param::Gradients)> = jobs
-                .par_iter()
-                .map(|&(i, dropout_seed)| {
+            let losses: Vec<f64> = grad_slots[..jobs.len()]
+                .par_iter_mut()
+                .zip(jobs.par_iter())
+                .map_init(Workspace::new, |ws, (grads, &(i, dropout_seed))| {
                     let s = &train[i];
                     let label = s.label.expect("jobs are pre-filtered to labelled samples");
                     let mut dropout_rng = seeded_rng(dropout_seed);
-                    let cache = frozen.forward(s, Some(&mut dropout_rng));
-                    let loss = f64::from(cache.loss(label));
-                    (loss, frozen.backward(s, &cache, label))
+                    frozen.forward_into(s, Some(&mut dropout_rng), ws);
+                    frozen.backward_into(s, label, ws, grads);
+                    f64::from(ws.cache.loss(label))
                 })
                 .collect();
             // Deterministic reduction: fold losses and gradients in
             // sample order, independent of which thread produced them.
-            let mut results = results.into_iter();
-            let (first_loss, mut grads) = results.next().expect("non-empty batch");
-            epoch_loss += first_loss;
-            for (loss, g) in results {
+            for loss in &losses {
                 epoch_loss += loss;
-                grads.merge(&g);
+            }
+            acc.copy_from(&grad_slots[0]);
+            for g in &grad_slots[1..jobs.len()] {
+                acc.merge(g);
             }
             step += 1;
-            model.adam_step(&grads, &cfg.adam, step, 1.0 / jobs.len() as f32);
+            model.adam_step(&acc, &cfg.adam, step, 1.0 / jobs.len() as f32);
             seen += jobs.len();
         }
         let train_loss = if seen == 0 {
@@ -221,7 +246,8 @@ mod tests {
         (0..n)
             .map(|_| {
                 let label = rng.gen::<bool>();
-                let adj = vec![vec![1], vec![0, 2], vec![1, 3], vec![2]];
+                let adj =
+                    muxlink_graph::Csr::from_lists(&[vec![1], vec![0, 2], vec![1, 3], vec![2]]);
                 let mut features = Matrix::zeros(4, 4);
                 for i in 0..4 {
                     features.set(i, 0, 1.0);

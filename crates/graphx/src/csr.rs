@@ -1,0 +1,337 @@
+//! Flat compressed-sparse-row (CSR) adjacency — the shared graph layout of
+//! the whole pipeline.
+//!
+//! Every graph in the attack (the full circuit graph, every enclosing
+//! subgraph, every GNN input sample) stores its adjacency as two flat
+//! vectors: `offsets[i]..offsets[i + 1]` indexes node `i`'s neighbour run
+//! inside `neighbors`. Compared to `Vec<Vec<u32>>` this removes one heap
+//! allocation *per node* and one pointer chase per row — on the
+//! single-core scoring path, where thousands of subgraphs stream through
+//! the DGCNN per attack, allocation pressure and cache misses are the
+//! dominant cost.
+//!
+//! The per-node propagation scale `1/(1 + deg)` of the DGCNN operator
+//! `S = D̃⁻¹(A + I)` is precomputed at construction so the hot kernels
+//! never recompute degrees.
+//!
+//! # Determinism contract
+//!
+//! A [`Csr`] stores each neighbour run **sorted ascending and
+//! deduplicated**; [`CsrBuilder::push_node`] and [`Csr::from_lists`]
+//! normalise their input. Iteration order over neighbours is therefore a
+//! pure function of the graph, never of construction order, thread count
+//! or hash state — the GNN kernels sum in this order, which is what keeps
+//! scores bit-identical across runs and thread counts.
+
+use serde::{Deserialize, Serialize};
+
+/// Flat CSR adjacency with precomputed `1/(1 + deg)` propagation scales.
+///
+/// See the [module docs](self) for the layout and determinism contract.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Csr {
+    /// `node_count() + 1` row offsets into `neighbors`.
+    offsets: Vec<u32>,
+    /// Concatenated neighbour runs, each sorted ascending, deduplicated.
+    neighbors: Vec<u32>,
+    /// Per-node `1/(1 + degree)` — the DGCNN propagation scale.
+    scales: Vec<f32>,
+}
+
+impl Default for Csr {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl Csr {
+    /// The zero-node graph.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            offsets: vec![0],
+            neighbors: Vec::new(),
+            scales: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges (each stored in both directions).
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Total stored neighbour entries (`Σ degree`).
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// True when the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.node_count() == 0
+    }
+
+    /// Degree of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    #[must_use]
+    pub fn degree(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Sorted neighbour run of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    #[must_use]
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        &self.neighbors[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Precomputed propagation scale `1/(1 + degree(i))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    #[must_use]
+    pub fn scale(&self, i: usize) -> f32 {
+        self.scales[i]
+    }
+
+    /// Whether the edge `(a, b)` is present (binary search on the sorted
+    /// run).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a` is out of range.
+    #[must_use]
+    pub fn contains_edge(&self, a: u32, b: u32) -> bool {
+        self.neighbors(a as usize).binary_search(&b).is_ok()
+    }
+
+    /// Iterator over the neighbour run of every node, in node order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        self.offsets
+            .windows(2)
+            .map(move |w| &self.neighbors[w[0] as usize..w[1] as usize])
+    }
+
+    /// Builds from per-node adjacency lists, normalising each list
+    /// (sort + dedup) per the determinism contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a neighbour index is out of range.
+    #[must_use]
+    pub fn from_lists(lists: &[Vec<u32>]) -> Self {
+        let mut b = CsrBuilder::with_capacity(lists.len(), lists.iter().map(Vec::len).sum());
+        for row in lists {
+            b.push_node(row.iter().copied());
+        }
+        b.finish()
+    }
+
+    /// Expands back into per-node adjacency lists (test/debug helper; the
+    /// inverse of [`Csr::from_lists`] for already-normalised input).
+    #[must_use]
+    pub fn to_lists(&self) -> Vec<Vec<u32>> {
+        self.iter().map(<[u32]>::to_vec).collect()
+    }
+
+    /// Builds from `n` nodes and directed pairs that are already sorted by
+    /// `(a, b)` and deduplicated — each undirected edge must appear in
+    /// both directions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a pair is out of range or the input is unsorted.
+    #[must_use]
+    pub fn from_sorted_pairs(n: usize, pairs: &[(u32, u32)]) -> Self {
+        let mut b = CsrBuilder::with_capacity(n, pairs.len());
+        let mut it = pairs.iter().copied().peekable();
+        for i in 0..n as u32 {
+            let start = b.neighbors.len();
+            while let Some(&(a, bb)) = it.peek() {
+                if a != i {
+                    assert!(a > i, "pairs must be sorted by source node");
+                    break;
+                }
+                b.neighbors.push(bb);
+                it.next();
+            }
+            debug_assert!(b.neighbors[start..].windows(2).all(|w| w[0] < w[1]));
+            b.offsets.push(b.neighbors.len() as u32);
+        }
+        assert!(it.next().is_none(), "pair source node out of range");
+        b.finish()
+    }
+}
+
+/// Incremental [`Csr`] construction, one node at a time.
+///
+/// Rows are appended in node order into the flat buffers — no per-node
+/// heap allocation. Each pushed run is normalised in place (sorted,
+/// deduplicated), so the finished CSR honours the determinism contract
+/// regardless of the order neighbours were discovered in.
+#[derive(Debug, Clone)]
+pub struct CsrBuilder {
+    offsets: Vec<u32>,
+    neighbors: Vec<u32>,
+}
+
+impl CsrBuilder {
+    /// Builder pre-sized for `nodes` nodes and `entries` neighbour
+    /// entries.
+    #[must_use]
+    pub fn with_capacity(nodes: usize, entries: usize) -> Self {
+        let mut offsets = Vec::with_capacity(nodes + 1);
+        offsets.push(0);
+        Self {
+            offsets,
+            neighbors: Vec::with_capacity(entries),
+        }
+    }
+
+    /// Number of nodes pushed so far.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Appends the next node's neighbours (any order, duplicates allowed;
+    /// normalised here).
+    pub fn push_node(&mut self, nbrs: impl IntoIterator<Item = u32>) {
+        let start = *self.offsets.last().expect("offsets never empty") as usize;
+        self.neighbors.extend(nbrs);
+        let seg = &mut self.neighbors[start..];
+        seg.sort_unstable();
+        // In-place dedup of the new segment.
+        let mut keep = 0usize;
+        for i in 0..seg.len() {
+            if i == 0 || seg[i] != seg[keep - 1] {
+                seg[keep] = seg[i];
+                keep += 1;
+            }
+        }
+        self.neighbors.truncate(start + keep);
+        self.offsets.push(self.neighbors.len() as u32);
+    }
+
+    /// Finalises the CSR, computing the propagation scales.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any neighbour index is `>=` the number of pushed nodes.
+    #[must_use]
+    pub fn finish(self) -> Csr {
+        let n = self.offsets.len() - 1;
+        assert!(
+            self.neighbors.iter().all(|&j| (j as usize) < n),
+            "neighbour index out of range"
+        );
+        let scales = self
+            .offsets
+            .windows(2)
+            .map(|w| 1.0 / (1.0 + (w[1] - w[0]) as f32))
+            .collect();
+        Csr {
+            offsets: self.offsets,
+            neighbors: self.neighbors,
+            scales,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_lists_round_trips() {
+        let lists = vec![vec![1, 2], vec![0], vec![0, 3], vec![2]];
+        let csr = Csr::from_lists(&lists);
+        assert_eq!(csr.node_count(), 4);
+        assert_eq!(csr.edge_count(), 3);
+        assert_eq!(csr.to_lists(), lists);
+    }
+
+    #[test]
+    fn builder_normalises_rows() {
+        let mut b = CsrBuilder::with_capacity(2, 4);
+        b.push_node([1, 1, 1]);
+        b.push_node([0, 0]);
+        let csr = b.finish();
+        assert_eq!(csr.neighbors(0), &[1]);
+        assert_eq!(csr.neighbors(1), &[0]);
+        assert_eq!(csr.degree(0), 1);
+    }
+
+    #[test]
+    fn scales_are_inverse_one_plus_degree() {
+        let csr = Csr::from_lists(&[vec![1, 2], vec![0], vec![0], vec![]]);
+        assert_eq!(csr.scale(0), 1.0 / 3.0);
+        assert_eq!(csr.scale(1), 0.5);
+        assert_eq!(csr.scale(3), 1.0);
+    }
+
+    #[test]
+    fn contains_edge_uses_sorted_runs() {
+        let csr = Csr::from_lists(&[vec![2, 1], vec![0], vec![0]]);
+        assert!(csr.contains_edge(0, 1));
+        assert!(csr.contains_edge(0, 2));
+        assert!(!csr.contains_edge(1, 2));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = Csr::empty();
+        assert!(csr.is_empty());
+        assert_eq!(csr.node_count(), 0);
+        assert_eq!(csr.edge_count(), 0);
+        assert_eq!(Csr::default(), csr);
+    }
+
+    #[test]
+    fn from_sorted_pairs_matches_from_lists() {
+        let lists = vec![vec![1, 3], vec![0, 2], vec![1], vec![0]];
+        let mut pairs = Vec::new();
+        for (i, row) in lists.iter().enumerate() {
+            for &j in row {
+                pairs.push((i as u32, j));
+            }
+        }
+        assert_eq!(Csr::from_sorted_pairs(4, &pairs), Csr::from_lists(&lists));
+    }
+
+    #[test]
+    fn iter_yields_rows_in_node_order() {
+        let csr = Csr::from_lists(&[vec![1], vec![0, 2], vec![1]]);
+        let rows: Vec<&[u32]> = csr.iter().collect();
+        assert_eq!(rows, vec![&[1][..], &[0, 2][..], &[1][..]]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let csr = Csr::from_lists(&[vec![1], vec![0]]);
+        let json = serde_json::to_string(&csr).unwrap();
+        let back: Csr = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, csr);
+    }
+
+    #[test]
+    #[should_panic(expected = "neighbour index out of range")]
+    fn out_of_range_neighbour_rejected() {
+        let _ = Csr::from_lists(&[vec![5]]);
+    }
+}

@@ -180,7 +180,7 @@ mod tests {
         for s in ds.train.iter().chain(&ds.val) {
             let (lf, lg) = s.subgraph.target;
             assert!(
-                !s.subgraph.adj[lf as usize].contains(&lg),
+                !s.subgraph.adj.contains_edge(lf, lg),
                 "target edge leaked into subgraph"
             );
         }

@@ -7,6 +7,8 @@
 
 use std::collections::VecDeque;
 
+use crate::csr::Csr;
+
 /// Distance value for "no path".
 pub const UNREACHABLE: u32 = u32::MAX;
 
@@ -29,12 +31,12 @@ pub fn drnl_label(df: u32, dg: u32) -> u32 {
     1 + df.min(dg) + (half * (half + rem)).saturating_sub(half)
 }
 
-/// BFS distances from `source` over local adjacency lists, with the node
+/// BFS distances from `source` over a CSR adjacency, with the node
 /// `removed` treated as absent (the "double radius" convention: distances
 /// to one target are measured with the other target removed).
 #[must_use]
-pub fn bfs_without(adj: &[Vec<u32>], source: u32, removed: u32) -> Vec<u32> {
-    let mut dist = vec![UNREACHABLE; adj.len()];
+pub fn bfs_without(adj: &Csr, source: u32, removed: u32) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; adj.node_count()];
     if source == removed {
         return dist;
     }
@@ -42,7 +44,7 @@ pub fn bfs_without(adj: &[Vec<u32>], source: u32, removed: u32) -> Vec<u32> {
     dist[source as usize] = 0;
     q.push_back(source);
     while let Some(u) = q.pop_front() {
-        for &v in &adj[u as usize] {
+        for &v in adj.neighbors(u as usize) {
             if v == removed || dist[v as usize] != UNREACHABLE {
                 continue;
             }
@@ -56,10 +58,10 @@ pub fn bfs_without(adj: &[Vec<u32>], source: u32, removed: u32) -> Vec<u32> {
 /// Computes DRNL labels for every node of a subgraph whose targets are the
 /// local nodes `f` and `g`. Targets are labelled 1.
 #[must_use]
-pub fn compute_labels(adj: &[Vec<u32>], f: u32, g: u32) -> Vec<u32> {
+pub fn compute_labels(adj: &Csr, f: u32, g: u32) -> Vec<u32> {
     let df = bfs_without(adj, f, g);
     let dg = bfs_without(adj, g, f);
-    (0..adj.len() as u32)
+    (0..adj.node_count() as u32)
         .map(|j| {
             if j == f || j == g {
                 1
@@ -108,7 +110,7 @@ mod tests {
     #[test]
     fn bfs_respects_removed_node() {
         // Path 0-1-2-3; removing node 1 disconnects 0 from the rest.
-        let adj = vec![vec![1], vec![0, 2], vec![1, 3], vec![2]];
+        let adj = Csr::from_lists(&[vec![1], vec![0, 2], vec![1, 3], vec![2]]);
         let d = bfs_without(&adj, 0, 1);
         assert_eq!(d[0], 0);
         assert_eq!(d[2], UNREACHABLE);
@@ -122,7 +124,7 @@ mod tests {
         // f=0, g=3 on a path 0-1-2-3: node 1 has df=1 (g removed), dg=2
         // (f removed)... but removing f disconnects 1 from g? No: 1-2-3
         // remains. df(1)=1, dg(1)=2 -> label 1+1+1=3 (d=3).
-        let adj = vec![vec![1], vec![0, 2], vec![1, 3], vec![2]];
+        let adj = Csr::from_lists(&[vec![1], vec![0, 2], vec![1, 3], vec![2]]);
         let labels = compute_labels(&adj, 0, 3);
         assert_eq!(labels[0], 1);
         assert_eq!(labels[3], 1);
@@ -132,7 +134,7 @@ mod tests {
 
     #[test]
     fn isolated_node_gets_zero() {
-        let adj = vec![vec![1], vec![0], vec![]];
+        let adj = Csr::from_lists(&[vec![1], vec![0], vec![]]);
         let labels = compute_labels(&adj, 0, 1);
         assert_eq!(labels[2], 0);
     }

@@ -6,6 +6,8 @@
 use muxlink_netlist::{GateId, GateType};
 use serde::{Deserialize, Serialize};
 
+use crate::csr::Csr;
+
 /// An (unordered) candidate or observed link between two graph nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Link {
@@ -34,27 +36,27 @@ pub struct CircuitGraph {
     pub gate_of_node: Vec<GateId>,
     /// Per-node gate type (always one of [`GateType::ENCODED`]).
     pub gate_types: Vec<GateType>,
-    /// Sorted adjacency lists over node indices.
-    pub adj: Vec<Vec<u32>>,
+    /// Flat CSR adjacency (sorted, deduplicated neighbour runs).
+    pub adj: Csr,
 }
 
 impl CircuitGraph {
     /// Number of nodes (gates).
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.adj.len()
+        self.adj.node_count()
     }
 
     /// Number of undirected edges.
     #[must_use]
     pub fn edge_count(&self) -> usize {
-        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+        self.adj.edge_count()
     }
 
     /// Whether an edge between `a` and `b` is present.
     #[must_use]
     pub fn has_edge(&self, a: u32, b: u32) -> bool {
-        self.adj[a as usize].binary_search(&b).is_ok()
+        self.adj.contains_edge(a, b)
     }
 
     /// All edges as canonical [`Link`]s, sorted.
@@ -80,22 +82,20 @@ impl CircuitGraph {
     ) -> Self {
         let n = gate_of_node.len();
         assert_eq!(n, gate_types.len());
-        let mut adj = vec![Vec::new(); n];
+        let mut pairs = Vec::with_capacity(edges.len() * 2);
         for l in edges {
             if l.a == l.b {
                 continue;
             }
-            adj[l.a as usize].push(l.b);
-            adj[l.b as usize].push(l.a);
+            pairs.push((l.a, l.b));
+            pairs.push((l.b, l.a));
         }
-        for list in &mut adj {
-            list.sort_unstable();
-            list.dedup();
-        }
+        pairs.sort_unstable();
+        pairs.dedup();
         Self {
             gate_of_node,
             gate_types,
-            adj,
+            adj: Csr::from_sorted_pairs(n, &pairs),
         }
     }
 

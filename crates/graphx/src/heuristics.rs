@@ -66,7 +66,7 @@ impl Heuristic {
             Heuristic::CommonNeighbors => common(graph, a, b).len() as f64,
             Heuristic::Jaccard => {
                 let c = common(graph, a, b).len() as f64;
-                let union = graph.adj[a as usize].len() + graph.adj[b as usize].len();
+                let union = graph.adj.degree(a as usize) + graph.adj.degree(b as usize);
                 // Union counts shared nodes twice; never count the target
                 // edge endpoints themselves.
                 let u = union as f64 - c;
@@ -79,7 +79,7 @@ impl Heuristic {
             Heuristic::AdamicAdar => common(graph, a, b)
                 .iter()
                 .map(|&z| {
-                    let d = graph.adj[z as usize].len() as f64;
+                    let d = graph.adj.degree(z as usize) as f64;
                     if d > 1.0 {
                         1.0 / d.ln()
                     } else {
@@ -90,7 +90,7 @@ impl Heuristic {
             Heuristic::ResourceAllocation => common(graph, a, b)
                 .iter()
                 .map(|&z| {
-                    let d = graph.adj[z as usize].len() as f64;
+                    let d = graph.adj.degree(z as usize) as f64;
                     if d > 0.0 {
                         1.0 / d
                     } else {
@@ -99,7 +99,7 @@ impl Heuristic {
                 })
                 .sum(),
             Heuristic::PreferentialAttachment => {
-                (graph.adj[a as usize].len() * graph.adj[b as usize].len()) as f64
+                (graph.adj.degree(a as usize) * graph.adj.degree(b as usize)) as f64
             }
             Heuristic::InverseDistance => match distance_skipping_edge(graph, a, b) {
                 Some(d) if d > 0 => 1.0 / d as f64,
@@ -111,7 +111,10 @@ impl Heuristic {
 
 /// Shared neighbours of `a` and `b` (sorted adjacency intersection).
 fn common(graph: &CircuitGraph, a: u32, b: u32) -> Vec<u32> {
-    let (la, lb) = (&graph.adj[a as usize], &graph.adj[b as usize]);
+    let (la, lb) = (
+        graph.adj.neighbors(a as usize),
+        graph.adj.neighbors(b as usize),
+    );
     let mut out = Vec::new();
     let (mut i, mut j) = (0, 0);
     while i < la.len() && j < lb.len() {
@@ -135,7 +138,7 @@ fn distance_skipping_edge(graph: &CircuitGraph, a: u32, b: u32) -> Option<usize>
     dist[a as usize] = 0;
     q.push_back(a);
     while let Some(u) = q.pop_front() {
-        for &v in &graph.adj[u as usize] {
+        for &v in graph.adj.neighbors(u as usize) {
             if (u == a && v == b) || (u == b && v == a) {
                 continue;
             }

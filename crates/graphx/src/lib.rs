@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod csr;
 pub mod dataset;
 pub mod drnl;
 pub mod extract;
@@ -30,6 +31,7 @@ pub mod heuristics;
 pub mod sampling;
 pub mod subgraph;
 
+pub use csr::{Csr, CsrBuilder};
 pub use dataset::{build_dataset, Dataset, LinkSample};
 pub use extract::{extract, ExtractError, ExtractedDesign, MuxCandidate};
 pub use graph::{CircuitGraph, Link};

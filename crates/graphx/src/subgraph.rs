@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 use muxlink_netlist::GateType;
 use serde::{Deserialize, Serialize};
 
+use crate::csr::{Csr, CsrBuilder};
 use crate::drnl;
 use crate::graph::{CircuitGraph, Link};
 
@@ -14,8 +15,8 @@ use crate::graph::{CircuitGraph, Link};
 pub struct Subgraph {
     /// Original graph node index per local node.
     pub nodes: Vec<u32>,
-    /// Local adjacency lists (indices into `nodes`), target edge removed.
-    pub adj: Vec<Vec<u32>>,
+    /// Local CSR adjacency (indices into `nodes`), target edge removed.
+    pub adj: Csr,
     /// DRNL label per local node (targets are 1).
     pub labels: Vec<u32>,
     /// Gate type per local node.
@@ -34,7 +35,7 @@ impl Subgraph {
     /// Number of undirected edges in the subgraph.
     #[must_use]
     pub fn edge_count(&self) -> usize {
-        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+        self.adj.edge_count()
     }
 
     /// Largest DRNL label present.
@@ -87,22 +88,21 @@ pub fn enclosing_subgraph(
     let lf = local_of[&f];
     let lg = local_of[&g];
 
-    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); members.len()];
-    for (i, &j) in members.iter().enumerate() {
-        for &nb in &graph.adj[j as usize] {
-            if let Some(&li) = local_of.get(&nb) {
-                // Drop the direct target edge in both directions.
-                let is_target_edge = (j == f && nb == g) || (j == g && nb == f);
-                if !is_target_edge {
-                    adj[i].push(li);
-                }
+    // Emit the local adjacency straight into flat CSR storage: one
+    // normalised neighbour run per member, no per-node allocation.
+    let mut builder = CsrBuilder::with_capacity(members.len(), members.len() * 4);
+    for &j in &members {
+        builder.push_node(graph.adj.neighbors(j as usize).iter().filter_map(|&nb| {
+            // Drop the direct target edge in both directions.
+            let is_target_edge = (j == f && nb == g) || (j == g && nb == f);
+            if is_target_edge {
+                None
+            } else {
+                local_of.get(&nb).copied()
             }
-        }
+        }));
     }
-    for list in &mut adj {
-        list.sort_unstable();
-        list.dedup();
-    }
+    let adj = builder.finish();
 
     let labels = drnl::compute_labels(&adj, lf, lg);
     let gate_types = members
@@ -142,18 +142,17 @@ pub fn node_subgraph(
         local_of.insert(j, i as u32);
     }
     let lc = local_of[&center];
-    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); members.len()];
-    for (i, &j) in members.iter().enumerate() {
-        for &nb in &graph.adj[j as usize] {
-            if let Some(&li) = local_of.get(&nb) {
-                adj[i].push(li);
-            }
-        }
+    let mut builder = CsrBuilder::with_capacity(members.len(), members.len() * 4);
+    for &j in &members {
+        builder.push_node(
+            graph
+                .adj
+                .neighbors(j as usize)
+                .iter()
+                .filter_map(|nb| local_of.get(nb).copied()),
+        );
     }
-    for list in &mut adj {
-        list.sort_unstable();
-        list.dedup();
-    }
+    let adj = builder.finish();
     // Distance labels within the subgraph.
     let labels = crate::drnl::bfs_without(&adj, lc, u32::MAX)
         .into_iter()
@@ -189,7 +188,7 @@ fn bounded_bfs(graph: &CircuitGraph, source: u32, h: usize, skip: Link) -> Vec<u
         if dist[u as usize] == h {
             continue;
         }
-        for &v in &graph.adj[u as usize] {
+        for &v in graph.adj.neighbors(u as usize) {
             let is_target_edge = Link::new(u, v) == skip;
             if is_target_edge || dist[v as usize] != usize::MAX {
                 continue;
@@ -238,7 +237,7 @@ mod tests {
         let g = chain_graph();
         let sg = enclosing_subgraph(&g, Link::new(2, 3), 2, None);
         let (lf, lg) = sg.target;
-        assert!(!sg.adj[lf as usize].contains(&lg));
+        assert!(!sg.adj.contains_edge(lf, lg));
         assert_eq!(sg.labels[lf as usize], 1);
         assert_eq!(sg.labels[lg as usize], 1);
     }

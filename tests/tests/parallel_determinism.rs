@@ -60,3 +60,60 @@ fn muxlink_attack_is_thread_count_invariant_on_symmetric() {
     assert_eq!(k1, k3);
     assert_eq!(s1.scores, s3.scores);
 }
+
+/// Workspace-reuse contract: the `_into` variants over per-worker
+/// workspaces must produce the same bits as the allocating `predict`,
+/// across repeated calls on dirty buffers and across 1-vs-4 rayon
+/// workers.
+#[test]
+fn workspace_scoring_is_bit_identical_across_reuse_and_threads() {
+    use muxlink_core::scoring::to_graph_sample;
+    use muxlink_gnn::{Dgcnn, DgcnnConfig, GraphSample, Workspace};
+    use muxlink_graph::dataset::{target_subgraphs, DatasetConfig};
+    use muxlink_graph::extract;
+
+    // Real enclosing subgraphs from a locked design (varied sizes), not
+    // toy graphs.
+    let design = muxlink_benchgen::synth::SynthConfig::new("ws", 14, 6, 240).generate(21);
+    let locked = dmux::lock(&design, &LockOptions::new(8, 3)).unwrap();
+    let ex = extract(&locked.netlist, &locked.key_input_names()).unwrap();
+    let ds_cfg = DatasetConfig {
+        h: 2,
+        max_subgraph_nodes: Some(80),
+        ..DatasetConfig::default()
+    };
+    let subgraphs = target_subgraphs(&ex.graph, &ex.target_links(), &ds_cfg);
+    let max_label = subgraphs.iter().map(|s| s.max_label()).max().unwrap_or(1);
+    let samples: Vec<GraphSample> = subgraphs
+        .iter()
+        .map(|sg| to_graph_sample(sg, max_label, None))
+        .collect();
+    assert!(samples.len() >= 8, "need a non-trivial batch");
+
+    let input_dim = muxlink_graph::features::feature_cols(max_label);
+    let model = Dgcnn::new(DgcnnConfig::paper(input_dim, 12));
+
+    // Reference: the allocating path, sequential.
+    let reference: Vec<f32> = samples.iter().map(|s| model.predict(s)).collect();
+
+    // One workspace reused across the whole stream, twice over — dirty
+    // buffers must never leak into results.
+    let mut ws = Workspace::new();
+    for _ in 0..2 {
+        let streamed: Vec<f32> = samples
+            .iter()
+            .map(|s| model.predict_into(s, &mut ws))
+            .collect();
+        assert_eq!(streamed, reference, "workspace reuse changed bits");
+    }
+
+    // predict_batch on 1 vs 4 rayon workers: same bits as the reference.
+    for threads in [1usize, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        let batch = pool.install(|| model.predict_batch(&samples));
+        assert_eq!(batch, reference, "{threads}-thread batch changed bits");
+    }
+}

@@ -58,7 +58,7 @@ proptest! {
     #[test]
     fn bfs_distances_satisfy_triangle_steps(g in arb_graph()) {
         // Along any edge, BFS distances differ by at most 1.
-        let dist = bfs_without(&g.adj.to_vec(), 0, u32::MAX);
+        let dist = bfs_without(&g.adj, 0, u32::MAX);
         for (u, nbrs) in g.adj.iter().enumerate() {
             for &v in nbrs {
                 let (du, dv) = (dist[u], dist[v as usize]);
@@ -81,11 +81,11 @@ proptest! {
         prop_assert_eq!(sg.labels[lf as usize], 1);
         prop_assert_eq!(sg.labels[lg as usize], 1);
         // No direct target edge; adjacency is symmetric and in-range.
-        prop_assert!(!sg.adj[lf as usize].contains(&lg));
+        prop_assert!(!sg.adj.contains_edge(lf, lg));
         for (i, nbrs) in sg.adj.iter().enumerate() {
             for &j in nbrs {
                 prop_assert!((j as usize) < sg.node_count());
-                prop_assert!(sg.adj[j as usize].contains(&(i as u32)));
+                prop_assert!(sg.adj.contains_edge(j, i as u32));
             }
         }
         // Every subgraph edge exists in the parent graph.

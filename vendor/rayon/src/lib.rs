@@ -5,6 +5,11 @@
 //!
 //! * `slice.par_iter().map(f).collect::<Vec<_>>()` — order-preserving
 //!   parallel map with dynamic chunk scheduling,
+//! * `slice.par_iter().map_init(init, f).collect::<Vec<_>>()` — the same
+//!   with one mutable `init()` state per worker (scratch-buffer reuse),
+//! * `slots.par_iter_mut().zip(jobs.par_iter()).map_init(init, f)
+//!   .collect::<Vec<_>>()` — zipped mutable/shared map with per-worker
+//!   state and static contiguous chunking (pre-sized output slots),
 //! * `ThreadPoolBuilder` / `ThreadPool::install` — a scoped thread-count
 //!   override (the "pool" sizes parallel regions rather than keeping
 //!   persistent workers; regions spawn scoped threads on demand),
@@ -139,6 +144,14 @@ pub struct ParMap<'data, T: Sync, F> {
     f: F,
 }
 
+/// A mapped parallel iterator with per-worker state (see
+/// [`ParIter::map_init`]).
+pub struct ParMapInit<'data, T: Sync, INIT, F> {
+    items: &'data [T],
+    init: INIT,
+    f: F,
+}
+
 impl<'data, T: Sync> ParIter<'data, T> {
     /// Applies `f` to every item in parallel.
     pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
@@ -150,6 +163,40 @@ impl<'data, T: Sync> ParIter<'data, T> {
             items: self.items,
             f,
         }
+    }
+
+    /// Like [`ParIter::map`], but each worker thread builds one `init()`
+    /// value up front and threads it mutably through every item it
+    /// processes (mirroring upstream rayon's `map_init`). Use it to reuse
+    /// expensive scratch buffers across items without sharing them across
+    /// threads. `f` must not let the state affect its result if callers
+    /// rely on thread-count-independent output.
+    pub fn map_init<S, R, INIT, F>(self, init: INIT, f: F) -> ParMapInit<'data, T, INIT, F>
+    where
+        R: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, &'data T) -> R + Sync,
+    {
+        ParMapInit {
+            items: self.items,
+            init,
+            f,
+        }
+    }
+}
+
+impl<'data, T, S, R, INIT, F> ParMapInit<'data, T, INIT, F>
+where
+    T: Sync,
+    R: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, &'data T) -> R + Sync,
+{
+    /// Runs the map and collects results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        parallel_map_init(self.items, &self.init, &self.f)
+            .into_iter()
+            .collect()
     }
 }
 
@@ -220,6 +267,194 @@ where
         .collect()
 }
 
+/// Order-preserving parallel map where every worker owns one `init()`
+/// state for its whole lifetime (the `map_init` backend).
+fn parallel_map_init<'data, T, S, R, INIT, F>(items: &'data [T], init: &INIT, f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, &'data T) -> R + Sync,
+{
+    let len = items.len();
+    let workers = current_num_threads().min(len);
+    if workers <= 1 {
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
+    }
+    let chunk = (len / (workers * 8)).max(1);
+    let next = AtomicUsize::new(0);
+    let next = &next;
+    let inherited = CURRENT_THREADS.with(Cell::get);
+    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(move || {
+                    CURRENT_THREADS.with(|c| c.set(inherited));
+                    let mut state = init();
+                    let mut local = Vec::new();
+                    loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= len {
+                            break;
+                        }
+                        let end = start.saturating_add(chunk).min(len);
+                        for (j, item) in items[start..end].iter().enumerate() {
+                            local.push((start + j, f(&mut state, item)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let mut out: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    for bucket in buckets {
+        for (idx, r) in bucket {
+            out[idx] = Some(r);
+        }
+    }
+    out.into_iter()
+        .map(|o| o.expect("every index computed exactly once"))
+        .collect()
+}
+
+/// A borrowed mutable parallel iterator over a slice (see
+/// [`IntoParallelRefMutIterator::par_iter_mut`]).
+pub struct ParIterMut<'data, T: Send> {
+    items: &'data mut [T],
+}
+
+impl<'data, T: Send> ParIterMut<'data, T> {
+    /// Pairs this iterator with a borrowed iterator of equal length,
+    /// mirroring upstream rayon's `IndexedParallelIterator::zip` (zips to
+    /// the shorter length).
+    pub fn zip<'b, B: Sync>(self, other: ParIter<'b, B>) -> ZipMut<'data, 'b, T, B> {
+        ZipMut {
+            left: self.items,
+            right: other.items,
+        }
+    }
+}
+
+/// A zipped mutable/shared parallel iterator (see [`ParIterMut::zip`]).
+pub struct ZipMut<'a, 'b, A: Send, B: Sync> {
+    left: &'a mut [A],
+    right: &'b [B],
+}
+
+/// [`ZipMut`] with per-worker state (see [`ZipMut::map_init`]).
+pub struct ZipMutMapInit<'a, 'b, A: Send, B: Sync, INIT, F> {
+    left: &'a mut [A],
+    right: &'b [B],
+    init: INIT,
+    f: F,
+}
+
+impl<'a, 'b, A: Send, B: Sync> ZipMut<'a, 'b, A, B> {
+    /// Like [`ParIter::map_init`]: each worker thread owns one `init()`
+    /// state while mapping its share of the zipped pairs.
+    pub fn map_init<S, R, INIT, F>(self, init: INIT, f: F) -> ZipMutMapInit<'a, 'b, A, B, INIT, F>
+    where
+        R: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, (&mut A, &B)) -> R + Sync,
+    {
+        ZipMutMapInit {
+            left: self.left,
+            right: self.right,
+            init,
+            f,
+        }
+    }
+}
+
+impl<'a, 'b, A, B, S, R, INIT, F> ZipMutMapInit<'a, 'b, A, B, INIT, F>
+where
+    A: Send,
+    B: Sync,
+    R: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, (&mut A, &B)) -> R + Sync,
+{
+    /// Runs the map and collects results in input order.
+    ///
+    /// Work is split into contiguous per-worker chunks (static
+    /// scheduling — the mutable side rules out a shared work queue
+    /// without locks), so per-item results must not depend on which
+    /// worker produced them.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let len = self.left.len().min(self.right.len());
+        let workers = current_num_threads().min(len);
+        let (init, f) = (&self.init, &self.f);
+        if workers <= 1 {
+            let mut state = init();
+            return self.left[..len]
+                .iter_mut()
+                .zip(&self.right[..len])
+                .map(|pair| f(&mut state, pair))
+                .collect();
+        }
+        let chunk = len.div_ceil(workers);
+        let inherited = CURRENT_THREADS.with(Cell::get);
+        let mut left = &mut self.left[..len];
+        let mut right = &self.right[..len];
+        let per_chunk: Vec<Vec<R>> = std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(workers);
+            while !left.is_empty() {
+                let take = chunk.min(left.len());
+                let (lh, lt) = std::mem::take(&mut left).split_at_mut(take);
+                left = lt;
+                let (rh, rt) = right.split_at(take);
+                right = rt;
+                handles.push(s.spawn(move || {
+                    CURRENT_THREADS.with(|c| c.set(inherited));
+                    let mut state = init();
+                    lh.iter_mut()
+                        .zip(rh)
+                        .map(|pair| f(&mut state, pair))
+                        .collect()
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+}
+
+/// `par_iter_mut()` entry point, mirroring rayon's trait of the same
+/// name.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// Item type yielded by mutable reference.
+    type Item: Send + 'data;
+
+    /// Borrowing mutable parallel iterator.
+    fn par_iter_mut(&'data mut self) -> ParIterMut<'data, Self::Item>;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = T;
+
+    fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+        ParIterMut { items: self }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = T;
+
+    fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+        ParIterMut { items: self }
+    }
+}
+
 /// `par_iter()` entry point, mirroring rayon's trait of the same name.
 pub trait IntoParallelRefIterator<'data> {
     /// Item type yielded by reference.
@@ -247,7 +482,7 @@ impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
 
 /// The rayon prelude: everything needed for `x.par_iter().map(..).collect()`.
 pub mod prelude {
-    pub use crate::IntoParallelRefIterator;
+    pub use crate::{IntoParallelRefIterator, IntoParallelRefMutIterator};
 }
 
 #[cfg(test)]
@@ -260,6 +495,80 @@ mod tests {
         let items: Vec<usize> = (0..1000).collect();
         let out: Vec<usize> = items.par_iter().map(|&x| x * 2).collect();
         assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_preserves_order_and_reuses_state() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = items
+            .par_iter()
+            .map_init(
+                || 0usize,
+                |calls, &x| {
+                    *calls += 1;
+                    x * 3
+                },
+            )
+            .collect();
+        assert_eq!(out, (0..1000).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zip_mut_map_init_preserves_order_and_mutates_in_place() {
+        let mut slots: Vec<usize> = vec![0; 500];
+        let jobs: Vec<usize> = (0..500).collect();
+        let out: Vec<usize> = slots
+            .par_iter_mut()
+            .zip(jobs.par_iter())
+            .map_init(
+                || (),
+                |(), (slot, &job)| {
+                    *slot = job * 2;
+                    job
+                },
+            )
+            .collect();
+        assert_eq!(out, jobs);
+        assert_eq!(slots, jobs.iter().map(|&j| j * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zip_mut_zips_to_shorter_length() {
+        let mut slots: Vec<usize> = vec![0; 3];
+        let jobs: Vec<usize> = (10..20).collect();
+        let out: Vec<usize> = slots
+            .par_iter_mut()
+            .zip(jobs.par_iter())
+            .map_init(
+                || (),
+                |(), (slot, &job)| {
+                    *slot = job;
+                    job
+                },
+            )
+            .collect();
+        assert_eq!(out, vec![10, 11, 12]);
+        assert_eq!(slots, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn map_init_single_thread_uses_one_state() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let items: Vec<usize> = (0..16).collect();
+        let out: Vec<usize> = pool.install(|| {
+            items
+                .par_iter()
+                .map_init(
+                    || 0usize,
+                    |seen, &_x| {
+                        *seen += 1;
+                        *seen
+                    },
+                )
+                .collect()
+        });
+        // One shared state: the counter keeps climbing across items.
+        assert_eq!(out, (1..=16).collect::<Vec<_>>());
     }
 
     #[test]
