@@ -18,8 +18,8 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use muxlink_gnn::{Dgcnn, DgcnnConfig, GraphSample, TrainConfig};
-use muxlink_graph::features::{feature_cols, node_feature_matrix};
+use muxlink_gnn::{Dgcnn, DgcnnConfig, GraphSample, NodeFeatures, TrainConfig};
+use muxlink_graph::features::{feature_cols, one_hot_features};
 use muxlink_graph::graph::{CircuitGraph, Link};
 use muxlink_graph::subgraph::node_subgraph;
 use muxlink_locking::{xor, KeyValue, LockOptions};
@@ -177,10 +177,9 @@ pub fn omla_attack(
     }
     for (sg, bit) in &subgraphs {
         if *bit >= target_count {
-            let fm = node_feature_matrix(sg, max_label);
             train_samples.push(GraphSample {
                 adj: sg.adj.clone(),
-                features: muxlink_gnn::Matrix::from_vec(fm.rows, fm.cols, fm.data),
+                features: NodeFeatures::OneHot(one_hot_features(sg, max_label)),
                 label: Some(relocked.key.bit(*bit - target_count)),
             });
         }
@@ -220,10 +219,9 @@ pub fn omla_attack(
         if *bit >= target_count {
             continue;
         }
-        let fm = node_feature_matrix(sg, max_label);
         let sample = GraphSample {
             adj: sg.adj.clone(),
-            features: muxlink_gnn::Matrix::from_vec(fm.rows, fm.cols, fm.data),
+            features: NodeFeatures::OneHot(one_hot_features(sg, max_label)),
             label: None,
         };
         let p = f64::from(model.predict(&sample));

@@ -7,17 +7,20 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use muxlink_benchgen::synth::SynthConfig;
 use muxlink_core::MuxLinkConfig;
-use muxlink_gnn::sample::{propagate_into, GraphSample};
-use muxlink_gnn::{Csr, Dgcnn, DgcnnConfig, Matrix, Workspace};
+use muxlink_gnn::sample::{
+    onehot_project_into, onehot_propagate_matmul_into, onehot_propagate_t_matmul_into,
+    onehot_scatter_add, propagate_back_into, propagate_into, GraphSample, OneHotSpmmScratch,
+};
+use muxlink_gnn::{Csr, Dgcnn, DgcnnConfig, Matrix, OneHotFeatures, Workspace};
 use muxlink_graph::dataset::DatasetConfig;
+use muxlink_graph::subgraph::enclosing_subgraph_ref;
 use muxlink_graph::{build_dataset, extract};
 use muxlink_locking::{dmux, symmetric, LockOptions};
 use muxlink_netlist::sim::Simulator;
 
-/// Deterministic sparse sample shaped like an enclosing subgraph
+/// Deterministic sparse adjacency shaped like an enclosing subgraph
 /// (average degree ≈ 3–4, like h-hop gate neighbourhoods).
-fn subgraph_sample(n: usize, input_dim: usize, seed: u64) -> GraphSample {
-    let mut rng = muxlink_gnn::matrix::seeded_rng(seed);
+fn subgraph_adj(n: usize) -> Csr {
     let mut lists = vec![Vec::new(); n];
     for i in 1..n {
         for j in [i / 2, i / 3] {
@@ -27,11 +30,24 @@ fn subgraph_sample(n: usize, input_dim: usize, seed: u64) -> GraphSample {
             }
         }
     }
+    Csr::from_lists(&lists)
+}
+
+/// Sample with dense random features (the legacy bench shape).
+fn subgraph_sample(n: usize, input_dim: usize, seed: u64) -> GraphSample {
+    let mut rng = muxlink_gnn::matrix::seeded_rng(seed);
     GraphSample {
-        adj: Csr::from_lists(&lists),
-        features: Matrix::glorot(n, input_dim, &mut rng),
+        adj: subgraph_adj(n),
+        features: Matrix::glorot(n, input_dim, &mut rng).into(),
         label: Some(true),
     }
+}
+
+/// Deterministic two-hot features of width `cols` over `n` nodes.
+fn onehot_features(n: usize, cols: usize) -> OneHotFeatures {
+    let gate = (0..n).map(|i| (i * 5 % 8) as u32).collect();
+    let label = (0..n).map(|i| (i * 7 % (cols - 8)) as u32).collect();
+    OneHotFeatures::new(cols, gate, label)
 }
 
 fn bench_subgraph(c: &mut Criterion) {
@@ -63,7 +79,7 @@ fn bench_gnn(c: &mut Criterion) {
     }
     let sample = GraphSample {
         adj: Csr::from_lists(&adj),
-        features: Matrix::glorot(n, 24, &mut rng),
+        features: Matrix::glorot(n, 24, &mut rng).into(),
         label: Some(true),
     };
     c.bench_function("dgcnn_forward", |b| {
@@ -82,10 +98,104 @@ fn bench_gnn(c: &mut Criterion) {
 fn bench_propagate(c: &mut Criterion) {
     let mut group = c.benchmark_group("csr_propagate");
     for n in [30usize, 100, 300] {
-        let s = subgraph_sample(n, 24, n as u64);
+        let adj = subgraph_adj(n);
+        let mut rng = muxlink_gnn::matrix::seeded_rng(n as u64);
+        let h = Matrix::glorot(n, 24, &mut rng);
         let mut out = Matrix::zeros(0, 0);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| propagate_into(&s.adj, &s.features, &mut out));
+            b.iter(|| propagate_into(&adj, &h, &mut out));
+        });
+    }
+    group.finish();
+}
+
+/// First-GC-layer forward+backward, dense reference vs. the two fused
+/// sparse formulations, across feature widths F and subgraph sizes n.
+///
+/// * `dense_fwd_bwd` — `S·X` (n × F) then `(S·X)·W₀` forward,
+///   `(S·X)ᵀ·dZ` backward (the pre-PR-3 path).
+/// * `fused_exact_fwd_bwd` — the production path: `(S·X)·W₀` via
+///   per-node column histograms, bit-identical to dense.
+/// * `fused_fwd_bwd` — the reassociated maximum-throughput path:
+///   two-row gather `X·W₀` (n × c₀) + c₀-wide propagation forward,
+///   `Sᵀ·dZ` + two-row scatter-add backward (tolerance-equivalent).
+fn bench_sparse_layer0(c: &mut Criterion) {
+    const C0: usize = 32; // first-layer channels (paper config)
+    let mut group = c.benchmark_group("sparse_layer0");
+    for f in [16usize, 64, 256] {
+        for n in [30usize, 100, 300] {
+            let adj = subgraph_adj(n);
+            let x = onehot_features(n, f);
+            let fm = x.to_dense();
+            let xdense = Matrix::from_vec(fm.rows, fm.cols, fm.data);
+            let mut rng = muxlink_gnn::matrix::seeded_rng((f * n) as u64);
+            let w0 = Matrix::glorot(f, C0, &mut rng);
+            let dz = Matrix::glorot(n, C0, &mut rng);
+
+            let (mut sx, mut z, mut gw) = (Matrix::default(), Matrix::default(), Matrix::default());
+            group.bench_with_input(
+                BenchmarkId::new("dense_fwd_bwd", format!("F{f}_n{n}")),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        propagate_into(&adj, &xdense, &mut sx);
+                        sx.matmul_into(&w0, &mut z);
+                        sx.t_matmul_into(&dz, &mut gw);
+                    });
+                },
+            );
+
+            let (mut ze, mut gwe) = (Matrix::default(), Matrix::default());
+            let mut spmm = OneHotSpmmScratch::default();
+            group.bench_with_input(
+                BenchmarkId::new("fused_exact_fwd_bwd", format!("F{f}_n{n}")),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        onehot_propagate_matmul_into(&adj, &x, &w0, &mut ze, &mut spmm);
+                        onehot_propagate_t_matmul_into(&adj, &x, &dz, &mut gwe, &mut spmm);
+                    });
+                },
+            );
+
+            let (mut e, mut zf, mut dp, mut gwf) = (
+                Matrix::default(),
+                Matrix::default(),
+                Matrix::default(),
+                Matrix::default(),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("fused_fwd_bwd", format!("F{f}_n{n}")),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        onehot_project_into(&x, &w0, &mut e);
+                        propagate_into(&adj, &e, &mut zf);
+                        propagate_back_into(&adj, &dz, &mut dp);
+                        gwf.resize(f, C0);
+                        onehot_scatter_add(&x, &dp, &mut gwf);
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Enclosing-subgraph extraction: the retained hash-based reference vs.
+/// the epoch-stamped hash-free production path (bit-identical outputs).
+fn bench_subgraph_extract(c: &mut Criterion) {
+    let design = SynthConfig::new("k", 32, 16, 1500).generate(1);
+    let locked = dmux::lock(&design, &LockOptions::new(32, 2)).unwrap();
+    let ex = extract(&locked.netlist, &locked.key_input_names()).unwrap();
+    let link = ex.muxes[0].link0();
+    let mut group = c.benchmark_group("subgraph_extract");
+    for h in [2usize, 3] {
+        group.bench_with_input(BenchmarkId::new("hash", h), &h, |b, &h| {
+            b.iter(|| enclosing_subgraph_ref(&ex.graph, link, h, None));
+        });
+        group.bench_with_input(BenchmarkId::new("stamped", h), &h, |b, &h| {
+            b.iter(|| muxlink_graph::enclosing_subgraph(&ex.graph, link, h, None));
         });
     }
     group.finish();
@@ -183,6 +293,8 @@ criterion_group!(
     bench_subgraph,
     bench_gnn,
     bench_propagate,
+    bench_sparse_layer0,
+    bench_subgraph_extract,
     bench_forward_sizes,
     bench_locking,
     bench_sim,

@@ -2,9 +2,9 @@
 //! `GraphSample`, plus SortPool-`k` selection and parallel target
 //! scoring.
 
-use muxlink_gnn::{Dgcnn, GraphSample, Matrix};
+use muxlink_gnn::{Dgcnn, GraphSample, NodeFeatures};
 use muxlink_graph::dataset::{target_subgraphs, DatasetConfig};
-use muxlink_graph::features::node_feature_matrix;
+use muxlink_graph::features::one_hot_features;
 use muxlink_graph::graph::Link;
 use muxlink_graph::{ExtractedDesign, Subgraph};
 use rayon::prelude::*;
@@ -12,12 +12,16 @@ use rayon::prelude::*;
 use crate::postprocess::MuxScores;
 
 /// Converts an enclosing subgraph into a GNN input sample.
+///
+/// Features are carried in the compact two-hot form
+/// ([`NodeFeatures::OneHot`]): 8 bytes per node independent of the
+/// dataset's feature width, and the DGCNN's first layer runs its fused
+/// sparse kernels on them.
 #[must_use]
 pub fn to_graph_sample(sg: &Subgraph, max_label: u32, label: Option<bool>) -> GraphSample {
-    let fm = node_feature_matrix(sg, max_label);
     GraphSample {
         adj: sg.adj.clone(),
-        features: Matrix::from_vec(fm.rows, fm.cols, fm.data),
+        features: NodeFeatures::OneHot(one_hot_features(sg, max_label)),
         label,
     }
 }
@@ -29,14 +33,18 @@ const SCORE_CHUNK: usize = 256;
 
 /// Scores both candidate links of every key MUX with the trained model.
 ///
-/// Subgraph extraction goes through [`target_subgraphs`] (the same code
-/// path the training dataset uses) over the flattened link list; the
-/// samples then stream — in bounded chunks — through
+/// D-MUX pairs share wires across MUXes, so the flattened candidate list
+/// usually contains repeats; each **distinct** link is extracted and
+/// scored exactly once (the model is deterministic, so a repeat would
+/// reproduce the same probability bit-for-bit) and the result is
+/// broadcast back in order. Extraction goes through
+/// [`target_subgraphs`] (the same code path the training dataset uses);
+/// the samples then stream — in bounded chunks — through
 /// [`Dgcnn::predict_batch`], the scoring entry point that reuses one
 /// workspace per rayon worker. Every stage preserves order and chunking
 /// only bounds how many samples exist at once, so the scores stay
 /// aligned with `extracted.muxes` and bit-identical for any thread
-/// count and any chunk size.
+/// count, any chunk size — and to the pre-dedup implementation.
 #[must_use]
 pub fn score_muxes(
     model: &Dgcnn,
@@ -49,18 +57,27 @@ pub fn score_muxes(
         .iter()
         .flat_map(|m| [m.link0(), m.link1()])
         .collect();
-    let subgraphs = target_subgraphs(&extracted.graph, &links, ds_cfg);
-    let mut probs = Vec::with_capacity(subgraphs.len());
+    let mut unique = links.clone();
+    unique.sort_unstable();
+    unique.dedup();
+
+    let subgraphs = target_subgraphs(&extracted.graph, &unique, ds_cfg);
+    let mut unique_probs = Vec::with_capacity(subgraphs.len());
     for chunk in subgraphs.chunks(SCORE_CHUNK) {
         let samples: Vec<GraphSample> = chunk
             .par_iter()
             .map(|sg| to_graph_sample(sg, max_label, None))
             .collect();
-        probs.extend(model.predict_batch(&samples));
+        unique_probs.extend(model.predict_batch(&samples));
     }
-    probs
+
+    let prob_of = |l: &Link| {
+        let i = unique.binary_search(l).expect("every link was scored");
+        f64::from(unique_probs[i])
+    };
+    links
         .chunks_exact(2)
-        .map(|p| (f64::from(p[0]), f64::from(p[1])))
+        .map(|p| (prob_of(&p[0]), prob_of(&p[1])))
         .collect()
 }
 

@@ -20,7 +20,10 @@ use serde::{Deserialize, Serialize};
 
 use crate::matrix::{seeded_rng, Matrix};
 use crate::param::{AdamConfig, Gradients, Param};
-use crate::sample::{propagate_back_into, propagate_into, GraphSample};
+use crate::sample::{
+    onehot_propagate_matmul_into, onehot_propagate_t_matmul_into, propagate_back_into,
+    propagate_into, GraphSample, NodeFeatures, OneHotSpmmScratch,
+};
 use crate::workspace::{BackwardScratch, Workspace};
 
 /// Hyper-parameters of the DGCNN (defaults = the paper's topology).
@@ -118,6 +121,8 @@ pub struct Dgcnn {
 pub struct Cache {
     gc_inputs: Vec<Matrix>,
     gc_outputs: Vec<Matrix>,
+    /// Column-histogram scratch of the bit-exact sparse first layer.
+    spmm: OneHotSpmmScratch,
     hcat: Matrix,
     perm: Vec<usize>,
     pooled: Matrix,
@@ -255,9 +260,33 @@ impl Dgcnn {
         cache.gc_outputs.resize_with(nlayers, Matrix::default);
         for (l, p) in self.gc.iter().enumerate() {
             let (done, rest) = cache.gc_outputs.split_at_mut(l);
-            let h: &Matrix = if l == 0 { &s.features } else { &done[l - 1] };
-            propagate_into(&s.adj, h, &mut cache.gc_inputs[l]);
-            cache.gc_inputs[l].matmul_into(&p.w, &mut rest[0]);
+            if l == 0 {
+                match &s.features {
+                    NodeFeatures::Dense(x) => {
+                        propagate_into(&s.adj, x, &mut cache.gc_inputs[0]);
+                        cache.gc_inputs[0].matmul_into(&p.w, &mut rest[0]);
+                    }
+                    NodeFeatures::OneHot(x) => {
+                        // Bit-exact fused first layer: `(S·X)·W₀` via
+                        // per-node column histograms — identical bits to
+                        // the dense branch, but no `n × F` propagate,
+                        // scan or cache. `gc_inputs[0]` stays empty; the
+                        // backward pass rebuilds the histograms instead,
+                        // eliminating the widest cached activation.
+                        onehot_propagate_matmul_into(
+                            &s.adj,
+                            x,
+                            &p.w,
+                            &mut rest[0],
+                            &mut cache.spmm,
+                        );
+                        cache.gc_inputs[0].resize(0, 0);
+                    }
+                }
+            } else {
+                propagate_into(&s.adj, &done[l - 1], &mut cache.gc_inputs[l]);
+                cache.gc_inputs[l].matmul_into(&p.w, &mut rest[0]);
+            }
             rest[0].map_inplace(f32::tanh);
         }
 
@@ -587,7 +616,25 @@ impl Dgcnn {
             for (g, &o) in dz.data_mut().iter_mut().zip(cache.gc_outputs[l].data()) {
                 *g *= 1.0 - o * o;
             }
-            cache.gc_inputs[l].t_matmul_into(&scratch.dh_layers[l], &mut gt[l]);
+            match (l, &s.features) {
+                (0, NodeFeatures::OneHot(x)) => {
+                    // Mirror of the bit-exact fused forward:
+                    // `dW₀ = (S·X)ᵀ·dZ₀` from rebuilt per-node column
+                    // histograms — identical bits to `t_matmul` over the
+                    // cached dense `S·X`, with no `n × F` pass. (No `dX`
+                    // is needed at the input layer.)
+                    onehot_propagate_t_matmul_into(
+                        &s.adj,
+                        x,
+                        &scratch.dh_layers[0],
+                        &mut gt[0],
+                        &mut scratch.spmm,
+                    );
+                }
+                _ => {
+                    cache.gc_inputs[l].t_matmul_into(&scratch.dh_layers[l], &mut gt[l]);
+                }
+            }
             if l > 0 {
                 scratch.dh_layers[l].matmul_t_into(&self.gc[l].w, &mut scratch.dzw);
                 propagate_back_into(&s.adj, &scratch.dzw, &mut scratch.dh_prev);
@@ -730,8 +777,39 @@ mod tests {
         let adj = Csr::from_lists(&[vec![1, 2], vec![0, 3], vec![0], vec![1, 4], vec![3]]);
         GraphSample {
             adj,
-            features: Matrix::glorot(n, 5, &mut rng),
+            features: Matrix::glorot(n, 5, &mut rng).into(),
             label: Some(seed.is_multiple_of(2)),
+        }
+    }
+
+    /// Config sized for two-hot features: 8 gate bits + labels 0..=2.
+    fn onehot_cfg() -> DgcnnConfig {
+        DgcnnConfig {
+            input_dim: 11,
+            ..tiny_cfg()
+        }
+    }
+
+    fn tiny_onehot_sample(seed: u64) -> GraphSample {
+        let adj = Csr::from_lists(&[vec![1, 2], vec![0, 3], vec![0], vec![1, 4], vec![3]]);
+        let gate = (0..5)
+            .map(|i| (i as u32).wrapping_add(seed as u32) % 8)
+            .collect();
+        let label = (0..5).map(|i| (i as u32 ^ seed as u32) % 3).collect();
+        GraphSample {
+            adj,
+            features: muxlink_graph::OneHotFeatures::new(11, gate, label).into(),
+            label: Some(seed.is_multiple_of(2)),
+        }
+    }
+
+    /// The same sample with the one-hot features expanded to dense — the
+    /// reference the fused path is compared against.
+    fn densified(s: &GraphSample) -> GraphSample {
+        GraphSample {
+            adj: s.adj.clone(),
+            features: s.features.to_dense().into(),
+            label: s.label,
         }
     }
 
@@ -757,7 +835,7 @@ mod tests {
         let mut rng = seeded_rng(9);
         let s = GraphSample {
             adj: Csr::from_lists(&[vec![1], vec![0]]),
-            features: Matrix::glorot(2, 5, &mut rng),
+            features: Matrix::glorot(2, 5, &mut rng).into(),
             label: None,
         };
         let p = model.predict(&s);
@@ -767,8 +845,18 @@ mod tests {
     /// Full-model gradient check against central finite differences.
     #[test]
     fn gradients_match_finite_differences() {
-        let mut model = Dgcnn::new(tiny_cfg());
-        let s = tiny_sample(4);
+        check_gradients_against_finite_differences(Dgcnn::new(tiny_cfg()), tiny_sample(4));
+    }
+
+    /// The same finite-difference check through the fused sparse first
+    /// layer — its gradients must be correct in their own right, not just
+    /// close to the dense path's.
+    #[test]
+    fn sparse_gradients_match_finite_differences() {
+        check_gradients_against_finite_differences(Dgcnn::new(onehot_cfg()), tiny_onehot_sample(4));
+    }
+
+    fn check_gradients_against_finite_differences(mut model: Dgcnn, s: GraphSample) {
         let label = true;
 
         let cache = model.forward(&s, None);
@@ -803,6 +891,49 @@ mod tests {
 
     fn set_param(model: &mut Dgcnn, pi: usize, idx: usize, v: f32) {
         model.params_mut()[pi].w.data_mut()[idx] = v;
+    }
+
+    /// The production sparse first layer is the histogram formulation of
+    /// `(S·X)·W₀`, which reproduces the dense branch **bit-for-bit**
+    /// (integer-valued `f32` sums are exact, and the accumulation orders
+    /// mirror `matmul_into`/`t_matmul_into`): forward probabilities and
+    /// every gradient tensor, including `dW₀`.
+    #[test]
+    fn sparse_path_is_bit_identical_to_dense_reference() {
+        let model = Dgcnn::new(onehot_cfg());
+        for seed in 0..8u64 {
+            let sp = tiny_onehot_sample(seed);
+            let dn = densified(&sp);
+            let cs = model.forward(&sp, None);
+            let cd = model.forward(&dn, None);
+            for (a, b) in cs.probs.iter().zip(cd.probs) {
+                assert_eq!(a.to_bits(), b.to_bits(), "seed {seed}: prob {a} vs {b}");
+            }
+            let gs = model.backward(&sp, &cs, true);
+            let gd = model.backward(&dn, &cd, true);
+            assert_eq!(gs, gd, "seed {seed}: gradients diverged");
+        }
+    }
+
+    /// Workspace reuse on the sparse path: bit-identical to the
+    /// allocating sparse pass, across dirty buffers and repeated use.
+    #[test]
+    fn sparse_workspace_variants_are_bit_identical() {
+        let model = Dgcnn::new(onehot_cfg());
+        let mut ws = crate::workspace::Workspace::new();
+        for seed in [1u64, 3, 7, 2, 1] {
+            let s = tiny_onehot_sample(seed);
+            assert_eq!(model.predict_into(&s, &mut ws), model.predict(&s));
+        }
+        let s = tiny_onehot_sample(2);
+        let cache = model.forward(&s, None);
+        let fresh = model.backward(&s, &cache, true);
+        model.forward_into(&s, None, &mut ws);
+        let mut reused = model.new_gradients();
+        for _ in 0..2 {
+            model.backward_into(&s, true, &mut ws, &mut reused);
+            assert_eq!(reused, fresh);
+        }
     }
 
     #[test]
@@ -926,7 +1057,10 @@ mod tests {
         // permutation must stay deterministic.
         let model = Dgcnn::new(tiny_cfg());
         let mut s = tiny_sample(3);
-        s.features.data_mut()[0] = f32::NAN;
+        let NodeFeatures::Dense(m) = &mut s.features else {
+            panic!("tiny_sample is dense");
+        };
+        m.data_mut()[0] = f32::NAN;
         let a = model.forward(&s, None);
         let b = model.forward(&s, None);
         assert_eq!(a.probs[0].to_bits(), b.probs[0].to_bits());

@@ -30,7 +30,7 @@
 //! let model = Dgcnn::new(DgcnnConfig::paper(9, 10));
 //! let sample = GraphSample {
 //!     adj: Csr::from_lists(&[vec![1], vec![0]]),
-//!     features: Matrix::zeros(2, 9),
+//!     features: Matrix::zeros(2, 9).into(),
 //!     label: None,
 //! };
 //! let p = model.predict(&sample);
@@ -49,8 +49,8 @@ pub mod workspace;
 
 pub use dgcnn::{Cache, Dgcnn, DgcnnConfig};
 pub use matrix::Matrix;
-pub use muxlink_graph::Csr;
+pub use muxlink_graph::{Csr, OneHotFeatures};
 pub use param::{AdamConfig, Gradients, Param};
-pub use sample::GraphSample;
+pub use sample::{GraphSample, NodeFeatures};
 pub use trainer::{evaluate, train, EpochStats, TrainConfig, TrainReport};
 pub use workspace::Workspace;

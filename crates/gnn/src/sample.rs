@@ -17,18 +17,82 @@
 //! [`propagate_back_ref`]) define this order; the property suite asserts
 //! exact equality between the CSR kernels and the references.
 
-use muxlink_graph::Csr;
+use muxlink_graph::{Csr, OneHotFeatures};
 
 use crate::matrix::Matrix;
 
-/// One graph-classification example: flat CSR adjacency plus a node
-/// feature matrix (and, for training, a binary label).
+/// Node features of one sample: dense, or the compact two-hot form.
+///
+/// MuxLink's node information matrix X is two-hot by construction (one
+/// gate-type bit, one DRNL-label bit per row), so the hot attack path
+/// carries [`NodeFeatures::OneHot`] — 8 bytes per node instead of
+/// `4 · cols` — and the first graph-convolution layer runs the fused
+/// kernels ([`onehot_project_into`] / [`onehot_scatter_add`]) instead of
+/// a dense matmul. [`NodeFeatures::Dense`] remains fully supported for
+/// arbitrary feature matrices (tests, baselines, toy datasets) and is the
+/// executable spec the sparse path is property-tested against.
+#[derive(Debug, Clone)]
+pub enum NodeFeatures {
+    /// Arbitrary dense `n × d` features.
+    Dense(Matrix),
+    /// Compact two-hot features (gate-type ⊕ DRNL-label one-hots).
+    OneHot(OneHotFeatures),
+}
+
+impl NodeFeatures {
+    /// Number of rows (nodes).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        match self {
+            Self::Dense(m) => m.rows(),
+            Self::OneHot(x) => x.rows(),
+        }
+    }
+
+    /// Feature width (dense columns).
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        match self {
+            Self::Dense(m) => m.cols(),
+            Self::OneHot(x) => x.cols,
+        }
+    }
+
+    /// The equivalent dense matrix (copies the one-hot form; borrows
+    /// nothing). Dense consumers that only need a reference should match
+    /// on the enum instead.
+    #[must_use]
+    pub fn to_dense(&self) -> Matrix {
+        match self {
+            Self::Dense(m) => m.clone(),
+            Self::OneHot(x) => {
+                let fm = x.to_dense();
+                Matrix::from_vec(fm.rows, fm.cols, fm.data)
+            }
+        }
+    }
+}
+
+impl From<Matrix> for NodeFeatures {
+    fn from(m: Matrix) -> Self {
+        Self::Dense(m)
+    }
+}
+
+impl From<OneHotFeatures> for NodeFeatures {
+    fn from(x: OneHotFeatures) -> Self {
+        Self::OneHot(x)
+    }
+}
+
+/// One graph-classification example: flat CSR adjacency plus node
+/// features (and, for training, a binary label).
 #[derive(Debug, Clone)]
 pub struct GraphSample {
     /// CSR adjacency over local node indices (sorted neighbour runs).
     pub adj: Csr,
-    /// `n × d` node features.
-    pub features: Matrix,
+    /// `n × d` node features (dense or compact two-hot).
+    pub features: NodeFeatures,
     /// Class label (`true` = positive/link) when known.
     pub label: Option<bool>,
 }
@@ -38,6 +102,197 @@ impl GraphSample {
     #[must_use]
     pub fn node_count(&self) -> usize {
         self.adj.node_count()
+    }
+}
+
+/// Fused sparse product `X·W` for two-hot features: row `i` of the output
+/// is the sum of the two `W` rows selected by node `i`'s gate and label
+/// columns — `O(n·c)` work and no `n × d` dense X in memory.
+///
+/// Within each output row the gate-row entry is added before the
+/// label-row entry, a fixed order, so the result is a pure function of
+/// `(x, w)` — bit-identical across runs, threads and buffer reuse.
+///
+/// Composing this with `propagate` yields `S·(X·W)` — the *reassociated*
+/// first layer, the maximum-throughput formulation (`O(n·c)` gather, no
+/// per-column histogram). It equals the dense `(S·X)·W` in exact
+/// arithmetic but only to ≤ 1e-5 relative in `f32`, so the model's
+/// default path uses the bit-exact [`onehot_propagate_matmul_into`]
+/// instead: training amplifies reassociation drift chaotically across
+/// optimiser steps (observed as macroscopically different weights).
+/// See the numerics policy in the README.
+///
+/// # Panics
+///
+/// Panics when `w` has fewer rows than the feature width.
+pub fn onehot_project_into(x: &OneHotFeatures, w: &Matrix, out: &mut Matrix) {
+    assert_eq!(w.rows(), x.cols, "feature width mismatch");
+    let c = w.cols();
+    out.resize_for_overwrite(x.rows(), c);
+    for i in 0..x.rows() {
+        let (g, l) = x.columns(i);
+        let grow = w.row(g);
+        let lrow = w.row(l);
+        for ((o, &a), &b) in out.row_mut(i).iter_mut().zip(grow).zip(lrow) {
+            *o = a + b;
+        }
+    }
+}
+
+/// Adjoint of [`onehot_project_into`]: accumulates `Xᵀ·G` into `gw` as a
+/// two-row scatter-add per node (`gw[gate_i] += G_i`,
+/// `gw[8 + label_i] += G_i`). `gw` must be pre-shaped `x.cols × g.cols()`
+/// (typically via `Matrix::resize`, which zeroes); rows are visited in
+/// ascending node order, so the summation order — and hence the bits —
+/// are a pure function of `(x, g)`.
+///
+/// # Panics
+///
+/// Panics when shapes disagree.
+pub fn onehot_scatter_add(x: &OneHotFeatures, g: &Matrix, gw: &mut Matrix) {
+    assert_eq!(g.rows(), x.rows(), "row count mismatch");
+    assert_eq!(
+        (gw.rows(), gw.cols()),
+        (x.cols, g.cols()),
+        "gradient shape mismatch"
+    );
+    for i in 0..x.rows() {
+        let (gi, li) = x.columns(i);
+        let src = g.row(i);
+        for (o, &v) in gw.row_mut(gi).iter_mut().zip(src) {
+            *o += v;
+        }
+        for (o, &v) in gw.row_mut(li).iter_mut().zip(src) {
+            *o += v;
+        }
+    }
+}
+
+/// Reusable column-histogram scratch for the **bit-exact** fused
+/// first-layer kernels ([`onehot_propagate_matmul_into`],
+/// [`onehot_propagate_t_matmul_into`]).
+#[derive(Debug, Clone, Default)]
+pub struct OneHotSpmmScratch {
+    /// Per-column hit count of the current node's closed neighbourhood
+    /// (all-zero between kernel calls; only touched entries are reset).
+    counts: Vec<u32>,
+    /// Columns with nonzero count, sorted ascending before use.
+    touched: Vec<u32>,
+}
+
+impl OneHotSpmmScratch {
+    /// Builds the column histogram of row `i` of `S·X` (unscaled): hit
+    /// counts of the two-hot columns over `{i} ∪ N(i)`, with the touched
+    /// column list sorted ascending. `counts` must be (and is left)
+    /// all-zero outside `touched`.
+    fn build_row(&mut self, adj: &Csr, x: &OneHotFeatures, i: usize) {
+        if self.counts.len() < x.cols {
+            self.counts.resize(x.cols, 0);
+        }
+        self.touched.clear();
+        let mut hit = |col: usize| {
+            if self.counts[col] == 0 {
+                self.touched.push(col as u32);
+            }
+            self.counts[col] += 1;
+        };
+        let (g, l) = x.columns(i);
+        hit(g);
+        hit(l);
+        for &j in adj.neighbors(i) {
+            let (g, l) = x.columns(j as usize);
+            hit(g);
+            hit(l);
+        }
+        self.touched.sort_unstable();
+    }
+
+    /// Resets the touched counters back to zero (O(touched), no memset).
+    fn clear_row(&mut self) {
+        for &c in &self.touched {
+            self.counts[c as usize] = 0;
+        }
+    }
+}
+
+/// **Bit-exact** fused first layer forward: `out = (S·X)·W` computed
+/// without materialising the `n × F` matrix `S·X`.
+///
+/// Row `i` of `S·X` has at most `2·(1 + deg(i))` nonzeros, each of the
+/// form `count · scaleᵢ` with an integer `count` — and integer-valued
+/// `f32` sums are exact, so the histogram reproduces the propagated
+/// values bit-for-bit. The product then accumulates over the touched
+/// columns in ascending order, exactly the order
+/// [`Matrix::matmul_into`]'s skip-zero loop visits them: the result is
+/// **bitwise identical** to `propagate` + `matmul` on the dense
+/// expansion, while skipping all `O(n·F)` work. This is the production
+/// first layer — unlike the reassociated [`onehot_project_into`] path it
+/// cannot drift from the dense reference, which keeps training (where
+/// `f32` drift amplifies chaotically across Adam steps) exactly
+/// reproducible.
+///
+/// # Panics
+///
+/// Panics when shapes disagree.
+pub fn onehot_propagate_matmul_into(
+    adj: &Csr,
+    x: &OneHotFeatures,
+    w: &Matrix,
+    out: &mut Matrix,
+    scratch: &mut OneHotSpmmScratch,
+) {
+    let n = adj.node_count();
+    assert_eq!(x.rows(), n, "row count mismatch");
+    assert_eq!(w.rows(), x.cols, "feature width mismatch");
+    out.resize(n, w.cols());
+    for i in 0..n {
+        scratch.build_row(adj, x, i);
+        let scale = adj.scale(i);
+        let orow = out.row_mut(i);
+        for &c in &scratch.touched {
+            let a = (scratch.counts[c as usize] as f32) * scale;
+            for (o, &b) in orow.iter_mut().zip(w.row(c as usize)) {
+                *o += a * b;
+            }
+        }
+        scratch.clear_row();
+    }
+}
+
+/// **Bit-exact** fused first layer backward: `gw = (S·X)ᵀ·G` (the `dW₀`
+/// of the first GC layer) without materialising `S·X`.
+///
+/// Mirrors [`Matrix::t_matmul_into`]'s order exactly — rows in ascending
+/// node order, touched columns ascending within each row — so the result
+/// is bitwise identical to `t_matmul` on the cached dense `S·X` the
+/// dense path keeps. See [`onehot_propagate_matmul_into`] for why the
+/// histogram values are exact.
+///
+/// # Panics
+///
+/// Panics when shapes disagree.
+pub fn onehot_propagate_t_matmul_into(
+    adj: &Csr,
+    x: &OneHotFeatures,
+    g: &Matrix,
+    gw: &mut Matrix,
+    scratch: &mut OneHotSpmmScratch,
+) {
+    let n = adj.node_count();
+    assert_eq!(x.rows(), n, "row count mismatch");
+    assert_eq!(g.rows(), n, "gradient row count mismatch");
+    gw.resize(x.cols, g.cols());
+    for i in 0..n {
+        scratch.build_row(adj, x, i);
+        let scale = adj.scale(i);
+        let grow = g.row(i);
+        for &c in &scratch.touched {
+            let a = (scratch.counts[c as usize] as f32) * scale;
+            for (o, &b) in gw.row_mut(c as usize).iter_mut().zip(grow) {
+                *o += a * b;
+            }
+        }
+        scratch.clear_row();
     }
 }
 
@@ -209,6 +464,119 @@ mod tests {
         let h = Matrix::glorot(5, 7, &mut rng);
         assert_eq!(propagate(&adj, &h), propagate_ref(&lists, &h));
         assert_eq!(propagate_back(&adj, &h), propagate_back_ref(&lists, &h));
+    }
+
+    fn tiny_onehot() -> OneHotFeatures {
+        // cols = 11 (8 gate bits + labels 0..=2).
+        OneHotFeatures::new(11, vec![0, 3, 7, 3], vec![1, 0, 2, 2])
+    }
+
+    #[test]
+    fn onehot_project_matches_dense_matmul() {
+        let x = tiny_onehot();
+        let mut rng = seeded_rng(8);
+        let w = Matrix::glorot(11, 6, &mut rng);
+        let dense = NodeFeatures::OneHot(x.clone()).to_dense();
+        let expect = dense.matmul(&w);
+        let mut out = Matrix::from_vec(1, 1, vec![5.0]); // dirty buffer
+        onehot_project_into(&x, &w, &mut out);
+        assert_eq!(out.rows(), 4);
+        // Two-term sums in a fixed order: equal to the dense product up
+        // to f32 reassociation; for 0/1 entries it is in fact exact.
+        for (a, b) in out.data().iter().zip(expect.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn onehot_scatter_matches_dense_t_matmul() {
+        let x = tiny_onehot();
+        let mut rng = seeded_rng(9);
+        let g = Matrix::glorot(4, 6, &mut rng);
+        let dense = NodeFeatures::OneHot(x.clone()).to_dense();
+        let expect = dense.t_matmul(&g);
+        let mut gw = Matrix::zeros(0, 0);
+        gw.resize(11, 6);
+        onehot_scatter_add(&x, &g, &mut gw);
+        for (a, b) in gw.data().iter().zip(expect.data()) {
+            assert!((a - b).abs() <= 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn onehot_project_and_scatter_are_adjoint() {
+        // <X·W, G> must equal <W, Xᵀ·G>.
+        let x = tiny_onehot();
+        let mut rng = seeded_rng(10);
+        let w = Matrix::glorot(11, 3, &mut rng);
+        let g = Matrix::glorot(4, 3, &mut rng);
+        let mut xw = Matrix::zeros(0, 0);
+        onehot_project_into(&x, &w, &mut xw);
+        let mut xtg = Matrix::zeros(0, 0);
+        xtg.resize(11, 3);
+        onehot_scatter_add(&x, &g, &mut xtg);
+        let lhs: f32 = xw.data().iter().zip(g.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = w.data().iter().zip(xtg.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-5, "{lhs} vs {rhs}");
+    }
+
+    /// The production fused kernels must reproduce the dense reference
+    /// pipeline (`propagate` + `matmul` / `t_matmul`) bit-for-bit.
+    #[test]
+    fn onehot_exact_kernels_match_dense_pipeline_bitwise() {
+        let x = tiny_onehot();
+        let adj = Csr::from_lists(&[vec![1, 2], vec![0, 3], vec![0], vec![1]]);
+        let mut rng = seeded_rng(12);
+        let w = Matrix::glorot(11, 6, &mut rng);
+        let dz = Matrix::glorot(4, 6, &mut rng);
+        let dense = NodeFeatures::OneHot(x.clone()).to_dense();
+        let sx = propagate(&adj, &dense);
+        let fwd_ref = sx.matmul(&w);
+        let bwd_ref = sx.t_matmul(&dz);
+
+        let mut scratch = OneHotSpmmScratch::default();
+        let mut fwd = Matrix::from_vec(1, 1, vec![3.0]); // dirty buffer
+        let mut bwd = Matrix::from_vec(1, 2, vec![4.0, 4.0]);
+        for _ in 0..2 {
+            onehot_propagate_matmul_into(&adj, &x, &w, &mut fwd, &mut scratch);
+            assert_eq!(fwd, fwd_ref, "forward diverged from dense bits");
+            onehot_propagate_t_matmul_into(&adj, &x, &dz, &mut bwd, &mut scratch);
+            assert_eq!(bwd, bwd_ref, "backward diverged from dense bits");
+        }
+    }
+
+    /// The reassociated gather formulation `S·(X·W)` stays within 1e-5
+    /// relative of the exact `(S·X)·W`.
+    #[test]
+    fn reassociated_composite_is_tolerance_close_to_exact() {
+        let x = tiny_onehot();
+        let adj = Csr::from_lists(&[vec![1, 2], vec![0, 3], vec![0], vec![1]]);
+        let mut rng = seeded_rng(13);
+        let w = Matrix::glorot(11, 6, &mut rng);
+        let mut scratch = OneHotSpmmScratch::default();
+        let mut exact = Matrix::default();
+        onehot_propagate_matmul_into(&adj, &x, &w, &mut exact, &mut scratch);
+        let mut xw = Matrix::default();
+        onehot_project_into(&x, &w, &mut xw);
+        let reassoc = propagate(&adj, &xw);
+        for (a, b) in reassoc.data().iter().zip(exact.data()) {
+            assert!(
+                (a - b).abs() <= 1e-5 * a.abs().max(b.abs()).max(1.0),
+                "{a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn node_features_shape_accessors() {
+        let x = tiny_onehot();
+        let nf = NodeFeatures::OneHot(x);
+        assert_eq!(nf.rows(), 4);
+        assert_eq!(nf.cols(), 11);
+        let d = nf.to_dense();
+        assert_eq!((d.rows(), d.cols()), (4, 11));
+        let nf2 = NodeFeatures::from(d);
+        assert_eq!(nf2.rows(), 4);
     }
 
     #[test]

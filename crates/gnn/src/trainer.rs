@@ -259,7 +259,7 @@ mod tests {
                 }
                 GraphSample {
                     adj,
-                    features,
+                    features: features.into(),
                     label: Some(label),
                 }
             })

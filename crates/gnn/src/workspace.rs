@@ -27,6 +27,7 @@
 
 use crate::dgcnn::Cache;
 use crate::matrix::Matrix;
+use crate::sample::OneHotSpmmScratch;
 
 /// Reusable forward/backward buffers for one worker thread.
 ///
@@ -63,4 +64,6 @@ pub(crate) struct BackwardScratch {
     pub(crate) dzw: Matrix,
     pub(crate) dh_prev: Matrix,
     pub(crate) dh_layers: Vec<Matrix>,
+    /// Column-histogram scratch of the bit-exact sparse first layer.
+    pub(crate) spmm: OneHotSpmmScratch,
 }

@@ -8,6 +8,7 @@
 use std::collections::VecDeque;
 
 use crate::csr::Csr;
+use crate::scratch::StampedMap;
 
 /// Distance value for "no path".
 pub const UNREACHABLE: u32 = u32::MAX;
@@ -67,6 +68,63 @@ pub fn compute_labels(adj: &Csr, f: u32, g: u32) -> Vec<u32> {
                 1
             } else {
                 drnl_label(df[j as usize], dg[j as usize])
+            }
+        })
+        .collect()
+}
+
+/// [`bfs_without`] over an epoch-stamped scratch map: the same traversal
+/// (and therefore the same distances), but no per-call allocation — an
+/// unreached node is simply absent from `dist`. Used by the hash-free
+/// extraction path.
+pub(crate) fn bfs_without_stamped(
+    adj: &Csr,
+    source: u32,
+    removed: u32,
+    dist: &mut StampedMap,
+    queue: &mut VecDeque<u32>,
+) {
+    dist.begin(adj.node_count());
+    if source == removed {
+        return;
+    }
+    queue.clear();
+    dist.insert(source, 0);
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist.get(u).expect("queued nodes have distances");
+        for &v in adj.neighbors(u as usize) {
+            if v == removed || dist.contains(v) {
+                continue;
+            }
+            dist.insert(v, du + 1);
+            queue.push_back(v);
+        }
+    }
+}
+
+/// [`compute_labels`] over epoch-stamped scratch (the extraction hot
+/// path): identical labels, no per-call allocation beyond the returned
+/// vector.
+pub(crate) fn compute_labels_stamped(
+    adj: &Csr,
+    f: u32,
+    g: u32,
+    df: &mut StampedMap,
+    dg: &mut StampedMap,
+    queue: &mut VecDeque<u32>,
+) -> Vec<u32> {
+    bfs_without_stamped(adj, f, g, df, queue);
+    bfs_without_stamped(adj, g, f, dg, queue);
+    (0..adj.node_count() as u32)
+        .map(|j| {
+            if j == f || j == g {
+                1
+            } else {
+                drnl_label(
+                    df.get(j).unwrap_or(UNREACHABLE),
+                    dg.get(j).unwrap_or(UNREACHABLE),
+                )
             }
         })
         .collect()

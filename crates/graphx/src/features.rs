@@ -5,6 +5,12 @@
 //! dataset-wide constant (the largest label observed), exactly as in the
 //! paper ("the dimension of X depends on the largest assigned label in a
 //! given dataset").
+//!
+//! X is therefore **two-hot by construction**: exactly one gate-type bit
+//! and one label bit per row. [`OneHotFeatures`] is the first-class sparse
+//! representation — 8 bytes per node instead of `4 · cols` — and the
+//! dense [`FeatureMatrix`] is derived from it ([`OneHotFeatures::to_dense`]
+//! is the single source of truth for the dense layout).
 
 use muxlink_netlist::GATE_TYPE_COUNT;
 
@@ -41,29 +47,117 @@ pub fn feature_cols(max_label: u32) -> usize {
     GATE_TYPE_COUNT + max_label as usize + 1
 }
 
-/// Builds the node information matrix X for one subgraph.
+/// Compact sparse form of the node information matrix X.
+///
+/// Row `i` of the dense X has exactly two nonzero entries, both `1.0`:
+/// column `gate[i]` (the gate-type one-hot, `< GATE_TYPE_COUNT`) and
+/// column `GATE_TYPE_COUNT + label[i]` (the DRNL-label one-hot, already
+/// clamped into the dataset's label budget). Storing the two column
+/// indices costs 8 bytes per node, independent of the dataset's feature
+/// width — versus `4 · cols` bytes per dense row — and lets the first GNN
+/// layer compute `X·W` as a two-row gather instead of a dense matmul.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OneHotFeatures {
+    /// Width of the equivalent dense matrix (`8 + max_label + 1`).
+    pub cols: usize,
+    /// Per-node gate-type column (`< GATE_TYPE_COUNT`).
+    pub gate: Vec<u32>,
+    /// Per-node label column offset (clamped; dense column is
+    /// `GATE_TYPE_COUNT + label[i]`).
+    pub label: Vec<u32>,
+}
+
+impl OneHotFeatures {
+    /// Builds from explicit per-node column indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the vectors disagree in length, a gate index is not a
+    /// valid gate-type column, or a label column falls outside `cols`.
+    #[must_use]
+    pub fn new(cols: usize, gate: Vec<u32>, label: Vec<u32>) -> Self {
+        assert_eq!(gate.len(), label.len(), "row count mismatch");
+        assert!(
+            gate.iter().all(|&g| (g as usize) < GATE_TYPE_COUNT),
+            "gate column out of range"
+        );
+        assert!(
+            label.iter().all(|&l| GATE_TYPE_COUNT + (l as usize) < cols),
+            "label column out of range"
+        );
+        Self { cols, gate, label }
+    }
+
+    /// Number of rows (subgraph nodes).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.gate.len()
+    }
+
+    /// The two dense column indices of row `i` — equivalently, the two
+    /// rows of a weight matrix `W` whose sum is row `i` of `X·W`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn columns(&self, i: usize) -> (usize, usize) {
+        (
+            self.gate[i] as usize,
+            GATE_TYPE_COUNT + self.label[i] as usize,
+        )
+    }
+
+    /// Expands into the equivalent dense [`FeatureMatrix`] — the single
+    /// source of truth for the dense layout
+    /// ([`node_feature_matrix`] is exactly this expansion).
+    #[must_use]
+    pub fn to_dense(&self) -> FeatureMatrix {
+        let cols = self.cols;
+        let mut data = vec![0.0f32; self.rows() * cols];
+        for (i, row) in data.chunks_exact_mut(cols).enumerate() {
+            let (g, l) = self.columns(i);
+            row[g] = 1.0;
+            row[l] = 1.0;
+        }
+        FeatureMatrix {
+            rows: self.rows(),
+            cols,
+            data,
+        }
+    }
+}
+
+/// Builds the sparse two-hot node information matrix for one subgraph.
 ///
 /// Labels exceeding `max_label` (possible at attack time when a candidate
 /// subgraph is deeper than anything seen in training) are clamped into the
 /// last label bucket.
 #[must_use]
+pub fn one_hot_features(sg: &Subgraph, max_label: u32) -> OneHotFeatures {
+    let gate = sg
+        .gate_types
+        .iter()
+        .map(|ty| {
+            ty.encoding_index()
+                .expect("graph nodes are plain encoded gates") as u32
+        })
+        .collect();
+    let label = sg.labels.iter().map(|&l| l.min(max_label)).collect();
+    OneHotFeatures {
+        cols: feature_cols(max_label),
+        gate,
+        label,
+    }
+}
+
+/// Builds the dense node information matrix X for one subgraph — the
+/// expansion of [`one_hot_features`] (kept for dense consumers and as the
+/// executable spec the sparse GNN path is tested against).
+#[must_use]
 pub fn node_feature_matrix(sg: &Subgraph, max_label: u32) -> FeatureMatrix {
-    let cols = feature_cols(max_label);
-    let mut data = vec![0.0f32; sg.node_count() * cols];
-    for (i, (&label, ty)) in sg.labels.iter().zip(&sg.gate_types).enumerate() {
-        let row = &mut data[i * cols..(i + 1) * cols];
-        let t = ty
-            .encoding_index()
-            .expect("graph nodes are plain encoded gates");
-        row[t] = 1.0;
-        let l = label.min(max_label) as usize;
-        row[GATE_TYPE_COUNT + l] = 1.0;
-    }
-    FeatureMatrix {
-        rows: sg.node_count(),
-        cols,
-        data,
-    }
+    one_hot_features(sg, max_label).to_dense()
 }
 
 #[cfg(test)]
@@ -116,5 +210,42 @@ mod tests {
     fn dimensions_follow_max_label() {
         assert_eq!(feature_cols(0), 9);
         assert_eq!(feature_cols(7), 16);
+    }
+
+    #[test]
+    fn one_hot_matches_dense_exactly() {
+        let sg = tiny_subgraph();
+        let oh = one_hot_features(&sg, sg.max_label());
+        let dense = node_feature_matrix(&sg, sg.max_label());
+        assert_eq!(oh.rows(), dense.rows);
+        assert_eq!(oh.cols, dense.cols);
+        assert_eq!(oh.to_dense(), dense);
+        for i in 0..oh.rows() {
+            let (g, l) = oh.columns(i);
+            assert_eq!(dense.get(i, g), 1.0);
+            assert_eq!(dense.get(i, l), 1.0);
+        }
+    }
+
+    #[test]
+    fn one_hot_clamps_labels_like_dense() {
+        let sg = tiny_subgraph();
+        let oh = one_hot_features(&sg, 0);
+        assert_eq!(oh.cols, feature_cols(0));
+        assert!(oh.label.iter().all(|&l| l == 0));
+        assert_eq!(oh.to_dense(), node_feature_matrix(&sg, 0));
+    }
+
+    #[test]
+    fn constructor_validates_columns() {
+        let ok = OneHotFeatures::new(10, vec![0, 7], vec![1, 0]);
+        assert_eq!(ok.rows(), 2);
+        assert_eq!(ok.columns(0), (0, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "label column out of range")]
+    fn constructor_rejects_wide_label() {
+        let _ = OneHotFeatures::new(9, vec![0], vec![1]);
     }
 }

@@ -29,10 +29,12 @@ pub mod features;
 pub mod graph;
 pub mod heuristics;
 pub mod sampling;
+pub(crate) mod scratch;
 pub mod subgraph;
 
 pub use csr::{Csr, CsrBuilder};
 pub use dataset::{build_dataset, Dataset, LinkSample};
 pub use extract::{extract, ExtractError, ExtractedDesign, MuxCandidate};
+pub use features::{one_hot_features, OneHotFeatures};
 pub use graph::{CircuitGraph, Link};
 pub use subgraph::{enclosing_subgraph, Subgraph};

@@ -1,5 +1,16 @@
 //! Step ③: h-hop enclosing subgraph extraction around a (candidate) link.
+//!
+//! Extraction is the inner loop of dataset generation and scoring, so the
+//! production path ([`enclosing_subgraph`], [`node_subgraph`]) runs on
+//! per-worker epoch-stamped dense scratch
+//! ([`crate::scratch::ExtractScratch`]): no hash lookups and no per-call
+//! allocation beyond the returned [`Subgraph`] itself. The original
+//! `HashMap`-based implementation is retained as
+//! [`enclosing_subgraph_ref`] — the executable specification the fast
+//! path is property-tested against (outputs bit-identical, including node
+//! order).
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
 
 use muxlink_netlist::GateType;
@@ -8,6 +19,13 @@ use serde::{Deserialize, Serialize};
 use crate::csr::{Csr, CsrBuilder};
 use crate::drnl;
 use crate::graph::{CircuitGraph, Link};
+use crate::scratch::{ExtractScratch, StampedMap};
+
+thread_local! {
+    /// One scratch bundle per worker thread; buffers grow to the largest
+    /// graph seen and are reused by every extraction on that thread.
+    static EXTRACT_SCRATCH: RefCell<ExtractScratch> = RefCell::new(ExtractScratch::default());
+}
 
 /// An enclosing subgraph around a target node pair, ready for GNN
 /// consumption: local adjacency, DRNL labels and per-node gate types.
@@ -60,6 +78,104 @@ pub fn enclosing_subgraph(
     h: usize,
     max_nodes: Option<usize>,
 ) -> Subgraph {
+    EXTRACT_SCRATCH
+        .with(|scr| enclosing_subgraph_scratch(&mut scr.borrow_mut(), graph, link, h, max_nodes))
+}
+
+/// [`enclosing_subgraph`] body over explicit scratch (hash-free path).
+fn enclosing_subgraph_scratch(
+    scr: &mut ExtractScratch,
+    graph: &CircuitGraph,
+    link: Link,
+    h: usize,
+    max_nodes: Option<usize>,
+) -> Subgraph {
+    let (f, g) = (link.a, link.b);
+    let ExtractScratch {
+        dist_f,
+        dist_g,
+        local_of,
+        queue,
+        visited_f,
+        visited_g,
+    } = scr;
+    bounded_bfs_stamped(graph, f, h, link, dist_f, queue, visited_f);
+    bounded_bfs_stamped(graph, g, h, link, dist_g, queue, visited_g);
+
+    // Collect member nodes (the union of the two BFS neighbourhoods),
+    // targets first, then by min-distance (BFS-like order) for
+    // deterministic truncation. The sort key is a total order over node
+    // indices, so starting from visit order instead of ascending index
+    // order yields the same members vector as the reference.
+    let mut members: Vec<u32> = Vec::with_capacity(visited_f.len() + visited_g.len());
+    members.extend_from_slice(visited_f);
+    members.extend(visited_g.iter().copied().filter(|&j| !dist_f.contains(j)));
+    members.sort_unstable_by_key(|&j| {
+        let key = if j == f || j == g {
+            0
+        } else {
+            let df = dist_f.get(j).map_or(usize::MAX, |d| d as usize);
+            let dg = dist_g.get(j).map_or(usize::MAX, |d| d as usize);
+            1 + df.min(dg)
+        };
+        (key, j)
+    });
+    if let Some(cap) = max_nodes {
+        members.truncate(cap.max(2));
+    }
+
+    local_of.begin(graph.node_count());
+    for (i, &j) in members.iter().enumerate() {
+        local_of.insert(j, i as u32);
+    }
+    let lf = local_of.get(f).expect("target f is always a member");
+    let lg = local_of.get(g).expect("target g is always a member");
+
+    // Emit the local adjacency straight into flat CSR storage: one
+    // normalised neighbour run per member, no per-node allocation.
+    let mut builder = CsrBuilder::with_capacity(members.len(), members.len() * 4);
+    for &j in &members {
+        builder.push_node(graph.adj.neighbors(j as usize).iter().filter_map(|&nb| {
+            // Drop the direct target edge in both directions.
+            let is_target_edge = (j == f && nb == g) || (j == g && nb == f);
+            if is_target_edge {
+                None
+            } else {
+                local_of.get(nb)
+            }
+        }));
+    }
+    let adj = builder.finish();
+
+    // The global-distance maps are no longer needed; reuse them for the
+    // two local DRNL BFS passes.
+    let labels = drnl::compute_labels_stamped(&adj, lf, lg, dist_f, dist_g, queue);
+    let gate_types = members
+        .iter()
+        .map(|&j| graph.gate_types[j as usize])
+        .collect();
+    Subgraph {
+        nodes: members,
+        adj,
+        labels,
+        gate_types,
+        target: (lf, lg),
+    }
+}
+
+/// Reference implementation of [`enclosing_subgraph`]: the original
+/// per-call `HashMap` relabelling and allocating BFS. Retained as the
+/// executable specification — the property suite asserts the hash-free
+/// path produces **bit-identical** output (same node order, adjacency,
+/// labels) — and as the baseline of the `subgraph_extract` benchmark
+/// group.
+#[must_use]
+pub fn enclosing_subgraph_ref(
+    graph: &CircuitGraph,
+    link: Link,
+    h: usize,
+    max_nodes: Option<usize>,
+) -> Subgraph {
     let (f, g) = (link.a, link.b);
     let dist_f = bounded_bfs(graph, f, h, link);
     let dist_g = bounded_bfs(graph, g, h, link);
@@ -88,12 +204,9 @@ pub fn enclosing_subgraph(
     let lf = local_of[&f];
     let lg = local_of[&g];
 
-    // Emit the local adjacency straight into flat CSR storage: one
-    // normalised neighbour run per member, no per-node allocation.
     let mut builder = CsrBuilder::with_capacity(members.len(), members.len() * 4);
     for &j in &members {
         builder.push_node(graph.adj.neighbors(j as usize).iter().filter_map(|&nb| {
-            // Drop the direct target edge in both directions.
             let is_target_edge = (j == f && nb == g) || (j == g && nb == f);
             if is_target_edge {
                 None
@@ -129,56 +242,61 @@ pub fn node_subgraph(
     h: usize,
     max_nodes: Option<usize>,
 ) -> Subgraph {
-    let dist = bounded_bfs(graph, center, h, Link::new(u32::MAX, u32::MAX));
-    let mut members: Vec<u32> = (0..graph.node_count() as u32)
-        .filter(|&j| dist[j as usize] <= h)
-        .collect();
-    members.sort_by_key(|&j| (dist[j as usize], j));
-    if let Some(cap) = max_nodes {
-        members.truncate(cap.max(1));
-    }
-    let mut local_of = std::collections::HashMap::new();
-    for (i, &j) in members.iter().enumerate() {
-        local_of.insert(j, i as u32);
-    }
-    let lc = local_of[&center];
-    let mut builder = CsrBuilder::with_capacity(members.len(), members.len() * 4);
-    for &j in &members {
-        builder.push_node(
-            graph
-                .adj
-                .neighbors(j as usize)
-                .iter()
-                .filter_map(|nb| local_of.get(nb).copied()),
-        );
-    }
-    let adj = builder.finish();
-    // Distance labels within the subgraph.
-    let labels = crate::drnl::bfs_without(&adj, lc, u32::MAX)
-        .into_iter()
-        .map(|d| {
-            if d == crate::drnl::UNREACHABLE {
-                0
-            } else {
-                d + 1
-            }
-        })
-        .collect();
-    let gate_types = members
-        .iter()
-        .map(|&j| graph.gate_types[j as usize])
-        .collect();
-    Subgraph {
-        nodes: members,
-        adj,
-        labels,
-        gate_types,
-        target: (lc, lc),
-    }
+    EXTRACT_SCRATCH.with(|scr| {
+        let scr = &mut *scr.borrow_mut();
+        let ExtractScratch {
+            dist_f,
+            local_of,
+            queue,
+            visited_f,
+            ..
+        } = scr;
+        let no_skip = Link::new(u32::MAX, u32::MAX);
+        bounded_bfs_stamped(graph, center, h, no_skip, dist_f, queue, visited_f);
+        let mut members: Vec<u32> = visited_f.clone();
+        members.sort_unstable_by_key(|&j| (dist_f.get(j).expect("visited"), j));
+        if let Some(cap) = max_nodes {
+            members.truncate(cap.max(1));
+        }
+        local_of.begin(graph.node_count());
+        for (i, &j) in members.iter().enumerate() {
+            local_of.insert(j, i as u32);
+        }
+        let lc = local_of.get(center).expect("centre is always a member");
+        let mut builder = CsrBuilder::with_capacity(members.len(), members.len() * 4);
+        for &j in &members {
+            builder.push_node(
+                graph
+                    .adj
+                    .neighbors(j as usize)
+                    .iter()
+                    .filter_map(|&nb| local_of.get(nb)),
+            );
+        }
+        let adj = builder.finish();
+        // Distance labels within the subgraph (centre = 1); the global
+        // distance map is free again, reuse it for the local BFS.
+        drnl::bfs_without_stamped(&adj, lc, u32::MAX, dist_f, queue);
+        let labels = (0..adj.node_count() as u32)
+            .map(|j| dist_f.get(j).map_or(0, |d| d + 1))
+            .collect();
+        let gate_types = members
+            .iter()
+            .map(|&j| graph.gate_types[j as usize])
+            .collect();
+        Subgraph {
+            nodes: members,
+            adj,
+            labels,
+            gate_types,
+            target: (lc, lc),
+        }
+    })
 }
 
 /// BFS distances from `source` capped at `h`, never traversing the target
-/// edge itself. Unvisited nodes get `usize::MAX`.
+/// edge itself. Unvisited nodes get `usize::MAX`. (Allocating reference;
+/// the production path is [`bounded_bfs_stamped`].)
 fn bounded_bfs(graph: &CircuitGraph, source: u32, h: usize, skip: Link) -> Vec<usize> {
     let mut dist = vec![usize::MAX; graph.node_count()];
     let mut q = VecDeque::new();
@@ -198,6 +316,44 @@ fn bounded_bfs(graph: &CircuitGraph, source: u32, h: usize, skip: Link) -> Vec<u
         }
     }
     dist
+}
+
+/// [`bounded_bfs`] over epoch-stamped scratch: identical traversal order
+/// (same queue discipline over the same sorted neighbour runs), but
+/// distances land in a reusable [`StampedMap`] and the visited nodes —
+/// exactly the nodes at distance ≤ `h` — are recorded in `visited` in
+/// visit order. No allocation once the scratch has grown to the graph
+/// size.
+fn bounded_bfs_stamped(
+    graph: &CircuitGraph,
+    source: u32,
+    h: usize,
+    skip: Link,
+    dist: &mut StampedMap,
+    queue: &mut VecDeque<u32>,
+    visited: &mut Vec<u32>,
+) {
+    dist.begin(graph.node_count());
+    visited.clear();
+    queue.clear();
+    dist.insert(source, 0);
+    visited.push(source);
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist.get(u).expect("queued nodes have distances") as usize;
+        if du == h {
+            continue;
+        }
+        for &v in graph.adj.neighbors(u as usize) {
+            let is_target_edge = Link::new(u, v) == skip;
+            if is_target_edge || dist.contains(v) {
+                continue;
+            }
+            dist.insert(v, (du + 1) as u32);
+            visited.push(v);
+            queue.push_back(v);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -323,5 +479,28 @@ mod tests {
         assert_eq!(a.nodes, b.nodes);
         assert_eq!(a.adj, b.adj);
         assert_eq!(a.labels, b.labels);
+    }
+
+    /// The hash-free path must be bit-identical to the retained hash
+    /// reference — node order included — across links, hop counts and
+    /// caps, and across repeated reuse of the thread-local scratch.
+    #[test]
+    fn stamped_extraction_matches_hash_reference() {
+        let g = chain_graph();
+        for _round in 0..3 {
+            for link in [Link::new(2, 3), Link::new(0, 6), Link::new(1, 3)] {
+                for h in 1..=3 {
+                    for cap in [None, Some(3), Some(4)] {
+                        let a = enclosing_subgraph(&g, link, h, cap);
+                        let b = enclosing_subgraph_ref(&g, link, h, cap);
+                        assert_eq!(a.nodes, b.nodes, "{link:?} h={h} cap={cap:?}");
+                        assert_eq!(a.adj, b.adj);
+                        assert_eq!(a.labels, b.labels);
+                        assert_eq!(a.gate_types, b.gate_types);
+                        assert_eq!(a.target, b.target);
+                    }
+                }
+            }
+        }
     }
 }

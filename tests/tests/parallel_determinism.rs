@@ -64,11 +64,13 @@ fn muxlink_attack_is_thread_count_invariant_on_symmetric() {
 /// Workspace-reuse contract: the `_into` variants over per-worker
 /// workspaces must produce the same bits as the allocating `predict`,
 /// across repeated calls on dirty buffers and across 1-vs-4 rayon
-/// workers.
+/// workers. Since PR 3, `to_graph_sample` emits compact one-hot
+/// features, so this case exercises the **fused sparse first layer** on
+/// real enclosing subgraphs end-to-end.
 #[test]
 fn workspace_scoring_is_bit_identical_across_reuse_and_threads() {
     use muxlink_core::scoring::to_graph_sample;
-    use muxlink_gnn::{Dgcnn, DgcnnConfig, GraphSample, Workspace};
+    use muxlink_gnn::{Dgcnn, DgcnnConfig, GraphSample, NodeFeatures, Workspace};
     use muxlink_graph::dataset::{target_subgraphs, DatasetConfig};
     use muxlink_graph::extract;
 
@@ -89,6 +91,12 @@ fn workspace_scoring_is_bit_identical_across_reuse_and_threads() {
         .map(|sg| to_graph_sample(sg, max_label, None))
         .collect();
     assert!(samples.len() >= 8, "need a non-trivial batch");
+    assert!(
+        samples
+            .iter()
+            .all(|s| matches!(s.features, NodeFeatures::OneHot(_))),
+        "scoring samples must carry compact one-hot features"
+    );
 
     let input_dim = muxlink_graph::features::feature_cols(max_label);
     let model = Dgcnn::new(DgcnnConfig::paper(input_dim, 12));

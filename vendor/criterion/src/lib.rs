@@ -7,6 +7,15 @@
 //! warm-up call, then `sample_size` timed iterations, reporting the mean
 //! and minimum. Good enough to compare before/after on an optimisation;
 //! not a statistical benchmark suite.
+//!
+//! Mirrors two pieces of upstream criterion's CLI so CI can sanity-run
+//! benches: a positional substring **filter** (only benchmarks whose
+//! `group/name` id contains it run) and **`--test`** (execute each
+//! selected routine exactly once and report `ok` — fast rot protection,
+//! not timing). Example:
+//! `cargo bench -p muxlink-bench --bench kernels -- sparse_layer0 --test`.
+//! Unknown `-`-prefixed flags (e.g. the `--bench` cargo appends) are
+//! ignored.
 
 #![forbid(unsafe_code)]
 
@@ -72,32 +81,69 @@ impl BenchmarkId {
 /// The top-level harness handle.
 pub struct Criterion {
     sample_size: usize,
+    filter: Option<String>,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { sample_size: 10 }
+        Self {
+            sample_size: 10,
+            filter: None,
+            test_mode: false,
+        }
     }
 }
 
 impl Criterion {
-    /// Runs one named benchmark.
-    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+    /// Applies the benchmark binary's CLI arguments: the first
+    /// non-flag argument becomes a substring filter over benchmark ids,
+    /// `--test` switches to run-once sanity mode, and every other flag
+    /// is ignored (cargo appends `--bench`).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                self.test_mode = true;
+            } else if !arg.starts_with('-') && self.filter.is_none() {
+                self.filter = Some(arg);
+            }
+        }
+        self
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one(&self, id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        if !self.selected(id) {
+            return;
+        }
         let mut b = Bencher {
-            samples: self.sample_size,
+            samples: if self.test_mode { 0 } else { sample_size },
             results: Vec::new(),
         };
         f(&mut b);
-        report(name, &b.results);
+        if self.test_mode {
+            println!("{id}: test ok");
+        } else {
+            report(id, &b.results);
+        }
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let sample_size = self.sample_size;
+        self.run_one(name, sample_size, &mut f);
         self
     }
 
     /// Opens a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        println!("group: {name}");
         let sample_size = self.sample_size;
         BenchmarkGroup {
-            _parent: self,
+            parent: self,
             name: name.to_owned(),
             sample_size,
         }
@@ -106,7 +152,7 @@ impl Criterion {
 
 /// A group of related benchmarks sharing configuration.
 pub struct BenchmarkGroup<'a> {
-    _parent: &'a mut Criterion,
+    parent: &'a mut Criterion,
     name: String,
     sample_size: usize,
 }
@@ -120,12 +166,8 @@ impl BenchmarkGroup<'_> {
 
     /// Runs one benchmark in the group.
     pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
-        let mut b = Bencher {
-            samples: self.sample_size,
-            results: Vec::new(),
-        };
-        f(&mut b);
-        report(&format!("{}/{name}", self.name), &b.results);
+        let id = format!("{}/{name}", self.name);
+        self.parent.run_one(&id, self.sample_size, &mut f);
         self
     }
 
@@ -136,12 +178,9 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: impl FnMut(&mut Bencher, &I),
     ) -> &mut Self {
-        let mut b = Bencher {
-            samples: self.sample_size,
-            results: Vec::new(),
-        };
-        f(&mut b, input);
-        report(&format!("{}/{}", self.name, id.text), &b.results);
+        let id = format!("{}/{}", self.name, id.text);
+        self.parent
+            .run_one(&id, self.sample_size, &mut |b| f(b, input));
         self
     }
 
@@ -154,7 +193,7 @@ impl BenchmarkGroup<'_> {
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
         pub fn $name() {
-            let mut c = $crate::Criterion::default();
+            let mut c = $crate::Criterion::default().configure_from_args();
             $( $target(&mut c); )+
         }
     };
@@ -200,5 +239,33 @@ mod tests {
         });
         g.finish();
         assert_eq!(runs, 4, "1 warmup + 3 samples");
+    }
+
+    #[test]
+    fn filter_skips_unmatched_benchmarks() {
+        let mut c = Criterion {
+            filter: Some("keep".to_owned()),
+            ..Criterion::default()
+        };
+        let mut kept = 0usize;
+        let mut skipped = 0usize;
+        c.bench_function("keep_me", |b| b.iter(|| kept += 1));
+        c.bench_function("other", |b| b.iter(|| skipped += 1));
+        let mut g = c.benchmark_group("keep_group");
+        g.bench_function("inner", |b| b.iter(|| kept += 1));
+        g.finish();
+        assert!(kept >= 2, "filtered-in benchmarks must run");
+        assert_eq!(skipped, 0, "filtered-out benchmarks must not run");
+    }
+
+    #[test]
+    fn test_mode_runs_routine_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut runs = 0usize;
+        c.bench_function("sanity", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1, "--test runs the routine exactly once");
     }
 }
