@@ -95,6 +95,13 @@ fn bench_gnn(c: &mut Criterion) {
 
 /// The CSR propagation kernel `S·H` at realistic enclosing-subgraph
 /// sizes, through the reused-buffer entry point the model uses.
+///
+/// PR 4 SIMD-restructuring A/B (min-of-10 on the 1-CPU build box,
+/// baseline x86-64 target): hand-blocking this kernel's inner zips into
+/// `chunks_exact::<8>` was measured and **rejected** — `csr_propagate/100`
+/// regressed 1.96µs → 3.41µs (~1.7× slower; LLVM already vectorizes the
+/// short dynamic-length zips). The kernel keeps its plain loops; see the
+/// primitives note in `muxlink_gnn::sample` and `BENCH_PR4.json`.
 fn bench_propagate(c: &mut Criterion) {
     let mut group = c.benchmark_group("csr_propagate");
     for n in [30usize, 100, 300] {
@@ -119,6 +126,14 @@ fn bench_propagate(c: &mut Criterion) {
 /// * `fused_fwd_bwd` — the reassociated maximum-throughput path:
 ///   two-row gather `X·W₀` (n × c₀) + c₀-wide propagation forward,
 ///   `Sᵀ·dZ` + two-row scatter-add backward (tolerance-equivalent).
+///
+/// PR 4 SIMD-restructuring A/B (min-of-10, same box/target): the fused
+/// one-hot kernels' inner axpy **kept** the `chunks_exact::<8>` blocking
+/// — wash to win, e.g. `fused_exact/F16_n300` 54.3µs plain → ~42µs
+/// blocked, `F64_n100` 14.9 → ~14.2 — while `csr_propagate` rejected it
+/// (see above). `f32::mul_add` rejected everywhere: single rounding
+/// would change bits and break the bit-exact contract. Full numbers in
+/// `BENCH_PR4.json`.
 fn bench_sparse_layer0(c: &mut Criterion) {
     const C0: usize = 32; // first-layer channels (paper config)
     let mut group = c.benchmark_group("sparse_layer0");

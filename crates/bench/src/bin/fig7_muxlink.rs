@@ -7,14 +7,14 @@
 //! (`--paper-scale` restores K ∈ {64,128,256}/{256,512}, h = 3, 100
 //! epochs, ≤100 000 training links).
 
-use muxlink_bench::runner::{parallel_map, run_attack, AttackRunResult, Scheme};
+use muxlink_bench::runner::{run_attack_suite, AttackRunResult, CampaignItem, Scheme};
 use muxlink_bench::{maybe_write_json, pct_or_na, HarnessOptions, Table};
 
 fn main() {
     let opts = HarnessOptions::parse(std::env::args().skip(1));
     let cfg = opts.attack_config();
 
-    let mut jobs = Vec::new();
+    let mut jobs: Vec<CampaignItem> = Vec::new();
     for (suite, keys) in [
         (opts.iscas85(), opts.iscas_key_sizes()),
         (opts.itc99(), opts.itc_key_sizes()),
@@ -32,12 +32,13 @@ fn main() {
         }
     }
 
-    eprintln!("fig7: running {} attack jobs …", jobs.len());
-    let seed = opts.seed;
-    let results: Vec<Result<AttackRunResult, String>> =
-        parallel_map(jobs, move |(suite, profile, scheme, k)| {
-            run_attack(&suite, &profile, scheme, k, &cfg, seed).map(|(res, _, _, _)| res)
-        });
+    eprintln!(
+        "fig7: running {} attack jobs through one suite …",
+        jobs.len()
+    );
+    // All designs shard across one rayon pool (`muxlink_core::run_suite`),
+    // with work stealing between designs and within each design's stages.
+    let results: Vec<Result<AttackRunResult, String>> = run_attack_suite(&jobs, &cfg, opts.seed);
 
     let mut ok: Vec<AttackRunResult> = Vec::new();
     for r in results {

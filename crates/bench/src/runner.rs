@@ -1,12 +1,16 @@
 //! Shared attack-run machinery for the figure binaries: locks a synthetic
-//! benchmark, runs MuxLink, scores it, and fans tasks out across CPU
-//! cores with scoped threads.
+//! benchmark, runs MuxLink, scores it, and fans multi-design campaigns
+//! out through the public [`muxlink_core::run_suite`] driver (single
+//! designs still go through the staged [`AttackSession`]).
 
 use std::time::Instant;
 
 use muxlink_benchgen::Profile;
-use muxlink_core::{metrics::score_key, score_design, MuxLinkConfig, ScoredDesign};
-use muxlink_locking::{dmux, symmetric, LockError, LockOptions, LockedNetlist};
+use muxlink_core::{
+    metrics::score_key, AttackSession, MuxLinkConfig, NoProgress, ScoredDesign, SuiteJob,
+    SuiteOptions,
+};
+use muxlink_locking::{dmux, symmetric, KeyValue, LockError, LockOptions, LockedNetlist};
 use muxlink_netlist::Netlist;
 use serde::Serialize;
 
@@ -103,7 +107,8 @@ pub fn run_attack(
         .lock_fitting(&design, key_size, seed ^ 0xBEEF)
         .map_err(|e| format!("{}: locking failed: {e}", profile.name))?;
     let t0 = Instant::now();
-    let scored = score_design(&locked.netlist, &locked.key_input_names(), cfg)
+    let scored = AttackSession::new(&locked.netlist, &locked.key_input_names(), cfg.clone())
+        .run(&NoProgress)
         .map_err(|e| format!("{}: attack failed: {e}", profile.name))?;
     let guess = scored.recover_key(cfg.th);
     let seconds = t0.elapsed().as_secs_f64();
@@ -121,6 +126,108 @@ pub fn run_attack(
         seconds,
     };
     Ok((result, scored, locked, design))
+}
+
+/// One benchmark × scheme × key-size campaign item for
+/// [`run_attack_suite`].
+pub type CampaignItem = (String, Profile, Scheme, usize);
+
+/// Locks every campaign item and drives the whole list through
+/// [`muxlink_core::run_suite`]: one process, one rayon pool, designs
+/// sharded across workers with work stealing between and within
+/// attacks (the ROADMAP's multi-design sharding, now on the public
+/// surface). Output order matches `items`; per-item failures come back
+/// as `Err` strings, like [`run_attack`].
+#[must_use]
+pub fn run_attack_suite(
+    items: &[CampaignItem],
+    cfg: &MuxLinkConfig,
+    seed: u64,
+) -> Vec<Result<AttackRunResult, String>> {
+    /// Metadata of a successfully-locked item; its `SuiteJob` (with the
+    /// only copy of the locked netlist) lives in `jobs`.
+    struct LockedMeta {
+        gates: usize,
+        scheme: Scheme,
+        key_size: usize,
+    }
+    // Lock sequentially (cheap) so the expensive phase is one suite run.
+    // The netlists go straight into `jobs` — exactly one resident copy
+    // per design for the whole campaign.
+    let mut jobs: Vec<SuiteJob> = Vec::new();
+    let mut prepared: Vec<Result<LockedMeta, String>> = Vec::new();
+    for (_suite, profile, scheme, key_size) in items {
+        let design = profile.generate(seed);
+        let gates = design.gate_count();
+        match scheme.lock_fitting(&design, *key_size, seed ^ 0xBEEF) {
+            Ok(locked) => {
+                let key_input_names = locked.key_input_names();
+                prepared.push(Ok(LockedMeta {
+                    gates,
+                    scheme: *scheme,
+                    key_size: key_input_names.len(),
+                }));
+                jobs.push(SuiteJob {
+                    name: format!("{}-{}-K{}", profile.name, scheme.label(), key_size),
+                    key_input_names,
+                    truth: Some(
+                        locked
+                            .key
+                            .to_values()
+                            .iter()
+                            .map(|v| *v == KeyValue::One)
+                            .collect(),
+                    ),
+                    netlist: locked.netlist,
+                });
+            }
+            Err(e) => prepared.push(Err(format!("{}: locking failed: {e}", profile.name))),
+        }
+    }
+    let records = match muxlink_core::run_suite(&jobs, cfg, &SuiteOptions::default(), &NoProgress) {
+        Ok(records) => records,
+        // A suite-level failure (e.g. the pool) applies to the items
+        // that would have run; per-item locking errors are preserved.
+        Err(e) => {
+            return prepared
+                .into_iter()
+                .map(|p| p.and(Err(e.to_string())))
+                .collect();
+        }
+    };
+    let mut records = records.into_iter();
+    prepared
+        .into_iter()
+        .zip(items)
+        .map(|(p, (suite, profile, _, _))| {
+            let LockedMeta {
+                gates,
+                scheme,
+                key_size,
+            } = p?;
+            let r = records.next().expect("one record per successful job");
+            match r.error {
+                Some(e) => Err(format!("{}: attack failed: {e}", profile.name)),
+                None => {
+                    let m = r.metrics.ok_or_else(|| {
+                        format!("{}: suite record lost its metrics", profile.name)
+                    })?;
+                    Ok(AttackRunResult {
+                        suite: suite.clone(),
+                        bench: profile.name.clone(),
+                        gates,
+                        scheme: scheme.label().to_owned(),
+                        key_size,
+                        ac: m.accuracy_pct(),
+                        pc: m.precision_pct(),
+                        kpa: m.kpa_pct(),
+                        val_acc: r.val_accuracy,
+                        seconds: r.seconds,
+                    })
+                }
+            }
+        })
+        .collect()
 }
 
 /// Runs a set of independent jobs across available cores, preserving input
@@ -192,6 +299,31 @@ mod tests {
         let locked = Scheme::DMux.lock_fitting(&c17, 64, 1).unwrap();
         assert!(locked.key.len() < 64);
         assert!(locked.key.len() >= 2);
+    }
+
+    /// The suite-driven campaign path must reproduce the per-design
+    /// numbers of the one-design path (same seeds, same pipeline).
+    #[test]
+    fn run_attack_suite_matches_single_runs() {
+        let suite = SyntheticSuite::iscas85().scaled(0.07);
+        let profile = suite.profiles[0].clone();
+        let cfg = MuxLinkConfig::quick();
+        let items: Vec<CampaignItem> = vec![
+            ("ISCAS-85".to_owned(), profile.clone(), Scheme::DMux, 6),
+            ("ISCAS-85".to_owned(), profile.clone(), Scheme::Symmetric, 6),
+        ];
+        let batch = run_attack_suite(&items, &cfg, 3);
+        assert_eq!(batch.len(), 2);
+        for ((suite_name, profile, scheme, k), result) in items.iter().zip(&batch) {
+            let result = result.as_ref().expect("campaign item should succeed");
+            let (single, _, _, _) = run_attack(suite_name, profile, *scheme, *k, &cfg, 3).unwrap();
+            assert_eq!(result.ac, single.ac, "{}", result.bench);
+            assert_eq!(result.pc, single.pc);
+            assert_eq!(result.kpa, single.kpa);
+            assert_eq!(result.val_acc, single.val_acc);
+            assert_eq!(result.key_size, single.key_size);
+            assert_eq!(result.gates, single.gates);
+        }
     }
 
     #[test]

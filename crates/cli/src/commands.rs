@@ -1,11 +1,16 @@
 //! Subcommand implementations.
 
 use std::fs;
+use std::path::PathBuf;
+use std::time::Duration;
 
 use muxlink_attack_baselines::{saam_attack, sail_lite_attack, scope_attack, ScopeConfig};
 use muxlink_benchgen::SyntheticSuite;
 use muxlink_core::metrics::score_key;
-use muxlink_core::{attack as muxlink_attack, MuxLinkConfig};
+use muxlink_core::{
+    run_suite, AttackSession, EpochStats, MuxLinkConfig, NoProgress, Progress, Stage, SuiteJob,
+    SuiteOptions, Trained,
+};
 use muxlink_locking::{dmux, naive_mux, symmetric, trll, xor, Key, KeyValue, LockOptions};
 use muxlink_netlist::{bench_format, stats::NetlistStats, Netlist};
 
@@ -21,13 +26,27 @@ subcommands:
   lock      --scheme <dmux|symmetric|xor|naive-mux|trll>
             --key-size n [--seed n] in.bench -o out.bench [--key-out key.txt]
   attack    --method <muxlink|scope|saam|sail> [--th f] [--hops n]
-            [--threads n] [--paper] [--timings] [--seed n]
+            [--threads n] [--paper] [--timings] [--seed n] [--progress]
+            [--save-model m.json] [--model m.json]
             in.bench [-o guess.txt]
+  train     --save-model m.json [--hops n] [--threads n] [--paper]
+            [--seed n] [--progress]                       in.bench
+  score     --model m.json [--th f] [--threads n] [--progress]
+            [-o guess.txt]
+  suite     [--out-dir dir] [--th f] [--hops n] [--threads n] [--paper]
+            [--seed n] locked1.bench locked2.bench …
   sat-attack --oracle original.bench in.bench [-o guess.txt]
   evaluate  --original o.bench --locked l.bench --guess g.txt
             [--key k.txt] [--patterns n]
   stats     in.bench
   help
+
+`train` checkpoints the expensive stage; `score` re-scores or
+threshold-sweeps a checkpoint without retraining (bit-identical to a
+one-shot attack). `attack --model` requires the same netlist the
+checkpoint was trained on (verified structurally). `suite` drives many
+locked designs through one process, one result record (and, with
+--out-dir, one JSON) per design.
 ";
 
 /// Dispatches a parsed command; returns the text to print on stdout.
@@ -40,6 +59,9 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
         "generate" => generate(cmd),
         "lock" => lock(cmd),
         "attack" => attack(cmd),
+        "train" => train_cmd(cmd),
+        "score" => score_cmd(cmd),
+        "suite" => suite_cmd(cmd),
         "sat-attack" => sat_attack_cmd(cmd),
         "evaluate" => evaluate(cmd),
         "stats" => stats(cmd),
@@ -48,6 +70,80 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             "unknown subcommand `{other}` (try `help`)"
         ))),
     }
+}
+
+/// Per-epoch/per-stage progress on stderr (stdout stays machine-usable).
+struct StderrProgress;
+
+impl Progress for StderrProgress {
+    fn stage_started(&self, stage: Stage) {
+        eprintln!("[muxlink] {stage} …");
+    }
+
+    fn stage_finished(&self, stage: Stage, elapsed: Duration) {
+        eprintln!("[muxlink] {stage} done in {:.3}s", elapsed.as_secs_f64());
+    }
+
+    fn epoch_finished(&self, stats: &EpochStats) {
+        eprintln!(
+            "[muxlink]   epoch {:>3}: train loss {:.4}, val acc {:.2}%",
+            stats.epoch,
+            stats.train_loss,
+            stats.val_accuracy * 100.0
+        );
+    }
+}
+
+fn progress_of(cmd: &Command) -> &'static dyn Progress {
+    if cmd.has("--progress") {
+        &StderrProgress
+    } else {
+        &NoProgress
+    }
+}
+
+/// The MuxLink configuration shared by `attack`/`train`/`suite`.
+fn muxlink_cfg(cmd: &Command) -> Result<MuxLinkConfig, CliError> {
+    let mut cfg = if cmd.has("--paper") {
+        MuxLinkConfig::paper()
+    } else {
+        MuxLinkConfig::quick()
+    };
+    cfg.th = cmd.parse_flag("--th", cfg.th)?;
+    cfg.h = cmd.parse_flag("--hops", cfg.h)?;
+    cfg.seed = cmd.parse_flag("--seed", cfg.seed)?;
+    // 0 = all cores; results are identical for any thread count.
+    cfg.threads = cmd.parse_flag("--threads", cfg.threads)?;
+    Ok(cfg)
+}
+
+fn domain(e: impl std::fmt::Display) -> CliError {
+    CliError::Domain(e.to_string())
+}
+
+fn save_trained(path: &str, trained: &Trained) -> Result<(), CliError> {
+    let json = serde_json::to_string(trained).map_err(domain)?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+fn load_trained(path: &str) -> Result<Trained, CliError> {
+    serde_json::from_str(&fs::read_to_string(path)?)
+        .map_err(|e| CliError::Domain(format!("{path}: not a muxlink model checkpoint: {e}")))
+}
+
+/// Only `--th` and `--threads` can take effect on a loaded checkpoint;
+/// reject the training-time flags instead of silently ignoring them.
+fn reject_checkpoint_fixed_flags(cmd: &Command) -> Result<(), CliError> {
+    for flag in ["--hops", "--seed", "--paper"] {
+        if cmd.has(flag) {
+            return Err(CliError::Usage(format!(
+                "{flag} cannot be combined with --model: the checkpoint fixes it \
+                 (re-train to change it)"
+            )));
+        }
+    }
+    Ok(())
 }
 
 fn load_netlist(path: &str) -> Result<Netlist, CliError> {
@@ -161,20 +257,38 @@ fn attack(cmd: &Command) -> Result<String, CliError> {
     let mut timing_line = None;
     let guess: Vec<KeyValue> = match method {
         "muxlink" => {
-            let mut cfg = if cmd.has("--paper") {
-                MuxLinkConfig::paper()
+            let prog = progress_of(cmd);
+            // Staged session: resume from a checkpoint (`--model`) or
+            // run extract → prepare → train, optionally checkpointing
+            // the trained stage (`--save-model`).
+            let trained = if let Some(model_path) = cmd.flags.get("--model") {
+                reject_checkpoint_fixed_flags(cmd)?;
+                let mut t = load_trained(model_path)?;
+                t.cfg.th = cmd.parse_flag("--th", t.cfg.th)?;
+                t.cfg.threads = cmd.parse_flag("--threads", t.cfg.threads)?;
+                // Scoring runs on the checkpoint's embedded design, so
+                // the supplied netlist must be the design it was trained
+                // on (names alone are always keyinput0..N — compare the
+                // key-MUX structure too).
+                t.verify_design(&locked, &names)
+                    .map_err(|e| CliError::Domain(format!("{model_path}: {e}")))?;
+                t
             } else {
-                MuxLinkConfig::quick()
+                let cfg = muxlink_cfg(cmd)?;
+                AttackSession::new(&locked, &names, cfg)
+                    .extract()
+                    .map_err(domain)?
+                    .prepare(prog)
+                    .map_err(domain)?
+                    .train(prog)
+                    .map_err(domain)?
             };
-            cfg.th = cmd.parse_flag("--th", cfg.th)?;
-            cfg.h = cmd.parse_flag("--hops", cfg.h)?;
-            cfg.seed = cmd.parse_flag("--seed", cfg.seed)?;
-            // 0 = all cores; results are identical for any thread count.
-            cfg.threads = cmd.parse_flag("--threads", cfg.threads)?;
-            let outcome = muxlink_attack(&locked, &names, &cfg)
-                .map_err(|e| CliError::Domain(e.to_string()))?;
+            if let Some(path) = cmd.flags.get("--save-model") {
+                save_trained(path, &trained)?;
+            }
+            let scored = trained.score(prog).map_err(domain)?;
             if cmd.has("--timings") {
-                let t = &outcome.scored.timings;
+                let t = &scored.timings;
                 timing_line = Some(format!(
                     "timings: extract {:.3}s  dataset {:.3}s  train {:.3}s  score {:.3}s  (total {:.3}s)\n",
                     t.extract.as_secs_f64(),
@@ -184,7 +298,7 @@ fn attack(cmd: &Command) -> Result<String, CliError> {
                     t.total().as_secs_f64(),
                 ));
             }
-            outcome.guess
+            scored.recover_key(trained.cfg.th)
         }
         "scope" => scope_attack(&locked, &names, &ScopeConfig::default())
             .map_err(|e| CliError::Domain(e.to_string()))?,
@@ -206,6 +320,129 @@ fn attack(cmd: &Command) -> Result<String, CliError> {
     if let Some(out) = cmd.flags.get("-o") {
         fs::write(out, keyfile::to_string(&names, &guess))?;
         msg.push_str(&format!("guess written to {out}\n"));
+    }
+    Ok(msg)
+}
+
+/// `train`: run extract → prepare → train and checkpoint the trained
+/// stage to `--save-model` (the 16-second stage; `score` resumes it).
+fn train_cmd(cmd: &Command) -> Result<String, CliError> {
+    let locked = load_netlist(cmd.input()?)?;
+    let names = key_input_names(&locked);
+    if names.is_empty() {
+        return Err(CliError::Domain(
+            "no keyinput* nets found — is this a locked design?".into(),
+        ));
+    }
+    let out = cmd.require("--save-model")?;
+    let cfg = muxlink_cfg(cmd)?;
+    let prog = progress_of(cmd);
+    let trained = AttackSession::new(&locked, &names, cfg)
+        .extract()
+        .map_err(domain)?
+        .prepare(prog)
+        .map_err(domain)?
+        .train(prog)
+        .map_err(domain)?;
+    save_trained(out, &trained)?;
+    Ok(format!(
+        "trained DGCNN over {} epochs (k = {}, best val acc {:.2}% at epoch {}); \
+         train {:.3}s; checkpoint written to {out}\n",
+        trained.report.history.len(),
+        trained.k,
+        trained.report.best_val_accuracy * 100.0,
+        trained.report.best_epoch,
+        trained.timings.train.as_secs_f64(),
+    ))
+}
+
+/// `score`: reload a `train` checkpoint, score and post-process — no
+/// netlist and no retraining needed, bit-identical to a one-shot attack.
+fn score_cmd(cmd: &Command) -> Result<String, CliError> {
+    let path = cmd.require("--model")?;
+    reject_checkpoint_fixed_flags(cmd)?;
+    let mut trained = load_trained(path)?;
+    trained.cfg.th = cmd.parse_flag("--th", trained.cfg.th)?;
+    trained.cfg.threads = cmd.parse_flag("--threads", trained.cfg.threads)?;
+    let prog = progress_of(cmd);
+    let scored = trained.score(prog).map_err(domain)?;
+    let guess = scored.recover_key(trained.cfg.th);
+    let rendered: String = guess.iter().map(ToString::to_string).collect();
+    let decided = guess.iter().filter(|v| **v != KeyValue::X).count();
+    let mut msg = format!(
+        "muxlink recovered key: {rendered} ({decided}/{} bits decided) [model: {path}, th = {}]\n",
+        guess.len(),
+        trained.cfg.th
+    );
+    if let Some(out) = cmd.flags.get("-o") {
+        fs::write(out, keyfile::to_string(&trained.key_input_names, &guess))?;
+        msg.push_str(&format!("guess written to {out}\n"));
+    }
+    Ok(msg)
+}
+
+/// `suite`: drive every positional locked design through one process,
+/// sharded across the rayon pool, one record (and optional JSON file)
+/// per design.
+fn suite_cmd(cmd: &Command) -> Result<String, CliError> {
+    if cmd.positional.is_empty() {
+        return Err(CliError::Usage(
+            "suite needs at least one locked .bench file".into(),
+        ));
+    }
+    let cfg = muxlink_cfg(cmd)?;
+    let mut jobs = Vec::with_capacity(cmd.positional.len());
+    for path in &cmd.positional {
+        let netlist = load_netlist(path)?;
+        let key_input_names = key_input_names(&netlist);
+        let name = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("design")
+            .to_owned();
+        jobs.push(SuiteJob {
+            name,
+            netlist,
+            key_input_names,
+            truth: None,
+        });
+    }
+    let opts = SuiteOptions {
+        out_dir: cmd.flags.get("--out-dir").map(PathBuf::from),
+    };
+    let records = run_suite(&jobs, &cfg, &opts, progress_of(cmd)).map_err(domain)?;
+    let mut msg = format!("suite: {} designs, th = {}\n", records.len(), cfg.th);
+    let mut failures = 0usize;
+    for r in &records {
+        match (&r.error, &r.key_string) {
+            (None, Some(key)) => {
+                msg.push_str(&format!(
+                    "  {:<20} key {key} ({}/{} decided, val acc {:.2}%, {:.1}s)\n",
+                    r.name,
+                    r.decided,
+                    r.key_len,
+                    r.val_accuracy * 100.0,
+                    r.seconds
+                ));
+            }
+            _ => {
+                failures += 1;
+                msg.push_str(&format!(
+                    "  {:<20} FAILED: {}\n",
+                    r.name,
+                    r.error.as_deref().unwrap_or("unknown error")
+                ));
+            }
+        }
+    }
+    if let Some(dir) = &opts.out_dir {
+        msg.push_str(&format!(
+            "per-design JSON records written to {}\n",
+            dir.display()
+        ));
+    }
+    if failures > 0 {
+        msg.push_str(&format!("{failures} design(s) failed\n"));
     }
     Ok(msg)
 }
@@ -502,11 +739,207 @@ mod tests {
             "generate",
             "lock",
             "attack",
+            "train",
+            "score",
+            "suite",
             "sat-attack",
             "evaluate",
             "stats",
         ] {
             assert!(h.contains(sub), "help should mention {sub}");
         }
+    }
+
+    /// train → score resumes the checkpoint with the same key a one-shot
+    /// attack recovers, and threshold sweeps re-use it without
+    /// retraining.
+    #[test]
+    fn train_then_score_matches_one_shot_attack() {
+        let design = tmp("sess_design.bench");
+        let locked = tmp("sess_locked.bench");
+        let model = tmp("sess_model.json");
+        let guess = tmp("sess_guess.txt");
+        run(&cmd(&[
+            "generate",
+            "--profile",
+            "custom",
+            "--gates",
+            "150",
+            "--seed",
+            "9",
+            "-o",
+            &design,
+        ]))
+        .unwrap();
+        run(&cmd(&[
+            "lock",
+            "--scheme",
+            "dmux",
+            "--key-size",
+            "4",
+            "--seed",
+            "2",
+            &design,
+            "-o",
+            &locked,
+        ]))
+        .unwrap();
+        let one_shot = run(&cmd(&["attack", &locked])).unwrap();
+
+        let trained = run(&cmd(&["train", "--save-model", &model, &locked])).unwrap();
+        assert!(trained.contains("checkpoint written"));
+        let scored = run(&cmd(&["score", "--model", &model, "-o", &guess])).unwrap();
+        assert_eq!(
+            scored.lines().next().unwrap().split(" [model").next(),
+            one_shot.lines().next().map(|l| l.trim_end()),
+            "checkpointed score must reproduce the one-shot key line"
+        );
+        assert!(std::fs::read_to_string(&guess)
+            .unwrap()
+            .contains("keyinput"));
+        // Strictest threshold abstains on every bit — no retraining.
+        let strict = run(&cmd(&["score", "--model", &model, "--th", "1.01"])).unwrap();
+        assert!(strict.contains("(0/4 bits decided)"));
+        // Training-time flags cannot take effect on a checkpoint.
+        assert!(matches!(
+            run(&cmd(&["score", "--model", &model, "--hops", "2"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    /// attack --save-model checkpoints, attack --model resumes and the
+    /// two key lines agree.
+    #[test]
+    fn attack_save_and_resume_model() {
+        let design = tmp("resume_design.bench");
+        let locked = tmp("resume_locked.bench");
+        let model = tmp("resume_model.json");
+        run(&cmd(&[
+            "generate",
+            "--profile",
+            "custom",
+            "--gates",
+            "140",
+            "--seed",
+            "12",
+            "-o",
+            &design,
+        ]))
+        .unwrap();
+        run(&cmd(&[
+            "lock",
+            "--scheme",
+            "dmux",
+            "--key-size",
+            "4",
+            "--seed",
+            "3",
+            &design,
+            "-o",
+            &locked,
+        ]))
+        .unwrap();
+        let first = run(&cmd(&["attack", "--save-model", &model, &locked])).unwrap();
+        let resumed = run(&cmd(&["attack", "--model", &model, &locked])).unwrap();
+        assert_eq!(first, resumed, "resumed attack must reproduce the key");
+        assert!(matches!(
+            run(&cmd(&["score", "--model", &design])),
+            Err(CliError::Domain(_))
+        ));
+        // Flags the checkpoint fixes are rejected, not silently ignored.
+        assert!(matches!(
+            run(&cmd(&["attack", "--model", &model, "--hops", "4", &locked])),
+            Err(CliError::Usage(_))
+        ));
+        // A different design (same key size, same keyinput0..3 names)
+        // must be rejected: scoring runs on the checkpoint's design.
+        let other_design = tmp("resume_other_design.bench");
+        let other_locked = tmp("resume_other_locked.bench");
+        run(&cmd(&[
+            "generate",
+            "--profile",
+            "custom",
+            "--gates",
+            "160",
+            "--seed",
+            "13",
+            "-o",
+            &other_design,
+        ]))
+        .unwrap();
+        run(&cmd(&[
+            "lock",
+            "--scheme",
+            "dmux",
+            "--key-size",
+            "4",
+            "--seed",
+            "3",
+            &other_design,
+            "-o",
+            &other_locked,
+        ]))
+        .unwrap();
+        let err = run(&cmd(&["attack", "--model", &model, &other_locked])).unwrap_err();
+        assert!(
+            err.to_string().contains("different design"),
+            "mismatched design must be rejected, got: {err}"
+        );
+    }
+
+    #[test]
+    fn suite_runs_multiple_designs_with_json_records() {
+        let out_dir = tmp("suite_out");
+        let mut locked_paths = Vec::new();
+        for (i, (scheme, gates)) in [("dmux", 150usize), ("symmetric", 170)].iter().enumerate() {
+            let design = tmp(&format!("suite_design{i}.bench"));
+            let locked = tmp(&format!("suite_locked{i}.bench"));
+            run(&cmd(&[
+                "generate",
+                "--profile",
+                "custom",
+                "--gates",
+                &gates.to_string(),
+                "--seed",
+                &(20 + i).to_string(),
+                "-o",
+                &design,
+            ]))
+            .unwrap();
+            run(&cmd(&[
+                "lock",
+                "--scheme",
+                scheme,
+                "--key-size",
+                "4",
+                "--seed",
+                "5",
+                &design,
+                "-o",
+                &locked,
+            ]))
+            .unwrap();
+            locked_paths.push(locked);
+        }
+        let out = run(&cmd(&[
+            "suite",
+            "--threads",
+            "2",
+            "--out-dir",
+            &out_dir,
+            &locked_paths[0],
+            &locked_paths[1],
+        ]))
+        .unwrap();
+        assert!(out.contains("2 designs"));
+        assert!(!out.contains("FAILED"), "{out}");
+        for i in 0..2 {
+            let path = std::path::Path::new(&out_dir).join(format!("suite_locked{i}.json"));
+            let text = std::fs::read_to_string(&path).unwrap();
+            let record: muxlink_core::SuiteRecord = serde_json::from_str(&text).unwrap();
+            assert!(record.ok(), "{:?}", record.error);
+            assert_eq!(record.key_len, 4);
+        }
+        assert!(matches!(run(&cmd(&["suite"])), Err(CliError::Usage(_))));
     }
 }

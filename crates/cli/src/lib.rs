@@ -9,6 +9,9 @@
 //! muxlink lock     --scheme dmux --key-size 64 --seed 7 c1355.bench -o locked.bench --key-out key.txt
 //! muxlink attack   --method muxlink locked.bench -o guess.txt
 //! muxlink attack   --method saam locked.bench
+//! muxlink train    --save-model model.json locked.bench
+//! muxlink score    --model model.json --th 0.05 -o guess.txt
+//! muxlink suite    --threads 4 --out-dir results/ locked1.bench locked2.bench
 //! muxlink sat-attack locked.bench --oracle c1355.bench
 //! muxlink evaluate --original c1355.bench --locked locked.bench --guess guess.txt --key key.txt
 //! muxlink stats    locked.bench

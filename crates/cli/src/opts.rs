@@ -60,6 +60,9 @@ const VALUED: &[&str] = &[
     "--th",
     "--hops",
     "--threads",
+    "--save-model",
+    "--model",
+    "--out-dir",
     "--guess",
     "--key",
     "--original",

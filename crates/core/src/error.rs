@@ -2,7 +2,12 @@ use std::fmt;
 
 use muxlink_graph::ExtractError;
 
-/// Errors raised by the MuxLink attack pipeline.
+/// Errors raised by the MuxLink attack pipeline and the staged
+/// [`AttackSession`](crate::AttackSession) API.
+///
+/// The enum is `#[non_exhaustive]`: downstream matches must carry a
+/// wildcard arm, so new failure modes can be added without a breaking
+/// release.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum AttackError {
@@ -15,6 +20,26 @@ pub enum AttackError {
     EmptyDataset,
     /// The requested worker-thread pool could not be built.
     ThreadPool(String),
+    /// A configuration value is unusable before any work starts (for
+    /// example `batch_size == 0`, which would otherwise panic deep in the
+    /// training loop).
+    InvalidConfig(String),
+    /// The run was stopped cooperatively via
+    /// [`Progress::cancelled`](crate::Progress::cancelled).
+    Cancelled,
+    /// Reading or writing an attack artifact (model checkpoint, suite
+    /// record) failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying I/O error message.
+        message: String,
+    },
+    /// A serialized artifact could not be parsed back into its stage type.
+    Checkpoint(String),
+    /// An internal invariant was violated — a bug surfaced as a typed
+    /// error instead of a panic in the pipeline hot path.
+    Internal(String),
 }
 
 impl fmt::Display for AttackError {
@@ -24,6 +49,11 @@ impl fmt::Display for AttackError {
             Self::NoKeyMuxes => write!(f, "design contains no key-controlled MUXes"),
             Self::EmptyDataset => write!(f, "no training links could be sampled"),
             Self::ThreadPool(e) => write!(f, "worker pool construction failed: {e}"),
+            Self::InvalidConfig(m) => write!(f, "invalid attack configuration: {m}"),
+            Self::Cancelled => write!(f, "attack cancelled"),
+            Self::Io { path, message } => write!(f, "i/o failure on `{path}`: {message}"),
+            Self::Checkpoint(m) => write!(f, "unusable checkpoint: {m}"),
+            Self::Internal(m) => write!(f, "internal invariant violated: {m}"),
         }
     }
 }
@@ -40,5 +70,50 @@ impl std::error::Error for AttackError {
 impl From<ExtractError> for AttackError {
     fn from(e: ExtractError) -> Self {
         Self::Extract(e)
+    }
+}
+
+/// Attaches the offending path to an I/O error.
+pub(crate) fn io_error(path: &std::path::Path, e: &std::io::Error) -> AttackError {
+    AttackError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        let cases: Vec<(AttackError, &str)> = vec![
+            (AttackError::NoKeyMuxes, "no key-controlled"),
+            (AttackError::EmptyDataset, "no training links"),
+            (AttackError::ThreadPool("x".into()), "worker pool"),
+            (AttackError::InvalidConfig("epochs".into()), "invalid"),
+            (AttackError::Cancelled, "cancelled"),
+            (
+                AttackError::Io {
+                    path: "a.json".into(),
+                    message: "denied".into(),
+                },
+                "a.json",
+            ),
+            (AttackError::Checkpoint("bad json".into()), "checkpoint"),
+            (AttackError::Internal("bug".into()), "invariant"),
+        ];
+        for (err, needle) in cases {
+            let text = err.to_string().to_lowercase();
+            assert!(text.contains(needle), "`{text}` should contain `{needle}`");
+        }
+    }
+
+    #[test]
+    fn error_trait_exposes_extract_source() {
+        use std::error::Error as _;
+        let err = AttackError::Extract(ExtractError::UnknownKeyInput("k0".into()));
+        assert!(err.source().is_some());
+        assert!(AttackError::NoKeyMuxes.source().is_none());
     }
 }

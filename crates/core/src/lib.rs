@@ -19,6 +19,15 @@
 //! The expensive steps (1–3) are separated from the cheap ones (4–5) so
 //! threshold sweeps (paper Fig. 9) re-use one trained model.
 //!
+//! Two entry surfaces expose the pipeline:
+//!
+//! * the **staged session API** ([`AttackSession`]) — typed, serializable
+//!   stage artifacts (`Extracted → Prepared → Trained → ScoredDesign`),
+//!   model checkpointing, a [`Progress`] observer with cooperative
+//!   cancellation, and the [`run_suite`] multi-design driver;
+//! * the **one-shot wrappers** ([`score_design`] / [`attack`]) — the
+//!   whole chain in one call, bit-identical to the staged path.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -48,9 +57,12 @@ mod error;
 pub mod metrics;
 pub mod pipeline;
 pub mod postprocess;
+pub mod progress;
 pub mod recover;
 pub mod report;
 pub mod scoring;
+pub mod session;
+pub mod suite;
 
 pub use config::MuxLinkConfig;
 pub use error::AttackError;
@@ -58,4 +70,10 @@ pub use pipeline::{
     attack, score_design, score_design_with_heuristic, AttackOutcome, ScoredDesign,
 };
 pub use postprocess::{recover_key, LocalityKind};
+pub use progress::{CancelFlag, NoProgress, Progress, Stage};
 pub use report::AttackReport;
+pub use session::{AttackSession, Extracted, Prepared, Trained};
+pub use suite::{run_suite, SuiteJob, SuiteOptions, SuiteRecord};
+// Training statistics flow through `Progress::epoch_finished`; re-export
+// the types so observers need no direct `muxlink-gnn` dependency.
+pub use muxlink_gnn::{EpochStats, TrainReport};

@@ -1,31 +1,31 @@
-//! The end-to-end MuxLink pipeline: extract → self-supervise → score →
-//! post-process.
+//! The one-shot MuxLink pipeline entry points: extract → self-supervise
+//! → score → post-process in a single call.
 //!
-//! The expensive stages (dataset build, training, scoring) run on a
-//! scoped rayon pool sized by [`MuxLinkConfig::threads`] (0 = all
-//! cores); training and scoring stream samples through one reused
-//! per-worker GNN workspace (`muxlink_gnn::Workspace`), with scoring
-//! entering through `Dgcnn::predict_batch`. Every parallel stage reduces
-//! in a fixed order, so the scores and the recovered key are
-//! bit-identical for any thread count.
+//! Since the staged API redesign, [`score_design`] and [`attack`] are
+//! thin wrappers over [`AttackSession`](crate::AttackSession) — the
+//! session is the primary surface (stage checkpoints, progress
+//! observation, cancellation, suite runs); these functions remain for
+//! callers that want the whole pipeline as one expression. Both paths
+//! are bit-identical for any thread count.
 
 use std::time::Instant;
 
-use muxlink_gnn::{Dgcnn, DgcnnConfig, GraphSample, TrainConfig, TrainReport};
-use muxlink_graph::dataset::{build_dataset, DatasetConfig};
+use muxlink_gnn::TrainReport;
 use muxlink_graph::{extract, ExtractedDesign};
 use muxlink_locking::KeyValue;
 use muxlink_netlist::Netlist;
-use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 
 use crate::postprocess::{recover_key, MuxScores};
-use crate::report::{StageThreads, Timings};
-use crate::scoring::{choose_k, score_muxes, to_graph_sample};
+use crate::progress::NoProgress;
+use crate::report::Timings;
+use crate::session::AttackSession;
 use crate::{AttackError, MuxLinkConfig};
 
 /// A trained-and-scored design: everything the cheap post-processing stage
 /// needs, decoupled so threshold sweeps (Fig. 9) reuse one model.
-#[derive(Debug, Clone)]
+/// Serializable, like every stage artifact of the session API.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScoredDesign {
     /// The extracted graph and MUX candidates.
     pub extracted: ExtractedDesign,
@@ -43,7 +43,7 @@ pub struct ScoredDesign {
 
 /// Result of a full attack: the recovered key plus the scored design for
 /// further analysis.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AttackOutcome {
     /// One value per key bit (`X` = no decision).
     pub guess: Vec<KeyValue>,
@@ -52,7 +52,8 @@ pub struct AttackOutcome {
 }
 
 /// Runs the expensive stages: graph extraction, dataset generation, DGCNN
-/// training and target-link scoring.
+/// training and target-link scoring — the full
+/// [`AttackSession`](crate::AttackSession) chain in one call.
 ///
 /// # Errors
 ///
@@ -66,104 +67,7 @@ pub fn score_design(
     key_input_names: &[String],
     cfg: &MuxLinkConfig,
 ) -> Result<ScoredDesign, AttackError> {
-    if cfg.threads == 0 {
-        // Default: run on the ambient pool (all cores, or whatever the
-        // caller already installed) instead of building a fresh one per
-        // attack.
-        return score_design_on_pool(netlist, key_input_names, cfg, rayon::current_num_threads());
-    }
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(cfg.threads)
-        .build()
-        .map_err(|e| AttackError::ThreadPool(e.to_string()))?;
-    pool.install(|| score_design_on_pool(netlist, key_input_names, cfg, pool.current_num_threads()))
-}
-
-/// [`score_design`] body, running on an already-installed rayon pool of
-/// `pool_threads` workers.
-fn score_design_on_pool(
-    netlist: &Netlist,
-    key_input_names: &[String],
-    cfg: &MuxLinkConfig,
-    pool_threads: usize,
-) -> Result<ScoredDesign, AttackError> {
-    let t0 = Instant::now();
-    let extracted = extract(netlist, key_input_names)?;
-    if extracted.muxes.is_empty() {
-        return Err(AttackError::NoKeyMuxes);
-    }
-    let t_extract = t0.elapsed();
-
-    // Dataset of enclosing subgraphs over observed/unobserved wires.
-    let t1 = Instant::now();
-    let ds_cfg = DatasetConfig {
-        h: cfg.h,
-        max_train_links: cfg.max_train_links,
-        val_fraction: cfg.val_fraction,
-        max_subgraph_nodes: cfg.max_subgraph_nodes,
-        seed: cfg.seed,
-    };
-    let targets = extracted.target_links();
-    let dataset = build_dataset(&extracted.graph, &targets, &ds_cfg);
-    if dataset.train.is_empty() {
-        return Err(AttackError::EmptyDataset);
-    }
-    let sizes: Vec<usize> = dataset
-        .train
-        .iter()
-        .chain(&dataset.val)
-        .map(|s| s.subgraph.node_count())
-        .collect();
-    let max_label = dataset.max_label;
-    let to_samples = |link_samples: &[muxlink_graph::dataset::LinkSample]| -> Vec<GraphSample> {
-        link_samples
-            .par_iter()
-            .map(|s| to_graph_sample(&s.subgraph, max_label, Some(s.label)))
-            .collect()
-    };
-    let train_samples = to_samples(&dataset.train);
-    let val_samples = to_samples(&dataset.val);
-    let t_dataset = t1.elapsed();
-
-    // Model setup and training.
-    let t2 = Instant::now();
-    let input_dim = muxlink_graph::features::feature_cols(max_label);
-    let mut model_cfg = DgcnnConfig::paper(input_dim, 10);
-    let k = choose_k(&sizes, cfg.k_percentile, model_cfg.min_k());
-    model_cfg.k = k;
-    model_cfg.seed = cfg.seed ^ 0xD6C4_33B9;
-    let mut model = Dgcnn::new(model_cfg);
-    let train_cfg = TrainConfig {
-        epochs: cfg.epochs,
-        batch_size: cfg.batch_size,
-        adam: muxlink_gnn::AdamConfig {
-            lr: cfg.learning_rate,
-            ..muxlink_gnn::AdamConfig::default()
-        },
-        seed: cfg.seed ^ 0x5851_F42D,
-    };
-    let train_report = muxlink_gnn::train(&mut model, &train_samples, &val_samples, &train_cfg);
-    let t_train = t2.elapsed();
-
-    // Score both candidate links of every MUX (parallel over MUXes).
-    let t3 = Instant::now();
-    let scores: MuxScores = score_muxes(&model, &extracted, &ds_cfg, max_label);
-    let t_score = t3.elapsed();
-
-    Ok(ScoredDesign {
-        extracted,
-        scores,
-        key_len: key_input_names.len(),
-        train_report,
-        k,
-        timings: Timings {
-            extract: t_extract,
-            dataset: t_dataset,
-            train: t_train,
-            score: t_score,
-            threads: StageThreads::uniform(pool_threads),
-        },
-    })
+    AttackSession::new(netlist, key_input_names, cfg.clone()).run(&NoProgress)
 }
 
 impl ScoredDesign {

@@ -118,9 +118,9 @@ fn group_localities(muxes: &[MuxCandidate]) -> Vec<Grouped> {
     entries.sort_by_key(|(k, _)| *k);
     for (_, mut idxs) in entries {
         idxs.sort_unstable();
-        while idxs.len() >= 2 {
-            let j = idxs.pop().expect("len >= 2");
-            let i = idxs.pop().expect("len >= 1");
+        // Pop pairs off the tail; a leftover below two is a single.
+        while let [.., i, j] = idxs[..] {
+            idxs.truncate(idxs.len() - 2);
             groups.push(Grouped::Pair(i, j));
         }
         for i in idxs {

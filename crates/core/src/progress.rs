@@ -1,0 +1,144 @@
+//! Observation and cooperative cancellation for staged attacks.
+//!
+//! A [`Progress`] implementation rides along an
+//! [`AttackSession`](crate::AttackSession) (or the [`run_suite`]
+//! driver): the session reports stage transitions and per-epoch training
+//! statistics, and polls [`Progress::cancelled`] at batch boundaries
+//! during training and between scoring chunks. Observation never
+//! perturbs results — an observed, uncancelled run is bit-identical to
+//! an unobserved one for any thread count.
+//!
+//! [`run_suite`]: crate::run_suite
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use muxlink_gnn::EpochStats;
+
+/// The pipeline stages a session advances through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Stage {
+    /// Netlist → gate graph + MUX candidates. Reported by
+    /// [`AttackSession::run`](crate::AttackSession::run); the standalone
+    /// [`AttackSession::extract`](crate::AttackSession::extract) takes
+    /// no observer (it is the cheap, synchronous stage).
+    Extract,
+    /// Self-supervised dataset build + SortPool-`k` selection.
+    Prepare,
+    /// DGCNN training.
+    Train,
+    /// Target-link scoring.
+    Score,
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Self::Extract => "extract",
+            Self::Prepare => "prepare",
+            Self::Train => "train",
+            Self::Score => "score",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Observer + cooperative-cancellation hooks for a staged attack.
+///
+/// All methods have no-op defaults; implement only what you need.
+/// Implementations must be `Sync`: hooks are invoked from inside rayon
+/// scopes (always from the sequential spine of each stage, never from
+/// worker closures, so cheap interior mutability like atomics suffices).
+pub trait Progress: Sync {
+    /// A stage is about to run.
+    fn stage_started(&self, stage: Stage) {
+        let _ = stage;
+    }
+
+    /// A stage finished, with its wall-clock time.
+    fn stage_finished(&self, stage: Stage, elapsed: Duration) {
+        let _ = (stage, elapsed);
+    }
+
+    /// One training epoch finished.
+    fn epoch_finished(&self, stats: &EpochStats) {
+        let _ = stats;
+    }
+
+    /// Polled at training batch boundaries and between scoring chunks;
+    /// returning `true` aborts the session with
+    /// [`AttackError::Cancelled`](crate::AttackError::Cancelled).
+    fn cancelled(&self) -> bool {
+        false
+    }
+}
+
+/// The silent observer: reports nothing, never cancels.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoProgress;
+
+impl Progress for NoProgress {}
+
+/// A thread-safe cancellation flag implementing [`Progress`].
+///
+/// Clone it (cheap, shared state) and hand one clone to the session while
+/// another thread keeps the original to call [`CancelFlag::cancel`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelFlag(Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// A fresh, un-triggered flag.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation; the session stops at its next check point.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Progress for CancelFlag {
+    fn cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Bridges a [`Progress`] observer into the trainer's
+/// [`TrainControl`](muxlink_gnn::TrainControl) hooks.
+pub(crate) struct TrainBridge<'a>(pub &'a dyn Progress);
+
+impl muxlink_gnn::TrainControl for TrainBridge<'_> {
+    fn epoch_finished(&self, stats: &EpochStats) {
+        self.0.epoch_finished(stats);
+    }
+
+    fn cancelled(&self) -> bool {
+        self.0.cancelled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_flag_is_shared_across_clones() {
+        let flag = CancelFlag::new();
+        let clone = flag.clone();
+        assert!(!clone.cancelled());
+        flag.cancel();
+        assert!(clone.cancelled());
+    }
+
+    #[test]
+    fn stage_labels_are_stable() {
+        assert_eq!(Stage::Extract.to_string(), "extract");
+        assert_eq!(Stage::Prepare.to_string(), "prepare");
+        assert_eq!(Stage::Train.to_string(), "train");
+        assert_eq!(Stage::Score.to_string(), "score");
+    }
+}

@@ -10,6 +10,8 @@ use muxlink_graph::{ExtractedDesign, Subgraph};
 use rayon::prelude::*;
 
 use crate::postprocess::MuxScores;
+use crate::progress::{NoProgress, Progress};
+use crate::AttackError;
 
 /// Converts an enclosing subgraph into a GNN input sample.
 ///
@@ -52,6 +54,32 @@ pub fn score_muxes(
     ds_cfg: &DatasetConfig,
     max_label: u32,
 ) -> MuxScores {
+    match score_muxes_controlled(model, extracted, ds_cfg, max_label, &NoProgress) {
+        Ok(scores) => scores,
+        // NoProgress never cancels, and the internal-invariant arm is
+        // unreachable by construction (every link is scored); fail loud
+        // in the infallible wrapper rather than silently.
+        Err(e) => unreachable!("uncancellable scoring cannot fail: {e}"),
+    }
+}
+
+/// [`score_muxes`] with cooperative cancellation: `progress.cancelled()`
+/// is polled between scoring chunks (a chunk is at most `SCORE_CHUNK` =
+/// 256 unique links). Identical bits to [`score_muxes`] when not
+/// cancelled.
+///
+/// # Errors
+///
+/// [`AttackError::Cancelled`] when the observer requested a stop;
+/// [`AttackError::Internal`] if a candidate link went unscored (a bug —
+/// reported instead of panicking in the pipeline hot path).
+pub fn score_muxes_controlled(
+    model: &Dgcnn,
+    extracted: &ExtractedDesign,
+    ds_cfg: &DatasetConfig,
+    max_label: u32,
+    progress: &dyn Progress,
+) -> Result<MuxScores, AttackError> {
     let links: Vec<Link> = extracted
         .muxes
         .iter()
@@ -64,6 +92,9 @@ pub fn score_muxes(
     let subgraphs = target_subgraphs(&extracted.graph, &unique, ds_cfg);
     let mut unique_probs = Vec::with_capacity(subgraphs.len());
     for chunk in subgraphs.chunks(SCORE_CHUNK) {
+        if progress.cancelled() {
+            return Err(AttackError::Cancelled);
+        }
         let samples: Vec<GraphSample> = chunk
             .par_iter()
             .map(|sg| to_graph_sample(sg, max_label, None))
@@ -71,13 +102,15 @@ pub fn score_muxes(
         unique_probs.extend(model.predict_batch(&samples));
     }
 
-    let prob_of = |l: &Link| {
-        let i = unique.binary_search(l).expect("every link was scored");
-        f64::from(unique_probs[i])
+    let prob_of = |l: &Link| -> Result<f64, AttackError> {
+        let i = unique
+            .binary_search(l)
+            .map_err(|_| AttackError::Internal(format!("candidate link {l:?} was not scored")))?;
+        Ok(f64::from(unique_probs[i]))
     };
     links
         .chunks_exact(2)
-        .map(|p| (prob_of(&p[0]), prob_of(&p[1])))
+        .map(|p| Ok((prob_of(&p[0])?, prob_of(&p[1])?)))
         .collect()
 }
 

@@ -1,0 +1,668 @@
+//! The staged attack-session API: typed, serializable pipeline stages.
+//!
+//! [`crate::score_design`]/[`crate::attack`] run the whole MuxLink
+//! pipeline in one call. An [`AttackSession`] exposes the same pipeline
+//! as **explicit, resumable transitions between owned stage artifacts**:
+//!
+//! ```text
+//! AttackSession ──extract()──▶ Extracted ──prepare()──▶ Prepared
+//!        ──train()──▶ Trained ──score()──▶ ScoredDesign ──recover_key(th)──▶ key
+//! ```
+//!
+//! Every artifact is serde-serializable, so any stage can be
+//! checkpointed and restored: save a [`Trained`] model after the
+//! expensive training stage, then re-score or threshold-sweep later —
+//! in another process — without retraining. A [`Progress`] observer
+//! receives stage transitions and per-epoch statistics and can cancel
+//! cooperatively at batch boundaries.
+//!
+//! # Determinism contract
+//!
+//! The staged path is **bit-identical** to the one-shot
+//! [`crate::score_design`] for any thread count (the one-shot entry
+//! points are thin wrappers over a session). Every stage seeds its own
+//! RNG streams from [`MuxLinkConfig::seed`] and reduces parallel work in
+//! a fixed order, so splitting the pipeline at any stage boundary —
+//! including through a serialize/deserialize round trip — cannot change
+//! a single bit of the scores or the recovered key.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use muxlink_core::{AttackSession, MuxLinkConfig, NoProgress};
+//! use muxlink_locking::{dmux, LockOptions};
+//!
+//! let design = muxlink_benchgen::synth::SynthConfig::new("d", 16, 8, 260).generate(11);
+//! let locked = dmux::lock(&design, &LockOptions::new(8, 3)).unwrap();
+//!
+//! let session = AttackSession::new(
+//!     &locked.netlist,
+//!     &locked.key_input_names(),
+//!     MuxLinkConfig::quick(),
+//! );
+//! let trained = session
+//!     .extract().unwrap()
+//!     .prepare(&NoProgress).unwrap()
+//!     .train(&NoProgress).unwrap();
+//!
+//! // Checkpoint the 16-second training stage …
+//! let checkpoint = serde_json::to_string(&trained).unwrap();
+//! // … and much later, re-score + threshold-sweep without retraining:
+//! let restored: muxlink_core::Trained = serde_json::from_str(&checkpoint).unwrap();
+//! let scored = restored.score(&NoProgress).unwrap();
+//! for th in [0.0, 0.01, 0.1] {
+//!     println!("th={th}: {:?}", scored.recover_key(th));
+//! }
+//! ```
+
+use std::time::Instant;
+
+use muxlink_gnn::{train_controlled, Dgcnn, DgcnnConfig, GraphSample, TrainConfig, TrainReport};
+use muxlink_graph::dataset::{build_dataset, DatasetConfig};
+use muxlink_graph::{extract, ExtractedDesign};
+use muxlink_netlist::Netlist;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::pipeline::ScoredDesign;
+use crate::progress::{Progress, Stage, TrainBridge};
+use crate::report::{StageThreads, Timings};
+use crate::scoring::{choose_k, score_muxes_controlled, to_graph_sample};
+use crate::{AttackError, MuxLinkConfig};
+
+/// Seed whitening for the model-initialisation stream (kept identical to
+/// the original one-shot pipeline so staged runs reproduce its bits).
+const MODEL_SEED_XOR: u64 = 0xD6C4_33B9;
+/// Seed whitening for the training (shuffle/dropout) stream.
+const TRAIN_SEED_XOR: u64 = 0x5851_F42D;
+
+/// Runs `f` on a dedicated pool of `threads` workers (ambient pool when
+/// `threads == 0`), handing it the effective worker count.
+fn with_pool<R: Send>(threads: usize, f: impl FnOnce(usize) -> R + Send) -> Result<R, AttackError> {
+    if threads == 0 {
+        return Ok(f(rayon::current_num_threads()));
+    }
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .map_err(|e| AttackError::ThreadPool(e.to_string()))?;
+    let n = pool.current_num_threads();
+    Ok(pool.install(|| f(n)))
+}
+
+/// Rejects configurations that would otherwise panic deep inside the
+/// pipeline (typed errors beat asserts on the hot path).
+fn validate_config(cfg: &MuxLinkConfig) -> Result<(), AttackError> {
+    if cfg.batch_size == 0 {
+        return Err(AttackError::InvalidConfig(
+            "batch_size must be at least 1".into(),
+        ));
+    }
+    if cfg.epochs == 0 {
+        return Err(AttackError::InvalidConfig(
+            "epochs must be at least 1".into(),
+        ));
+    }
+    if !(0.0..1.0).contains(&cfg.val_fraction) {
+        return Err(AttackError::InvalidConfig(format!(
+            "val_fraction must be in [0, 1), got {}",
+            cfg.val_fraction
+        )));
+    }
+    if !(cfg.k_percentile > 0.0 && cfg.k_percentile <= 1.0) {
+        return Err(AttackError::InvalidConfig(format!(
+            "k_percentile must be in (0, 1], got {}",
+            cfg.k_percentile
+        )));
+    }
+    Ok(())
+}
+
+/// The dataset configuration a session derives from its attack config —
+/// shared by the prepare and score stages so both always agree.
+fn dataset_config(cfg: &MuxLinkConfig) -> DatasetConfig {
+    DatasetConfig {
+        h: cfg.h,
+        max_train_links: cfg.max_train_links,
+        val_fraction: cfg.val_fraction,
+        max_subgraph_nodes: cfg.max_subgraph_nodes,
+        seed: cfg.seed,
+    }
+}
+
+/// Entry point of the staged API: borrows the locked netlist, owns the
+/// configuration, and produces the first stage artifact via
+/// [`AttackSession::extract`] (or the whole chain via
+/// [`AttackSession::run`]).
+#[derive(Debug, Clone)]
+pub struct AttackSession<'n> {
+    netlist: &'n Netlist,
+    key_input_names: Vec<String>,
+    cfg: MuxLinkConfig,
+}
+
+impl<'n> AttackSession<'n> {
+    /// Builds a session over a locked netlist and its key-input names.
+    #[must_use]
+    pub fn new(netlist: &'n Netlist, key_input_names: &[String], cfg: MuxLinkConfig) -> Self {
+        Self {
+            netlist,
+            key_input_names: key_input_names.to_vec(),
+            cfg,
+        }
+    }
+
+    /// The session's configuration.
+    #[must_use]
+    pub fn config(&self) -> &MuxLinkConfig {
+        &self.cfg
+    }
+
+    /// Stage 1: netlist → gate graph + MUX candidates (sequential; the
+    /// cheap stage).
+    ///
+    /// # Errors
+    ///
+    /// [`AttackError::InvalidConfig`] for unusable settings,
+    /// [`AttackError::Extract`] for malformed locked designs and
+    /// [`AttackError::NoKeyMuxes`] when there is nothing to attack.
+    pub fn extract(&self) -> Result<Extracted, AttackError> {
+        validate_config(&self.cfg)?;
+        let t0 = Instant::now();
+        let design = extract(self.netlist, &self.key_input_names)?;
+        if design.muxes.is_empty() {
+            return Err(AttackError::NoKeyMuxes);
+        }
+        let timings = Timings {
+            extract: t0.elapsed(),
+            threads: StageThreads {
+                extract: 1,
+                ..StageThreads::default()
+            },
+            ..Timings::default()
+        };
+        Ok(Extracted {
+            cfg: self.cfg.clone(),
+            key_input_names: self.key_input_names.clone(),
+            design,
+            timings,
+        })
+    }
+
+    /// Runs the full chain `extract → prepare → train → score` under one
+    /// observer — exactly what [`crate::score_design`] wraps.
+    ///
+    /// With `cfg.threads != 0` one dedicated pool serves the whole
+    /// chain (stage methods called individually each build their own);
+    /// the results are bit-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Any stage error; see the individual stage methods.
+    pub fn run(&self, progress: &dyn Progress) -> Result<ScoredDesign, AttackError> {
+        let chain = |session: &AttackSession<'_>| -> Result<ScoredDesign, AttackError> {
+            progress.stage_started(Stage::Extract);
+            let extracted = session.extract()?;
+            progress.stage_finished(Stage::Extract, extracted.timings.extract);
+            extracted
+                .prepare(progress)?
+                .train(progress)?
+                .score(progress)
+        };
+        if self.cfg.threads == 0 {
+            return chain(self);
+        }
+        // One pool around the whole chain; the stages see threads == 0
+        // and use it as the ambient pool. Worker counts — and therefore
+        // all recorded StageThreads — match the per-stage-pool path.
+        let threads = self.cfg.threads;
+        let inner = AttackSession {
+            netlist: self.netlist,
+            key_input_names: self.key_input_names.clone(),
+            cfg: MuxLinkConfig {
+                threads: 0,
+                ..self.cfg.clone()
+            },
+        };
+        with_pool(threads, move |_| chain(&inner))?
+    }
+}
+
+/// Stage artifact: the extracted gate graph and MUX candidates, plus the
+/// configuration the rest of the pipeline will run with.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Extracted {
+    /// The attack configuration this session runs with.
+    pub cfg: MuxLinkConfig,
+    /// Key-input names, in key-bit order (fixes `key_len`).
+    pub key_input_names: Vec<String>,
+    /// The extracted graph and MUX candidates.
+    pub design: ExtractedDesign,
+    /// Wall-clock of the stages run so far.
+    pub timings: Timings,
+}
+
+impl Extracted {
+    /// Stage 2: self-supervised dataset build (sampled observed /
+    /// unobserved wires → enclosing subgraphs → compact GNN samples) and
+    /// SortPool-`k` selection.
+    ///
+    /// Runs on a dedicated pool of `cfg.threads` workers (0 = ambient);
+    /// the result is bit-identical for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`AttackError::EmptyDataset`] when no links could be sampled,
+    /// [`AttackError::Cancelled`] when `progress` requested a stop,
+    /// [`AttackError::ThreadPool`] when the pool could not be built.
+    pub fn prepare(self, progress: &dyn Progress) -> Result<Prepared, AttackError> {
+        if progress.cancelled() {
+            return Err(AttackError::Cancelled);
+        }
+        progress.stage_started(Stage::Prepare);
+        let t0 = Instant::now();
+        let Self {
+            cfg,
+            key_input_names,
+            design,
+            mut timings,
+        } = self;
+        let ds_cfg = dataset_config(&cfg);
+        let (train, val, max_label, k, workers) = with_pool(cfg.threads, |workers| {
+            let targets = design.target_links();
+            let dataset = build_dataset(&design.graph, &targets, &ds_cfg);
+            if dataset.train.is_empty() {
+                return Err(AttackError::EmptyDataset);
+            }
+            let sizes: Vec<usize> = dataset
+                .train
+                .iter()
+                .chain(&dataset.val)
+                .map(|s| s.subgraph.node_count())
+                .collect();
+            let max_label = dataset.max_label;
+            let to_samples =
+                |link_samples: &[muxlink_graph::dataset::LinkSample]| -> Vec<GraphSample> {
+                    link_samples
+                        .par_iter()
+                        .map(|s| to_graph_sample(&s.subgraph, max_label, Some(s.label)))
+                        .collect()
+                };
+            let train = to_samples(&dataset.train);
+            let val = to_samples(&dataset.val);
+            // SortPool size: `k_percentile` of the training subgraphs
+            // fit into `k`, clamped to the architecture's minimum.
+            let input_dim = muxlink_graph::features::feature_cols(max_label);
+            let model_cfg = DgcnnConfig::paper(input_dim, 10);
+            let k = choose_k(&sizes, cfg.k_percentile, model_cfg.min_k());
+            Ok((train, val, max_label, k, workers))
+        })??;
+        timings.dataset = t0.elapsed();
+        timings.threads.dataset = workers;
+        progress.stage_finished(Stage::Prepare, timings.dataset);
+        Ok(Prepared {
+            cfg,
+            key_input_names,
+            design,
+            train,
+            val,
+            max_label,
+            k,
+            timings,
+        })
+    }
+}
+
+/// Stage artifact: the labelled training/validation samples and the
+/// chosen SortPool size, ready for (re-)training.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Prepared {
+    /// The attack configuration this session runs with.
+    pub cfg: MuxLinkConfig,
+    /// Key-input names, in key-bit order.
+    pub key_input_names: Vec<String>,
+    /// The extracted graph and MUX candidates.
+    pub design: ExtractedDesign,
+    /// Training samples (compact two-hot features).
+    pub train: Vec<GraphSample>,
+    /// Validation samples.
+    pub val: Vec<GraphSample>,
+    /// Largest DRNL label over all samples — fixes the feature width.
+    pub max_label: u32,
+    /// Chosen SortPooling size.
+    pub k: usize,
+    /// Wall-clock of the stages run so far.
+    pub timings: Timings,
+}
+
+impl Prepared {
+    /// Stage 3: DGCNN training with best-on-validation selection.
+    ///
+    /// `progress` receives one [`Progress::epoch_finished`] call per
+    /// epoch and is polled for cancellation at every batch boundary.
+    /// Runs on a dedicated pool of `cfg.threads` workers (0 = ambient);
+    /// bit-identical for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`AttackError::Cancelled`] on cooperative stop,
+    /// [`AttackError::ThreadPool`] when the pool could not be built.
+    pub fn train(self, progress: &dyn Progress) -> Result<Trained, AttackError> {
+        if progress.cancelled() {
+            return Err(AttackError::Cancelled);
+        }
+        progress.stage_started(Stage::Train);
+        let t0 = Instant::now();
+        let Self {
+            cfg,
+            key_input_names,
+            design,
+            train,
+            val,
+            max_label,
+            k,
+            mut timings,
+        } = self;
+        let input_dim = muxlink_graph::features::feature_cols(max_label);
+        let mut model_cfg = DgcnnConfig::paper(input_dim, 10);
+        model_cfg.k = k;
+        model_cfg.seed = cfg.seed ^ MODEL_SEED_XOR;
+        let train_cfg = TrainConfig {
+            epochs: cfg.epochs,
+            batch_size: cfg.batch_size,
+            adam: muxlink_gnn::AdamConfig {
+                lr: cfg.learning_rate,
+                ..muxlink_gnn::AdamConfig::default()
+            },
+            seed: cfg.seed ^ TRAIN_SEED_XOR,
+        };
+        let (outcome, workers) = with_pool(cfg.threads, |workers| {
+            let mut model = Dgcnn::new(model_cfg);
+            let r = train_controlled(&mut model, &train, &val, &train_cfg, &TrainBridge(progress));
+            (r.map(|report| (model, report)), workers)
+        })?;
+        let (model, report) = outcome.map_err(|_| AttackError::Cancelled)?;
+        timings.train = t0.elapsed();
+        timings.threads.train = workers;
+        progress.stage_finished(Stage::Train, timings.train);
+        Ok(Trained {
+            cfg,
+            key_input_names,
+            design,
+            max_label,
+            k,
+            model,
+            report,
+            timings,
+        })
+    }
+}
+
+/// Stage artifact: the trained DGCNN with everything needed to score —
+/// **the checkpoint type**. Serialize it after the expensive training
+/// stage; a reload scores and threshold-sweeps without retraining, with
+/// bit-identical results.
+///
+/// The (large, training-only) dataset is deliberately dropped at this
+/// boundary, so checkpoints stay proportional to the model plus the
+/// extracted graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trained {
+    /// The attack configuration this session ran with.
+    pub cfg: MuxLinkConfig,
+    /// Key-input names, in key-bit order.
+    pub key_input_names: Vec<String>,
+    /// The extracted graph and MUX candidates.
+    pub design: ExtractedDesign,
+    /// Largest DRNL label of the training dataset (fixes feature width).
+    pub max_label: u32,
+    /// Chosen SortPooling size.
+    pub k: usize,
+    /// The trained model (weights + Adam state + architecture).
+    pub model: Dgcnn,
+    /// Training statistics.
+    pub report: TrainReport,
+    /// Wall-clock of the stages run so far.
+    pub timings: Timings,
+}
+
+impl Trained {
+    /// Checks that this checkpoint was trained on `netlist`: the
+    /// key-input names must match and re-extracting the netlist must
+    /// yield the identical key-MUX structure (gate ids, key bits, sink
+    /// and candidate-source nodes — a fingerprint of the locked design;
+    /// extraction is deterministic, so the same design always matches).
+    ///
+    /// Use this before attributing a [`Trained::score`] result to a
+    /// netlist that did not produce the checkpoint in-process: scoring
+    /// always runs on the *embedded* extracted design.
+    ///
+    /// # Errors
+    ///
+    /// [`AttackError::Extract`] when `netlist` cannot be extracted and
+    /// [`AttackError::Checkpoint`] when it does not match.
+    pub fn verify_design(
+        &self,
+        netlist: &Netlist,
+        key_input_names: &[String],
+    ) -> Result<(), AttackError> {
+        if self.key_input_names != key_input_names {
+            return Err(AttackError::Checkpoint(
+                "checkpoint was trained with different key inputs".into(),
+            ));
+        }
+        let design = extract(netlist, key_input_names)?;
+        if design.muxes != self.design.muxes {
+            return Err(AttackError::Checkpoint(
+                "checkpoint was trained on a different design (key-MUX structure differs)".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Stage 4: scores both candidate links of every key MUX.
+    ///
+    /// Takes `&self` so one checkpoint can be scored repeatedly (for
+    /// example after editing `cfg.th` — scoring itself is
+    /// threshold-free). Runs on a dedicated pool of `cfg.threads`
+    /// workers (0 = ambient); bit-identical for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`AttackError::Cancelled`] on cooperative stop,
+    /// [`AttackError::ThreadPool`] when the pool could not be built.
+    pub fn score(&self, progress: &dyn Progress) -> Result<ScoredDesign, AttackError> {
+        if progress.cancelled() {
+            return Err(AttackError::Cancelled);
+        }
+        progress.stage_started(Stage::Score);
+        let t0 = Instant::now();
+        let ds_cfg = dataset_config(&self.cfg);
+        let (scores, workers) = with_pool(self.cfg.threads, |workers| {
+            (
+                score_muxes_controlled(
+                    &self.model,
+                    &self.design,
+                    &ds_cfg,
+                    self.max_label,
+                    progress,
+                ),
+                workers,
+            )
+        })?;
+        let scores = scores?;
+        let mut timings = self.timings;
+        timings.score = t0.elapsed();
+        timings.threads.score = workers;
+        progress.stage_finished(Stage::Score, timings.score);
+        Ok(ScoredDesign {
+            extracted: self.design.clone(),
+            scores,
+            key_len: self.key_input_names.len(),
+            train_report: self.report.clone(),
+            k: self.k,
+            timings,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::score_design;
+    use crate::progress::{CancelFlag, NoProgress};
+    use muxlink_benchgen::synth::SynthConfig;
+    use muxlink_locking::{dmux, LockOptions};
+
+    fn locked_design() -> muxlink_locking::LockedNetlist {
+        let design = SynthConfig::new("s", 14, 6, 200).generate(31);
+        dmux::lock(&design, &LockOptions::new(6, 3)).unwrap()
+    }
+
+    #[test]
+    fn staged_chain_matches_one_shot_bitwise() {
+        let locked = locked_design();
+        let names = locked.key_input_names();
+        let cfg = MuxLinkConfig::quick();
+        let one_shot = score_design(&locked.netlist, &names, &cfg).unwrap();
+        let staged = AttackSession::new(&locked.netlist, &names, cfg.clone())
+            .extract()
+            .unwrap()
+            .prepare(&NoProgress)
+            .unwrap()
+            .train(&NoProgress)
+            .unwrap()
+            .score(&NoProgress)
+            .unwrap();
+        assert_eq!(staged.scores, one_shot.scores);
+        assert_eq!(staged.train_report, one_shot.train_report);
+        assert_eq!(staged.k, one_shot.k);
+        assert_eq!(staged.recover_key(cfg.th), one_shot.recover_key(cfg.th));
+    }
+
+    #[test]
+    fn observer_sees_stages_and_epochs_without_perturbing_results() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        #[derive(Default)]
+        struct Spy {
+            stages: AtomicUsize,
+            epochs: AtomicUsize,
+        }
+        impl Progress for Spy {
+            fn stage_started(&self, _stage: Stage) {
+                self.stages.fetch_add(1, Ordering::SeqCst);
+            }
+            fn epoch_finished(&self, _stats: &muxlink_gnn::EpochStats) {
+                self.epochs.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let locked = locked_design();
+        let names = locked.key_input_names();
+        let cfg = MuxLinkConfig::quick();
+        let spy = Spy::default();
+        let observed = AttackSession::new(&locked.netlist, &names, cfg.clone())
+            .run(&spy)
+            .unwrap();
+        let silent = score_design(&locked.netlist, &names, &cfg).unwrap();
+        assert_eq!(
+            spy.stages.load(Ordering::SeqCst),
+            4,
+            "extract/prepare/train/score"
+        );
+        assert_eq!(spy.epochs.load(Ordering::SeqCst), cfg.epochs);
+        assert_eq!(observed.scores, silent.scores);
+        assert_eq!(observed.train_report, silent.train_report);
+    }
+
+    #[test]
+    fn cancellation_surfaces_as_typed_error_at_every_stage() {
+        let locked = locked_design();
+        let names = locked.key_input_names();
+        let cfg = MuxLinkConfig::quick();
+        let flag = CancelFlag::new();
+        flag.cancel();
+        let extracted = AttackSession::new(&locked.netlist, &names, cfg)
+            .extract()
+            .unwrap();
+        assert!(matches!(
+            extracted.clone().prepare(&flag),
+            Err(AttackError::Cancelled)
+        ));
+        let prepared = extracted.prepare(&NoProgress).unwrap();
+        assert!(matches!(
+            prepared.clone().train(&flag),
+            Err(AttackError::Cancelled)
+        ));
+        let trained = prepared.train(&NoProgress).unwrap();
+        assert!(matches!(trained.score(&flag), Err(AttackError::Cancelled)));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_before_any_work() {
+        let locked = locked_design();
+        let names = locked.key_input_names();
+        let mut cfg = MuxLinkConfig::quick();
+        cfg.batch_size = 0;
+        let err = AttackSession::new(&locked.netlist, &names, cfg)
+            .extract()
+            .unwrap_err();
+        assert!(matches!(err, AttackError::InvalidConfig(_)));
+        let mut cfg = MuxLinkConfig::quick();
+        cfg.epochs = 0;
+        assert!(matches!(
+            AttackSession::new(&locked.netlist, &names, cfg).extract(),
+            Err(AttackError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn verify_design_accepts_origin_and_rejects_impostors() {
+        let locked = locked_design();
+        let names = locked.key_input_names();
+        let trained = AttackSession::new(&locked.netlist, &names, MuxLinkConfig::quick())
+            .extract()
+            .unwrap()
+            .prepare(&NoProgress)
+            .unwrap()
+            .train(&NoProgress)
+            .unwrap();
+        trained
+            .verify_design(&locked.netlist, &names)
+            .expect("the origin design must verify");
+        // A different design with the same key size and the same
+        // keyinput0..N names must be rejected on MUX structure.
+        let other = SynthConfig::new("s2", 14, 6, 210).generate(32);
+        let other_locked = dmux::lock(&other, &LockOptions::new(6, 3)).unwrap();
+        let err = trained
+            .verify_design(&other_locked.netlist, &other_locked.key_input_names())
+            .unwrap_err();
+        assert!(matches!(err, AttackError::Checkpoint(_)), "{err}");
+    }
+
+    #[test]
+    fn trained_checkpoint_round_trips_to_identical_scores() {
+        let locked = locked_design();
+        let names = locked.key_input_names();
+        let cfg = MuxLinkConfig::quick();
+        let trained = AttackSession::new(&locked.netlist, &names, cfg.clone())
+            .extract()
+            .unwrap()
+            .prepare(&NoProgress)
+            .unwrap()
+            .train(&NoProgress)
+            .unwrap();
+        let direct = trained.score(&NoProgress).unwrap();
+        let json = serde_json::to_string(&trained).unwrap();
+        let restored: Trained = serde_json::from_str(&json).unwrap();
+        let rescored = restored.score(&NoProgress).unwrap();
+        assert_eq!(
+            rescored.scores, direct.scores,
+            "scores must be bit-identical"
+        );
+        assert_eq!(
+            rescored.recover_key(cfg.th),
+            direct.recover_key(cfg.th),
+            "recovered key must be identical after a checkpoint round trip"
+        );
+    }
+}

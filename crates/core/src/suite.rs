@@ -1,0 +1,395 @@
+//! Multi-design suite runner: shard many locked designs across one rayon
+//! pool, one result record — and optionally one JSON file — per design.
+//!
+//! This is the workload shape of the paper's Fig. 7 / Fig. 10 campaigns
+//! (every benchmark × scheme × key size as an independent attack) and of
+//! the ROADMAP's multi-design sharding item: designs are embarrassingly
+//! parallel, so [`run_suite`] drives them through **one process and one
+//! pool** with work stealing between designs *and* within each design's
+//! stages. Records preserve job order and each design's numbers are
+//! bit-identical for any thread count (each attack is internally
+//! order-fixed and independent of its neighbours).
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use muxlink_locking::{Key, KeyValue};
+use muxlink_netlist::Netlist;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::error::io_error;
+use crate::metrics::{score_key, KeyMetrics};
+use crate::progress::Progress;
+use crate::report::Timings;
+use crate::session::AttackSession;
+use crate::{AttackError, MuxLinkConfig};
+
+/// One design to attack in a suite run.
+#[derive(Debug, Clone)]
+pub struct SuiteJob {
+    /// Label for reports and the per-design JSON file name.
+    pub name: String,
+    /// The locked netlist under attack.
+    pub netlist: Netlist,
+    /// Key-input names in key-bit order.
+    pub key_input_names: Vec<String>,
+    /// Ground-truth key bits, when known (synthetic benchmarks) — enables
+    /// AC/PC/KPA metrics in the record.
+    pub truth: Option<Vec<bool>>,
+}
+
+/// Per-design outcome of a suite run (serialized as the per-design JSON).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SuiteRecord {
+    /// Job label.
+    pub name: String,
+    /// Recovered key as a `0`/`1`/`X` string (`None` on failure).
+    pub key_string: Option<String>,
+    /// Key length of the design.
+    pub key_len: usize,
+    /// Number of decided (non-X) bits.
+    pub decided: usize,
+    /// Chosen SortPooling size (0 on failure).
+    pub k: usize,
+    /// Best validation accuracy of the GNN (NaN on failure).
+    pub val_accuracy: f64,
+    /// Wall-clock seconds for this design's whole attack.
+    pub seconds: f64,
+    /// Stage timing breakdown (`None` on failure).
+    pub timings: Option<Timings>,
+    /// AC/PC/KPA against the supplied ground truth, when available.
+    pub metrics: Option<KeyMetrics>,
+    /// Failure message: the attack did not complete, or its JSON record
+    /// could not be written (the attack fields stay populated then).
+    pub error: Option<String>,
+}
+
+impl SuiteRecord {
+    /// True when the attack completed and, if an output directory was
+    /// requested, its JSON record was persisted ([`SuiteRecord::error`]
+    /// distinguishes the two: a write failure leaves the attack fields
+    /// populated).
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// Options of a suite run.
+#[derive(Debug, Clone, Default)]
+pub struct SuiteOptions {
+    /// When set, one `<name>.json` [`SuiteRecord`] is written per design
+    /// into this directory (created if missing) as soon as the design
+    /// finishes.
+    pub out_dir: Option<PathBuf>,
+}
+
+/// File-system-safe version of a job name (used for per-design JSON).
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "design".to_owned()
+    } else {
+        cleaned
+    }
+}
+
+/// Attacks every job, sharded across one rayon pool of
+/// [`MuxLinkConfig::threads`] workers (0 = ambient pool).
+///
+/// Per-design failures — an attack error (for example a design with no
+/// key MUXes) or a failed write of that design's JSON record — land in
+/// that design's [`SuiteRecord::error`]; **the suite keeps going** and
+/// every computed record is returned. When `progress.cancelled()`
+/// trips, designs that have not started record an `attack cancelled`
+/// error and in-flight designs stop at their next check point. Output
+/// order matches `jobs`.
+///
+/// # Errors
+///
+/// Only for setup failures that affect the whole run:
+/// [`AttackError::ThreadPool`] when the pool could not be built and
+/// [`AttackError::Io`] when the output directory could not be created.
+pub fn run_suite(
+    jobs: &[SuiteJob],
+    cfg: &MuxLinkConfig,
+    opts: &SuiteOptions,
+    progress: &dyn Progress,
+) -> Result<Vec<SuiteRecord>, AttackError> {
+    if let Some(dir) = &opts.out_dir {
+        fs::create_dir_all(dir).map_err(|e| io_error(dir, &e))?;
+    }
+    // Resolve record-file names up front so per-design files never
+    // clobber each other: deterministic `_n` suffixes, checked against
+    // every name already taken (a literal "c1355_1" job cannot collide
+    // with the suffixed second "c1355").
+    let mut taken: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let file_names: Vec<String> = jobs
+        .iter()
+        .map(|j| {
+            let base = sanitize(&j.name);
+            let mut name = base.clone();
+            let mut n = 1usize;
+            while !taken.insert(name.clone()) {
+                name = format!("{base}_{n}");
+                n += 1;
+            }
+            name
+        })
+        .collect();
+
+    let tagged: Vec<(&SuiteJob, &str)> = jobs
+        .iter()
+        .zip(file_names.iter().map(String::as_str))
+        .collect();
+    let run_all = || -> Vec<SuiteRecord> {
+        tagged
+            .par_iter()
+            .map(|&(job, file_name)| {
+                let mut record = run_one(job, cfg, progress);
+                if let Some(dir) = &opts.out_dir {
+                    let path = dir.join(format!("{file_name}.json"));
+                    let written = serde_json::to_string_pretty(&record)
+                        .map_err(|e| AttackError::Internal(e.to_string()))
+                        .and_then(|json| fs::write(&path, json).map_err(|e| io_error(&path, &e)));
+                    if let Err(e) = written {
+                        // The attack results stay in the record; only
+                        // the persistence failure is reported.
+                        record.error = Some(match record.error.take() {
+                            Some(prev) => format!("{prev}; record write failed: {e}"),
+                            None => format!("record write failed: {e}"),
+                        });
+                    }
+                }
+                record
+            })
+            .collect()
+    };
+
+    if cfg.threads == 0 {
+        return Ok(run_all());
+    }
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(cfg.threads)
+        .build()
+        .map_err(|e| AttackError::ThreadPool(e.to_string()))?;
+    Ok(pool.install(run_all))
+}
+
+/// One design through the staged session, folded into a record.
+fn run_one(job: &SuiteJob, cfg: &MuxLinkConfig, progress: &dyn Progress) -> SuiteRecord {
+    let t0 = Instant::now();
+    // Each design runs on the ambient (suite) pool: stage-internal
+    // parallelism and cross-design sharding share the same workers.
+    let per_design = MuxLinkConfig {
+        threads: 0,
+        ..cfg.clone()
+    };
+    let scored = if progress.cancelled() {
+        Err(AttackError::Cancelled)
+    } else {
+        AttackSession::new(&job.netlist, &job.key_input_names, per_design).run(progress)
+    };
+    let seconds = t0.elapsed().as_secs_f64();
+    match scored {
+        Ok(scored) => {
+            let guess = scored.recover_key(cfg.th);
+            let metrics = job
+                .truth
+                .as_ref()
+                .map(|bits| score_key(&guess, &Key::from_bits(bits.clone())));
+            SuiteRecord {
+                name: job.name.clone(),
+                key_string: Some(guess.iter().map(ToString::to_string).collect()),
+                key_len: guess.len(),
+                decided: guess.iter().filter(|v| **v != KeyValue::X).count(),
+                k: scored.k,
+                val_accuracy: scored.train_report.best_val_accuracy,
+                seconds,
+                timings: Some(scored.timings),
+                metrics,
+                error: None,
+            }
+        }
+        Err(e) => SuiteRecord {
+            name: job.name.clone(),
+            key_string: None,
+            key_len: job.key_input_names.len(),
+            decided: 0,
+            k: 0,
+            val_accuracy: f64::NAN,
+            seconds,
+            timings: None,
+            metrics: None,
+            error: Some(e.to_string()),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::progress::NoProgress;
+    use muxlink_benchgen::synth::SynthConfig;
+    use muxlink_locking::{dmux, symmetric, LockOptions};
+
+    fn job(seed: u64, name: &str, scheme: fn() -> bool) -> SuiteJob {
+        let design = SynthConfig::new(name, 14, 6, 190).generate(seed);
+        let locked = if scheme() {
+            dmux::lock(&design, &LockOptions::new(4, 2)).unwrap()
+        } else {
+            symmetric::lock(&design, &LockOptions::new(4, 2)).unwrap()
+        };
+        SuiteJob {
+            name: name.to_owned(),
+            key_input_names: locked.key_input_names(),
+            truth: Some(
+                locked
+                    .key
+                    .to_values()
+                    .iter()
+                    .map(|v| *v == KeyValue::One)
+                    .collect(),
+            ),
+            netlist: locked.netlist,
+        }
+    }
+
+    #[test]
+    fn suite_runs_designs_and_writes_one_json_each() {
+        let jobs = vec![job(41, "alpha", || true), job(42, "beta/β", || false)];
+        let dir = std::env::temp_dir().join("muxlink-suite-test");
+        let _ = fs::remove_dir_all(&dir);
+        let opts = SuiteOptions {
+            out_dir: Some(dir.clone()),
+        };
+        let cfg = MuxLinkConfig::quick().with_threads(2);
+        let records = run_suite(&jobs, &cfg, &opts, &NoProgress).unwrap();
+        assert_eq!(records.len(), 2);
+        for (r, j) in records.iter().zip(&jobs) {
+            assert!(r.ok(), "{:?}", r.error);
+            assert_eq!(r.name, j.name);
+            assert_eq!(r.key_len, 4);
+            assert!(r.metrics.is_some(), "truth was supplied");
+        }
+        // One parseable JSON per design, name-sanitized.
+        for file in ["alpha.json", "beta__.json"] {
+            let text = fs::read_to_string(dir.join(file)).unwrap();
+            let parsed: SuiteRecord = serde_json::from_str(&text).unwrap();
+            assert!(parsed.ok());
+        }
+    }
+
+    #[test]
+    fn suite_records_are_thread_count_invariant() {
+        let jobs = vec![job(43, "a", || true), job(44, "b", || true)];
+        let opts = SuiteOptions::default();
+        let r1 = run_suite(
+            &jobs,
+            &MuxLinkConfig::quick().with_threads(1),
+            &opts,
+            &NoProgress,
+        )
+        .unwrap();
+        let r4 = run_suite(
+            &jobs,
+            &MuxLinkConfig::quick().with_threads(4),
+            &opts,
+            &NoProgress,
+        )
+        .unwrap();
+        for (a, b) in r1.iter().zip(&r4) {
+            assert_eq!(a.key_string, b.key_string);
+            assert_eq!(a.val_accuracy.to_bits(), b.val_accuracy.to_bits());
+            assert_eq!(a.metrics, b.metrics);
+        }
+    }
+
+    #[test]
+    fn per_design_failures_do_not_abort_the_suite() {
+        let unlocked = SynthConfig::new("plain", 10, 4, 100).generate(15);
+        let jobs = vec![
+            SuiteJob {
+                name: "broken".into(),
+                netlist: unlocked,
+                key_input_names: Vec::new(),
+                truth: None,
+            },
+            job(45, "fine", || true),
+        ];
+        let records = run_suite(
+            &jobs,
+            &MuxLinkConfig::quick(),
+            &SuiteOptions::default(),
+            &NoProgress,
+        )
+        .unwrap();
+        assert!(!records[0].ok());
+        assert!(records[0].error.as_deref().unwrap().contains("no key"));
+        assert!(records[1].ok());
+    }
+
+    #[test]
+    fn duplicate_names_get_distinct_files_even_against_literal_suffixes() {
+        // The third job's literal name collides with the suffix the
+        // second job receives; every record must still get its own file.
+        let jobs = vec![
+            job(46, "same", || true),
+            job(47, "same", || true),
+            job(48, "same_1", || true),
+        ];
+        let dir = std::env::temp_dir().join("muxlink-suite-dup-test");
+        let _ = fs::remove_dir_all(&dir);
+        let opts = SuiteOptions {
+            out_dir: Some(dir.clone()),
+        };
+        let records = run_suite(&jobs, &MuxLinkConfig::quick(), &opts, &NoProgress).unwrap();
+        assert!(records.iter().all(SuiteRecord::ok));
+        for file in ["same.json", "same_1.json", "same_1_1.json"] {
+            assert!(dir.join(file).exists(), "{file} missing");
+        }
+        // The deduped file carries the second job's record, not a copy
+        // of the third's.
+        let text = fs::read_to_string(dir.join("same_1.json")).unwrap();
+        let parsed: SuiteRecord = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed.name, "same");
+    }
+
+    #[test]
+    fn record_write_failure_stays_per_design() {
+        let jobs = vec![job(49, "writable", || true), job(50, "blocked", || true)];
+        let dir = std::env::temp_dir().join("muxlink-suite-write-fail-test");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        // A directory squatting on the second record's path makes its
+        // write fail while the first proceeds.
+        fs::create_dir_all(dir.join("blocked.json")).unwrap();
+        let opts = SuiteOptions {
+            out_dir: Some(dir.clone()),
+        };
+        let records = run_suite(&jobs, &MuxLinkConfig::quick(), &opts, &NoProgress).unwrap();
+        assert!(records[0].ok());
+        assert!(dir.join("writable.json").exists());
+        let blocked = &records[1];
+        assert!(!blocked.ok());
+        assert!(
+            blocked.error.as_deref().unwrap().contains("write failed"),
+            "{:?}",
+            blocked.error
+        );
+        // The attack itself completed — its results are preserved.
+        assert!(blocked.key_string.is_some());
+        assert!(blocked.metrics.is_some());
+    }
+}

@@ -52,5 +52,8 @@ pub use matrix::Matrix;
 pub use muxlink_graph::{Csr, OneHotFeatures};
 pub use param::{AdamConfig, Gradients, Param};
 pub use sample::{GraphSample, NodeFeatures};
-pub use trainer::{evaluate, train, EpochStats, TrainConfig, TrainReport};
+pub use trainer::{
+    evaluate, train, train_controlled, EpochStats, TrainCancelled, TrainConfig, TrainControl,
+    TrainReport,
+};
 pub use workspace::Workspace;

@@ -18,6 +18,7 @@
 //! exact equality between the CSR kernels and the references.
 
 use muxlink_graph::{Csr, OneHotFeatures};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::matrix::Matrix;
 
@@ -85,9 +86,36 @@ impl From<OneHotFeatures> for NodeFeatures {
     }
 }
 
+// Externally-tagged enum representation (`{"Dense": …}` / `{"OneHot": …}`,
+// upstream serde's default), written by hand because the vendored derive
+// only covers unit-variant enums.
+impl Serialize for NodeFeatures {
+    fn to_value(&self) -> Value {
+        match self {
+            Self::Dense(m) => Value::Map(vec![("Dense".to_owned(), m.to_value())]),
+            Self::OneHot(x) => Value::Map(vec![("OneHot".to_owned(), x.to_value())]),
+        }
+    }
+}
+
+impl Deserialize for NodeFeatures {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(entries) if entries.len() == 1 => match entries[0].0.as_str() {
+                "Dense" => Matrix::from_value(&entries[0].1).map(Self::Dense),
+                "OneHot" => OneHotFeatures::from_value(&entries[0].1).map(Self::OneHot),
+                other => Err(DeError(format!("unknown NodeFeatures variant `{other}`"))),
+            },
+            other => Err(DeError(format!(
+                "expected single-variant map for NodeFeatures, found {other:?}"
+            ))),
+        }
+    }
+}
+
 /// One graph-classification example: flat CSR adjacency plus node
 /// features (and, for training, a binary label).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GraphSample {
     /// CSR adjacency over local node indices (sorted neighbour runs).
     pub adj: Csr,
@@ -102,6 +130,71 @@ impl GraphSample {
     #[must_use]
     pub fn node_count(&self) -> usize {
         self.adj.node_count()
+    }
+}
+
+// ---------------------------------------------------------------------
+// SIMD-friendly row primitives (ROADMAP "SIMD-width kernels" follow-up).
+//
+// Every hot inner loop below is an element-wise row operation whose
+// per-element chains are independent (`acc[i] += a · src[i]` — no
+// accumulation *across* elements). Processing the rows in fixed
+// `chunks_exact::<8>` blocks with a scalar tail keeps the per-element
+// operation order untouched — the results are **bit-identical** to the
+// plain zipped loops — while giving the autovectorizer a constant-width,
+// bounds-check-free body.
+//
+// Measured outcome (`benches/kernels.rs`, baseline x86-64 target): the
+// 8-lane blocking is a wash-to-win for the fused one-hot kernels, whose
+// inner axpy runs under an outer per-touched-column loop
+// (`sparse_layer0/fused_exact` min-of-10 at F16_n300: 54.3µs plain →
+// ~42µs blocked across repeated runs), but a consistent ~1.7× LOSS
+// inside `propagate_into` / `propagate_back_into` (`csr_propagate/100`
+// min: 1.96µs plain → 3.41µs blocked): LLVM already vectorizes those
+// short dynamic-length zips and the added block/tail structure only
+// costs. So the blocked primitives are used exactly where they win —
+// the one-hot kernels — and the propagate pair keeps its plain zip
+// loops.
+//
+// `f32::mul_add` was evaluated for all of these and deliberately NOT
+// used: fusing multiply and add rounds once instead of twice, which
+// changes the bits of every update and would break the repo's bit-exact
+// summation contract (kernels == reference implementations, sparse ==
+// dense, any thread count). Only a tolerance-pinned kernel could accept
+// it, and those share these primitives with the exact paths.
+// ---------------------------------------------------------------------
+
+const LANES: usize = 8;
+
+/// `acc[i] += src[i]` (8-lane blocks, bit-identical to the scalar zip).
+#[inline]
+fn add_rows(acc: &mut [f32], src: &[f32]) {
+    debug_assert_eq!(acc.len(), src.len());
+    let mut a = acc.chunks_exact_mut(LANES);
+    let mut s = src.chunks_exact(LANES);
+    for (a8, s8) in a.by_ref().zip(s.by_ref()) {
+        for (o, &b) in a8.iter_mut().zip(s8) {
+            *o += b;
+        }
+    }
+    for (o, &b) in a.into_remainder().iter_mut().zip(s.remainder()) {
+        *o += b;
+    }
+}
+
+/// `acc[i] += a · src[i]` (8-lane blocks, bit-identical to the scalar zip).
+#[inline]
+fn axpy_rows(acc: &mut [f32], src: &[f32], a: f32) {
+    debug_assert_eq!(acc.len(), src.len());
+    let mut ac = acc.chunks_exact_mut(LANES);
+    let mut sc = src.chunks_exact(LANES);
+    for (a8, s8) in ac.by_ref().zip(sc.by_ref()) {
+        for (o, &b) in a8.iter_mut().zip(s8) {
+            *o += a * b;
+        }
+    }
+    for (o, &b) in ac.into_remainder().iter_mut().zip(sc.remainder()) {
+        *o += a * b;
     }
 }
 
@@ -159,12 +252,8 @@ pub fn onehot_scatter_add(x: &OneHotFeatures, g: &Matrix, gw: &mut Matrix) {
     for i in 0..x.rows() {
         let (gi, li) = x.columns(i);
         let src = g.row(i);
-        for (o, &v) in gw.row_mut(gi).iter_mut().zip(src) {
-            *o += v;
-        }
-        for (o, &v) in gw.row_mut(li).iter_mut().zip(src) {
-            *o += v;
-        }
+        add_rows(gw.row_mut(gi), src);
+        add_rows(gw.row_mut(li), src);
     }
 }
 
@@ -251,9 +340,7 @@ pub fn onehot_propagate_matmul_into(
         let orow = out.row_mut(i);
         for &c in &scratch.touched {
             let a = (scratch.counts[c as usize] as f32) * scale;
-            for (o, &b) in orow.iter_mut().zip(w.row(c as usize)) {
-                *o += a * b;
-            }
+            axpy_rows(orow, w.row(c as usize), a);
         }
         scratch.clear_row();
     }
@@ -288,9 +375,7 @@ pub fn onehot_propagate_t_matmul_into(
         let grow = g.row(i);
         for &c in &scratch.touched {
             let a = (scratch.counts[c as usize] as f32) * scale;
-            for (o, &b) in gw.row_mut(c as usize).iter_mut().zip(grow) {
-                *o += a * b;
-            }
+            axpy_rows(gw.row_mut(c as usize), grow, a);
         }
         scratch.clear_row();
     }
@@ -320,7 +405,9 @@ pub fn propagate_into(adj: &Csr, h: &Matrix, out: &mut Matrix) {
     out.resize_for_overwrite(n, c);
     for i in 0..n {
         let orow = out.row_mut(i);
-        // Own row first, then neighbours in ascending order.
+        // Own row first, then neighbours in ascending order. Plain zip
+        // loops on purpose: 8-lane blocking measured ~1.7× slower here
+        // (see the SIMD-friendly row primitives note above).
         orow.copy_from_slice(h.row(i));
         for &j in adj.neighbors(i) {
             for (o, &b) in orow.iter_mut().zip(h.row(j as usize)) {
@@ -356,6 +443,7 @@ pub fn propagate_back_into(adj: &Csr, g: &Matrix, out: &mut Matrix) {
     for i in 0..n {
         let scale = adj.scale(i);
         // Row i of G, scaled, lands on node i itself and its neighbours.
+        // Plain zip loops on purpose, like `propagate_into`.
         let grow = g.row(i);
         for (o, &v) in out.row_mut(i).iter_mut().zip(grow) {
             *o += v * scale;
@@ -577,6 +665,32 @@ mod tests {
         assert_eq!((d.rows(), d.cols()), (4, 11));
         let nf2 = NodeFeatures::from(d);
         assert_eq!(nf2.rows(), 4);
+    }
+
+    #[test]
+    fn graph_sample_serde_round_trips_both_feature_forms() {
+        let onehot = GraphSample {
+            adj: Csr::from_lists(&[vec![1], vec![0, 2], vec![1]]),
+            features: OneHotFeatures::new(11, vec![0, 3, 7], vec![1, 0, 2]).into(),
+            label: Some(true),
+        };
+        let mut rng = seeded_rng(21);
+        let dense = GraphSample {
+            adj: Csr::from_lists(&[vec![1], vec![0]]),
+            features: Matrix::glorot(2, 5, &mut rng).into(),
+            label: None,
+        };
+        for s in [onehot, dense] {
+            let json = serde_json::to_string(&s).unwrap();
+            let back: GraphSample = serde_json::from_str(&json).unwrap();
+            assert_eq!(back.adj, s.adj);
+            assert_eq!(back.label, s.label);
+            match (&back.features, &s.features) {
+                (NodeFeatures::Dense(a), NodeFeatures::Dense(b)) => assert_eq!(a, b),
+                (NodeFeatures::OneHot(a), NodeFeatures::OneHot(b)) => assert_eq!(a, b),
+                _ => panic!("feature variant changed across serde round trip"),
+            }
+        }
     }
 
     #[test]

@@ -82,6 +82,44 @@ pub struct TrainReport {
     pub best_val_accuracy: f64,
 }
 
+/// Observer + cooperative-cancellation hooks for the training loop.
+///
+/// The trainer calls [`TrainControl::epoch_finished`] after every epoch's
+/// validation pass (from the sequential part of the loop) and polls
+/// [`TrainControl::cancelled`] at **batch boundaries** — before any RNG
+/// draw for the batch — so observation and cancellation can never perturb
+/// the training stream: a run that is not cancelled is bit-identical to
+/// an unobserved run.
+///
+/// `()` is the no-op control used by [`train`].
+pub trait TrainControl: Sync {
+    /// Called after each epoch with that epoch's statistics.
+    fn epoch_finished(&self, stats: &EpochStats) {
+        let _ = stats;
+    }
+
+    /// Polled at batch boundaries; returning `true` stops training
+    /// before the next batch (the model keeps its current weights).
+    fn cancelled(&self) -> bool {
+        false
+    }
+}
+
+/// The no-op control: observes nothing and never cancels.
+impl TrainControl for () {}
+
+/// Training was stopped by [`TrainControl::cancelled`] before finishing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainCancelled;
+
+impl std::fmt::Display for TrainCancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "training cancelled at a batch boundary")
+    }
+}
+
+impl std::error::Error for TrainCancelled {}
+
 /// Mean loss and accuracy of `model` over `samples` (deterministic, no
 /// dropout). Samples without labels are skipped.
 #[must_use]
@@ -126,6 +164,34 @@ pub fn train(
     val: &[GraphSample],
     cfg: &TrainConfig,
 ) -> TrainReport {
+    match train_controlled(model, train, val, cfg, &()) {
+        Ok(report) => report,
+        Err(TrainCancelled) => unreachable!("the () control never cancels"),
+    }
+}
+
+/// [`train`] with an observer and cooperative cancellation.
+///
+/// Identical numerics to [`train`] — the control hooks sit outside every
+/// RNG draw and every reduction, so an uncancelled controlled run is
+/// bit-identical to the plain one for any thread count.
+///
+/// # Errors
+///
+/// [`TrainCancelled`] when `ctl.cancelled()` returned `true` at a batch
+/// boundary; the model is left with the weights of the last completed
+/// optimiser step.
+///
+/// # Panics
+///
+/// Panics when `train` is empty or `batch_size` is zero.
+pub fn train_controlled(
+    model: &mut Dgcnn,
+    train: &[GraphSample],
+    val: &[GraphSample],
+    cfg: &TrainConfig,
+    ctl: &dyn TrainControl,
+) -> Result<TrainReport, TrainCancelled> {
     assert!(!train.is_empty(), "training set must not be empty");
     assert!(cfg.batch_size > 0, "batch size must be positive");
     let mut rng = seeded_rng(cfg.seed);
@@ -147,6 +213,11 @@ pub fn train(
         let mut epoch_loss = 0.0f64;
         let mut seen = 0usize;
         for batch in order.chunks(cfg.batch_size) {
+            // Cooperative cancellation, checked before this batch's RNG
+            // draws so an uncancelled run sees an unchanged stream.
+            if ctl.cancelled() {
+                return Err(TrainCancelled);
+            }
             // Dropout seeds are drawn sequentially from the training RNG
             // *before* the parallel region, so the stream every sample
             // sees is fixed by (cfg.seed, epoch, batch position) alone.
@@ -194,12 +265,14 @@ pub fn train(
             epoch_loss / seen as f64
         };
         let (val_loss, val_accuracy) = evaluate(model, val);
-        history.push(EpochStats {
+        let stats = EpochStats {
             epoch,
             train_loss,
             val_loss,
             val_accuracy,
-        });
+        };
+        ctl.epoch_finished(&stats);
+        history.push(stats);
         if !val_accuracy.is_nan() {
             let better = match &best {
                 None => true,
@@ -213,7 +286,7 @@ pub fn train(
         }
     }
 
-    match best {
+    Ok(match best {
         Some((best_epoch, best_val_accuracy, _, snapshot)) => {
             model.restore(&snapshot);
             TrainReport {
@@ -227,7 +300,7 @@ pub fn train(
             best_epoch: 0,
             best_val_accuracy: f64::NAN,
         },
-    }
+    })
 }
 
 #[cfg(test)]
@@ -381,5 +454,49 @@ mod tests {
     fn empty_training_rejected() {
         let mut model = Dgcnn::new(toy_cfg());
         let _ = train(&mut model, &[], &[], &TrainConfig::default());
+    }
+
+    #[test]
+    fn controlled_run_is_observed_and_bit_identical_to_plain() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct Counter(AtomicUsize);
+        impl TrainControl for Counter {
+            fn epoch_finished(&self, stats: &EpochStats) {
+                assert_eq!(stats.epoch, self.0.load(Ordering::SeqCst) + 1);
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let data = toy_dataset(20, 11);
+        let cfg = TrainConfig {
+            epochs: 4,
+            batch_size: 4,
+            ..TrainConfig::default()
+        };
+        let mut plain = Dgcnn::new(toy_cfg());
+        let r_plain = train(&mut plain, &data[..16], &data[16..], &cfg);
+        let counter = Counter(AtomicUsize::new(0));
+        let mut observed = Dgcnn::new(toy_cfg());
+        let r_obs =
+            train_controlled(&mut observed, &data[..16], &data[16..], &cfg, &counter).unwrap();
+        assert_eq!(counter.0.load(Ordering::SeqCst), 4, "one hook per epoch");
+        assert_eq!(r_plain, r_obs, "observation must not perturb training");
+        assert_eq!(plain.predict(&data[0]), observed.predict(&data[0]));
+    }
+
+    #[test]
+    fn cancellation_stops_before_the_first_batch() {
+        struct CancelNow;
+        impl TrainControl for CancelNow {
+            fn cancelled(&self) -> bool {
+                true
+            }
+        }
+        let data = toy_dataset(8, 12);
+        let mut model = Dgcnn::new(toy_cfg());
+        let before = model.snapshot();
+        let err = train_controlled(&mut model, &data, &[], &TrainConfig::default(), &CancelNow)
+            .unwrap_err();
+        assert_eq!(err, TrainCancelled);
+        assert_eq!(model.snapshot(), before, "no step was applied");
     }
 }
