@@ -1,0 +1,200 @@
+//! Dataset-residency A/B: peak resident sample bytes and build/stream
+//! time, owned per-sample-`Vec` storage vs the arena-pooled path, as the
+//! candidate-link count grows.
+//!
+//! Two shapes are measured at each link count:
+//!
+//! * **build** — the training-dataset build (`build_dataset` vs
+//!   `build_dataset_arena`): all samples end up resident either way (the
+//!   trainer revisits every sample each epoch), so this compares resident
+//!   bytes per sample and allocation count, not growth.
+//! * **stream** — the scoring shape: a candidate-link list walked once.
+//!   The all-resident path materialises every subgraph up front
+//!   (resident bytes grow linearly with the list); the streamed path
+//!   recycles one `SampleArena` per fixed-size chunk, so its **peak**
+//!   resident sample bytes stay constant however long the list grows —
+//!   the property that lets million-link candidate lists stream from a
+//!   fixed footprint.
+//!
+//! Run: `cargo run --release -p muxlink-bench --bin dataset_residency
+//! [--json out.json]`. Numbers feed the BENCH_*.json trajectory.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use muxlink_bench::{maybe_write_json, HarnessOptions};
+use muxlink_benchgen::synth::SynthConfig;
+use muxlink_graph::dataset::DatasetConfig;
+use muxlink_graph::sampling::sample_links;
+use muxlink_graph::subgraph::Subgraph;
+use muxlink_graph::{build_dataset, build_dataset_arena, extract, Link, SampleArena};
+use muxlink_locking::{dmux, LockOptions};
+use serde::Serialize;
+
+/// Streamed-scoring chunk size under test (the `sample_chunk` default
+/// order of magnitude, scaled to this harness's link counts).
+const CHUNK: usize = 256;
+
+/// Bytes per `Vec` bookkeeping header (ptr + len + cap) — per-sample
+/// `Vec`s pay it per field, the arena once per slab.
+const VEC_HEADER: usize = 24;
+
+/// Resident bytes of one owned subgraph: heap payload of its five
+/// per-sample vectors plus their headers (`nodes`, `labels`,
+/// `gate_types`, CSR offsets/neighbors/scales).
+fn subgraph_bytes(sg: &Subgraph) -> usize {
+    let n = sg.node_count();
+    let e = sg.adj.entry_count();
+    // nodes(4n) + labels(4n) + gate_types(n) + offsets(4(n+1)) +
+    // neighbors(4e) + scales(4n)
+    4 * n + 4 * n + n + 4 * (n + 1) + 4 * e + 4 * n + 6 * VEC_HEADER
+}
+
+#[derive(Serialize)]
+struct StreamRow {
+    links: usize,
+    all_resident_bytes: usize,
+    all_resident_seconds: f64,
+    streamed_peak_bytes: usize,
+    streamed_seconds: f64,
+}
+
+#[derive(Serialize)]
+struct BuildRow {
+    links: usize,
+    owned_bytes: usize,
+    owned_seconds: f64,
+    arena_bytes: usize,
+    arena_seconds: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    design_gates: usize,
+    chunk: usize,
+    h: usize,
+    max_subgraph_nodes: usize,
+    build: Vec<BuildRow>,
+    stream: Vec<StreamRow>,
+}
+
+fn main() {
+    let opts = HarnessOptions::parse(std::env::args().skip(1));
+
+    let gates = 3000;
+    let design = SynthConfig::new("resid", 32, 16, gates).generate(1);
+    let locked = dmux::lock(&design, &LockOptions::new(32, 2)).expect("lock");
+    let ex = extract(&locked.netlist, &locked.key_input_names()).expect("extract");
+    let (h, cap) = (2usize, 64usize);
+
+    let mut report = Report {
+        design_gates: gates,
+        chunk: CHUNK,
+        h,
+        max_subgraph_nodes: cap,
+        build: Vec::new(),
+        stream: Vec::new(),
+    };
+
+    println!("dataset_residency: {gates}-gate design, h={h}, cap={cap}, chunk={CHUNK}");
+    println!();
+    println!(
+        "{:>7}  {:>14} {:>9}  |  {:>14} {:>9}",
+        "links", "all-res bytes", "sec", "stream peak B", "sec"
+    );
+    for links in [1_000usize, 4_000, 16_000] {
+        // A candidate-link list of the requested size (positives +
+        // negatives, like both the dataset build and the scorer see).
+        let sampling = sample_links(&ex.graph, &HashSet::new(), links, 1);
+        let list: Vec<Link> = sampling
+            .positives
+            .iter()
+            .chain(&sampling.negatives)
+            .copied()
+            .collect();
+
+        // Stream shape, all-resident: every subgraph materialised first.
+        let t0 = Instant::now();
+        let subgraphs = muxlink_graph::dataset::target_subgraphs(
+            &ex.graph,
+            &list,
+            &DatasetConfig {
+                h,
+                max_subgraph_nodes: Some(cap),
+                ..DatasetConfig::default()
+            },
+        );
+        let all_resident_seconds = t0.elapsed().as_secs_f64();
+        let all_resident_bytes: usize = subgraphs.iter().map(subgraph_bytes).sum();
+        drop(subgraphs);
+
+        // Stream shape, arena: one recycled arena, peak over chunks.
+        let t0 = Instant::now();
+        let mut arena = SampleArena::new();
+        let mut peak = 0usize;
+        for chunk in list.chunks(CHUNK) {
+            arena.clear();
+            let jobs: Vec<(Link, Option<bool>)> = chunk.iter().map(|&l| (l, None)).collect();
+            arena.extend_extract(&ex.graph, &jobs, h, Some(cap));
+            peak = peak.max(arena.resident_bytes());
+        }
+        let streamed_seconds = t0.elapsed().as_secs_f64();
+
+        println!(
+            "{links:>7}  {all_resident_bytes:>14} {all_resident_seconds:>9.3}  |  {peak:>14} {streamed_seconds:>9.3}"
+        );
+        report.stream.push(StreamRow {
+            links: list.len(),
+            all_resident_bytes,
+            all_resident_seconds,
+            streamed_peak_bytes: peak,
+            streamed_seconds,
+        });
+
+        // Build shape: owned vs arena training-dataset build.
+        let ds_cfg = DatasetConfig {
+            h,
+            max_train_links: links,
+            val_fraction: 0.1,
+            max_subgraph_nodes: Some(cap),
+            seed: 1,
+            chunk: CHUNK,
+        };
+        let t0 = Instant::now();
+        let owned = build_dataset(&ex.graph, &[], &ds_cfg);
+        let owned_seconds = t0.elapsed().as_secs_f64();
+        let owned_bytes: usize = owned
+            .train
+            .iter()
+            .chain(&owned.val)
+            .map(|s| subgraph_bytes(&s.subgraph))
+            .sum();
+        drop(owned);
+        let t0 = Instant::now();
+        let pooled = build_dataset_arena(&ex.graph, &[], &ds_cfg);
+        let arena_seconds = t0.elapsed().as_secs_f64();
+        let arena_bytes =
+            pooled.arena.resident_bytes() + (pooled.train.len() + pooled.val.len()) * 4;
+        report.build.push(BuildRow {
+            links,
+            owned_bytes,
+            owned_seconds,
+            arena_bytes,
+            arena_seconds,
+        });
+    }
+
+    println!();
+    println!(
+        "{:>7}  {:>13} {:>9}  |  {:>13} {:>9}",
+        "links", "owned build B", "sec", "arena build B", "sec"
+    );
+    for r in &report.build {
+        println!(
+            "{:>7}  {:>13} {:>9.3}  |  {:>13} {:>9.3}",
+            r.links, r.owned_bytes, r.owned_seconds, r.arena_bytes, r.arena_seconds
+        );
+    }
+
+    maybe_write_json(&opts, &report);
+}

@@ -570,6 +570,27 @@ mod tests {
         dir.join(name).to_str().unwrap().to_owned()
     }
 
+    /// The dispatcher must recognise exactly the canonical
+    /// [`crate::opts::SUBCOMMANDS`] list (the one CI greps the README
+    /// against): every listed name is accepted (no "unknown subcommand"),
+    /// every listed name appears in the help text, and an unlisted name
+    /// is rejected.
+    #[test]
+    fn dispatcher_covers_canonical_subcommand_list() {
+        for &sub in crate::opts::SUBCOMMANDS {
+            let outcome = run(&cmd(&[sub]));
+            if let Err(CliError::Usage(msg)) = &outcome {
+                assert!(
+                    !msg.contains("unknown subcommand"),
+                    "`{sub}` is listed in SUBCOMMANDS but not dispatched"
+                );
+            }
+            assert!(HELP.contains(sub), "`{sub}` missing from help text");
+        }
+        let err = run(&cmd(&["frobnicate"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(m) if m.contains("unknown subcommand")));
+    }
+
     #[test]
     fn full_cli_round_trip() {
         let design = tmp("design.bench");

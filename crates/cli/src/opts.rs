@@ -43,6 +43,24 @@ impl From<std::io::Error> for CliError {
     }
 }
 
+/// Every `muxlink` subcommand, in help order — the canonical list.
+///
+/// CI greps the README's shell examples against this constant (and a
+/// unit test pins the dispatcher to it), so documentation cannot drift
+/// from the binary.
+pub const SUBCOMMANDS: &[&str] = &[
+    "generate",
+    "lock",
+    "attack",
+    "train",
+    "score",
+    "suite",
+    "sat-attack",
+    "evaluate",
+    "stats",
+    "help",
+];
+
 /// Flags that take a value (everything else is boolean).
 const VALUED: &[&str] = &[
     "--profile",

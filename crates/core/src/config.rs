@@ -1,10 +1,10 @@
-use serde::{Deserialize, Serialize};
+use serde::{map_get, DeError, Deserialize, Serialize, Value};
 
 /// All tunables of the MuxLink attack. Defaults are the paper's settings;
 /// [`MuxLinkConfig::quick`] is a CPU-friendly scale-down used by tests and
 /// the default benchmark harness (every figure binary accepts
 /// `--paper-scale` to restore the published constants).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct MuxLinkConfig {
     /// Enclosing-subgraph hop count (paper default: 3, Fig. 10 sweeps 1–4).
     pub h: usize,
@@ -33,6 +33,42 @@ pub struct MuxLinkConfig {
     /// (0 = all cores). Results are bit-identical for any value: every
     /// parallel stage reduces in a fixed order.
     pub threads: usize,
+    /// Streaming chunk size of the arena-pooled sample paths: at most
+    /// this many candidate links are extracted (and, at scoring time,
+    /// resident as samples) at once; the scorer recycles one
+    /// [`SampleArena`](muxlink_graph::SampleArena) between chunks, so
+    /// peak resident sample bytes are bounded by the chunk, not the
+    /// design's candidate-link count. `0` restores the all-resident
+    /// behaviour (every target subgraph materialised up front).
+    /// Results are bit-identical for any value — chunking only bounds
+    /// memory.
+    pub sample_chunk: usize,
+}
+
+// Hand-written so checkpoints saved before the `sample_chunk` knob
+// existed still load: a missing field takes the production default
+// (chunking never changes results, so old artifacts re-score to the
+// same bits). The vendored derive has no `#[serde(default)]`.
+impl Deserialize for MuxLinkConfig {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Self {
+            h: Deserialize::from_value(map_get(v, "h")?)?,
+            th: Deserialize::from_value(map_get(v, "th")?)?,
+            max_train_links: Deserialize::from_value(map_get(v, "max_train_links")?)?,
+            val_fraction: Deserialize::from_value(map_get(v, "val_fraction")?)?,
+            max_subgraph_nodes: Deserialize::from_value(map_get(v, "max_subgraph_nodes")?)?,
+            epochs: Deserialize::from_value(map_get(v, "epochs")?)?,
+            batch_size: Deserialize::from_value(map_get(v, "batch_size")?)?,
+            learning_rate: Deserialize::from_value(map_get(v, "learning_rate")?)?,
+            k_percentile: Deserialize::from_value(map_get(v, "k_percentile")?)?,
+            seed: Deserialize::from_value(map_get(v, "seed")?)?,
+            threads: Deserialize::from_value(map_get(v, "threads")?)?,
+            sample_chunk: match map_get(v, "sample_chunk") {
+                Ok(x) => Deserialize::from_value(x)?,
+                Err(_) => MuxLinkConfig::default().sample_chunk,
+            },
+        })
+    }
 }
 
 impl Default for MuxLinkConfig {
@@ -49,6 +85,7 @@ impl Default for MuxLinkConfig {
             k_percentile: 0.6,
             seed: 0,
             threads: 0,
+            sample_chunk: 1024,
         }
     }
 }
@@ -78,6 +115,7 @@ impl MuxLinkConfig {
             k_percentile: 0.6,
             seed: 0,
             threads: 0,
+            sample_chunk: 1024,
         }
     }
 
@@ -107,6 +145,14 @@ impl MuxLinkConfig {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Returns a copy with a different streaming chunk size (0 = keep
+    /// every sample resident at once). Never changes results.
+    #[must_use]
+    pub fn with_sample_chunk(mut self, sample_chunk: usize) -> Self {
+        self.sample_chunk = sample_chunk;
         self
     }
 }
@@ -144,5 +190,36 @@ mod tests {
     fn default_uses_all_cores() {
         assert_eq!(MuxLinkConfig::paper().threads, 0);
         assert_eq!(MuxLinkConfig::quick().threads, 0);
+    }
+
+    #[test]
+    fn serde_round_trips() {
+        let cfg = MuxLinkConfig::quick()
+            .with_seed(9)
+            .with_threads(2)
+            .with_sample_chunk(77);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: MuxLinkConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    /// Checkpoints written before the `sample_chunk` knob existed must
+    /// still load; the missing field takes the production default.
+    #[test]
+    fn pre_sample_chunk_checkpoints_still_deserialize() {
+        let cfg = MuxLinkConfig::quick().with_seed(4);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let legacy = json.replace(",\"sample_chunk\":1024", "");
+        assert_ne!(legacy, json, "test must actually strip the field");
+        let back: MuxLinkConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.sample_chunk, MuxLinkConfig::default().sample_chunk);
+        assert_eq!(back.seed, 4);
+        assert_eq!(
+            MuxLinkConfig {
+                sample_chunk: cfg.sample_chunk,
+                ..back
+            },
+            cfg
+        );
     }
 }

@@ -2,7 +2,7 @@
 //! → score → post-process in a single call.
 //!
 //! Since the staged API redesign, [`score_design`] and [`attack`] are
-//! thin wrappers over [`AttackSession`](crate::AttackSession) — the
+//! thin wrappers over [`crate::AttackSession`] — the
 //! session is the primary surface (stage checkpoints, progress
 //! observation, cancellation, suite runs); these functions remain for
 //! callers that want the whole pipeline as one expression. Both paths
@@ -53,7 +53,7 @@ pub struct AttackOutcome {
 
 /// Runs the expensive stages: graph extraction, dataset generation, DGCNN
 /// training and target-link scoring — the full
-/// [`AttackSession`](crate::AttackSession) chain in one call.
+/// [`crate::AttackSession`] chain in one call.
 ///
 /// # Errors
 ///

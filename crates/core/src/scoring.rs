@@ -2,11 +2,11 @@
 //! `GraphSample`, plus SortPool-`k` selection and parallel target
 //! scoring.
 
-use muxlink_gnn::{Dgcnn, GraphSample, NodeFeatures};
+use muxlink_gnn::{ArenaSamples, Dgcnn, GraphSample, NodeFeatures};
 use muxlink_graph::dataset::{target_subgraphs, DatasetConfig};
 use muxlink_graph::features::one_hot_features;
 use muxlink_graph::graph::Link;
-use muxlink_graph::{ExtractedDesign, Subgraph};
+use muxlink_graph::{ExtractedDesign, SampleArena, Subgraph};
 use rayon::prelude::*;
 
 use crate::postprocess::MuxScores;
@@ -28,9 +28,10 @@ pub fn to_graph_sample(sg: &Subgraph, max_label: u32, label: Option<bool>) -> Gr
     }
 }
 
-/// Upper bound on GNN samples materialised at once while scoring: keeps
-/// the feature matrices of huge designs (thousands of key MUXes) from
-/// all being resident simultaneously, without hurting parallelism.
+/// Upper bound on GNN samples materialised at once on the legacy
+/// all-resident scoring path (`ds_cfg.chunk == 0`): keeps the feature
+/// matrices of huge designs (thousands of key MUXes) from all being
+/// resident simultaneously, without hurting parallelism.
 const SCORE_CHUNK: usize = 256;
 
 /// Scores both candidate links of every key MUX with the trained model.
@@ -39,14 +40,20 @@ const SCORE_CHUNK: usize = 256;
 /// usually contains repeats; each **distinct** link is extracted and
 /// scored exactly once (the model is deterministic, so a repeat would
 /// reproduce the same probability bit-for-bit) and the result is
-/// broadcast back in order. Extraction goes through
-/// [`target_subgraphs`] (the same code path the training dataset uses);
-/// the samples then stream — in bounded chunks — through
-/// [`Dgcnn::predict_batch`], the scoring entry point that reuses one
-/// workspace per rayon worker. Every stage preserves order and chunking
-/// only bounds how many samples exist at once, so the scores stay
-/// aligned with `extracted.muxes` and bit-identical for any thread
-/// count, any chunk size — and to the pre-dedup implementation.
+/// broadcast back in order.
+///
+/// With `ds_cfg.chunk > 0` (the production configuration) the unique
+/// links **stream** through one recycled
+/// [`SampleArena`]: each chunk is extracted directly into the arena
+/// slabs, scored through [`Dgcnn::predict_batch`] via handle views, and
+/// the arena is cleared — peak resident sample bytes are bounded by the
+/// chunk size however many candidate links the design has. With
+/// `chunk == 0` every target subgraph is materialised up front through
+/// [`target_subgraphs`] (the all-resident path, kept as the executable
+/// reference the streamed path is property-tested against). Every stage
+/// preserves order, so the scores stay aligned with `extracted.muxes`
+/// and bit-identical for any thread count, any chunk size — and to the
+/// pre-dedup implementation.
 #[must_use]
 pub fn score_muxes(
     model: &Dgcnn,
@@ -64,8 +71,9 @@ pub fn score_muxes(
 }
 
 /// [`score_muxes`] with cooperative cancellation: `progress.cancelled()`
-/// is polled between scoring chunks (a chunk is at most `SCORE_CHUNK` =
-/// 256 unique links). Identical bits to [`score_muxes`] when not
+/// is polled between scoring chunks (a chunk is `ds_cfg.chunk` unique
+/// links on the streamed path, at most `SCORE_CHUNK` = 256 on the
+/// all-resident one). Identical bits to [`score_muxes`] when not
 /// cancelled.
 ///
 /// # Errors
@@ -89,17 +97,35 @@ pub fn score_muxes_controlled(
     unique.sort_unstable();
     unique.dedup();
 
-    let subgraphs = target_subgraphs(&extracted.graph, &unique, ds_cfg);
-    let mut unique_probs = Vec::with_capacity(subgraphs.len());
-    for chunk in subgraphs.chunks(SCORE_CHUNK) {
-        if progress.cancelled() {
-            return Err(AttackError::Cancelled);
+    let mut unique_probs = Vec::with_capacity(unique.len());
+    if ds_cfg.chunk == 0 {
+        // All-resident reference path: every target subgraph
+        // materialised up front, converted in bounded batches.
+        let subgraphs = target_subgraphs(&extracted.graph, &unique, ds_cfg);
+        for chunk in subgraphs.chunks(SCORE_CHUNK) {
+            if progress.cancelled() {
+                return Err(AttackError::Cancelled);
+            }
+            let samples: Vec<GraphSample> = chunk
+                .par_iter()
+                .map(|sg| to_graph_sample(sg, max_label, None))
+                .collect();
+            unique_probs.extend(model.predict_batch(&samples));
         }
-        let samples: Vec<GraphSample> = chunk
-            .par_iter()
-            .map(|sg| to_graph_sample(sg, max_label, None))
-            .collect();
-        unique_probs.extend(model.predict_batch(&samples));
+    } else {
+        // Streamed production path: one arena, recycled per chunk —
+        // peak resident sample bytes stay bounded by the chunk size
+        // however long the candidate list is.
+        let mut arena = SampleArena::new();
+        for chunk in unique.chunks(ds_cfg.chunk) {
+            if progress.cancelled() {
+                return Err(AttackError::Cancelled);
+            }
+            arena.clear();
+            let jobs: Vec<(Link, Option<bool>)> = chunk.iter().map(|&l| (l, None)).collect();
+            arena.extend_extract(&extracted.graph, &jobs, ds_cfg.h, ds_cfg.max_subgraph_nodes);
+            unique_probs.extend(model.predict_batch(&ArenaSamples::all(&arena, max_label)));
+        }
     }
 
     let prob_of = |l: &Link| -> Result<f64, AttackError> {

@@ -57,17 +57,16 @@
 
 use std::time::Instant;
 
-use muxlink_gnn::{train_controlled, Dgcnn, DgcnnConfig, GraphSample, TrainConfig, TrainReport};
-use muxlink_graph::dataset::{build_dataset, DatasetConfig};
+use muxlink_gnn::{train_controlled, ArenaSamples, Dgcnn, DgcnnConfig, TrainConfig, TrainReport};
+use muxlink_graph::dataset::{build_dataset_arena, ArenaDataset, DatasetConfig};
 use muxlink_graph::{extract, ExtractedDesign};
 use muxlink_netlist::Netlist;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::pipeline::ScoredDesign;
 use crate::progress::{Progress, Stage, TrainBridge};
 use crate::report::{StageThreads, Timings};
-use crate::scoring::{choose_k, score_muxes_controlled, to_graph_sample};
+use crate::scoring::{choose_k, score_muxes_controlled};
 use crate::{AttackError, MuxLinkConfig};
 
 /// Seed whitening for the model-initialisation stream (kept identical to
@@ -127,6 +126,7 @@ fn dataset_config(cfg: &MuxLinkConfig) -> DatasetConfig {
         val_fraction: cfg.val_fraction,
         max_subgraph_nodes: cfg.max_subgraph_nodes,
         seed: cfg.seed,
+        chunk: cfg.sample_chunk,
     }
 }
 
@@ -244,11 +244,14 @@ pub struct Extracted {
 
 impl Extracted {
     /// Stage 2: self-supervised dataset build (sampled observed /
-    /// unobserved wires → enclosing subgraphs → compact GNN samples) and
-    /// SortPool-`k` selection.
+    /// unobserved wires → enclosing subgraphs, streamed
+    /// `cfg.sample_chunk` links at a time into one pooled
+    /// [`SampleArena`](muxlink_graph::SampleArena)) and SortPool-`k`
+    /// selection.
     ///
     /// Runs on a dedicated pool of `cfg.threads` workers (0 = ambient);
-    /// the result is bit-identical for any thread count.
+    /// the result is bit-identical for any thread count and any chunk
+    /// size.
     ///
     /// # Errors
     ///
@@ -268,9 +271,9 @@ impl Extracted {
             mut timings,
         } = self;
         let ds_cfg = dataset_config(&cfg);
-        let (train, val, max_label, k, workers) = with_pool(cfg.threads, |workers| {
+        let (dataset, k, workers) = with_pool(cfg.threads, |workers| {
             let targets = design.target_links();
-            let dataset = build_dataset(&design.graph, &targets, &ds_cfg);
+            let dataset = build_dataset_arena(&design.graph, &targets, &ds_cfg);
             if dataset.train.is_empty() {
                 return Err(AttackError::EmptyDataset);
             }
@@ -278,24 +281,14 @@ impl Extracted {
                 .train
                 .iter()
                 .chain(&dataset.val)
-                .map(|s| s.subgraph.node_count())
+                .map(|&h| dataset.arena.node_count(h))
                 .collect();
-            let max_label = dataset.max_label;
-            let to_samples =
-                |link_samples: &[muxlink_graph::dataset::LinkSample]| -> Vec<GraphSample> {
-                    link_samples
-                        .par_iter()
-                        .map(|s| to_graph_sample(&s.subgraph, max_label, Some(s.label)))
-                        .collect()
-                };
-            let train = to_samples(&dataset.train);
-            let val = to_samples(&dataset.val);
             // SortPool size: `k_percentile` of the training subgraphs
             // fit into `k`, clamped to the architecture's minimum.
-            let input_dim = muxlink_graph::features::feature_cols(max_label);
+            let input_dim = muxlink_graph::features::feature_cols(dataset.max_label);
             let model_cfg = DgcnnConfig::paper(input_dim, 10);
             let k = choose_k(&sizes, cfg.k_percentile, model_cfg.min_k());
-            Ok((train, val, max_label, k, workers))
+            Ok((dataset, k, workers))
         })??;
         timings.dataset = t0.elapsed();
         timings.threads.dataset = workers;
@@ -304,17 +297,16 @@ impl Extracted {
             cfg,
             key_input_names,
             design,
-            train,
-            val,
-            max_label,
+            dataset,
             k,
             timings,
         })
     }
 }
 
-/// Stage artifact: the labelled training/validation samples and the
-/// chosen SortPool size, ready for (re-)training.
+/// Stage artifact: the labelled training/validation dataset — pooled in
+/// one [`SampleArena`](muxlink_graph::SampleArena), samples addressed by
+/// handles — and the chosen SortPool size, ready for (re-)training.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Prepared {
     /// The attack configuration this session runs with.
@@ -323,12 +315,9 @@ pub struct Prepared {
     pub key_input_names: Vec<String>,
     /// The extracted graph and MUX candidates.
     pub design: ExtractedDesign,
-    /// Training samples (compact two-hot features).
-    pub train: Vec<GraphSample>,
-    /// Validation samples.
-    pub val: Vec<GraphSample>,
-    /// Largest DRNL label over all samples — fixes the feature width.
-    pub max_label: u32,
+    /// Arena-pooled training/validation samples (compact two-hot
+    /// features; `dataset.max_label` fixes the feature width).
+    pub dataset: ArenaDataset,
     /// Chosen SortPooling size.
     pub k: usize,
     /// Wall-clock of the stages run so far.
@@ -357,12 +346,11 @@ impl Prepared {
             cfg,
             key_input_names,
             design,
-            train,
-            val,
-            max_label,
+            dataset,
             k,
             mut timings,
         } = self;
+        let max_label = dataset.max_label;
         let input_dim = muxlink_graph::features::feature_cols(max_label);
         let mut model_cfg = DgcnnConfig::paper(input_dim, 10);
         model_cfg.k = k;
@@ -378,7 +366,18 @@ impl Prepared {
         };
         let (outcome, workers) = with_pool(cfg.threads, |workers| {
             let mut model = Dgcnn::new(model_cfg);
-            let r = train_controlled(&mut model, &train, &val, &train_cfg, &TrainBridge(progress));
+            // The trainer reads samples straight out of the arena slabs
+            // through handle views — bit-identical to owning per-sample
+            // `Vec`s (property-tested at 1 and 4 threads).
+            let train_set = ArenaSamples::select(&dataset.arena, &dataset.train, max_label);
+            let val_set = ArenaSamples::select(&dataset.arena, &dataset.val, max_label);
+            let r = train_controlled(
+                &mut model,
+                &train_set,
+                &val_set,
+                &train_cfg,
+                &TrainBridge(progress),
+            );
             (r.map(|report| (model, report)), workers)
         })?;
         let (model, report) = outcome.map_err(|_| AttackError::Cancelled)?;

@@ -121,6 +121,36 @@ fn sanitize(name: &str) -> String {
 /// Only for setup failures that affect the whole run:
 /// [`AttackError::ThreadPool`] when the pool could not be built and
 /// [`AttackError::Io`] when the output directory could not be created.
+///
+/// # Example
+///
+/// ```no_run
+/// use muxlink_core::{run_suite, MuxLinkConfig, NoProgress, SuiteJob, SuiteOptions};
+/// use muxlink_locking::{dmux, LockOptions};
+///
+/// let jobs: Vec<SuiteJob> = [11u64, 12]
+///     .iter()
+///     .map(|&seed| {
+///         let design =
+///             muxlink_benchgen::synth::SynthConfig::new("d", 16, 8, 260).generate(seed);
+///         let locked = dmux::lock(&design, &LockOptions::new(8, 3)).unwrap();
+///         SuiteJob {
+///             name: format!("design-{seed}"),
+///             key_input_names: locked.key_input_names(),
+///             truth: Some(locked.key.bits().to_vec()),
+///             netlist: locked.netlist,
+///         }
+///     })
+///     .collect();
+///
+/// let opts = SuiteOptions {
+///     out_dir: Some("suite-out".into()),
+/// };
+/// let records = run_suite(&jobs, &MuxLinkConfig::quick(), &opts, &NoProgress).unwrap();
+/// for r in &records {
+///     println!("{}: {:?} ({} of {} bits decided)", r.name, r.key_string, r.decided, r.key_len);
+/// }
+/// ```
 pub fn run_suite(
     jobs: &[SuiteJob],
     cfg: &MuxLinkConfig,

@@ -22,7 +22,7 @@ use crate::matrix::{seeded_rng, Matrix};
 use crate::param::{AdamConfig, Gradients, Param};
 use crate::sample::{
     onehot_propagate_matmul_into, onehot_propagate_t_matmul_into, propagate_back_into,
-    propagate_into, GraphSample, NodeFeatures, OneHotSpmmScratch,
+    propagate_into, FeaturesView, OneHotSpmmScratch, SampleStore, SampleView,
 };
 use crate::workspace::{BackwardScratch, Workspace};
 
@@ -224,9 +224,13 @@ impl Dgcnn {
     /// Panics when the sample's feature width differs from
     /// `cfg.input_dim`.
     #[must_use]
-    pub fn forward(&self, s: &GraphSample, dropout_rng: Option<&mut StdRng>) -> Cache {
+    pub fn forward<'a>(
+        &self,
+        s: impl Into<SampleView<'a>>,
+        dropout_rng: Option<&mut StdRng>,
+    ) -> Cache {
         let mut cache = Cache::new();
-        self.forward_cache(s, dropout_rng, &mut cache);
+        self.forward_cache(s.into(), dropout_rng, &mut cache);
         cache
     }
 
@@ -238,17 +242,23 @@ impl Dgcnn {
     ///
     /// Panics when the sample's feature width differs from
     /// `cfg.input_dim`.
-    pub fn forward_into(
+    pub fn forward_into<'a>(
         &self,
-        s: &GraphSample,
+        s: impl Into<SampleView<'a>>,
         dropout_rng: Option<&mut StdRng>,
         ws: &mut Workspace,
     ) {
-        self.forward_cache(s, dropout_rng, &mut ws.cache);
+        self.forward_cache(s.into(), dropout_rng, &mut ws.cache);
     }
 
-    /// Shared forward implementation writing into a caller-owned cache.
-    fn forward_cache(&self, s: &GraphSample, dropout_rng: Option<&mut StdRng>, cache: &mut Cache) {
+    /// Shared forward implementation writing into a caller-owned cache
+    /// (all samples — owned or arena-pooled — arrive as views).
+    fn forward_cache(
+        &self,
+        s: SampleView<'_>,
+        dropout_rng: Option<&mut StdRng>,
+        cache: &mut Cache,
+    ) {
         assert_eq!(
             s.features.cols(),
             self.cfg.input_dim,
@@ -261,30 +271,24 @@ impl Dgcnn {
         for (l, p) in self.gc.iter().enumerate() {
             let (done, rest) = cache.gc_outputs.split_at_mut(l);
             if l == 0 {
-                match &s.features {
-                    NodeFeatures::Dense(x) => {
-                        propagate_into(&s.adj, x, &mut cache.gc_inputs[0]);
+                match s.features {
+                    FeaturesView::Dense(x) => {
+                        propagate_into(s.adj, x, &mut cache.gc_inputs[0]);
                         cache.gc_inputs[0].matmul_into(&p.w, &mut rest[0]);
                     }
-                    NodeFeatures::OneHot(x) => {
+                    FeaturesView::OneHot(x) => {
                         // Bit-exact fused first layer: `(S·X)·W₀` via
                         // per-node column histograms — identical bits to
                         // the dense branch, but no `n × F` propagate,
                         // scan or cache. `gc_inputs[0]` stays empty; the
                         // backward pass rebuilds the histograms instead,
                         // eliminating the widest cached activation.
-                        onehot_propagate_matmul_into(
-                            &s.adj,
-                            x,
-                            &p.w,
-                            &mut rest[0],
-                            &mut cache.spmm,
-                        );
+                        onehot_propagate_matmul_into(s.adj, x, &p.w, &mut rest[0], &mut cache.spmm);
                         cache.gc_inputs[0].resize(0, 0);
                     }
                 }
             } else {
-                propagate_into(&s.adj, &done[l - 1], &mut cache.gc_inputs[l]);
+                propagate_into(s.adj, &done[l - 1], &mut cache.gc_inputs[l]);
                 cache.gc_inputs[l].matmul_into(&p.w, &mut rest[0]);
             }
             rest[0].map_inplace(f32::tanh);
@@ -431,10 +435,15 @@ impl Dgcnn {
     /// Allocates fresh gradients and scratch; hot loops should prefer
     /// [`Dgcnn::backward_into`] — the two are bit-for-bit identical.
     #[must_use]
-    pub fn backward(&self, s: &GraphSample, cache: &Cache, label: bool) -> Gradients {
+    pub fn backward<'a>(
+        &self,
+        s: impl Into<SampleView<'a>>,
+        cache: &Cache,
+        label: bool,
+    ) -> Gradients {
         let mut grads = self.new_gradients();
         let mut scratch = BackwardScratch::default();
-        self.backward_impl(s, cache, label, &mut scratch, &mut grads);
+        self.backward_impl(s.into(), cache, label, &mut scratch, &mut grads);
         grads
     }
 
@@ -446,22 +455,22 @@ impl Dgcnn {
     /// # Panics
     ///
     /// Panics when `grads` does not have this model's parameter layout.
-    pub fn backward_into(
+    pub fn backward_into<'a>(
         &self,
-        s: &GraphSample,
+        s: impl Into<SampleView<'a>>,
         label: bool,
         ws: &mut Workspace,
         grads: &mut Gradients,
     ) {
         let Workspace { cache, scratch } = ws;
-        self.backward_impl(s, cache, label, scratch, grads);
+        self.backward_impl(s.into(), cache, label, scratch, grads);
     }
 
     /// Shared backward implementation writing into caller-owned buffers.
     #[allow(clippy::too_many_lines)]
     fn backward_impl(
         &self,
-        s: &GraphSample,
+        s: SampleView<'_>,
         cache: &Cache,
         label: bool,
         scratch: &mut BackwardScratch,
@@ -616,15 +625,15 @@ impl Dgcnn {
             for (g, &o) in dz.data_mut().iter_mut().zip(cache.gc_outputs[l].data()) {
                 *g *= 1.0 - o * o;
             }
-            match (l, &s.features) {
-                (0, NodeFeatures::OneHot(x)) => {
+            match (l, s.features) {
+                (0, FeaturesView::OneHot(x)) => {
                     // Mirror of the bit-exact fused forward:
                     // `dW₀ = (S·X)ᵀ·dZ₀` from rebuilt per-node column
                     // histograms — identical bits to `t_matmul` over the
                     // cached dense `S·X`, with no `n × F` pass. (No `dX`
                     // is needed at the input layer.)
                     onehot_propagate_t_matmul_into(
-                        &s.adj,
+                        s.adj,
                         x,
                         &scratch.dh_layers[0],
                         &mut gt[0],
@@ -637,7 +646,7 @@ impl Dgcnn {
             }
             if l > 0 {
                 scratch.dh_layers[l].matmul_t_into(&self.gc[l].w, &mut scratch.dzw);
-                propagate_back_into(&s.adj, &scratch.dzw, &mut scratch.dh_prev);
+                propagate_back_into(s.adj, &scratch.dzw, &mut scratch.dh_prev);
                 scratch.dh_layers[l - 1].add_assign(&scratch.dh_prev);
             }
         }
@@ -655,27 +664,31 @@ impl Dgcnn {
     /// Convenience: deterministic inference probability that the sample's
     /// target pair is a link.
     #[must_use]
-    pub fn predict(&self, s: &GraphSample) -> f32 {
-        self.forward(s, None).link_probability()
+    pub fn predict<'a>(&self, s: impl Into<SampleView<'a>>) -> f32 {
+        self.forward(s.into(), None).link_probability()
     }
 
     /// [`Dgcnn::predict`] through a reused [`Workspace`] — the
     /// zero-allocation scoring path. Bit-identical to [`Dgcnn::predict`].
     #[must_use]
-    pub fn predict_into(&self, s: &GraphSample, ws: &mut Workspace) -> f32 {
-        self.forward_into(s, None, ws);
+    pub fn predict_into<'a>(&self, s: impl Into<SampleView<'a>>, ws: &mut Workspace) -> f32 {
+        self.forward_into(s.into(), None, ws);
         ws.cache.link_probability()
     }
 
     /// Scores a batch of samples on the ambient rayon pool, one reused
     /// [`Workspace`] per worker. Output order matches input order and is
     /// bit-identical to mapping [`Dgcnn::predict`] sequentially, for any
-    /// thread count.
+    /// thread count. Accepts any [`SampleStore`] — a slice/`Vec` of
+    /// owned samples or an arena-backed
+    /// [`ArenaSamples`](crate::sample::ArenaSamples).
     #[must_use]
-    pub fn predict_batch(&self, samples: &[GraphSample]) -> Vec<f32> {
-        samples
-            .par_iter()
-            .map_init(Workspace::new, |ws, s| self.predict_into(s, ws))
+    pub fn predict_batch<S: SampleStore + ?Sized>(&self, samples: &S) -> Vec<f32> {
+        let idx: Vec<usize> = (0..samples.len()).collect();
+        idx.par_iter()
+            .map_init(Workspace::new, |ws, &i| {
+                self.predict_into(samples.view(i), ws)
+            })
             .collect()
     }
 
@@ -755,6 +768,7 @@ impl Dgcnn {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sample::{GraphSample, NodeFeatures};
     use muxlink_graph::Csr;
 
     fn tiny_cfg() -> DgcnnConfig {

@@ -19,6 +19,11 @@
 //!   convolutions, dense head) with hand-written backprop.
 //! * [`Workspace`] — reusable per-thread scratch for the zero-allocation
 //!   `forward_into`/`backward_into`/`predict_into` variants.
+//! * [`SampleStore`] + [`SampleView`] — the storage abstraction: the
+//!   trainer, evaluator and batch scorer read samples as borrowed views,
+//!   so owned [`GraphSample`]s and arena-pooled samples
+//!   ([`ArenaSamples`] over a [`SampleArena`]) run the same kernels on
+//!   the same values, bit for bit.
 //! * [`trainer::train`] — Adam minibatch loop with best-on-validation
 //!   selection, one workspace per rayon worker.
 //!
@@ -49,9 +54,9 @@ pub mod workspace;
 
 pub use dgcnn::{Cache, Dgcnn, DgcnnConfig};
 pub use matrix::Matrix;
-pub use muxlink_graph::{Csr, OneHotFeatures};
+pub use muxlink_graph::{Csr, CsrView, OneHotFeatures, OneHotView, SampleArena, SampleHandle};
 pub use param::{AdamConfig, Gradients, Param};
-pub use sample::{GraphSample, NodeFeatures};
+pub use sample::{ArenaSamples, FeaturesView, GraphSample, NodeFeatures, SampleStore, SampleView};
 pub use trainer::{
     evaluate, train, train_controlled, EpochStats, TrainCancelled, TrainConfig, TrainControl,
     TrainReport,

@@ -17,7 +17,7 @@
 //! [`propagate_back_ref`]) define this order; the property suite asserts
 //! exact equality between the CSR kernels and the references.
 
-use muxlink_graph::{Csr, OneHotFeatures};
+use muxlink_graph::{Csr, CsrView, OneHotFeatures, OneHotView, SampleArena, SampleHandle};
 use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::matrix::Matrix;
@@ -131,6 +131,171 @@ impl GraphSample {
     pub fn node_count(&self) -> usize {
         self.adj.node_count()
     }
+
+    /// Borrowed view of this sample — the form the model consumes (an
+    /// arena-pooled sample yields the identical type, which is what
+    /// keeps the two storage paths bit-identical).
+    #[must_use]
+    pub fn view(&self) -> SampleView<'_> {
+        SampleView {
+            adj: self.adj.view(),
+            features: match &self.features {
+                NodeFeatures::Dense(m) => FeaturesView::Dense(m),
+                NodeFeatures::OneHot(x) => FeaturesView::OneHot(x.view()),
+            },
+            label: self.label,
+        }
+    }
+}
+
+/// Borrowed node features of one sample (see [`NodeFeatures`] for the
+/// owned forms and their semantics).
+#[derive(Debug, Clone, Copy)]
+pub enum FeaturesView<'a> {
+    /// Arbitrary dense `n × d` features.
+    Dense(&'a Matrix),
+    /// Compact two-hot features (gate-type ⊕ DRNL-label one-hots).
+    OneHot(OneHotView<'a>),
+}
+
+impl FeaturesView<'_> {
+    /// Number of rows (nodes).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        match self {
+            Self::Dense(m) => m.rows(),
+            Self::OneHot(x) => x.rows(),
+        }
+    }
+
+    /// Feature width (dense columns).
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        match self {
+            Self::Dense(m) => m.cols(),
+            Self::OneHot(x) => x.cols(),
+        }
+    }
+}
+
+/// One graph-classification example **by reference**: borrowed CSR
+/// adjacency and features, either from an owned [`GraphSample`] (via
+/// [`GraphSample::view`]) or from one sample's rows inside a pooled
+/// [`SampleArena`]. Every model entry point consumes this type, so
+/// owned and arena-pooled samples run the exact same kernels on the
+/// exact same values — bit-identical by construction.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleView<'a> {
+    /// CSR adjacency over local node indices (sorted neighbour runs).
+    pub adj: CsrView<'a>,
+    /// `n × d` node features (dense or compact two-hot).
+    pub features: FeaturesView<'a>,
+    /// Class label (`true` = positive/link) when known.
+    pub label: Option<bool>,
+}
+
+impl SampleView<'_> {
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.adj.node_count()
+    }
+}
+
+impl<'a> From<&'a GraphSample> for SampleView<'a> {
+    fn from(s: &'a GraphSample) -> Self {
+        s.view()
+    }
+}
+
+/// Read-only indexed collection of samples the trainer, evaluator and
+/// batch scorer iterate: a slice/`Vec` of owned [`GraphSample`]s or an
+/// arena-backed [`ArenaSamples`]. Implementations must be cheap to
+/// `view` — it is called inside the per-sample hot loop.
+pub trait SampleStore: Sync {
+    /// Number of samples.
+    fn len(&self) -> usize;
+
+    /// Borrowed view of sample `i`.
+    fn view(&self, i: usize) -> SampleView<'_>;
+
+    /// True when the store holds no samples.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl SampleStore for [GraphSample] {
+    fn len(&self) -> usize {
+        <[GraphSample]>::len(self)
+    }
+
+    fn view(&self, i: usize) -> SampleView<'_> {
+        self[i].view()
+    }
+}
+
+impl SampleStore for Vec<GraphSample> {
+    fn len(&self) -> usize {
+        <[GraphSample]>::len(self)
+    }
+
+    fn view(&self, i: usize) -> SampleView<'_> {
+        self[i].view()
+    }
+}
+
+/// Samples stored in a pooled [`SampleArena`], viewed under a fixed
+/// dataset label budget: the arena-backed [`SampleStore`].
+///
+/// `handles` selects and orders the samples (training splits hold
+/// shuffled handle lists); [`ArenaSamples::all`] covers a whole arena in
+/// push order (the streaming scorer's shape, where the arena *is* the
+/// current chunk).
+#[derive(Debug, Clone, Copy)]
+pub struct ArenaSamples<'a> {
+    arena: &'a SampleArena,
+    handles: Option<&'a [SampleHandle]>,
+    max_label: u32,
+}
+
+impl<'a> ArenaSamples<'a> {
+    /// Every sample of `arena`, in push order.
+    #[must_use]
+    pub fn all(arena: &'a SampleArena, max_label: u32) -> Self {
+        Self {
+            arena,
+            handles: None,
+            max_label,
+        }
+    }
+
+    /// The selected samples of `arena`, in `handles` order.
+    #[must_use]
+    pub fn select(arena: &'a SampleArena, handles: &'a [SampleHandle], max_label: u32) -> Self {
+        Self {
+            arena,
+            handles: Some(handles),
+            max_label,
+        }
+    }
+}
+
+impl SampleStore for ArenaSamples<'_> {
+    fn len(&self) -> usize {
+        self.handles.map_or(self.arena.len(), <[SampleHandle]>::len)
+    }
+
+    fn view(&self, i: usize) -> SampleView<'_> {
+        let h = self
+            .handles
+            .map_or_else(|| self.arena.nth_handle(i), |hs| hs[i]);
+        SampleView {
+            adj: self.arena.adj(h),
+            features: FeaturesView::OneHot(self.arena.one_hot(h, self.max_label)),
+            label: self.arena.label(h),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -218,8 +383,9 @@ fn axpy_rows(acc: &mut [f32], src: &[f32], a: f32) {
 /// # Panics
 ///
 /// Panics when `w` has fewer rows than the feature width.
-pub fn onehot_project_into(x: &OneHotFeatures, w: &Matrix, out: &mut Matrix) {
-    assert_eq!(w.rows(), x.cols, "feature width mismatch");
+pub fn onehot_project_into<'a>(x: impl Into<OneHotView<'a>>, w: &Matrix, out: &mut Matrix) {
+    let x = x.into();
+    assert_eq!(w.rows(), x.cols(), "feature width mismatch");
     let c = w.cols();
     out.resize_for_overwrite(x.rows(), c);
     for i in 0..x.rows() {
@@ -242,11 +408,12 @@ pub fn onehot_project_into(x: &OneHotFeatures, w: &Matrix, out: &mut Matrix) {
 /// # Panics
 ///
 /// Panics when shapes disagree.
-pub fn onehot_scatter_add(x: &OneHotFeatures, g: &Matrix, gw: &mut Matrix) {
+pub fn onehot_scatter_add<'a>(x: impl Into<OneHotView<'a>>, g: &Matrix, gw: &mut Matrix) {
+    let x = x.into();
     assert_eq!(g.rows(), x.rows(), "row count mismatch");
     assert_eq!(
         (gw.rows(), gw.cols()),
-        (x.cols, g.cols()),
+        (x.cols(), g.cols()),
         "gradient shape mismatch"
     );
     for i in 0..x.rows() {
@@ -274,9 +441,9 @@ impl OneHotSpmmScratch {
     /// counts of the two-hot columns over `{i} ∪ N(i)`, with the touched
     /// column list sorted ascending. `counts` must be (and is left)
     /// all-zero outside `touched`.
-    fn build_row(&mut self, adj: &Csr, x: &OneHotFeatures, i: usize) {
-        if self.counts.len() < x.cols {
-            self.counts.resize(x.cols, 0);
+    fn build_row(&mut self, adj: CsrView<'_>, x: OneHotView<'_>, i: usize) {
+        if self.counts.len() < x.cols() {
+            self.counts.resize(x.cols(), 0);
         }
         self.touched.clear();
         let mut hit = |col: usize| {
@@ -323,16 +490,17 @@ impl OneHotSpmmScratch {
 /// # Panics
 ///
 /// Panics when shapes disagree.
-pub fn onehot_propagate_matmul_into(
-    adj: &Csr,
-    x: &OneHotFeatures,
+pub fn onehot_propagate_matmul_into<'a, 'b>(
+    adj: impl Into<CsrView<'a>>,
+    x: impl Into<OneHotView<'b>>,
     w: &Matrix,
     out: &mut Matrix,
     scratch: &mut OneHotSpmmScratch,
 ) {
+    let (adj, x) = (adj.into(), x.into());
     let n = adj.node_count();
     assert_eq!(x.rows(), n, "row count mismatch");
-    assert_eq!(w.rows(), x.cols, "feature width mismatch");
+    assert_eq!(w.rows(), x.cols(), "feature width mismatch");
     out.resize(n, w.cols());
     for i in 0..n {
         scratch.build_row(adj, x, i);
@@ -358,17 +526,18 @@ pub fn onehot_propagate_matmul_into(
 /// # Panics
 ///
 /// Panics when shapes disagree.
-pub fn onehot_propagate_t_matmul_into(
-    adj: &Csr,
-    x: &OneHotFeatures,
+pub fn onehot_propagate_t_matmul_into<'a, 'b>(
+    adj: impl Into<CsrView<'a>>,
+    x: impl Into<OneHotView<'b>>,
     g: &Matrix,
     gw: &mut Matrix,
     scratch: &mut OneHotSpmmScratch,
 ) {
+    let (adj, x) = (adj.into(), x.into());
     let n = adj.node_count();
     assert_eq!(x.rows(), n, "row count mismatch");
     assert_eq!(g.rows(), n, "gradient row count mismatch");
-    gw.resize(x.cols, g.cols());
+    gw.resize(x.cols(), g.cols());
     for i in 0..n {
         scratch.build_row(adj, x, i);
         let scale = adj.scale(i);
@@ -385,7 +554,7 @@ pub fn onehot_propagate_t_matmul_into(
 /// each output row is the degree-normalised sum of the node's own row and
 /// its neighbours' rows.
 #[must_use]
-pub fn propagate(adj: &Csr, h: &Matrix) -> Matrix {
+pub fn propagate<'a>(adj: impl Into<CsrView<'a>>, h: &Matrix) -> Matrix {
     let mut out = Matrix::zeros(0, 0);
     propagate_into(adj, h, &mut out);
     out
@@ -396,7 +565,8 @@ pub fn propagate(adj: &Csr, h: &Matrix) -> Matrix {
 /// # Panics
 ///
 /// Panics when `h` has a different row count than the graph.
-pub fn propagate_into(adj: &Csr, h: &Matrix, out: &mut Matrix) {
+pub fn propagate_into<'a>(adj: impl Into<CsrView<'a>>, h: &Matrix, out: &mut Matrix) {
+    let adj = adj.into();
     let n = adj.node_count();
     let c = h.cols();
     assert_eq!(h.rows(), n);
@@ -424,7 +594,7 @@ pub fn propagate_into(adj: &Csr, h: &Matrix, out: &mut Matrix) {
 /// Applies `Sᵀ·G` — the adjoint of [`propagate`], needed for
 /// backpropagation: `dH = Sᵀ·dY`.
 #[must_use]
-pub fn propagate_back(adj: &Csr, g: &Matrix) -> Matrix {
+pub fn propagate_back<'a>(adj: impl Into<CsrView<'a>>, g: &Matrix) -> Matrix {
     let mut out = Matrix::zeros(0, 0);
     propagate_back_into(adj, g, &mut out);
     out
@@ -435,7 +605,8 @@ pub fn propagate_back(adj: &Csr, g: &Matrix) -> Matrix {
 /// # Panics
 ///
 /// Panics when `g` has a different row count than the graph.
-pub fn propagate_back_into(adj: &Csr, g: &Matrix, out: &mut Matrix) {
+pub fn propagate_back_into<'a>(adj: impl Into<CsrView<'a>>, g: &Matrix, out: &mut Matrix) {
+    let adj = adj.into();
     let n = adj.node_count();
     let c = g.cols();
     assert_eq!(g.rows(), n);

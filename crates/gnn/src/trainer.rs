@@ -6,7 +6,7 @@
 //!
 //! Each minibatch member's forward/backward runs on the ambient rayon
 //! pool (size it with `rayon::ThreadPool::install`), with one reused
-//! [`Workspace`](crate::workspace::Workspace) per worker so the
+//! [`crate::workspace::Workspace`] per worker so the
 //! activation and scratch buffers allocate once per thread, not once
 //! per sample. Each sample writes its
 //! [`Gradients`](crate::param::Gradients) into a pre-sized slot of a
@@ -30,7 +30,7 @@ use serde::{Deserialize, Serialize};
 use crate::dgcnn::Dgcnn;
 use crate::matrix::seeded_rng;
 use crate::param::AdamConfig;
-use crate::sample::GraphSample;
+use crate::sample::SampleStore;
 use crate::workspace::Workspace;
 
 /// Training-loop hyper-parameters.
@@ -121,15 +121,18 @@ impl std::fmt::Display for TrainCancelled {
 impl std::error::Error for TrainCancelled {}
 
 /// Mean loss and accuracy of `model` over `samples` (deterministic, no
-/// dropout). Samples without labels are skipped.
+/// dropout). Samples without labels are skipped. Accepts any
+/// [`SampleStore`] — owned slices/`Vec`s or arena-backed stores.
 #[must_use]
-pub fn evaluate(model: &Dgcnn, samples: &[GraphSample]) -> (f64, f64) {
+pub fn evaluate<S: SampleStore + ?Sized>(model: &Dgcnn, samples: &S) -> (f64, f64) {
     // Parallel forward passes (one reused workspace per worker); the
     // reduction below runs in sample order, so the reported loss is
     // independent of the thread count.
-    let per_sample: Vec<Option<(f64, bool)>> = samples
+    let idx: Vec<usize> = (0..samples.len()).collect();
+    let per_sample: Vec<Option<(f64, bool)>> = idx
         .par_iter()
-        .map_init(Workspace::new, |ws, s| {
+        .map_init(Workspace::new, |ws, &i| {
+            let s = samples.view(i);
             s.label.map(|label| {
                 model.forward_into(s, None, ws);
                 let hit = (ws.cache.link_probability() >= 0.5) == label;
@@ -158,10 +161,10 @@ pub fn evaluate(model: &Dgcnn, samples: &[GraphSample]) -> (f64, f64) {
 /// # Panics
 ///
 /// Panics when `train` is empty or `batch_size` is zero.
-pub fn train(
+pub fn train<S: SampleStore + ?Sized, V: SampleStore + ?Sized>(
     model: &mut Dgcnn,
-    train: &[GraphSample],
-    val: &[GraphSample],
+    train: &S,
+    val: &V,
     cfg: &TrainConfig,
 ) -> TrainReport {
     match train_controlled(model, train, val, cfg, &()) {
@@ -185,10 +188,10 @@ pub fn train(
 /// # Panics
 ///
 /// Panics when `train` is empty or `batch_size` is zero.
-pub fn train_controlled(
+pub fn train_controlled<S: SampleStore + ?Sized, V: SampleStore + ?Sized>(
     model: &mut Dgcnn,
-    train: &[GraphSample],
-    val: &[GraphSample],
+    train: &S,
+    val: &V,
     cfg: &TrainConfig,
     ctl: &dyn TrainControl,
 ) -> Result<TrainReport, TrainCancelled> {
@@ -223,7 +226,7 @@ pub fn train_controlled(
             // sees is fixed by (cfg.seed, epoch, batch position) alone.
             let jobs: Vec<(usize, u64)> = batch
                 .iter()
-                .filter(|&&i| train[i].label.is_some())
+                .filter(|&&i| train.view(i).label.is_some())
                 .map(|&i| (i, rng.gen::<u64>()))
                 .collect();
             if jobs.is_empty() {
@@ -238,7 +241,7 @@ pub fn train_controlled(
                 .par_iter_mut()
                 .zip(jobs.par_iter())
                 .map_init(Workspace::new, |ws, (grads, &(i, dropout_seed))| {
-                    let s = &train[i];
+                    let s = train.view(i);
                     let label = s.label.expect("jobs are pre-filtered to labelled samples");
                     let mut dropout_rng = seeded_rng(dropout_seed);
                     frozen.forward_into(s, Some(&mut dropout_rng), ws);
@@ -308,6 +311,7 @@ mod tests {
     use super::*;
     use crate::dgcnn::DgcnnConfig;
     use crate::matrix::Matrix;
+    use crate::sample::GraphSample;
     use rand::Rng;
 
     /// A separable link-prediction-like task on a 4-node path 0-1-2-3:
@@ -400,7 +404,7 @@ mod tests {
             batch_size: 4,
             ..TrainConfig::default()
         };
-        let report = train(&mut model, &data, &[], &cfg);
+        let report = train(&mut model, &data, &data[..0], &cfg);
         assert_eq!(report.best_epoch, 0);
         assert!(report.best_val_accuracy.is_nan());
     }
@@ -453,7 +457,8 @@ mod tests {
     #[should_panic(expected = "training set must not be empty")]
     fn empty_training_rejected() {
         let mut model = Dgcnn::new(toy_cfg());
-        let _ = train(&mut model, &[], &[], &TrainConfig::default());
+        let empty: Vec<GraphSample> = Vec::new();
+        let _ = train(&mut model, &empty, &empty, &TrainConfig::default());
     }
 
     #[test]
@@ -494,8 +499,14 @@ mod tests {
         let data = toy_dataset(8, 12);
         let mut model = Dgcnn::new(toy_cfg());
         let before = model.snapshot();
-        let err = train_controlled(&mut model, &data, &[], &TrainConfig::default(), &CancelNow)
-            .unwrap_err();
+        let err = train_controlled(
+            &mut model,
+            &data,
+            &data[..0],
+            &TrainConfig::default(),
+            &CancelNow,
+        )
+        .unwrap_err();
         assert_eq!(err, TrainCancelled);
         assert_eq!(model.snapshot(), before, "no step was applied");
     }

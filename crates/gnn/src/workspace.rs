@@ -2,7 +2,7 @@
 //!
 //! A [`Workspace`] bundles everything one worker thread needs to run
 //! forward and backward passes without per-sample heap allocation: the
-//! [`Cache`](crate::dgcnn::Cache) of forward activations and the backward
+//! [`crate::dgcnn::Cache`] of forward activations and the backward
 //! temporaries. All buffers are resized in place (allocations only grow
 //! to the largest sample seen) and fully overwritten by each pass.
 //!

@@ -1,0 +1,684 @@
+//! Arena-pooled sample storage: every enclosing subgraph of a dataset in
+//! a handful of flat slabs instead of three-plus heap allocations per
+//! sample.
+//!
+//! After the sparse-feature PR the dominant resident objects of a large
+//! attack are the per-sample CSR buffers (`offsets`/`neighbors`/`scales`
+//! vectors, one set per extracted subgraph). A [`SampleArena`] owns those
+//! buffers **once**, concatenated: each sample is a contiguous run inside
+//! five shared slabs, and a [`SampleHandle`] is a small index into the
+//! per-sample record table. Consumers read samples through borrowed
+//! views ([`CsrView`], [`OneHotView`]) — the same types the GNN kernels
+//! take for owned samples, which is what keeps the pooled path
+//! bit-identical to the per-sample-`Vec` path.
+//!
+//! Two properties make the arena the streaming substrate for
+//! million-link datasets:
+//!
+//! * **Extraction writes directly into the slabs.**
+//!   [`SampleArena::extract_sample`] runs the same hash-free,
+//!   epoch-stamped extraction as
+//!   [`enclosing_subgraph`](crate::subgraph::enclosing_subgraph)
+//!   (shared member collection, shared BFS scratch) but emits the CSR
+//!   rows, propagation scales, gate columns and DRNL labels straight
+//!   into the arena — zero per-sample allocation once the slabs have
+//!   grown.
+//! * **Reset is O(1) amortised.** [`SampleArena::clear`] keeps slab
+//!   capacity, so a scoring loop can stream an unbounded candidate-link
+//!   list through one arena in fixed-size chunks: peak resident sample
+//!   bytes are bounded by the chunk size, not the dataset size (the
+//!   `dataset_residency` bench records this).
+//!
+//! # Label storage
+//!
+//! DRNL labels land in the slab **raw** (unclamped): the dataset-wide
+//! label budget (`max_label`) is only known after every sample has been
+//! extracted, and at scoring time it comes from training. Views clamp on
+//! read ([`OneHotView::columns`]), exactly like
+//! [`one_hot_features`](crate::features::one_hot_features) clamps at
+//! construction — so the same slab serves any budget and the emitted
+//! column indices are identical to the owned path's.
+//!
+//! # Determinism contract
+//!
+//! A sample's slab content is a pure function of `(graph, link, h,
+//! max_nodes)` — the same normalised neighbour runs, scales and labels
+//! the owned extraction produces, property-tested bit-identical
+//! (`arena` unit tests and `tests/tests/arena_dataset.rs`). Parallel
+//! fills ([`SampleArena::extend_extract`]) split the job list into
+//! fixed sub-ranges, extract each into a thread-local arena and append
+//! the results in job order, so the final slab layout is independent of
+//! the thread count.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::csr::CsrView;
+use crate::drnl;
+use crate::features::{feature_cols, OneHotView};
+use crate::graph::{CircuitGraph, Link};
+use crate::scratch::ExtractScratch;
+use crate::subgraph::{self, Subgraph};
+
+/// Address of one sample inside a [`SampleArena`] (8-byte samples-side
+/// cost; the adjacency and features live in the arena slabs).
+///
+/// A handle also carries the arena **generation** it was issued under:
+/// [`SampleArena::clear`] bumps the generation, so a handle held across
+/// a clear fails loudly on its next use instead of silently resolving
+/// to whatever sample now occupies its index (the streaming pattern —
+/// clear + refill per chunk — would otherwise make that an easy,
+/// undetectable aliasing bug).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SampleHandle {
+    idx: u32,
+    gen: u32,
+}
+
+impl SampleHandle {
+    /// Position of the sample in arena push order.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.idx as usize
+    }
+}
+
+/// Per-sample record: where the sample's runs start inside the slabs.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct SampleRec {
+    /// Start of the `node_count + 1` relative row offsets in `offsets`.
+    off_start: u32,
+    /// Start of the node-indexed runs in `scales`/`gate`/`labels`.
+    node_start: u32,
+    /// Start of the neighbour run in `neighbors`.
+    nbr_start: u32,
+    /// Number of nodes.
+    node_count: u32,
+    /// Class label (`true` = positive link) when known.
+    label: Option<bool>,
+}
+
+/// Pooled storage for the adjacency and two-hot features of many
+/// [`GraphSample`](crate::subgraph::Subgraph)-shaped samples — see the
+/// [module docs](self) for layout, streaming and determinism.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SampleArena {
+    /// Concatenated per-sample row offsets (`node_count + 1` entries per
+    /// sample, relative to the sample's `nbr_start`).
+    offsets: Vec<u32>,
+    /// Concatenated normalised (sorted, deduplicated) neighbour runs of
+    /// local node indices.
+    neighbors: Vec<u32>,
+    /// Concatenated per-node propagation scales `1/(1 + deg)`.
+    scales: Vec<f32>,
+    /// Concatenated per-node gate-type columns.
+    gate: Vec<u32>,
+    /// Concatenated per-node **raw** DRNL labels (clamped on read).
+    labels: Vec<u32>,
+    /// One record per sample, in push order.
+    recs: Vec<SampleRec>,
+    /// Largest raw DRNL label over every stored sample.
+    max_label: u32,
+    /// Bumped by [`SampleArena::clear`]; handles remember the generation
+    /// they were issued under and are rejected afterwards.
+    generation: u32,
+}
+
+impl SampleArena {
+    /// An empty arena; slabs grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.recs.len()
+    }
+
+    /// True when no samples are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.recs.is_empty()
+    }
+
+    /// Largest raw DRNL label over all stored samples (0 when empty).
+    #[must_use]
+    pub fn max_label(&self) -> u32 {
+        self.max_label
+    }
+
+    /// Handle of the `i`-th sample in push order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()`.
+    #[must_use]
+    pub fn nth_handle(&self, i: usize) -> SampleHandle {
+        assert!(i < self.recs.len(), "sample index out of range");
+        SampleHandle {
+            idx: i as u32,
+            gen: self.generation,
+        }
+    }
+
+    /// Record lookup with the staleness check every accessor funnels
+    /// through.
+    fn rec(&self, h: SampleHandle) -> &SampleRec {
+        assert_eq!(
+            h.gen, self.generation,
+            "stale SampleHandle: the arena was cleared since it was issued"
+        );
+        &self.recs[h.index()]
+    }
+
+    /// Drops every sample while keeping slab capacity — the streaming
+    /// reset: refilling after `clear` performs no allocation until a
+    /// chunk outgrows the largest chunk seen. Handles issued before the
+    /// clear become stale and panic on use (see [`SampleHandle`]).
+    pub fn clear(&mut self) {
+        self.offsets.clear();
+        self.neighbors.clear();
+        self.scales.clear();
+        self.gate.clear();
+        self.labels.clear();
+        self.recs.clear();
+        self.max_label = 0;
+        self.generation = self.generation.wrapping_add(1);
+    }
+
+    /// Bytes of sample data currently resident (length-based, excluding
+    /// unused slab capacity) — the quantity the `dataset_residency`
+    /// bench tracks across streaming chunks.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        (self.offsets.len() + self.neighbors.len() + self.gate.len() + self.labels.len()) * 4
+            + self.scales.len() * 4
+            + self.recs.len() * std::mem::size_of::<SampleRec>()
+    }
+
+    /// Number of nodes of a stored sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `h` is out of range.
+    #[must_use]
+    pub fn node_count(&self, h: SampleHandle) -> usize {
+        self.rec(h).node_count as usize
+    }
+
+    /// Class label of a stored sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `h` is out of range.
+    #[must_use]
+    pub fn label(&self, h: SampleHandle) -> Option<bool> {
+        self.rec(h).label
+    }
+
+    /// Borrowed CSR adjacency of a stored sample — the same view type an
+    /// owned [`Csr`](crate::csr::Csr) yields, consumed by every GNN
+    /// kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `h` is out of range.
+    #[must_use]
+    pub fn adj(&self, h: SampleHandle) -> CsrView<'_> {
+        let r = self.rec(h);
+        let (off, node, nbr, n) = (
+            r.off_start as usize,
+            r.node_start as usize,
+            r.nbr_start as usize,
+            r.node_count as usize,
+        );
+        let offsets = &self.offsets[off..=off + n];
+        let nbr_len = offsets[n] as usize;
+        CsrView::from_raw_parts(
+            offsets,
+            &self.neighbors[nbr..nbr + nbr_len],
+            &self.scales[node..node + n],
+        )
+    }
+
+    /// Borrowed two-hot features of a stored sample under the given
+    /// dataset label budget (labels beyond it clamp into the last
+    /// bucket, as at attack time).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `h` is out of range.
+    #[must_use]
+    pub fn one_hot(&self, h: SampleHandle, max_label: u32) -> OneHotView<'_> {
+        let r = self.rec(h);
+        let (node, n) = (r.node_start as usize, r.node_count as usize);
+        OneHotView::from_raw_parts(
+            feature_cols(max_label),
+            &self.gate[node..node + n],
+            &self.labels[node..node + n],
+        )
+    }
+
+    /// Extracts the enclosing subgraph of `link` **directly into the
+    /// slabs** — same membership, node order, normalised adjacency,
+    /// scales and labels as
+    /// [`enclosing_subgraph`](crate::subgraph::enclosing_subgraph)
+    /// (shared member collection and BFS scratch), but with zero
+    /// per-sample allocation once the slabs have grown.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a graph node carries a non-encodable gate type (as
+    /// the owned feature path does).
+    pub fn extract_sample(
+        &mut self,
+        graph: &CircuitGraph,
+        link: Link,
+        h: usize,
+        max_nodes: Option<usize>,
+        label: Option<bool>,
+    ) -> SampleHandle {
+        subgraph::with_extract_scratch(|scr| {
+            self.extract_sample_scratch(scr, graph, link, h, max_nodes, label)
+        })
+    }
+
+    /// [`SampleArena::extract_sample`] over explicit scratch.
+    fn extract_sample_scratch(
+        &mut self,
+        scr: &mut ExtractScratch,
+        graph: &CircuitGraph,
+        link: Link,
+        h: usize,
+        max_nodes: Option<usize>,
+        label: Option<bool>,
+    ) -> SampleHandle {
+        let (lf, lg) = subgraph::collect_link_members(scr, graph, link, h, max_nodes);
+        let (f, g) = (link.a, link.b);
+        let ExtractScratch {
+            dist_f,
+            dist_g,
+            local_of,
+            queue,
+            members,
+            ..
+        } = scr;
+
+        let off_start = self.offsets.len();
+        let node_start = self.scales.len();
+        let nbr_start = self.neighbors.len();
+
+        // CSR rows, normalised exactly like `CsrBuilder::push_node`
+        // (sort + in-place dedup of each freshly written run).
+        self.offsets.push(0);
+        for &j in members.iter() {
+            let row_start = self.neighbors.len();
+            self.neighbors.extend(
+                graph
+                    .adj
+                    .neighbors(j as usize)
+                    .iter()
+                    .filter_map(|&nb| subgraph::local_neighbor(local_of, f, g, j, nb)),
+            );
+            crate::csr::normalize_run(&mut self.neighbors, row_start);
+            self.offsets.push((self.neighbors.len() - nbr_start) as u32);
+        }
+        self.scales.extend(
+            self.offsets[off_start..]
+                .windows(2)
+                .map(|w| 1.0 / (1.0 + (w[1] - w[0]) as f32)),
+        );
+
+        // Features: gate columns now, DRNL labels straight into the slab
+        // via a view over the rows just written (the distance maps are
+        // free again after member collection, exactly as in the owned
+        // path).
+        self.gate.extend(members.iter().map(|&j| {
+            graph.gate_types[j as usize]
+                .encoding_index()
+                .expect("graph nodes are plain encoded gates") as u32
+        }));
+        let label_start = self.labels.len();
+        let adj = CsrView::from_raw_parts(
+            &self.offsets[off_start..],
+            &self.neighbors[nbr_start..],
+            &self.scales[node_start..],
+        );
+        drnl::compute_labels_stamped_into(adj, lf, lg, dist_f, dist_g, queue, &mut self.labels);
+        let new_max = self.labels[label_start..].iter().copied().max();
+        self.max_label = self.max_label.max(new_max.unwrap_or(0));
+
+        self.assert_addressable();
+        self.recs.push(SampleRec {
+            off_start: off_start as u32,
+            node_start: node_start as u32,
+            nbr_start: nbr_start as u32,
+            node_count: members.len() as u32,
+            label,
+        });
+        self.nth_handle(self.recs.len() - 1)
+    }
+
+    /// Copies an already-extracted [`Subgraph`] into the slabs (labels
+    /// stored raw, adjacency verbatim — the subgraph's CSR is already
+    /// normalised). Returns the new handle.
+    pub fn push_subgraph(&mut self, sg: &Subgraph, label: Option<bool>) -> SampleHandle {
+        let n = sg.node_count();
+        let off_start = self.offsets.len();
+        let node_start = self.scales.len();
+        let nbr_start = self.neighbors.len();
+        self.offsets.push(0);
+        for i in 0..n {
+            self.neighbors.extend_from_slice(sg.adj.neighbors(i));
+            self.offsets.push((self.neighbors.len() - nbr_start) as u32);
+        }
+        self.scales.extend((0..n).map(|i| sg.adj.scale(i)));
+        self.gate.extend(sg.gate_types.iter().map(|ty| {
+            ty.encoding_index()
+                .expect("graph nodes are plain encoded gates") as u32
+        }));
+        self.labels.extend_from_slice(&sg.labels);
+        self.max_label = self
+            .max_label
+            .max(sg.labels.iter().copied().max().unwrap_or(0));
+        self.assert_addressable();
+        self.recs.push(SampleRec {
+            off_start: off_start as u32,
+            node_start: node_start as u32,
+            nbr_start: nbr_start as u32,
+            node_count: n as u32,
+            label,
+        });
+        self.nth_handle(self.recs.len() - 1)
+    }
+
+    /// Slab positions must stay addressable by the `u32` record fields;
+    /// fail loudly at the write, not silently at a later read.
+    fn assert_addressable(&self) {
+        assert!(
+            self.offsets.len() <= u32::MAX as usize
+                && self.neighbors.len() <= u32::MAX as usize
+                && self.scales.len() <= u32::MAX as usize,
+            "arena slab exceeds u32 addressing"
+        );
+    }
+
+    /// Appends every sample of `other`, preserving order — a flat slab
+    /// copy plus per-record base fix-ups. Parallel fills build small
+    /// per-range arenas and merge them through this.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the merged slabs would exceed `u32` addressing.
+    pub fn append(&mut self, other: &SampleArena) {
+        let off_base = self.offsets.len() as u32;
+        let node_base = self.scales.len() as u32;
+        let nbr_base = self.neighbors.len() as u32;
+        self.offsets.extend_from_slice(&other.offsets);
+        self.neighbors.extend_from_slice(&other.neighbors);
+        self.scales.extend_from_slice(&other.scales);
+        self.gate.extend_from_slice(&other.gate);
+        self.labels.extend_from_slice(&other.labels);
+        self.assert_addressable();
+        self.recs.extend(other.recs.iter().map(|r| SampleRec {
+            off_start: r.off_start + off_base,
+            node_start: r.node_start + node_base,
+            nbr_start: r.nbr_start + nbr_base,
+            ..*r
+        }));
+        self.max_label = self.max_label.max(other.max_label);
+    }
+
+    /// Extracts one sample per job into the arena, **in job order**,
+    /// parallelising over fixed sub-ranges of the job list: each
+    /// sub-range fills its own local arena (direct slab writes, no
+    /// per-sample `Vec`s) and the locals are appended in order. The
+    /// resulting slab content is bit-identical to a sequential fill for
+    /// any thread count.
+    pub fn extend_extract(
+        &mut self,
+        graph: &CircuitGraph,
+        jobs: &[(Link, Option<bool>)],
+        h: usize,
+        max_nodes: Option<usize>,
+    ) {
+        /// Jobs per parallel sub-range: large enough to amortise the
+        /// local arena's slab allocations, small enough to keep a
+        /// typical chunk work-stealable.
+        const SUB_RANGE: usize = 64;
+        if jobs.len() <= SUB_RANGE {
+            for &(link, label) in jobs {
+                self.extract_sample(graph, link, h, max_nodes, label);
+            }
+            return;
+        }
+        let subs: Vec<&[(Link, Option<bool>)]> = jobs.chunks(SUB_RANGE).collect();
+        let locals: Vec<SampleArena> = subs
+            .par_iter()
+            .map(|sub| {
+                let mut local = SampleArena::new();
+                for &(link, label) in *sub {
+                    local.extract_sample(graph, link, h, max_nodes, label);
+                }
+                local
+            })
+            .collect();
+        // By value on purpose: each local is dropped right after its
+        // slab copy, so transient memory never holds two full copies of
+        // the whole fill at once.
+        for local in locals {
+            self.append(&local);
+        }
+    }
+}
+
+/// Checks a stored sample against the owned extraction path (test/debug
+/// helper): extracts the same link through
+/// [`enclosing_subgraph`](crate::subgraph::enclosing_subgraph) +
+/// [`one_hot_features`] and asserts slab content equality under the
+/// given label budget.
+#[cfg(test)]
+fn assert_sample_matches_owned(
+    arena: &SampleArena,
+    handle: SampleHandle,
+    graph: &CircuitGraph,
+    link: Link,
+    h: usize,
+    max_nodes: Option<usize>,
+    max_label: u32,
+) {
+    let sg = subgraph::enclosing_subgraph(graph, link, h, max_nodes);
+    let owned = crate::features::one_hot_features(&sg, max_label);
+    let adj = arena.adj(handle);
+    assert_eq!(adj.to_owned_csr(), sg.adj, "adjacency diverged");
+    let oh = arena.one_hot(handle, max_label);
+    assert_eq!(oh.to_owned_features(), owned, "features diverged");
+    assert_eq!(arena.node_count(handle), sg.node_count());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muxlink_netlist::{GateId, GateType};
+
+    /// Ring of `n` NOR gates with a few chords for label variety.
+    fn ring(n: usize) -> CircuitGraph {
+        let mut edges: Vec<Link> = (0..n)
+            .map(|i| Link::new(i as u32, ((i + 1) % n) as u32))
+            .collect();
+        edges.push(Link::new(0, (n / 2) as u32));
+        edges.push(Link::new(1, (n / 3) as u32));
+        CircuitGraph::from_edges(
+            (0..n).map(GateId::from_index).collect(),
+            vec![GateType::Nor; n],
+            &edges,
+        )
+    }
+
+    #[test]
+    fn direct_extraction_matches_owned_path_bitwise() {
+        let g = ring(40);
+        let mut arena = SampleArena::new();
+        let links = [Link::new(0, 5), Link::new(3, 21), Link::new(7, 8)];
+        for round in 0..2 {
+            arena.clear();
+            for (i, &link) in links.iter().enumerate() {
+                for hops in 1..=3 {
+                    for cap in [None, Some(6)] {
+                        let hd = arena.extract_sample(&g, link, hops, cap, Some(i % 2 == 0));
+                        let max_label = arena.max_label().max(1);
+                        assert_sample_matches_owned(&arena, hd, &g, link, hops, cap, max_label);
+                        assert_eq!(arena.label(hd), Some(i % 2 == 0), "round {round}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn push_subgraph_matches_direct_extraction() {
+        let g = ring(30);
+        let link = Link::new(2, 17);
+        let mut direct = SampleArena::new();
+        let hd = direct.extract_sample(&g, link, 2, None, None);
+        let mut copied = SampleArena::new();
+        let sg = subgraph::enclosing_subgraph(&g, link, 2, None);
+        let hc = copied.push_subgraph(&sg, None);
+        assert_eq!(direct.adj(hd).to_owned_csr(), copied.adj(hc).to_owned_csr());
+        assert_eq!(
+            direct.one_hot(hd, 5).to_owned_features(),
+            copied.one_hot(hc, 5).to_owned_features()
+        );
+        assert_eq!(direct.max_label(), copied.max_label());
+    }
+
+    #[test]
+    fn append_preserves_samples_and_order() {
+        let g = ring(36);
+        let all: Vec<(Link, Option<bool>)> = (0..10u32)
+            .map(|i| (Link::new(i, (i + 9) % 36), Some(i % 2 == 0)))
+            .collect();
+        let mut whole = SampleArena::new();
+        for &(l, lab) in &all {
+            whole.extract_sample(&g, l, 2, None, lab);
+        }
+        let mut merged = SampleArena::new();
+        for part in all.chunks(3) {
+            let mut local = SampleArena::new();
+            for &(l, lab) in part {
+                local.extract_sample(&g, l, 2, None, lab);
+            }
+            merged.append(&local);
+        }
+        assert_eq!(whole.len(), merged.len());
+        assert_eq!(whole.max_label(), merged.max_label());
+        for i in 0..whole.len() {
+            let (a, b) = (whole.nth_handle(i), merged.nth_handle(i));
+            assert_eq!(whole.adj(a).to_owned_csr(), merged.adj(b).to_owned_csr());
+            assert_eq!(
+                whole.one_hot(a, 4).to_owned_features(),
+                merged.one_hot(b, 4).to_owned_features()
+            );
+            assert_eq!(whole.label(a), merged.label(b));
+        }
+    }
+
+    #[test]
+    fn extend_extract_is_thread_count_invariant() {
+        let g = ring(48);
+        let jobs: Vec<(Link, Option<bool>)> = (0..150u32)
+            .map(|i| (Link::new(i % 48, (i * 7 + 5) % 48), Some(i % 3 == 0)))
+            .filter(|(l, _)| l.a != l.b)
+            .collect();
+        let run = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool")
+                .install(|| {
+                    let mut arena = SampleArena::new();
+                    arena.extend_extract(&g, &jobs, 2, Some(20));
+                    arena
+                })
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(seq.len(), jobs.len());
+        assert_eq!(seq.len(), par.len());
+        assert_eq!(seq.max_label(), par.max_label());
+        for i in 0..seq.len() {
+            let (a, b) = (seq.nth_handle(i), par.nth_handle(i));
+            assert_eq!(seq.adj(a).to_owned_csr(), par.adj(b).to_owned_csr());
+            assert_eq!(
+                seq.one_hot(a, 6).to_owned_features(),
+                par.one_hot(b, 6).to_owned_features()
+            );
+        }
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_resets_content() {
+        let g = ring(24);
+        let mut arena = SampleArena::new();
+        arena.extract_sample(&g, Link::new(0, 7), 3, None, None);
+        let bytes = arena.resident_bytes();
+        assert!(bytes > 0);
+        arena.clear();
+        assert!(arena.is_empty());
+        assert_eq!(arena.max_label(), 0);
+        assert_eq!(arena.resident_bytes(), 0);
+        // Refill after clear: identical content to a fresh arena.
+        let h1 = arena.extract_sample(&g, Link::new(0, 7), 3, None, None);
+        let mut fresh = SampleArena::new();
+        let h2 = fresh.extract_sample(&g, Link::new(0, 7), 3, None, None);
+        assert_eq!(arena.adj(h1).to_owned_csr(), fresh.adj(h2).to_owned_csr());
+    }
+
+    #[test]
+    #[should_panic(expected = "stale SampleHandle")]
+    fn stale_handles_panic_after_clear() {
+        let g = ring(20);
+        let mut arena = SampleArena::new();
+        let h = arena.extract_sample(&g, Link::new(0, 5), 2, None, None);
+        arena.clear();
+        arena.extract_sample(&g, Link::new(1, 6), 2, None, None);
+        // Same in-range index, older generation: must panic, not alias.
+        let _ = arena.adj(h);
+    }
+
+    #[test]
+    fn serde_round_trips_samples() {
+        let g = ring(20);
+        let mut arena = SampleArena::new();
+        arena.extract_sample(&g, Link::new(1, 11), 2, None, Some(true));
+        arena.extract_sample(&g, Link::new(4, 9), 2, Some(5), None);
+        let json = serde_json::to_string(&arena).unwrap();
+        let back: SampleArena = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), arena.len());
+        assert_eq!(back.max_label(), arena.max_label());
+        for i in 0..arena.len() {
+            let (a, b) = (arena.nth_handle(i), back.nth_handle(i));
+            assert_eq!(arena.adj(a).to_owned_csr(), back.adj(b).to_owned_csr());
+            assert_eq!(
+                arena.one_hot(a, 8).to_owned_features(),
+                back.one_hot(b, 8).to_owned_features()
+            );
+            assert_eq!(arena.label(a), back.label(b));
+        }
+    }
+
+    #[test]
+    fn clamping_view_matches_owned_clamped_features() {
+        let g = ring(40);
+        let mut arena = SampleArena::new();
+        let link = Link::new(0, 19);
+        let hd = arena.extract_sample(&g, link, 3, None, None);
+        // A budget far below the raw labels: the view must clamp exactly
+        // like `one_hot_features` does.
+        for budget in [0u32, 1, 2] {
+            assert_sample_matches_owned(&arena, hd, &g, link, 3, None, budget);
+        }
+    }
+}

@@ -120,6 +120,17 @@ impl Csr {
         self.neighbors(a as usize).binary_search(&b).is_ok()
     }
 
+    /// Borrowed view of the whole graph — the form every GNN kernel
+    /// consumes (see [`CsrView`]).
+    #[must_use]
+    pub fn view(&self) -> CsrView<'_> {
+        CsrView {
+            offsets: &self.offsets,
+            neighbors: &self.neighbors,
+            scales: &self.scales,
+        }
+    }
+
     /// Iterator over the neighbour run of every node, in node order.
     pub fn iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
         self.offsets
@@ -178,6 +189,129 @@ impl Csr {
     }
 }
 
+/// Normalises the freshly appended run `buf[start..]` in place — sort
+/// ascending, dedup, truncate. The **one** implementation of the
+/// determinism contract's run normalisation, shared by
+/// [`CsrBuilder::push_node`] and the sample arena's direct slab writes
+/// so the two storage paths cannot drift apart.
+pub(crate) fn normalize_run(buf: &mut Vec<u32>, start: usize) {
+    let seg = &mut buf[start..];
+    seg.sort_unstable();
+    // In-place dedup of the new segment.
+    let mut keep = 0usize;
+    for i in 0..seg.len() {
+        if i == 0 || seg[i] != seg[keep - 1] {
+            seg[keep] = seg[i];
+            keep += 1;
+        }
+    }
+    buf.truncate(start + keep);
+}
+
+/// A borrowed CSR adjacency: the same three flat arrays as [`Csr`], but
+/// as slices — either a whole owned [`Csr`] (via [`Csr::view`]) or one
+/// sample's rows inside a pooled [`crate::arena::SampleArena`] slab.
+///
+/// Offsets are relative to the start of `neighbors` (the first offset is
+/// always 0), so a view over an arena sample reads exactly like a view
+/// over an owned graph. All GNN kernels consume this type; the values a
+/// view yields are identical whether it borrows an owned `Csr` or an
+/// arena slab, which is what keeps the two storage paths bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CsrView<'a> {
+    offsets: &'a [u32],
+    neighbors: &'a [u32],
+    scales: &'a [f32],
+}
+
+impl<'a> CsrView<'a> {
+    /// Assembles a view from raw slab slices (crate-internal: only the
+    /// owned [`Csr`] and the sample arena know the layout invariants).
+    ///
+    /// `offsets` must hold `n + 1` non-decreasing values starting at 0,
+    /// `neighbors` the concatenated sorted runs they index, and `scales`
+    /// one `1/(1 + deg)` entry per node.
+    pub(crate) fn from_raw_parts(
+        offsets: &'a [u32],
+        neighbors: &'a [u32],
+        scales: &'a [f32],
+    ) -> Self {
+        debug_assert!(!offsets.is_empty() && offsets[0] == 0);
+        debug_assert_eq!(offsets.len(), scales.len() + 1);
+        Self {
+            offsets,
+            neighbors,
+            scales,
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.node_count() == 0
+    }
+
+    /// Degree of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    #[must_use]
+    pub fn degree(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Sorted neighbour run of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn neighbors(&self, i: usize) -> &'a [u32] {
+        &self.neighbors[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Precomputed propagation scale `1/(1 + degree(i))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn scale(&self, i: usize) -> f32 {
+        self.scales[i]
+    }
+
+    /// Total stored neighbour entries (`Σ degree`).
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Copies the view into an owned [`Csr`] (test/debug helper).
+    #[must_use]
+    pub fn to_owned_csr(&self) -> Csr {
+        Csr {
+            offsets: self.offsets.to_vec(),
+            neighbors: self.neighbors.to_vec(),
+            scales: self.scales.to_vec(),
+        }
+    }
+}
+
+impl<'a> From<&'a Csr> for CsrView<'a> {
+    fn from(csr: &'a Csr) -> Self {
+        csr.view()
+    }
+}
+
 /// Incremental [`Csr`] construction, one node at a time.
 ///
 /// Rows are appended in node order into the flat buffers — no per-node
@@ -214,17 +348,7 @@ impl CsrBuilder {
     pub fn push_node(&mut self, nbrs: impl IntoIterator<Item = u32>) {
         let start = *self.offsets.last().expect("offsets never empty") as usize;
         self.neighbors.extend(nbrs);
-        let seg = &mut self.neighbors[start..];
-        seg.sort_unstable();
-        // In-place dedup of the new segment.
-        let mut keep = 0usize;
-        for i in 0..seg.len() {
-            if i == 0 || seg[i] != seg[keep - 1] {
-                seg[keep] = seg[i];
-                keep += 1;
-            }
-        }
-        self.neighbors.truncate(start + keep);
+        normalize_run(&mut self.neighbors, start);
         self.offsets.push(self.neighbors.len() as u32);
     }
 

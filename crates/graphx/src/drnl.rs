@@ -7,7 +7,7 @@
 
 use std::collections::VecDeque;
 
-use crate::csr::Csr;
+use crate::csr::{Csr, CsrView};
 use crate::scratch::StampedMap;
 
 /// Distance value for "no path".
@@ -76,9 +76,10 @@ pub fn compute_labels(adj: &Csr, f: u32, g: u32) -> Vec<u32> {
 /// [`bfs_without`] over an epoch-stamped scratch map: the same traversal
 /// (and therefore the same distances), but no per-call allocation — an
 /// unreached node is simply absent from `dist`. Used by the hash-free
-/// extraction path.
+/// extraction path, over owned subgraphs and arena slabs alike (hence
+/// the borrowed [`CsrView`]).
 pub(crate) fn bfs_without_stamped(
-    adj: &Csr,
+    adj: CsrView<'_>,
     source: u32,
     removed: u32,
     dist: &mut StampedMap,
@@ -107,27 +108,42 @@ pub(crate) fn bfs_without_stamped(
 /// path): identical labels, no per-call allocation beyond the returned
 /// vector.
 pub(crate) fn compute_labels_stamped(
-    adj: &Csr,
+    adj: CsrView<'_>,
     f: u32,
     g: u32,
     df: &mut StampedMap,
     dg: &mut StampedMap,
     queue: &mut VecDeque<u32>,
 ) -> Vec<u32> {
+    let mut out = Vec::with_capacity(adj.node_count());
+    compute_labels_stamped_into(adj, f, g, df, dg, queue, &mut out);
+    out
+}
+
+/// [`compute_labels_stamped`] appending into a caller-owned vector — the
+/// sample arena labels straight into its slab this way, with no
+/// intermediate allocation at all.
+pub(crate) fn compute_labels_stamped_into(
+    adj: CsrView<'_>,
+    f: u32,
+    g: u32,
+    df: &mut StampedMap,
+    dg: &mut StampedMap,
+    queue: &mut VecDeque<u32>,
+    out: &mut Vec<u32>,
+) {
     bfs_without_stamped(adj, f, g, df, queue);
     bfs_without_stamped(adj, g, f, dg, queue);
-    (0..adj.node_count() as u32)
-        .map(|j| {
-            if j == f || j == g {
-                1
-            } else {
-                drnl_label(
-                    df.get(j).unwrap_or(UNREACHABLE),
-                    dg.get(j).unwrap_or(UNREACHABLE),
-                )
-            }
-        })
-        .collect()
+    out.extend((0..adj.node_count() as u32).map(|j| {
+        if j == f || j == g {
+            1
+        } else {
+            drnl_label(
+                df.get(j).unwrap_or(UNREACHABLE),
+                dg.get(j).unwrap_or(UNREACHABLE),
+            )
+        }
+    }));
 }
 
 #[cfg(test)]

@@ -110,6 +110,17 @@ impl OneHotFeatures {
         )
     }
 
+    /// Borrowed view of these features — the form the GNN kernels
+    /// consume (see [`OneHotView`]).
+    #[must_use]
+    pub fn view(&self) -> OneHotView<'_> {
+        OneHotView {
+            cols: self.cols,
+            gate: &self.gate,
+            label: &self.label,
+        }
+    }
+
     /// Expands into the equivalent dense [`FeatureMatrix`] — the single
     /// source of truth for the dense layout
     /// ([`node_feature_matrix`] is exactly this expansion).
@@ -127,6 +138,81 @@ impl OneHotFeatures {
             cols,
             data,
         }
+    }
+}
+
+/// A borrowed two-hot feature matrix: per-node gate and DRNL-label
+/// columns as slices, either from an owned [`OneHotFeatures`] (via
+/// [`OneHotFeatures::view`]) or from one sample's rows inside a pooled
+/// [`crate::arena::SampleArena`] slab.
+///
+/// The label slice may hold **raw** (unclamped) DRNL labels — the arena
+/// stores them that way so one slab serves any label budget —
+/// so [`OneHotView::columns`] clamps into the last label bucket exactly
+/// like [`one_hot_features`] does at construction time. For a view over
+/// an owned `OneHotFeatures` (already clamped) the clamp is a no-op, so
+/// both storage paths yield identical column indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OneHotView<'a> {
+    cols: usize,
+    gate: &'a [u32],
+    label: &'a [u32],
+}
+
+impl<'a> OneHotView<'a> {
+    /// Assembles a view from raw slices (crate-internal: the owned type
+    /// and the sample arena know the layout invariants). `cols` must be
+    /// at least `GATE_TYPE_COUNT + 1` and every gate column must be a
+    /// valid gate-type index.
+    pub(crate) fn from_raw_parts(cols: usize, gate: &'a [u32], label: &'a [u32]) -> Self {
+        debug_assert_eq!(gate.len(), label.len());
+        debug_assert!(cols > GATE_TYPE_COUNT);
+        Self { cols, gate, label }
+    }
+
+    /// Number of rows (subgraph nodes).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.gate.len()
+    }
+
+    /// Width of the equivalent dense matrix.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The two dense column indices of row `i` (labels beyond the budget
+    /// clamp into the last bucket, as at attack time).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn columns(&self, i: usize) -> (usize, usize) {
+        let budget = self.cols - GATE_TYPE_COUNT - 1;
+        (
+            self.gate[i] as usize,
+            GATE_TYPE_COUNT + (self.label[i] as usize).min(budget),
+        )
+    }
+
+    /// Copies the view into an owned [`OneHotFeatures`] (labels clamped).
+    #[must_use]
+    pub fn to_owned_features(&self) -> OneHotFeatures {
+        let budget = (self.cols - GATE_TYPE_COUNT - 1) as u32;
+        OneHotFeatures {
+            cols: self.cols,
+            gate: self.gate.to_vec(),
+            label: self.label.iter().map(|&l| l.min(budget)).collect(),
+        }
+    }
+}
+
+impl<'a> From<&'a OneHotFeatures> for OneHotView<'a> {
+    fn from(x: &'a OneHotFeatures) -> Self {
+        x.view()
     }
 }
 

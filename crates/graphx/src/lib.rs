@@ -17,10 +17,17 @@
 //!    one-hot.
 //! 5. [`dataset::build_dataset`] — balanced observed/unobserved link
 //!    samples with a validation split (paper: ≤ 100 000 links, 10 % val).
+//!
+//! The production storage for steps ③–⑤ is the pooled
+//! [`arena::SampleArena`] ([`dataset::build_dataset_arena`]): whole
+//! datasets in a handful of flat slabs, samples addressed by handles and
+//! read through borrowed views — bit-identical to the owned per-sample
+//! types, which are retained as the executable reference.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod csr;
 pub mod dataset;
 pub mod drnl;
@@ -32,9 +39,10 @@ pub mod sampling;
 pub(crate) mod scratch;
 pub mod subgraph;
 
-pub use csr::{Csr, CsrBuilder};
-pub use dataset::{build_dataset, Dataset, LinkSample};
+pub use arena::{SampleArena, SampleHandle};
+pub use csr::{Csr, CsrBuilder, CsrView};
+pub use dataset::{build_dataset, build_dataset_arena, ArenaDataset, Dataset, LinkSample};
 pub use extract::{extract, ExtractError, ExtractedDesign, MuxCandidate};
-pub use features::{one_hot_features, OneHotFeatures};
+pub use features::{one_hot_features, OneHotFeatures, OneHotView};
 pub use graph::{CircuitGraph, Link};
 pub use subgraph::{enclosing_subgraph, Subgraph};

@@ -87,6 +87,9 @@ pub(crate) struct ExtractScratch {
     pub(crate) visited_f: Vec<u32>,
     /// Nodes reached by the second BFS, in visit order.
     pub(crate) visited_g: Vec<u32>,
+    /// Member nodes of the subgraph under extraction, in local-index
+    /// order (filled by `subgraph::collect_link_members`).
+    pub(crate) members: Vec<u32>,
 }
 
 #[cfg(test)]

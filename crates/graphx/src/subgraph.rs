@@ -3,7 +3,8 @@
 //! Extraction is the inner loop of dataset generation and scoring, so the
 //! production path ([`enclosing_subgraph`], [`node_subgraph`]) runs on
 //! per-worker epoch-stamped dense scratch
-//! ([`crate::scratch::ExtractScratch`]): no hash lookups and no per-call
+//! (`ExtractScratch` in the crate-internal `scratch` module): no hash
+//! lookups and no per-call
 //! allocation beyond the returned [`Subgraph`] itself. The original
 //! `HashMap`-based implementation is retained as
 //! [`enclosing_subgraph_ref`] — the executable specification the fast
@@ -25,6 +26,12 @@ thread_local! {
     /// One scratch bundle per worker thread; buffers grow to the largest
     /// graph seen and are reused by every extraction on that thread.
     static EXTRACT_SCRATCH: RefCell<ExtractScratch> = RefCell::new(ExtractScratch::default());
+}
+
+/// Runs `f` on this worker's extraction scratch (shared with the arena's
+/// direct-to-slab extraction path).
+pub(crate) fn with_extract_scratch<R>(f: impl FnOnce(&mut ExtractScratch) -> R) -> R {
+    EXTRACT_SCRATCH.with(|scr| f(&mut scr.borrow_mut()))
 }
 
 /// An enclosing subgraph around a target node pair, ready for GNN
@@ -82,14 +89,22 @@ pub fn enclosing_subgraph(
         .with(|scr| enclosing_subgraph_scratch(&mut scr.borrow_mut(), graph, link, h, max_nodes))
 }
 
-/// [`enclosing_subgraph`] body over explicit scratch (hash-free path).
-fn enclosing_subgraph_scratch(
+/// Fills `scr.members` with the member nodes of the enclosing subgraph
+/// of `link` — the union of the two bounded BFS neighbourhoods, targets
+/// first, then min-distance (BFS-like) order, truncated to `max_nodes` —
+/// and rebuilds `scr.local_of` as the global→local relabelling. Returns
+/// the local indices of the two targets.
+///
+/// Shared by the owned-[`Subgraph`] path below and the arena's
+/// direct-to-slab extraction ([`crate::arena::SampleArena`]); both
+/// therefore agree on membership and node order by construction.
+pub(crate) fn collect_link_members(
     scr: &mut ExtractScratch,
     graph: &CircuitGraph,
     link: Link,
     h: usize,
     max_nodes: Option<usize>,
-) -> Subgraph {
+) -> (u32, u32) {
     let (f, g) = (link.a, link.b);
     let ExtractScratch {
         dist_f,
@@ -98,6 +113,7 @@ fn enclosing_subgraph_scratch(
         queue,
         visited_f,
         visited_g,
+        members,
     } = scr;
     bounded_bfs_stamped(graph, f, h, link, dist_f, queue, visited_f);
     bounded_bfs_stamped(graph, g, h, link, dist_g, queue, visited_g);
@@ -107,7 +123,7 @@ fn enclosing_subgraph_scratch(
     // deterministic truncation. The sort key is a total order over node
     // indices, so starting from visit order instead of ascending index
     // order yields the same members vector as the reference.
-    let mut members: Vec<u32> = Vec::with_capacity(visited_f.len() + visited_g.len());
+    members.clear();
     members.extend_from_slice(visited_f);
     members.extend(visited_g.iter().copied().filter(|&j| !dist_f.contains(j)));
     members.sort_unstable_by_key(|&j| {
@@ -130,32 +146,73 @@ fn enclosing_subgraph_scratch(
     }
     let lf = local_of.get(f).expect("target f is always a member");
     let lg = local_of.get(g).expect("target g is always a member");
+    (lf, lg)
+}
+
+/// The local-adjacency emission rule shared by both storage paths: maps
+/// member `j`'s global neighbour `nb` to its local index, dropping the
+/// direct target edge `(f, g)` in both directions (the GNN must never
+/// see the answer). One implementation on purpose — the owned
+/// [`Subgraph`] emission and the arena's direct slab writes must agree
+/// bit for bit.
+#[inline]
+pub(crate) fn local_neighbor(
+    local_of: &StampedMap,
+    f: u32,
+    g: u32,
+    j: u32,
+    nb: u32,
+) -> Option<u32> {
+    let is_target_edge = (j == f && nb == g) || (j == g && nb == f);
+    if is_target_edge {
+        None
+    } else {
+        local_of.get(nb)
+    }
+}
+
+/// [`enclosing_subgraph`] body over explicit scratch (hash-free path).
+fn enclosing_subgraph_scratch(
+    scr: &mut ExtractScratch,
+    graph: &CircuitGraph,
+    link: Link,
+    h: usize,
+    max_nodes: Option<usize>,
+) -> Subgraph {
+    let (f, g) = (link.a, link.b);
+    let (lf, lg) = collect_link_members(scr, graph, link, h, max_nodes);
+    let ExtractScratch {
+        dist_f,
+        dist_g,
+        local_of,
+        queue,
+        members,
+        ..
+    } = scr;
 
     // Emit the local adjacency straight into flat CSR storage: one
     // normalised neighbour run per member, no per-node allocation.
     let mut builder = CsrBuilder::with_capacity(members.len(), members.len() * 4);
-    for &j in &members {
-        builder.push_node(graph.adj.neighbors(j as usize).iter().filter_map(|&nb| {
-            // Drop the direct target edge in both directions.
-            let is_target_edge = (j == f && nb == g) || (j == g && nb == f);
-            if is_target_edge {
-                None
-            } else {
-                local_of.get(nb)
-            }
-        }));
+    for &j in members.iter() {
+        builder.push_node(
+            graph
+                .adj
+                .neighbors(j as usize)
+                .iter()
+                .filter_map(|&nb| local_neighbor(local_of, f, g, j, nb)),
+        );
     }
     let adj = builder.finish();
 
     // The global-distance maps are no longer needed; reuse them for the
     // two local DRNL BFS passes.
-    let labels = drnl::compute_labels_stamped(&adj, lf, lg, dist_f, dist_g, queue);
+    let labels = drnl::compute_labels_stamped(adj.view(), lf, lg, dist_f, dist_g, queue);
     let gate_types = members
         .iter()
         .map(|&j| graph.gate_types[j as usize])
         .collect();
     Subgraph {
-        nodes: members,
+        nodes: members.clone(),
         adj,
         labels,
         gate_types,
@@ -253,6 +310,9 @@ pub fn node_subgraph(
         } = scr;
         let no_skip = Link::new(u32::MAX, u32::MAX);
         bounded_bfs_stamped(graph, center, h, no_skip, dist_f, queue, visited_f);
+        // (node_subgraph keeps its own member collection: single-centre
+        // membership differs from the link case `collect_link_members`
+        // serves.)
         let mut members: Vec<u32> = visited_f.clone();
         members.sort_unstable_by_key(|&j| (dist_f.get(j).expect("visited"), j));
         if let Some(cap) = max_nodes {
@@ -276,7 +336,7 @@ pub fn node_subgraph(
         let adj = builder.finish();
         // Distance labels within the subgraph (centre = 1); the global
         // distance map is free again, reuse it for the local BFS.
-        drnl::bfs_without_stamped(&adj, lc, u32::MAX, dist_f, queue);
+        drnl::bfs_without_stamped(adj.view(), lc, u32::MAX, dist_f, queue);
         let labels = (0..adj.node_count() as u32)
             .map(|j| dist_f.get(j).map_or(0, |d| d + 1))
             .collect();

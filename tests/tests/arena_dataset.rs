@@ -1,0 +1,202 @@
+//! Cross-crate contract of the arena-pooled sample storage: the
+//! streamed/pooled path must be **bitwise identical** to the owned
+//! per-sample-`Vec` path — dataset build, training, batch prediction and
+//! end-to-end scoring — at 1 and 4 worker threads and for any chunk
+//! size.
+
+use muxlink_core::scoring::to_graph_sample;
+use muxlink_core::{score_design, AttackSession, MuxLinkConfig, NoProgress, Prepared};
+use muxlink_gnn::{train, ArenaSamples, Dgcnn, DgcnnConfig, GraphSample, SampleStore, TrainConfig};
+use muxlink_graph::dataset::{build_dataset, build_dataset_arena, DatasetConfig, LinkSample};
+use muxlink_graph::extract;
+use muxlink_locking::{dmux, LockOptions};
+use proptest::{proptest, ProptestConfig};
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool")
+}
+
+fn owned_graph_samples(samples: &[LinkSample], max_label: u32) -> Vec<GraphSample> {
+    samples
+        .iter()
+        .map(|s| to_graph_sample(&s.subgraph, max_label, Some(s.label)))
+        .collect()
+}
+
+/// Training through arena handle views must produce the same bits as
+/// training on owned `GraphSample` vectors — per-epoch history, final
+/// weights, predictions — at 1 and 4 rayon workers.
+#[test]
+fn arena_training_is_bitwise_identical_to_owned_at_1_and_4_threads() {
+    let design = muxlink_benchgen::synth::SynthConfig::new("arena", 14, 6, 220).generate(7);
+    let locked = dmux::lock(&design, &LockOptions::new(6, 3)).unwrap();
+    let ex = extract(&locked.netlist, &locked.key_input_names()).unwrap();
+    let ds_cfg = DatasetConfig {
+        h: 2,
+        max_train_links: 200,
+        val_fraction: 0.1,
+        max_subgraph_nodes: Some(80),
+        seed: 3,
+        chunk: 32,
+    };
+    let targets = ex.target_links();
+    let owned = build_dataset(&ex.graph, &targets, &ds_cfg);
+    let pooled = build_dataset_arena(&ex.graph, &targets, &ds_cfg);
+    assert_eq!(owned.max_label, pooled.max_label);
+    assert_eq!(owned.train.len(), pooled.train.len());
+    let max_label = owned.max_label;
+    let otrain = owned_graph_samples(&owned.train, max_label);
+    let oval = owned_graph_samples(&owned.val, max_label);
+
+    let input_dim = muxlink_graph::features::feature_cols(max_label);
+    let tcfg = TrainConfig {
+        epochs: 3,
+        batch_size: 8,
+        ..TrainConfig::default()
+    };
+    let model = || Dgcnn::new(DgcnnConfig::paper(input_dim, 10));
+
+    let run_owned = |threads: usize| {
+        pool(threads).install(|| {
+            let mut m = model();
+            let r = train(&mut m, &otrain, &oval, &tcfg);
+            (r, m.predict(&otrain[0]))
+        })
+    };
+    let run_arena = |threads: usize| {
+        pool(threads).install(|| {
+            let mut m = model();
+            let tr = ArenaSamples::select(&pooled.arena, &pooled.train, max_label);
+            let va = ArenaSamples::select(&pooled.arena, &pooled.val, max_label);
+            let r = train(&mut m, &tr, &va, &tcfg);
+            (r, m.predict(tr.view(0)))
+        })
+    };
+
+    let baseline = run_owned(1);
+    for (name, result) in [
+        ("owned@4", run_owned(4)),
+        ("arena@1", run_arena(1)),
+        ("arena@4", run_arena(4)),
+    ] {
+        assert_eq!(baseline.0, result.0, "{name}: training history diverged");
+        assert_eq!(
+            baseline.1.to_bits(),
+            result.1.to_bits(),
+            "{name}: prediction bits diverged"
+        );
+    }
+}
+
+/// `predict_batch` over an arena store must reproduce the owned-store
+/// bits exactly, including across thread counts.
+#[test]
+fn predict_batch_through_arena_views_matches_owned() {
+    let design = muxlink_benchgen::synth::SynthConfig::new("pb", 14, 6, 240).generate(9);
+    let locked = dmux::lock(&design, &LockOptions::new(8, 5)).unwrap();
+    let ex = extract(&locked.netlist, &locked.key_input_names()).unwrap();
+    let ds_cfg = DatasetConfig {
+        h: 2,
+        max_train_links: 120,
+        val_fraction: 0.1,
+        max_subgraph_nodes: Some(64),
+        seed: 11,
+        chunk: 16,
+    };
+    let owned = build_dataset(&ex.graph, &[], &ds_cfg);
+    let pooled = build_dataset_arena(&ex.graph, &[], &ds_cfg);
+    let max_label = owned.max_label;
+    let osamples = owned_graph_samples(&owned.train, max_label);
+    let input_dim = muxlink_graph::features::feature_cols(max_label);
+    let model = Dgcnn::new(DgcnnConfig::paper(input_dim, 12));
+
+    let reference = model.predict_batch(&osamples);
+    for threads in [1usize, 4] {
+        let via_arena = pool(threads).install(|| {
+            model.predict_batch(&ArenaSamples::select(
+                &pooled.arena,
+                &pooled.train,
+                max_label,
+            ))
+        });
+        assert_eq!(reference, via_arena, "threads {threads}");
+    }
+}
+
+/// The `Prepared` stage artifact now carries the arena dataset; a serde
+/// round trip must train and score to identical bits.
+#[test]
+fn prepared_artifact_round_trips_to_identical_scores() {
+    let design = muxlink_benchgen::synth::SynthConfig::new("prep", 14, 6, 200).generate(13);
+    let locked = dmux::lock(&design, &LockOptions::new(6, 3)).unwrap();
+    let names = locked.key_input_names();
+    let mut cfg = MuxLinkConfig::quick();
+    cfg.max_train_links = 250;
+    cfg.epochs = 4;
+    let prepared = AttackSession::new(&locked.netlist, &names, cfg)
+        .extract()
+        .unwrap()
+        .prepare(&NoProgress)
+        .unwrap();
+    let json = serde_json::to_string(&prepared).unwrap();
+    let restored: Prepared = serde_json::from_str(&json).unwrap();
+    let direct = prepared
+        .train(&NoProgress)
+        .unwrap()
+        .score(&NoProgress)
+        .unwrap();
+    let reloaded = restored
+        .train(&NoProgress)
+        .unwrap()
+        .score(&NoProgress)
+        .unwrap();
+    assert_eq!(
+        direct.scores, reloaded.scores,
+        "scores must be bit-identical"
+    );
+    assert_eq!(direct.train_report, reloaded.train_report);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// End-to-end: the streamed arena pipeline (`sample_chunk > 0`) must
+    /// recover the same bits as the all-resident configuration
+    /// (`sample_chunk = 0`), across random designs/seeds and at 1 and 4
+    /// threads.
+    #[test]
+    fn attack_is_chunk_and_thread_invariant(seed in 0u64..1000) {
+        let design =
+            muxlink_benchgen::synth::SynthConfig::new("chunk", 14, 6, 210).generate(seed);
+        let locked = dmux::lock(&design, &LockOptions::new(6, seed ^ 0xA5)).expect("lock fits");
+        let names = locked.key_input_names();
+        let mut base = MuxLinkConfig::quick().with_seed(seed);
+        base.max_train_links = 250;
+        base.epochs = 4;
+
+        let mut all_resident = base.clone().with_threads(1);
+        all_resident.sample_chunk = 0;
+        let reference = score_design(&locked.netlist, &names, &all_resident).unwrap();
+
+        for (chunk, threads) in [(7usize, 1usize), (64, 1), (64, 4)] {
+            let cfg = base.clone().with_threads(threads).with_sample_chunk(chunk);
+            let streamed = score_design(&locked.netlist, &names, &cfg).unwrap();
+            assert_eq!(
+                reference.scores, streamed.scores,
+                "chunk {chunk} threads {threads}: scores diverged"
+            );
+            assert_eq!(
+                reference.train_report, streamed.train_report,
+                "chunk {chunk} threads {threads}: training diverged"
+            );
+            assert_eq!(
+                reference.recover_key(base.th),
+                streamed.recover_key(base.th),
+                "chunk {chunk} threads {threads}: key diverged"
+            );
+        }
+    }
+}
