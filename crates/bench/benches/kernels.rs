@@ -339,6 +339,56 @@ fn bench_dataset_residency(c: &mut Criterion) {
     group.finish();
 }
 
+/// The PR 6 tentpole: one fused propagate+GEMM per layer per minibatch
+/// over a block-diagonal CSR vs the per-sample reference loop (forward,
+/// backward and gradient merge per sample), at realistic subgraph sizes
+/// and the trainer's batch sizes. Both paths produce identical bits
+/// (property-tested); this group records the dispatch-overhead win.
+fn bench_batched_layer(c: &mut Criterion) {
+    use muxlink_gnn::{BatchWorkspace, Minibatch};
+    let model = Dgcnn::new(DgcnnConfig::paper(24, 30));
+    let mut group = c.benchmark_group("batched_layer");
+    for batch in [8usize, 32] {
+        for n in [30usize, 64] {
+            let samples: Vec<GraphSample> = (0..batch)
+                .map(|i| subgraph_sample(n, 24, (batch * n + i) as u64))
+                .collect();
+            let jobs: Vec<(usize, u64)> = (0..batch).map(|i| (i, i as u64 * 31 + 7)).collect();
+            let id = format!("b{batch}_n{n}");
+
+            let mut ws = Workspace::new();
+            let mut acc = model.new_gradients();
+            let mut slot = model.new_gradients();
+            group.bench_with_input(BenchmarkId::new("per_sample", &id), &n, |b, _| {
+                b.iter(|| {
+                    for (s, &(i, seed)) in jobs.iter().enumerate() {
+                        let v = samples[i].view();
+                        let mut rng = muxlink_gnn::matrix::seeded_rng(seed);
+                        model.forward_into(v, Some(&mut rng), &mut ws);
+                        model.backward_into(v, true, &mut ws, &mut slot);
+                        if s == 0 {
+                            acc.copy_from(&slot);
+                        } else {
+                            acc.merge(&slot);
+                        }
+                    }
+                });
+            });
+
+            let mut mb = Minibatch::new();
+            let mut bws = BatchWorkspace::new();
+            let mut grads = model.new_gradients();
+            group.bench_with_input(BenchmarkId::new("block_diagonal", &id), &n, |b, _| {
+                b.iter(|| {
+                    mb.assemble(&samples[..], &jobs);
+                    model.batch_train_step(&mb, 1.0, &mut bws, &mut grads);
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_quick_profile_constant(_c: &mut Criterion) {
     // Sanity anchor: the quick attack profile must exist for the pipeline
     // bench in `pipeline.rs` (compile-time cross-check only).
@@ -358,6 +408,7 @@ criterion_group!(
     bench_resynth,
     bench_dataset,
     bench_dataset_residency,
+    bench_batched_layer,
     bench_quick_profile_constant
 );
 criterion_main!(kernels);

@@ -26,11 +26,13 @@ subcommands:
   lock      --scheme <dmux|symmetric|xor|naive-mux|trll>
             --key-size n [--seed n] in.bench -o out.bench [--key-out key.txt]
   attack    --method <muxlink|scope|saam|sail> [--th f] [--hops n]
-            [--threads n] [--paper] [--timings] [--seed n] [--progress]
+            [--threads n] [--batch-size n] [--dh-keep f] [--paper]
+            [--timings] [--seed n] [--progress]
             [--save-model m.json] [--model m.json]
             in.bench [-o guess.txt]
-  train     --save-model m.json [--hops n] [--threads n] [--paper]
-            [--seed n] [--progress]                       in.bench
+  train     --save-model m.json [--hops n] [--threads n]
+            [--batch-size n] [--dh-keep f] [--paper] [--seed n]
+            [--progress]                                  in.bench
   score     --model m.json [--th f] [--threads n] [--progress]
             [-o guess.txt]
   suite     [--out-dir dir] [--th f] [--hops n] [--threads n] [--paper]
@@ -114,6 +116,12 @@ fn muxlink_cfg(cmd: &Command) -> Result<MuxLinkConfig, CliError> {
     cfg.seed = cmd.parse_flag("--seed", cfg.seed)?;
     // 0 = all cores; results are identical for any thread count.
     cfg.threads = cmd.parse_flag("--threads", cfg.threads)?;
+    // Batch size changes Adam's grouping, so it is part of the training
+    // recipe (validated ≥ 1 by the session).
+    cfg.batch_size = cmd.parse_flag("--batch-size", cfg.batch_size)?;
+    // Tolerance-pinned tanh-gradient sparsification (1.0 = exact, the
+    // default; validated into (0, 1] by the session).
+    cfg.dh_keep = cmd.parse_flag("--dh-keep", cfg.dh_keep)?;
     Ok(cfg)
 }
 
@@ -135,7 +143,7 @@ fn load_trained(path: &str) -> Result<Trained, CliError> {
 /// Only `--th` and `--threads` can take effect on a loaded checkpoint;
 /// reject the training-time flags instead of silently ignoring them.
 fn reject_checkpoint_fixed_flags(cmd: &Command) -> Result<(), CliError> {
-    for flag in ["--hops", "--seed", "--paper"] {
+    for flag in ["--hops", "--seed", "--paper", "--batch-size", "--dh-keep"] {
         if cmd.has(flag) {
             return Err(CliError::Usage(format!(
                 "{flag} cannot be combined with --model: the checkpoint fixes it \
@@ -693,6 +701,49 @@ mod tests {
         let timed = run(&cmd(&["attack", "--threads", "1", "--timings", &locked])).unwrap();
         assert!(timed.contains("timings: extract"));
         assert!(timed.starts_with(one.lines().next().unwrap()));
+    }
+
+    #[test]
+    fn batch_size_flag_is_parsed_and_validated() {
+        let design = tmp("bs_design.bench");
+        let locked = tmp("bs_locked.bench");
+        run(&cmd(&[
+            "generate",
+            "--profile",
+            "custom",
+            "--gates",
+            "140",
+            "--seed",
+            "4",
+            "-o",
+            &design,
+        ]))
+        .unwrap();
+        run(&cmd(&[
+            "lock",
+            "--scheme",
+            "dmux",
+            "--key-size",
+            "4",
+            "--seed",
+            "6",
+            &design,
+            "-o",
+            &locked,
+        ]))
+        .unwrap();
+        // The flag reaches the session: a zero batch is rejected by
+        // config validation, not by a panic deep in the trainer.
+        match run(&cmd(&["attack", "--batch-size", "0", &locked])) {
+            Err(CliError::Domain(m)) => assert!(m.contains("batch_size"), "{m}"),
+            other => panic!("expected InvalidConfig domain error, got {other:?}"),
+        }
+        assert!(matches!(
+            run(&cmd(&["attack", "--batch-size", "nope", &locked])),
+            Err(CliError::Usage(_))
+        ));
+        let out = run(&cmd(&["attack", "--batch-size", "16", &locked])).unwrap();
+        assert!(out.contains("recovered key"));
     }
 
     #[test]

@@ -78,6 +78,8 @@ const VALUED: &[&str] = &[
     "--th",
     "--hops",
     "--threads",
+    "--batch-size",
+    "--dh-keep",
     "--save-model",
     "--model",
     "--out-dir",

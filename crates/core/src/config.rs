@@ -43,12 +43,22 @@ pub struct MuxLinkConfig {
     /// Results are bit-identical for any value — chunking only bounds
     /// memory.
     pub sample_chunk: usize,
+    /// Train with the per-sample reference loop instead of the default
+    /// block-diagonal batched step. Bit-identical results either way
+    /// (with `dh_keep` at 1.0); the reference loop parallelises across
+    /// samples, the batched step removes per-sample dispatch overhead.
+    pub reference_trainer: bool,
+    /// Fraction of tanh-gradient entries kept per GC layer ≥ 1 in the
+    /// batched trainer (top-k by magnitude). `1.0` = exact (the
+    /// default); lower values are a tolerance-pinned approximation.
+    pub dh_keep: f32,
 }
 
-// Hand-written so checkpoints saved before the `sample_chunk` knob
-// existed still load: a missing field takes the production default
-// (chunking never changes results, so old artifacts re-score to the
-// same bits). The vendored derive has no `#[serde(default)]`.
+// Hand-written so checkpoints saved before the `sample_chunk`,
+// `reference_trainer` and `dh_keep` knobs existed still load: a missing
+// field takes the production default (none of these change the default
+// path's results, so old artifacts re-score to the same bits). The
+// vendored derive has no `#[serde(default)]`.
 impl Deserialize for MuxLinkConfig {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         Ok(Self {
@@ -66,6 +76,14 @@ impl Deserialize for MuxLinkConfig {
             sample_chunk: match map_get(v, "sample_chunk") {
                 Ok(x) => Deserialize::from_value(x)?,
                 Err(_) => MuxLinkConfig::default().sample_chunk,
+            },
+            reference_trainer: match map_get(v, "reference_trainer") {
+                Ok(x) => Deserialize::from_value(x)?,
+                Err(_) => MuxLinkConfig::default().reference_trainer,
+            },
+            dh_keep: match map_get(v, "dh_keep") {
+                Ok(x) => Deserialize::from_value(x)?,
+                Err(_) => MuxLinkConfig::default().dh_keep,
             },
         })
     }
@@ -86,6 +104,8 @@ impl Default for MuxLinkConfig {
             seed: 0,
             threads: 0,
             sample_chunk: 1024,
+            reference_trainer: false,
+            dh_keep: 1.0,
         }
     }
 }
@@ -116,6 +136,8 @@ impl MuxLinkConfig {
             seed: 0,
             threads: 0,
             sample_chunk: 1024,
+            reference_trainer: false,
+            dh_keep: 1.0,
         }
     }
 
@@ -153,6 +175,13 @@ impl MuxLinkConfig {
     #[must_use]
     pub fn with_sample_chunk(mut self, sample_chunk: usize) -> Self {
         self.sample_chunk = sample_chunk;
+        self
+    }
+
+    /// Returns a copy with a different minibatch size.
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
         self
     }
 }
@@ -221,5 +250,21 @@ mod tests {
             },
             cfg
         );
+    }
+
+    /// Checkpoints written before the batched-trainer knobs existed must
+    /// still load with the production defaults (batched, exact).
+    #[test]
+    fn pre_batched_trainer_checkpoints_still_deserialize() {
+        let cfg = MuxLinkConfig::quick().with_seed(6);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let legacy = json
+            .replace(",\"reference_trainer\":false", "")
+            .replace(",\"dh_keep\":1.0", "");
+        assert_ne!(legacy, json, "test must actually strip the fields");
+        let back: MuxLinkConfig = serde_json::from_str(&legacy).unwrap();
+        assert!(!back.reference_trainer);
+        assert_eq!(back.dh_keep, 1.0);
+        assert_eq!(back.seed, 6);
     }
 }

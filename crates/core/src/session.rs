@@ -114,6 +114,12 @@ fn validate_config(cfg: &MuxLinkConfig) -> Result<(), AttackError> {
             cfg.k_percentile
         )));
     }
+    if !(cfg.dh_keep > 0.0 && cfg.dh_keep <= 1.0) {
+        return Err(AttackError::InvalidConfig(format!(
+            "dh_keep must be in (0, 1], got {}",
+            cfg.dh_keep
+        )));
+    }
     Ok(())
 }
 
@@ -363,6 +369,8 @@ impl Prepared {
                 ..muxlink_gnn::AdamConfig::default()
             },
             seed: cfg.seed ^ TRAIN_SEED_XOR,
+            reference_loop: cfg.reference_trainer,
+            dh_keep: cfg.dh_keep,
         };
         let (outcome, workers) = with_pool(cfg.threads, |workers| {
             let mut model = Dgcnn::new(model_cfg);

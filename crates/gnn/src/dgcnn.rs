@@ -82,11 +82,11 @@ impl DgcnnConfig {
         self.gc_channels.iter().sum()
     }
 
-    fn k2(&self) -> usize {
+    pub(crate) fn k2(&self) -> usize {
         self.k / 2
     }
 
-    fn k3(&self) -> usize {
+    pub(crate) fn k3(&self) -> usize {
         self.k2() + 1 - self.conv2_kernel
     }
 }
@@ -97,16 +97,16 @@ impl DgcnnConfig {
 /// attack models can be checkpointed and reloaded.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Dgcnn {
-    cfg: DgcnnConfig,
-    gc: Vec<Param>,
-    conv1_w: Param,
-    conv1_b: Param,
-    conv2_w: Param,
-    conv2_b: Param,
-    dense1_w: Param,
-    dense1_b: Param,
-    dense2_w: Param,
-    dense2_b: Param,
+    pub(crate) cfg: DgcnnConfig,
+    pub(crate) gc: Vec<Param>,
+    pub(crate) conv1_w: Param,
+    pub(crate) conv1_b: Param,
+    pub(crate) conv2_w: Param,
+    pub(crate) conv2_b: Param,
+    pub(crate) dense1_w: Param,
+    pub(crate) dense1_b: Param,
+    pub(crate) dense2_w: Param,
+    pub(crate) dense2_b: Param,
 }
 
 /// All intermediate activations of one forward pass, retained for

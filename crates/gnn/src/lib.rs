@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod dgcnn;
 pub mod matrix;
 pub mod param;
@@ -52,6 +53,7 @@ pub mod sample;
 pub mod trainer;
 pub mod workspace;
 
+pub use batch::{BatchWorkspace, Minibatch};
 pub use dgcnn::{Cache, Dgcnn, DgcnnConfig};
 pub use matrix::Matrix;
 pub use muxlink_graph::{Csr, CsrView, OneHotFeatures, OneHotView, SampleArena, SampleHandle};

@@ -236,6 +236,33 @@ impl Matrix {
         }
     }
 
+    /// [`Matrix::t_matmul_into`] restricted to a contiguous row range:
+    /// `out = self[rows]ᵀ × rhs[rows]`, visiting the rows in ascending
+    /// order with [`Matrix::t_matmul_into`]'s exact inner loop — so over
+    /// `0..rows()` it reproduces the full product bit-for-bit, and over a
+    /// sample's row segment of a block-diagonal batch it reproduces that
+    /// sample's standalone `t_matmul` bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when row counts disagree or the range is out of bounds.
+    pub fn t_matmul_rows_into(&self, rhs: &Matrix, rows: std::ops::Range<usize>, out: &mut Matrix) {
+        assert_eq!(self.rows, rhs.rows, "t_matmul shape mismatch");
+        assert!(rows.end <= self.rows, "row range out of bounds");
+        out.resize(self.cols, rhs.cols);
+        for i in rows {
+            let (lrow, rrow) = (self.row(i), rhs.row(i));
+            for (&a, orow) in lrow.iter().zip(out.data.chunks_exact_mut(rhs.cols.max(1))) {
+                if a == 0.0 {
+                    continue;
+                }
+                for (o, &b) in orow.iter_mut().zip(rrow) {
+                    *o += a * b;
+                }
+            }
+        }
+    }
+
     /// `self × rhsᵀ` without materialising the transpose.
     ///
     /// # Panics
@@ -257,12 +284,56 @@ impl Matrix {
         assert_eq!(self.cols, rhs.cols, "matmul_t shape mismatch");
         // Every output entry is written (`*o = s`), so no pre-zeroing.
         out.resize_for_overwrite(self.rows, rhs.rows);
+        let rcols = rhs.cols.max(1);
         for (lrow, orow) in self
             .data
             .chunks_exact(self.cols.max(1))
             .zip(out.data.chunks_exact_mut(rhs.rows.max(1)))
         {
-            for (o, rrow) in orow.iter_mut().zip(rhs.data.chunks_exact(rhs.cols.max(1))) {
+            // Eight dots per pass. Each accumulator sums its own
+            // products in ascending column order — bit-identical to the
+            // one-dot-at-a-time loop — but the eight independent chains
+            // hide FP-add latency, which a single serial dot cannot
+            // (a lone `s += a * b` chain is ~4 cycles per element no
+            // matter how wide the machine is).
+            let mut oq = orow.chunks_exact_mut(8);
+            let mut rq = rhs.data.chunks_exact(8 * rcols);
+            for (os, rs) in (&mut oq).zip(&mut rq) {
+                let (r0, rest) = rs.split_at(rcols);
+                let (r1, rest) = rest.split_at(rcols);
+                let (r2, rest) = rest.split_at(rcols);
+                let (r3, rest) = rest.split_at(rcols);
+                let (r4, rest) = rest.split_at(rcols);
+                let (r5, rest) = rest.split_at(rcols);
+                let (r6, r7) = rest.split_at(rcols);
+                let mut s = [0.0f32; 8];
+                for ((((((((&a, &b0), &b1), &b2), &b3), &b4), &b5), &b6), &b7) in lrow
+                    .iter()
+                    .zip(r0)
+                    .zip(r1)
+                    .zip(r2)
+                    .zip(r3)
+                    .zip(r4)
+                    .zip(r5)
+                    .zip(r6)
+                    .zip(r7)
+                {
+                    s[0] += a * b0;
+                    s[1] += a * b1;
+                    s[2] += a * b2;
+                    s[3] += a * b3;
+                    s[4] += a * b4;
+                    s[5] += a * b5;
+                    s[6] += a * b6;
+                    s[7] += a * b7;
+                }
+                os.copy_from_slice(&s);
+            }
+            for (o, rrow) in oq
+                .into_remainder()
+                .iter_mut()
+                .zip(rq.remainder().chunks_exact(rcols))
+            {
                 let mut s = 0.0;
                 for (&a, &b) in lrow.iter().zip(rrow) {
                     s += a * b;

@@ -535,10 +535,34 @@ pub fn onehot_propagate_t_matmul_into<'a, 'b>(
 ) {
     let (adj, x) = (adj.into(), x.into());
     let n = adj.node_count();
+    onehot_propagate_t_matmul_rows_into(adj, x, g, 0..n, gw, scratch);
+}
+
+/// [`onehot_propagate_t_matmul_into`] restricted to a contiguous row
+/// range: `gw = (S·X)[rows]ᵀ·G[rows]`, rows visited ascending. Over one
+/// sample's row segment of a block-diagonal batch (whose neighbour runs
+/// never leave the segment) this reproduces that sample's standalone
+/// `dW₀` bit-for-bit — the segmented reduction the batched trainer needs
+/// to keep per-sample gradient subtotals in merge order.
+///
+/// # Panics
+///
+/// Panics when shapes disagree or the range is out of bounds.
+pub fn onehot_propagate_t_matmul_rows_into<'a, 'b>(
+    adj: impl Into<CsrView<'a>>,
+    x: impl Into<OneHotView<'b>>,
+    g: &Matrix,
+    rows: std::ops::Range<usize>,
+    gw: &mut Matrix,
+    scratch: &mut OneHotSpmmScratch,
+) {
+    let (adj, x) = (adj.into(), x.into());
+    let n = adj.node_count();
     assert_eq!(x.rows(), n, "row count mismatch");
     assert_eq!(g.rows(), n, "gradient row count mismatch");
+    assert!(rows.end <= n, "row range out of bounds");
     gw.resize(x.cols(), g.cols());
-    for i in 0..n {
+    for i in rows {
         scratch.build_row(adj, x, i);
         let scale = adj.scale(i);
         let grow = g.row(i);
@@ -587,6 +611,64 @@ pub fn propagate_into<'a>(adj: impl Into<CsrView<'a>>, h: &Matrix, out: &mut Mat
         let scale = adj.scale(i);
         for o in orow {
             *o *= scale;
+        }
+    }
+}
+
+/// **Bit-exact** fused propagate + GEMM: one pass computing both
+/// `prop = S·H` and `out = (S·H)·W` — the body of every hidden GC layer,
+/// one kernel call per layer per (block-diagonal) batch.
+///
+/// Per row `i` it first materialises row `i` of `S·H` exactly as
+/// [`propagate_into`] does (own row, neighbours ascending, then the
+/// scale), then immediately multiplies that row into `out` in
+/// [`Matrix::matmul_into`]'s exact inner order (columns `k` ascending,
+/// `a == 0.0` skipped). Both outputs are therefore bitwise identical to
+/// the unfused `propagate_into` + `matmul_into` pair — `prop` is still
+/// written because the backward pass needs `(S·H)ᵀ` — while the
+/// propagated row is consumed straight from cache instead of after a
+/// full second sweep.
+///
+/// # Panics
+///
+/// Panics when shapes disagree.
+pub fn propagate_matmul_into<'a>(
+    adj: impl Into<CsrView<'a>>,
+    h: &Matrix,
+    w: &Matrix,
+    prop: &mut Matrix,
+    out: &mut Matrix,
+) {
+    let adj = adj.into();
+    let n = adj.node_count();
+    let c = h.cols();
+    assert_eq!(h.rows(), n);
+    assert_eq!(w.rows(), c, "weight row count mismatch");
+    prop.resize_for_overwrite(n, c);
+    out.resize(n, w.cols());
+    for i in 0..n {
+        {
+            let prow = prop.row_mut(i);
+            prow.copy_from_slice(h.row(i));
+            for &j in adj.neighbors(i) {
+                for (o, &b) in prow.iter_mut().zip(h.row(j as usize)) {
+                    *o += b;
+                }
+            }
+            let scale = adj.scale(i);
+            for o in prow.iter_mut() {
+                *o *= scale;
+            }
+        }
+        let prow = prop.row(i);
+        let orow = out.row_mut(i);
+        for (k, &a) in prow.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            for (o, &b) in orow.iter_mut().zip(w.row(k)) {
+                *o += a * b;
+            }
         }
     }
 }
@@ -824,6 +906,41 @@ mod tests {
                 "{a} vs {b}"
             );
         }
+    }
+
+    /// The fused propagate+GEMM must reproduce both outputs of the
+    /// unfused pair bit-for-bit, including from dirty reused buffers.
+    #[test]
+    fn fused_propagate_matmul_matches_unfused_bitwise() {
+        let adj = Csr::from_lists(&[vec![1, 2, 4], vec![0, 3], vec![0], vec![1, 4], vec![0, 3]]);
+        let mut rng = seeded_rng(17);
+        let h = Matrix::glorot(5, 7, &mut rng);
+        let w = Matrix::glorot(7, 4, &mut rng);
+        let prop_ref = propagate(&adj, &h);
+        let out_ref = prop_ref.matmul(&w);
+        let mut prop = Matrix::from_vec(1, 1, vec![9.0]); // dirty buffers
+        let mut out = Matrix::from_vec(2, 1, vec![8.0, 8.0]);
+        for _ in 0..2 {
+            propagate_matmul_into(&adj, &h, &w, &mut prop, &mut out);
+            assert_eq!(prop, prop_ref, "propagated matrix diverged");
+            assert_eq!(out, out_ref, "fused product diverged");
+        }
+    }
+
+    /// The rows-range one-hot backward over a block's segment must equal
+    /// the standalone kernel on that block alone.
+    #[test]
+    fn onehot_rows_range_backward_matches_standalone() {
+        let x = tiny_onehot();
+        let adj = Csr::from_lists(&[vec![1, 2], vec![0, 3], vec![0], vec![1]]);
+        let mut rng = seeded_rng(19);
+        let g = Matrix::glorot(4, 6, &mut rng);
+        let mut scratch = OneHotSpmmScratch::default();
+        let mut full = Matrix::default();
+        onehot_propagate_t_matmul_into(&adj, &x, &g, &mut full, &mut scratch);
+        let mut ranged = Matrix::from_vec(1, 1, vec![7.0]);
+        onehot_propagate_t_matmul_rows_into(&adj, &x, &g, 0..4, &mut ranged, &mut scratch);
+        assert_eq!(ranged, full);
     }
 
     #[test]

@@ -2,31 +2,42 @@
 //! (the paper trains 100 epochs with Adam at lr 1e-4 and keeps the model
 //! that performs best on the 10 % validation split).
 //!
-//! # Parallelism and determinism
+//! # Batched and reference loops
 //!
-//! Each minibatch member's forward/backward runs on the ambient rayon
-//! pool (size it with `rayon::ThreadPool::install`), with one reused
-//! [`crate::workspace::Workspace`] per worker so the
+//! The default batch body is the **block-diagonal batched step**
+//! ([`Dgcnn::batch_train_step`]): the minibatch is packed into one
+//! block-diagonal CSR + stacked feature matrix
+//! ([`crate::batch::Minibatch`]) and each layer runs as one fused
+//! kernel over the whole batch — no per-sample dispatch, no per-sample
+//! gradient slots, no slot merge. The step is sequential and reduces
+//! gradients in sample order internally, so it is trivially
+//! thread-count invariant — and it is **bit-identical** to the
+//! reference loop below (the property suite pins this).
+//!
+//! Setting [`TrainConfig::reference_loop`] selects the per-sample
+//! loop: each minibatch member's forward/backward runs on the ambient
+//! rayon pool (size it with `rayon::ThreadPool::install`), with one
+//! reused [`crate::workspace::Workspace`] per worker so the
 //! activation and scratch buffers allocate once per thread, not once
 //! per sample. Each sample writes its
 //! [`Gradients`](crate::param::Gradients) into a pre-sized slot of a
 //! batch-wide pool that is reused across every batch of the run — the
 //! steady-state batch loop performs **no per-sample gradient or
-//! activation allocations** (the per-sample gradient tensors it
-//! replaced sat above malloc's mmap threshold and cost a page-fault
-//! storm per batch; only small per-batch bookkeeping `Vec`s remain).
-//! Slots are then
+//! activation allocations**. Slots are then
 //! reduced **in sample order** and dropout seeds are pre-drawn
 //! sequentially from the training RNG, so the result is bit-identical
 //! for any thread count: keeping one slot per sample — rather than
 //! merging inside the workers — is what preserves the fixed reduction
-//! order.
+//! order. The reference loop remains the executable oracle of the
+//! batched step and the faster choice on many-core hosts with large
+//! per-sample graphs.
 
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use crate::batch::{BatchWorkspace, Minibatch};
 use crate::dgcnn::Dgcnn;
 use crate::matrix::seeded_rng;
 use crate::param::AdamConfig;
@@ -44,6 +55,16 @@ pub struct TrainConfig {
     pub adam: AdamConfig,
     /// Shuffling/dropout seed.
     pub seed: u64,
+    /// Use the per-sample reference loop instead of the block-diagonal
+    /// batched step. Bit-identical outputs either way (when `dh_keep`
+    /// is 1.0); the reference loop parallelises across samples, the
+    /// batched step avoids per-sample dispatch and slot traffic.
+    pub reference_loop: bool,
+    /// Fraction of tanh-gradient entries kept per GC layer ≥ 1 in the
+    /// batched step (top-k by magnitude). `1.0` = exact (default);
+    /// anything lower is a tolerance-pinned approximation and leaves
+    /// the bit-exact contract. Ignored by the reference loop.
+    pub dh_keep: f32,
 }
 
 impl Default for TrainConfig {
@@ -53,6 +74,8 @@ impl Default for TrainConfig {
             batch_size: 32,
             adam: AdamConfig::default(),
             seed: 0,
+            reference_loop: false,
+            dh_keep: 1.0,
         }
     }
 }
@@ -207,9 +230,16 @@ pub fn train_controlled<S: SampleStore + ?Sized, V: SampleStore + ?Sized>(
     // overwrites its slot, so no per-sample gradient allocation ever
     // happens. (Keeping one slot per sample — rather than merging inside
     // the workers — is what preserves the fixed sample-order reduction.)
-    let mut grad_slots: Vec<crate::param::Gradients> =
-        (0..cfg.batch_size).map(|_| model.new_gradients()).collect();
+    // The batched path needs no slots: its minibatch assembler and
+    // batch workspace are reused the same way.
+    let mut grad_slots: Vec<crate::param::Gradients> = if cfg.reference_loop {
+        (0..cfg.batch_size).map(|_| model.new_gradients()).collect()
+    } else {
+        Vec::new()
+    };
     let mut acc = model.new_gradients();
+    let mut mb = Minibatch::new();
+    let mut bws = BatchWorkspace::new();
 
     for epoch in 1..=cfg.epochs {
         order.shuffle(&mut rng);
@@ -232,31 +262,44 @@ pub fn train_controlled<S: SampleStore + ?Sized, V: SampleStore + ?Sized>(
             if jobs.is_empty() {
                 continue;
             }
-            // Per-sample forward/backward in parallel against frozen
-            // weights, each worker streaming through one reused
-            // workspace and writing gradients into its sample's slot;
-            // `collect` preserves job order.
-            let frozen: &Dgcnn = model;
-            let losses: Vec<f64> = grad_slots[..jobs.len()]
-                .par_iter_mut()
-                .zip(jobs.par_iter())
-                .map_init(Workspace::new, |ws, (grads, &(i, dropout_seed))| {
-                    let s = train.view(i);
-                    let label = s.label.expect("jobs are pre-filtered to labelled samples");
-                    let mut dropout_rng = seeded_rng(dropout_seed);
-                    frozen.forward_into(s, Some(&mut dropout_rng), ws);
-                    frozen.backward_into(s, label, ws, grads);
-                    f64::from(ws.cache.loss(label))
-                })
-                .collect();
-            // Deterministic reduction: fold losses and gradients in
-            // sample order, independent of which thread produced them.
-            for loss in &losses {
-                epoch_loss += loss;
-            }
-            acc.copy_from(&grad_slots[0]);
-            for g in &grad_slots[1..jobs.len()] {
-                acc.merge(g);
+            if cfg.reference_loop {
+                // Per-sample forward/backward in parallel against frozen
+                // weights, each worker streaming through one reused
+                // workspace and writing gradients into its sample's slot;
+                // `collect` preserves job order.
+                let frozen: &Dgcnn = model;
+                let losses: Vec<f64> = grad_slots[..jobs.len()]
+                    .par_iter_mut()
+                    .zip(jobs.par_iter())
+                    .map_init(Workspace::new, |ws, (grads, &(i, dropout_seed))| {
+                        let s = train.view(i);
+                        let label = s.label.expect("jobs are pre-filtered to labelled samples");
+                        let mut dropout_rng = seeded_rng(dropout_seed);
+                        frozen.forward_into(s, Some(&mut dropout_rng), ws);
+                        frozen.backward_into(s, label, ws, grads);
+                        f64::from(ws.cache.loss(label))
+                    })
+                    .collect();
+                // Deterministic reduction: fold losses and gradients in
+                // sample order, independent of which thread produced them.
+                for loss in &losses {
+                    epoch_loss += loss;
+                }
+                acc.copy_from(&grad_slots[0]);
+                for g in &grad_slots[1..jobs.len()] {
+                    acc.merge(g);
+                }
+            } else {
+                // Block-diagonal batched step: one fused kernel per
+                // layer over the whole minibatch, gradients reduced in
+                // sample order internally — the same bits as the slot
+                // merge above, with per-sample losses folded in the
+                // same job order.
+                mb.assemble(train, &jobs);
+                model.batch_train_step(&mb, cfg.dh_keep, &mut bws, &mut acc);
+                for loss in &bws.losses {
+                    epoch_loss += loss;
+                }
             }
             step += 1;
             model.adam_step(&acc, &cfg.adam, step, 1.0 / jobs.len() as f32);
@@ -370,6 +413,7 @@ mod tests {
                 ..AdamConfig::default()
             },
             seed: 3,
+            ..TrainConfig::default()
         };
         let report = train(&mut model, train_set, val_set, &cfg);
         assert!(
@@ -451,6 +495,31 @@ mod tests {
             "TrainReport must be bit-identical across thread counts"
         );
         assert_eq!(p1, p4, "weights must be bit-identical across thread counts");
+    }
+
+    /// The default batched loop and the per-sample reference loop must
+    /// produce bit-identical reports and weights — including with
+    /// partial final batches and dropout enabled.
+    #[test]
+    fn batched_loop_is_bit_identical_to_reference_loop() {
+        let data = toy_dataset(22, 13);
+        for batch_size in [1usize, 5, 8] {
+            let cfg_batched = TrainConfig {
+                epochs: 3,
+                batch_size,
+                ..TrainConfig::default()
+            };
+            let cfg_ref = TrainConfig {
+                reference_loop: true,
+                ..cfg_batched.clone()
+            };
+            let mut mb = Dgcnn::new(toy_cfg());
+            let mut mr = Dgcnn::new(toy_cfg());
+            let rb = train(&mut mb, &data[..18], &data[18..], &cfg_batched);
+            let rr = train(&mut mr, &data[..18], &data[18..], &cfg_ref);
+            assert_eq!(rb, rr, "batch_size {batch_size}: reports diverged");
+            assert_eq!(mb.snapshot(), mr.snapshot(), "batch_size {batch_size}");
+        }
     }
 
     #[test]

@@ -1,0 +1,347 @@
+//! Block-diagonal minibatch assembly: many samples, one CSR.
+//!
+//! The DGCNN propagation operator never mixes rows of different samples,
+//! so a minibatch of subgraphs can be packed into **one** graph whose
+//! adjacency is block-diagonal: sample `s`'s local node `i` becomes
+//! global node `node_starts[s] + i`, every neighbour run is rebased by
+//! the same constant, and the per-node propagation scales are copied
+//! verbatim. The result is a perfectly ordinary CSR — the GNN kernels
+//! run over it unchanged, one call per layer per batch instead of one
+//! per layer per sample — and, because each kernel is row-wise, every
+//! output row carries exactly the bits the per-sample call would have
+//! produced.
+//!
+//! [`BlockDiagBatch`] is the reusable assembler: [`BlockDiagBatch::push`]
+//! appends one sample's borrowed views (owned or arena-backed — both
+//! arrive as [`CsrView`]/[`OneHotView`], so both storage paths batch
+//! identically), [`BlockDiagBatch::clear`] resets while keeping slab
+//! capacity, and [`BlockDiagBatch::adj`]/[`BlockDiagBatch::features`]
+//! yield whole-batch views. Per-sample row boundaries are retained
+//! ([`BlockDiagBatch::node_range`]) for the stages that *are*
+//! sample-aware: SortPooling and the segmented gradient reductions.
+//!
+//! # Determinism contract
+//!
+//! Rebasing adds a constant to every neighbour index of a sample, so
+//! each run stays sorted and deduplicated — the batch CSR honours the
+//! same contract as [`crate::csr::Csr`], and neighbour iteration order
+//! within any sample's rows is exactly the per-sample order. Scales are
+//! copied bit-for-bit, never recomputed. Two-hot feature columns are
+//! recorded post-clamp via [`OneHotView::columns`], which is idempotent,
+//! so the batch view emits the same column indices as the per-sample
+//! views it was filled from.
+
+use muxlink_netlist::GATE_TYPE_COUNT;
+
+use crate::csr::CsrView;
+use crate::features::OneHotView;
+
+/// Reusable block-diagonal concatenation of a minibatch's samples — see
+/// the [module docs](self) for layout and determinism.
+#[derive(Debug, Clone)]
+pub struct BlockDiagBatch {
+    /// Global row offsets (`total_nodes + 1`, cumulative over samples).
+    offsets: Vec<u32>,
+    /// Concatenated neighbour runs, rebased to global node indices.
+    neighbors: Vec<u32>,
+    /// Concatenated per-node propagation scales, copied verbatim.
+    scales: Vec<f32>,
+    /// Concatenated per-node gate-type columns (two-hot batches only).
+    gate: Vec<u32>,
+    /// Concatenated per-node clamped label offsets (two-hot batches only).
+    label: Vec<u32>,
+    /// First global node of each sample (`sample_count + 1` entries).
+    node_starts: Vec<u32>,
+    /// Dense feature width of the two-hot slabs (0 until the first
+    /// [`BlockDiagBatch::push`] with features).
+    cols: usize,
+}
+
+impl Default for BlockDiagBatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BlockDiagBatch {
+    /// An empty batch; slabs grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            offsets: vec![0],
+            neighbors: Vec::new(),
+            scales: Vec::new(),
+            gate: Vec::new(),
+            label: Vec::new(),
+            node_starts: vec![0],
+            cols: 0,
+        }
+    }
+
+    /// Drops every sample while keeping slab capacity (the per-batch
+    /// reset of the training loop: steady-state refills allocate
+    /// nothing).
+    pub fn clear(&mut self) {
+        self.offsets.clear();
+        self.offsets.push(0);
+        self.neighbors.clear();
+        self.scales.clear();
+        self.gate.clear();
+        self.label.clear();
+        self.node_starts.clear();
+        self.node_starts.push(0);
+        self.cols = 0;
+    }
+
+    /// Number of samples in the batch.
+    #[must_use]
+    pub fn sample_count(&self) -> usize {
+        self.node_starts.len() - 1
+    }
+
+    /// Total node count over all samples.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when no samples have been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sample_count() == 0
+    }
+
+    /// Global node range `[start, end)` of sample `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `s` is out of range.
+    #[must_use]
+    pub fn node_range(&self, s: usize) -> std::ops::Range<usize> {
+        self.node_starts[s] as usize..self.node_starts[s + 1] as usize
+    }
+
+    /// First-global-node table (`sample_count + 1` entries, cumulative).
+    #[must_use]
+    pub fn node_starts(&self) -> &[u32] {
+        &self.node_starts
+    }
+
+    /// Appends one sample: the adjacency block (neighbour indices rebased
+    /// to global node ids, scales verbatim) and, when given, its two-hot
+    /// feature rows (columns recorded post-clamp, so any later read
+    /// re-clamps into the same values).
+    ///
+    /// Feature pushes must be all-or-none across a batch, with one dense
+    /// width throughout.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a feature view disagrees with the adjacency on row
+    /// count or with earlier pushes on width, or when features were
+    /// given for some samples of the batch but not others.
+    pub fn push(&mut self, adj: CsrView<'_>, features: Option<OneHotView<'_>>) {
+        let base = self.node_count() as u32;
+        let n = adj.node_count();
+        for i in 0..n {
+            self.neighbors
+                .extend(adj.neighbors(i).iter().map(|&j| base + j));
+            self.neighbors
+                .len()
+                .try_into()
+                .map(|len| self.offsets.push(len))
+                .expect("batch neighbour slab exceeds u32 addressing");
+            self.scales.push(adj.scale(i));
+        }
+        if let Some(x) = features {
+            assert_eq!(x.rows(), n, "feature rows disagree with adjacency");
+            assert!(
+                self.cols == 0 || self.cols == x.cols(),
+                "feature width changed mid-batch"
+            );
+            self.cols = x.cols();
+            for i in 0..n {
+                let (g, l) = x.columns(i);
+                self.gate.push(g as u32);
+                self.label.push((l - GATE_TYPE_COUNT) as u32);
+            }
+        } else {
+            assert!(
+                self.cols == 0,
+                "feature pushes must be all-or-none across a batch"
+            );
+        }
+        self.node_starts.push(self.node_count() as u32);
+    }
+
+    /// Borrowed CSR adjacency of the whole batch — a valid block-diagonal
+    /// graph every GNN kernel consumes unchanged.
+    #[must_use]
+    pub fn adj(&self) -> CsrView<'_> {
+        CsrView::from_raw_parts(&self.offsets, &self.neighbors, &self.scales)
+    }
+
+    /// Borrowed two-hot features of the whole batch (row
+    /// `node_starts[s] + i` is row `i` of sample `s`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the batch was assembled without feature views.
+    #[must_use]
+    pub fn features(&self) -> OneHotView<'_> {
+        assert!(
+            self.cols > 0 && self.gate.len() == self.node_count(),
+            "batch holds no two-hot features"
+        );
+        OneHotView::from_raw_parts(self.cols, &self.gate, &self.label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::SampleArena;
+    use crate::csr::Csr;
+    use crate::features::{feature_cols, one_hot_features, OneHotFeatures};
+    use crate::graph::{CircuitGraph, Link};
+    use crate::subgraph::enclosing_subgraph;
+    use muxlink_netlist::{GateId, GateType};
+
+    fn samples() -> Vec<(Csr, OneHotFeatures)> {
+        let adjs = [
+            Csr::from_lists(&[vec![1, 2], vec![0], vec![0]]),
+            Csr::from_lists(&[vec![1], vec![0, 2, 3], vec![1], vec![1]]),
+            Csr::from_lists(&[vec![], vec![]]),
+        ];
+        adjs.into_iter()
+            .enumerate()
+            .map(|(s, adj)| {
+                let n = adj.node_count();
+                let gate = (0..n).map(|i| ((i + s) % 8) as u32).collect();
+                let label = (0..n).map(|i| ((i * 2 + s) % 4) as u32).collect();
+                let x = OneHotFeatures::new(feature_cols(3), gate, label);
+                (adj, x)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blocks_reproduce_per_sample_rows_and_scales() {
+        let samples = samples();
+        let mut batch = BlockDiagBatch::new();
+        for (adj, x) in &samples {
+            batch.push(adj.view(), Some(x.view()));
+        }
+        assert_eq!(batch.sample_count(), 3);
+        assert_eq!(batch.node_count(), 9);
+        let view = batch.adj();
+        let feats = batch.features();
+        for (s, (adj, x)) in samples.iter().enumerate() {
+            let range = batch.node_range(s);
+            assert_eq!(range.len(), adj.node_count());
+            let base = range.start;
+            for i in 0..adj.node_count() {
+                let expect: Vec<u32> = adj.neighbors(i).iter().map(|&j| j + base as u32).collect();
+                assert_eq!(view.neighbors(base + i), &expect[..]);
+                assert_eq!(view.scale(base + i).to_bits(), adj.scale(i).to_bits());
+                assert_eq!(feats.columns(base + i), x.columns(i));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_of_one_equals_the_sample() {
+        let (adj, x) = samples().remove(1);
+        let mut batch = BlockDiagBatch::new();
+        batch.push(adj.view(), Some(x.view()));
+        assert_eq!(batch.adj().to_owned_csr(), adj);
+        assert_eq!(batch.features().to_owned_features(), x);
+    }
+
+    #[test]
+    fn clear_resets_for_reuse() {
+        let samples = samples();
+        let mut batch = BlockDiagBatch::new();
+        for (adj, x) in &samples {
+            batch.push(adj.view(), Some(x.view()));
+        }
+        batch.clear();
+        assert!(batch.is_empty());
+        assert_eq!(batch.node_count(), 0);
+        // Refill with a different subset: identical to a fresh batch.
+        let mut fresh = BlockDiagBatch::new();
+        for (adj, x) in samples.iter().rev() {
+            batch.push(adj.view(), Some(x.view()));
+            fresh.push(adj.view(), Some(x.view()));
+        }
+        assert_eq!(batch.adj().to_owned_csr(), fresh.adj().to_owned_csr());
+        assert_eq!(
+            batch.features().to_owned_features(),
+            fresh.features().to_owned_features()
+        );
+    }
+
+    #[test]
+    fn adjacency_only_batches_supported() {
+        let samples = samples();
+        let mut batch = BlockDiagBatch::new();
+        for (adj, _) in &samples {
+            batch.push(adj.view(), None);
+        }
+        assert_eq!(batch.node_count(), 9);
+        assert_eq!(batch.adj().node_count(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "all-or-none")]
+    fn mixed_feature_pushes_rejected() {
+        let samples = samples();
+        let mut batch = BlockDiagBatch::new();
+        batch.push(samples[0].0.view(), Some(samples[0].1.view()));
+        batch.push(samples[1].0.view(), None);
+    }
+
+    /// Arena-backed views batch to the same bits as owned views — the
+    /// storage-path equivalence the per-sample pipeline guarantees must
+    /// survive batching.
+    #[test]
+    fn arena_and_owned_views_batch_identically() {
+        let n = 24;
+        let mut edges: Vec<Link> = (0..n)
+            .map(|i| Link::new(i as u32, ((i + 1) % n) as u32))
+            .collect();
+        edges.push(Link::new(0, (n / 2) as u32));
+        let g = CircuitGraph::from_edges(
+            (0..n).map(GateId::from_index).collect(),
+            vec![GateType::Nand; n],
+            &edges,
+        );
+        let links = [Link::new(0, 5), Link::new(3, 11), Link::new(7, 8)];
+        let mut arena = SampleArena::new();
+        let handles: Vec<_> = links
+            .iter()
+            .map(|&l| arena.extract_sample(&g, l, 2, None, None))
+            .collect();
+        let budget = arena.max_label();
+
+        let mut from_arena = BlockDiagBatch::new();
+        for &h in &handles {
+            from_arena.push(arena.adj(h), Some(arena.one_hot(h, budget)));
+        }
+        let mut from_owned = BlockDiagBatch::new();
+        for &l in &links {
+            let sg = enclosing_subgraph(&g, l, 2, None);
+            let x = one_hot_features(&sg, budget);
+            from_owned.push(sg.adj.view(), Some(x.view()));
+        }
+        assert_eq!(
+            from_arena.adj().to_owned_csr(),
+            from_owned.adj().to_owned_csr()
+        );
+        assert_eq!(
+            from_arena.features().to_owned_features(),
+            from_owned.features().to_owned_features()
+        );
+        assert_eq!(from_arena.node_starts(), from_owned.node_starts());
+    }
+}

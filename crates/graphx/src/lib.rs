@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod arena;
+pub mod batch;
 pub mod csr;
 pub mod dataset;
 pub mod drnl;
@@ -40,6 +41,7 @@ pub(crate) mod scratch;
 pub mod subgraph;
 
 pub use arena::{SampleArena, SampleHandle};
+pub use batch::BlockDiagBatch;
 pub use csr::{Csr, CsrBuilder, CsrView};
 pub use dataset::{build_dataset, build_dataset_arena, ArenaDataset, Dataset, LinkSample};
 pub use extract::{extract, ExtractError, ExtractedDesign, MuxCandidate};

@@ -1,0 +1,289 @@
+//! Cross-crate contract of the block-diagonal batched trainer (the
+//! default since PR 6): the batched loop — one fused propagate+GEMM per
+//! layer per minibatch — must be **bitwise identical** to the
+//! per-sample reference loop, across batch sizes, thread counts and
+//! storage backends, and the full attack must recover the identical
+//! key either way.
+
+use muxlink_core::scoring::to_graph_sample;
+use muxlink_core::{attack, MuxLinkConfig};
+use muxlink_gnn::matrix::seeded_rng;
+use muxlink_gnn::{
+    train, ArenaSamples, BatchWorkspace, Dgcnn, DgcnnConfig, Gradients, GraphSample, Matrix,
+    Minibatch, TrainConfig, TrainReport, Workspace,
+};
+use muxlink_graph::dataset::{build_dataset, build_dataset_arena, DatasetConfig, LinkSample};
+use muxlink_graph::extract;
+use muxlink_locking::{dmux, LockOptions};
+use proptest::prelude::*;
+use rand::Rng;
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool")
+}
+
+fn owned_graph_samples(samples: &[LinkSample], max_label: u32) -> Vec<GraphSample> {
+    samples
+        .iter()
+        .map(|s| to_graph_sample(&s.subgraph, max_label, Some(s.label)))
+        .collect()
+}
+
+/// Real enclosing-subgraph datasets (compact one-hot features, varied
+/// sizes) from a locked synthetic design.
+fn subgraph_dataset() -> (Vec<GraphSample>, Vec<GraphSample>, usize) {
+    let design = muxlink_benchgen::synth::SynthConfig::new("bt", 14, 6, 220).generate(7);
+    let locked = dmux::lock(&design, &LockOptions::new(6, 3)).unwrap();
+    let ex = extract(&locked.netlist, &locked.key_input_names()).unwrap();
+    let ds_cfg = DatasetConfig {
+        h: 2,
+        max_train_links: 200,
+        val_fraction: 0.1,
+        max_subgraph_nodes: Some(80),
+        seed: 3,
+        chunk: 32,
+    };
+    let owned = build_dataset(&ex.graph, &ex.target_links(), &ds_cfg);
+    let input_dim = muxlink_graph::features::feature_cols(owned.max_label);
+    (
+        owned_graph_samples(&owned.train, owned.max_label),
+        owned_graph_samples(&owned.val, owned.max_label),
+        input_dim,
+    )
+}
+
+fn model_bits(model: &Dgcnn) -> String {
+    serde_json::to_string(model).expect("model serializes")
+}
+
+fn train_with(
+    train_set: &[GraphSample],
+    val_set: &[GraphSample],
+    input_dim: usize,
+    batch_size: usize,
+    reference_loop: bool,
+) -> (TrainReport, String) {
+    let cfg = TrainConfig {
+        epochs: 3,
+        batch_size,
+        reference_loop,
+        ..TrainConfig::default()
+    };
+    let mut model = Dgcnn::new(DgcnnConfig::paper(input_dim, 10));
+    let report = train(&mut model, train_set, val_set, &cfg);
+    (report, model_bits(&model))
+}
+
+/// The tentpole contract on real subgraphs: the block-diagonal batched
+/// loop reproduces the per-sample reference loop bit for bit — history,
+/// best epoch and every model weight — at batch sizes 1, 7 and 32.
+#[test]
+fn batched_loop_matches_reference_across_batch_sizes() {
+    let (train_set, val_set, input_dim) = subgraph_dataset();
+    for batch_size in [1usize, 7, 32] {
+        let reference = train_with(&train_set, &val_set, input_dim, batch_size, true);
+        let batched = train_with(&train_set, &val_set, input_dim, batch_size, false);
+        assert_eq!(
+            reference.0, batched.0,
+            "batch {batch_size}: training history diverged"
+        );
+        assert_eq!(
+            reference.1, batched.1,
+            "batch {batch_size}: model weights diverged"
+        );
+    }
+}
+
+/// Thread invariance: the reference loop parallelises across samples,
+/// the batched loop is sequential — both must agree from any pool.
+/// CI runs this test by name at 2 threads.
+#[test]
+fn batched_loop_matches_reference_at_two_threads() {
+    let (train_set, val_set, input_dim) = subgraph_dataset();
+    let baseline = pool(1).install(|| train_with(&train_set, &val_set, input_dim, 8, false));
+    for threads in [2usize, 4] {
+        let reference =
+            pool(threads).install(|| train_with(&train_set, &val_set, input_dim, 8, true));
+        let batched =
+            pool(threads).install(|| train_with(&train_set, &val_set, input_dim, 8, false));
+        assert_eq!(baseline, reference, "{threads}-thread reference diverged");
+        assert_eq!(baseline, batched, "{threads}-thread batched diverged");
+    }
+}
+
+/// Storage invariance: the batched assembler copies blocks out of owned
+/// `Vec`s and arena slabs through the same `SampleStore` views — the
+/// trained model must be identical either way.
+#[test]
+fn batched_loop_is_storage_invariant_owned_vs_arena() {
+    let design = muxlink_benchgen::synth::SynthConfig::new("bts", 14, 6, 220).generate(9);
+    let locked = dmux::lock(&design, &LockOptions::new(6, 3)).unwrap();
+    let ex = extract(&locked.netlist, &locked.key_input_names()).unwrap();
+    let ds_cfg = DatasetConfig {
+        h: 2,
+        max_train_links: 160,
+        val_fraction: 0.1,
+        max_subgraph_nodes: Some(80),
+        seed: 5,
+        chunk: 24,
+    };
+    let targets = ex.target_links();
+    let owned = build_dataset(&ex.graph, &targets, &ds_cfg);
+    let pooled = build_dataset_arena(&ex.graph, &targets, &ds_cfg);
+    let max_label = owned.max_label;
+    let input_dim = muxlink_graph::features::feature_cols(max_label);
+    let otrain = owned_graph_samples(&owned.train, max_label);
+    let oval = owned_graph_samples(&owned.val, max_label);
+
+    let cfg = TrainConfig {
+        epochs: 3,
+        batch_size: 8,
+        ..TrainConfig::default()
+    };
+    let mut om = Dgcnn::new(DgcnnConfig::paper(input_dim, 10));
+    let or = train(&mut om, &otrain, &oval, &cfg);
+    let mut am = Dgcnn::new(DgcnnConfig::paper(input_dim, 10));
+    let ar = pool(4).install(|| {
+        let tr = ArenaSamples::select(&pooled.arena, &pooled.train, max_label);
+        let va = ArenaSamples::select(&pooled.arena, &pooled.val, max_label);
+        train(&mut am, &tr, &va, &cfg)
+    });
+    assert_eq!(or, ar, "owned vs arena history diverged");
+    assert_eq!(model_bits(&om), model_bits(&am), "weights diverged");
+}
+
+/// End to end: the recovered key must be identical between the default
+/// batched trainer and `reference_trainer: true` — the whole point of
+/// the perf work is that nothing downstream can tell the difference.
+#[test]
+fn full_attack_recovers_identical_key_with_batched_trainer() {
+    let design = muxlink_benchgen::synth::SynthConfig::new("btk", 14, 6, 260).generate(11);
+    let locked = dmux::lock(&design, &LockOptions::new(8, 3)).unwrap();
+    let run = |reference_trainer: bool| {
+        let mut cfg = MuxLinkConfig::quick().with_seed(4).with_threads(1);
+        cfg.reference_trainer = reference_trainer;
+        attack(&locked.netlist, &locked.key_input_names(), &cfg).expect("attack runs")
+    };
+    let batched = run(false);
+    let reference = run(true);
+    assert_eq!(
+        batched.guess, reference.guess,
+        "recovered key must not depend on the trainer loop"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Property tests: one batched step vs the per-sample reference loop.
+// ---------------------------------------------------------------------
+
+/// A small random labelled sample on one of three graph shapes
+/// (including an isolated node), dense features.
+fn random_sample(rng: &mut impl Rng) -> GraphSample {
+    let adj = match rng.gen_range(0u8..3) {
+        0 => muxlink_graph::Csr::from_lists(&[vec![1], vec![0, 2], vec![1, 3], vec![2]]),
+        1 => muxlink_graph::Csr::from_lists(&[vec![1, 2], vec![0], vec![0], vec![]]),
+        _ => {
+            muxlink_graph::Csr::from_lists(&[vec![1], vec![0, 2, 4], vec![1], vec![4], vec![1, 3]])
+        }
+    };
+    let n = adj.node_count();
+    let mut features = Matrix::zeros(n, 5);
+    for i in 0..n {
+        for c in 0..5 {
+            features.set(i, c, rng.gen_range(-1.0..1.0));
+        }
+    }
+    GraphSample {
+        adj,
+        features: features.into(),
+        label: Some(rng.gen()),
+    }
+}
+
+fn tiny_cfg() -> DgcnnConfig {
+    DgcnnConfig {
+        input_dim: 5,
+        gc_channels: vec![3, 2, 1],
+        conv1_channels: 2,
+        conv2_channels: 2,
+        conv2_kernel: 2,
+        dense_dim: 4,
+        dropout: 0.5,
+        k: 4,
+        seed: 3,
+    }
+}
+
+/// Exactly the reference-loop gradient accumulation of
+/// `trainer::train_controlled`: per-sample forward/backward, first slot
+/// copied, later slots merged.
+fn reference_step(
+    model: &Dgcnn,
+    samples: &[GraphSample],
+    jobs: &[(usize, u64)],
+) -> (Gradients, Vec<f64>) {
+    let mut ws = Workspace::new();
+    let mut acc = model.new_gradients();
+    let mut slot = model.new_gradients();
+    let mut losses = Vec::new();
+    for (s, &(i, seed)) in jobs.iter().enumerate() {
+        let v = samples[i].view();
+        let label = v.label.unwrap();
+        let mut rng = seeded_rng(seed);
+        model.forward_into(v, Some(&mut rng), &mut ws);
+        model.backward_into(v, label, &mut ws, &mut slot);
+        losses.push(f64::from(ws.cache.loss(label)));
+        if s == 0 {
+            acc.copy_from(&slot);
+        } else {
+            acc.merge(&slot);
+        }
+    }
+    (acc, losses)
+}
+
+fn grad_bits(g: &Gradients) -> Vec<u32> {
+    g.tensors()
+        .iter()
+        .flat_map(|t| t.data().iter().map(|v| v.to_bits()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// One `batch_train_step` over a random minibatch (random shapes,
+    /// features, labels, dropout seeds, duplicate samples allowed) is
+    /// bit-identical to the per-sample reference loop: every gradient
+    /// tensor and every per-sample loss.
+    #[test]
+    fn batched_step_is_bitwise_identical_to_per_sample(data_seed in 0u64..1000, count in 1usize..11) {
+        let mut rng = seeded_rng(data_seed);
+        let samples: Vec<GraphSample> = (0..count).map(|_| random_sample(&mut rng)).collect();
+        // Jobs may repeat a sample index, as shuffled epochs never do but
+        // the kernel must not care.
+        let jobs: Vec<(usize, u64)> = (0..count)
+            .map(|_| (rng.gen_range(0..count), rng.gen()))
+            .collect();
+        let model = Dgcnn::new(tiny_cfg());
+
+        let (want_grads, want_losses) = reference_step(&model, &samples, &jobs);
+
+        let mut mb = Minibatch::new();
+        let mut ws = BatchWorkspace::new();
+        let mut grads = model.new_gradients();
+        // Two passes through the same (dirty) buffers: reuse must not
+        // change bits.
+        for _ in 0..2 {
+            mb.assemble(&samples[..], &jobs);
+            model.batch_train_step(&mb, 1.0, &mut ws, &mut grads);
+            prop_assert_eq!(grad_bits(&grads), grad_bits(&want_grads));
+            let got: Vec<u64> = ws.losses.iter().map(|l| l.to_bits()).collect();
+            let want: Vec<u64> = want_losses.iter().map(|l| l.to_bits()).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}
