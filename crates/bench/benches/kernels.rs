@@ -9,9 +9,10 @@ use muxlink_benchgen::synth::SynthConfig;
 use muxlink_core::MuxLinkConfig;
 use muxlink_gnn::sample::{
     onehot_project_into, onehot_propagate_matmul_into, onehot_propagate_t_matmul_into,
-    onehot_scatter_add, propagate_back_into, propagate_into, GraphSample, OneHotSpmmScratch,
+    onehot_propagate_t_matmul_rows_into, onehot_scatter_add, plan_matmul_into,
+    plan_t_matmul_rows_into, propagate_back_into, propagate_into, GraphSample, OneHotSpmmScratch,
 };
-use muxlink_gnn::{Csr, Dgcnn, DgcnnConfig, Matrix, OneHotFeatures, Workspace};
+use muxlink_gnn::{Csr, Dgcnn, DgcnnConfig, Layer0PlanView, Matrix, OneHotFeatures, Workspace};
 use muxlink_graph::dataset::DatasetConfig;
 use muxlink_graph::subgraph::enclosing_subgraph_ref;
 use muxlink_graph::{build_dataset, extract};
@@ -389,6 +390,77 @@ fn bench_batched_layer(c: &mut Criterion) {
     group.finish();
 }
 
+/// Builds one sample's layer-0 plan slabs with the arena builder's
+/// histogram logic (the production builder is pinned bitwise against the
+/// dense reference in `muxlink-graph`'s arena tests; this bench-local
+/// copy keeps the group free of arena plumbing).
+fn plan_slabs(adj: &Csr, x: &OneHotFeatures) -> (Vec<u32>, Vec<u32>, Vec<f32>) {
+    let adjv: muxlink_gnn::CsrView<'_> = adj.into();
+    let xv = x.view();
+    let (mut offsets, mut cols, mut vals) = (vec![0u32], Vec::new(), Vec::new());
+    let mut counts = vec![0u32; xv.cols()];
+    for i in 0..adjv.node_count() {
+        let (g, l) = xv.columns(i);
+        counts[g] += 1;
+        counts[l] += 1;
+        for &j in adjv.neighbors(i) {
+            let (g, l) = xv.columns(j as usize);
+            counts[g] += 1;
+            counts[l] += 1;
+        }
+        for (c, cnt) in counts.iter_mut().enumerate() {
+            if *cnt > 0 {
+                cols.push(c as u32);
+                vals.push((*cnt as f32) * adjv.scale(i));
+                *cnt = 0;
+            }
+        }
+        offsets.push(cols.len() as u32);
+    }
+    (offsets, cols, vals)
+}
+
+/// The PR 8 tentpole: layer-0 forward+backward from the epoch-invariant
+/// cached `S·X` plan vs the per-epoch histogram rebuild it replaces
+/// (bit-identical outputs; the cached path skips every per-node
+/// histogram fill + sort per epoch). CI runs this group with `--test`.
+fn bench_layer0_plan(c: &mut Criterion) {
+    const F: usize = 24; // feature width (gate types + label budget)
+    const C0: usize = 32; // first-layer channels (paper config)
+    let mut group = c.benchmark_group("layer0_plan");
+    for n in [30usize, 100, 300] {
+        let adj = subgraph_adj(n);
+        let x = onehot_features(n, F);
+        let mut rng = muxlink_gnn::matrix::seeded_rng(n as u64);
+        let w0 = Matrix::glorot(F, C0, &mut rng);
+        let dz = Matrix::glorot(n, C0, &mut rng);
+
+        let (mut z, mut gw) = (Matrix::default(), Matrix::default());
+        let mut spmm = OneHotSpmmScratch::default();
+        group.bench_with_input(BenchmarkId::new("rebuild_fwd_bwd", n), &n, |b, _| {
+            b.iter(|| {
+                onehot_propagate_matmul_into(&adj, &x, &w0, &mut z, &mut spmm);
+                onehot_propagate_t_matmul_rows_into(&adj, &x, &dz, 0..n, &mut gw, &mut spmm);
+            });
+        });
+
+        let (off, cols, vals) = plan_slabs(&adj, &x);
+        let (mut zc, mut gwc) = (Matrix::default(), Matrix::default());
+        group.bench_with_input(BenchmarkId::new("cached_fwd_bwd", n), &n, |b, _| {
+            b.iter(|| {
+                let plan = Layer0PlanView::from_raw_parts(&off, &cols, &vals);
+                plan_matmul_into(plan, &w0, &mut zc);
+                plan_t_matmul_rows_into(plan, &dz, 0..n, F, &mut gwc);
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("plan_build", n), &n, |b, _| {
+            b.iter(|| plan_slabs(&adj, &x));
+        });
+    }
+    group.finish();
+}
+
 fn bench_quick_profile_constant(_c: &mut Criterion) {
     // Sanity anchor: the quick attack profile must exist for the pipeline
     // bench in `pipeline.rs` (compile-time cross-check only).
@@ -409,6 +481,7 @@ criterion_group!(
     bench_dataset,
     bench_dataset_residency,
     bench_batched_layer,
+    bench_layer0_plan,
     bench_quick_profile_constant
 );
 criterion_main!(kernels);

@@ -27,12 +27,12 @@ subcommands:
             --key-size n [--seed n] in.bench -o out.bench [--key-out key.txt]
   attack    --method <muxlink|scope|saam|sail> [--th f] [--hops n]
             [--threads n] [--batch-size n] [--dh-keep f] [--paper]
-            [--timings] [--seed n] [--progress]
+            [--layer0-rebuild] [--timings] [--seed n] [--progress]
             [--save-model m.json] [--model m.json]
             in.bench [-o guess.txt]
   train     --save-model m.json [--hops n] [--threads n]
             [--batch-size n] [--dh-keep f] [--paper] [--seed n]
-            [--progress]                                  in.bench
+            [--layer0-rebuild] [--progress]               in.bench
   score     --model m.json [--th f] [--threads n] [--progress]
             [-o guess.txt]
   suite     [--out-dir dir] [--th f] [--hops n] [--threads n] [--paper]
@@ -122,6 +122,11 @@ fn muxlink_cfg(cmd: &Command) -> Result<MuxLinkConfig, CliError> {
     // Tolerance-pinned tanh-gradient sparsification (1.0 = exact, the
     // default; validated into (0, 1] by the session).
     cfg.dh_keep = cmd.parse_flag("--dh-keep", cfg.dh_keep)?;
+    // Per-epoch layer-0 histogram rebuild instead of the cached S·X
+    // plans — the executable reference path, bit-identical results.
+    if cmd.has("--layer0-rebuild") {
+        cfg.layer0_rebuild = true;
+    }
     Ok(cfg)
 }
 
@@ -297,13 +302,19 @@ fn attack(cmd: &Command) -> Result<String, CliError> {
             let scored = trained.score(prog).map_err(domain)?;
             if cmd.has("--timings") {
                 let t = &scored.timings;
+                let p = &t.train_phases;
                 timing_line = Some(format!(
-                    "timings: extract {:.3}s  dataset {:.3}s  train {:.3}s  score {:.3}s  (total {:.3}s)\n",
+                    "timings: extract {:.3}s  dataset {:.3}s  train {:.3}s  score {:.3}s  (total {:.3}s)\n\
+                     train phases: assembly {:.3}s  forward {:.3}s  backward {:.3}s  optimizer {:.3}s\n",
                     t.extract.as_secs_f64(),
                     t.dataset.as_secs_f64(),
                     t.train.as_secs_f64(),
                     t.score.as_secs_f64(),
                     t.total().as_secs_f64(),
+                    p.assembly.as_secs_f64(),
+                    p.forward.as_secs_f64(),
+                    p.backward.as_secs_f64(),
+                    p.optimizer.as_secs_f64(),
                 ));
             }
             scored.recover_key(trained.cfg.th)
@@ -700,7 +711,22 @@ mod tests {
         // --timings appends a stage breakdown without touching the key line.
         let timed = run(&cmd(&["attack", "--threads", "1", "--timings", &locked])).unwrap();
         assert!(timed.contains("timings: extract"));
+        assert!(timed.contains("train phases: assembly"));
         assert!(timed.starts_with(one.lines().next().unwrap()));
+        // --layer0-rebuild selects the histogram-rebuild reference path;
+        // the recovered key must not change by a single bit.
+        let rebuilt = run(&cmd(&[
+            "attack",
+            "--threads",
+            "1",
+            "--layer0-rebuild",
+            &locked,
+        ]))
+        .unwrap();
+        assert_eq!(
+            rebuilt, one,
+            "cached layer-0 plans must match the rebuild reference"
+        );
     }
 
     #[test]

@@ -52,13 +52,20 @@ pub struct MuxLinkConfig {
     /// batched trainer (top-k by magnitude). `1.0` = exact (the
     /// default); lower values are a tolerance-pinned approximation.
     pub dh_keep: f32,
+    /// Rebuild the batched trainer's layer-0 propagated features from
+    /// the two-hot histograms every epoch instead of consuming the
+    /// epoch-invariant `S·X` plans cached in the sample arena at
+    /// dataset build. Bit-identical results either way — the rebuild
+    /// kernels are the executable reference of the cached path; `false`
+    /// (the default) uses the cache.
+    pub layer0_rebuild: bool,
 }
 
 // Hand-written so checkpoints saved before the `sample_chunk`,
-// `reference_trainer` and `dh_keep` knobs existed still load: a missing
-// field takes the production default (none of these change the default
-// path's results, so old artifacts re-score to the same bits). The
-// vendored derive has no `#[serde(default)]`.
+// `reference_trainer`, `dh_keep` and `layer0_rebuild` knobs existed
+// still load: a missing field takes the production default (none of
+// these change the default path's results, so old artifacts re-score to
+// the same bits). The vendored derive has no `#[serde(default)]`.
 impl Deserialize for MuxLinkConfig {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         Ok(Self {
@@ -85,6 +92,10 @@ impl Deserialize for MuxLinkConfig {
                 Ok(x) => Deserialize::from_value(x)?,
                 Err(_) => MuxLinkConfig::default().dh_keep,
             },
+            layer0_rebuild: match map_get(v, "layer0_rebuild") {
+                Ok(x) => Deserialize::from_value(x)?,
+                Err(_) => MuxLinkConfig::default().layer0_rebuild,
+            },
         })
     }
 }
@@ -106,6 +117,7 @@ impl Default for MuxLinkConfig {
             sample_chunk: 1024,
             reference_trainer: false,
             dh_keep: 1.0,
+            layer0_rebuild: false,
         }
     }
 }
@@ -138,6 +150,7 @@ impl MuxLinkConfig {
             sample_chunk: 1024,
             reference_trainer: false,
             dh_keep: 1.0,
+            layer0_rebuild: false,
         }
     }
 
@@ -266,5 +279,20 @@ mod tests {
         assert!(!back.reference_trainer);
         assert_eq!(back.dh_keep, 1.0);
         assert_eq!(back.seed, 6);
+    }
+
+    /// Checkpoints written before the cached layer-0 plans existed must
+    /// still load; the missing knob takes the production default
+    /// (cached plans on — bit-identical to the rebuild they replace).
+    #[test]
+    fn pre_layer0_plan_checkpoints_still_deserialize() {
+        let cfg = MuxLinkConfig::quick().with_seed(8);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let legacy = json.replace(",\"layer0_rebuild\":false", "");
+        assert_ne!(legacy, json, "test must actually strip the field");
+        let back: MuxLinkConfig = serde_json::from_str(&legacy).unwrap();
+        assert!(!back.layer0_rebuild);
+        assert_eq!(back.seed, 8);
+        assert_eq!(back, cfg);
     }
 }

@@ -3,8 +3,9 @@
 use std::fmt;
 use std::time::Duration;
 
+use muxlink_gnn::TrainPhases;
 use muxlink_locking::KeyValue;
-use serde::{Deserialize, Serialize};
+use serde::{map_get, DeError, Deserialize, Serialize, Value};
 
 use crate::metrics::KeyMetrics;
 
@@ -35,7 +36,7 @@ impl StageThreads {
 }
 
 /// Wall-clock breakdown of the expensive pipeline stages.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
 pub struct Timings {
     /// Graph extraction.
     pub extract: Duration,
@@ -47,6 +48,29 @@ pub struct Timings {
     pub score: Duration,
     /// Worker threads each stage ran with.
     pub threads: StageThreads,
+    /// Per-phase breakdown of the training stage (batch assembly /
+    /// forward / backward / optimiser); the remainder of `train` is
+    /// shuffling, job drawing and the per-epoch validation passes.
+    pub train_phases: TrainPhases,
+}
+
+// Hand-written so reports saved before the `train_phases` breakdown
+// existed still load: the missing field takes the zeroed default. The
+// vendored derive has no `#[serde(default)]`.
+impl Deserialize for Timings {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Self {
+            extract: Deserialize::from_value(map_get(v, "extract")?)?,
+            dataset: Deserialize::from_value(map_get(v, "dataset")?)?,
+            train: Deserialize::from_value(map_get(v, "train")?)?,
+            score: Deserialize::from_value(map_get(v, "score")?)?,
+            threads: Deserialize::from_value(map_get(v, "threads")?)?,
+            train_phases: match map_get(v, "train_phases") {
+                Ok(x) => Deserialize::from_value(x)?,
+                Err(_) => TrainPhases::default(),
+            },
+        })
+    }
 }
 
 impl Timings {
@@ -122,7 +146,7 @@ impl fmt::Display for AttackReport {
             self.metrics.total
         )?;
         writeln!(f, "  GNN val accuracy {:.2}%", self.val_accuracy * 100.0)?;
-        write!(
+        writeln!(
             f,
             "  time: extract {:?}, dataset {:?}×{}t, train {:?}×{}t, score {:?}×{}t (total {:?})",
             self.timings.extract,
@@ -133,6 +157,12 @@ impl fmt::Display for AttackReport {
             self.timings.score,
             self.timings.threads.score.max(1),
             self.timings.total()
+        )?;
+        let p = &self.timings.train_phases;
+        write!(
+            f,
+            "  train phases: assembly {:?}, forward {:?}, backward {:?}, optimizer {:?}",
+            p.assembly, p.forward, p.backward, p.optimizer
         )
     }
 }
@@ -166,9 +196,32 @@ mod tests {
             train: Duration::from_millis(3),
             score: Duration::from_millis(4),
             threads: StageThreads::uniform(4),
+            train_phases: TrainPhases::default(),
         };
         assert_eq!(t.total(), Duration::from_millis(10));
         assert_eq!(t.threads.extract, 1);
         assert_eq!(t.threads.train, 4);
+    }
+
+    /// Reports saved before the training-phase breakdown existed must
+    /// still load; the missing field takes the zeroed default.
+    #[test]
+    fn pre_train_phases_timings_still_deserialize() {
+        let t = Timings {
+            extract: Duration::from_millis(1),
+            dataset: Duration::from_millis(2),
+            train: Duration::from_millis(3),
+            score: Duration::from_millis(4),
+            threads: StageThreads::uniform(2),
+            train_phases: TrainPhases::default(),
+        };
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Timings = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t, "full round trip");
+        let phases_json = serde_json::to_string(&TrainPhases::default()).unwrap();
+        let legacy = json.replace(&format!(",\"train_phases\":{phases_json}"), "");
+        assert_ne!(legacy, json, "test must actually strip the field");
+        let back: Timings = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back, t, "missing breakdown falls back to the default");
     }
 }

@@ -57,7 +57,9 @@
 
 use std::time::Instant;
 
-use muxlink_gnn::{train_controlled, ArenaSamples, Dgcnn, DgcnnConfig, TrainConfig, TrainReport};
+use muxlink_gnn::{
+    train_controlled_timed, ArenaSamples, Dgcnn, DgcnnConfig, TrainConfig, TrainPhases, TrainReport,
+};
 use muxlink_graph::dataset::{build_dataset_arena, ArenaDataset, DatasetConfig};
 use muxlink_graph::{extract, ExtractedDesign};
 use muxlink_netlist::Netlist;
@@ -352,11 +354,18 @@ impl Prepared {
             cfg,
             key_input_names,
             design,
-            dataset,
+            mut dataset,
             k,
             mut timings,
         } = self;
         let max_label = dataset.max_label;
+        // Cached layer-0 plans are derived state the arena's serde
+        // deliberately skips, so a checkpoint-restored `Prepared` arrives
+        // without them: (re)build here — a no-op when the dataset build
+        // already cached them under this budget.
+        if !cfg.layer0_rebuild {
+            dataset.arena.build_layer0_plans(max_label);
+        }
         let input_dim = muxlink_graph::features::feature_cols(max_label);
         let mut model_cfg = DgcnnConfig::paper(input_dim, 10);
         model_cfg.k = k;
@@ -371,6 +380,7 @@ impl Prepared {
             seed: cfg.seed ^ TRAIN_SEED_XOR,
             reference_loop: cfg.reference_trainer,
             dh_keep: cfg.dh_keep,
+            layer0_rebuild: cfg.layer0_rebuild,
         };
         let (outcome, workers) = with_pool(cfg.threads, |workers| {
             let mut model = Dgcnn::new(model_cfg);
@@ -379,18 +389,21 @@ impl Prepared {
             // `Vec`s (property-tested at 1 and 4 threads).
             let train_set = ArenaSamples::select(&dataset.arena, &dataset.train, max_label);
             let val_set = ArenaSamples::select(&dataset.arena, &dataset.val, max_label);
-            let r = train_controlled(
+            let mut phases = TrainPhases::default();
+            let r = train_controlled_timed(
                 &mut model,
                 &train_set,
                 &val_set,
                 &train_cfg,
                 &TrainBridge(progress),
+                &mut phases,
             );
-            (r.map(|report| (model, report)), workers)
+            (r.map(|report| (model, report, phases)), workers)
         })?;
-        let (model, report) = outcome.map_err(|_| AttackError::Cancelled)?;
+        let (model, report, phases) = outcome.map_err(|_| AttackError::Cancelled)?;
         timings.train = t0.elapsed();
         timings.threads.train = workers;
+        timings.train_phases = phases;
         progress.stage_finished(Stage::Train, timings.train);
         Ok(Trained {
             cfg,

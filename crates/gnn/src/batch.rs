@@ -43,16 +43,19 @@
 //! bitwise across batch sizes, storage paths and thread counts (the
 //! batched step is sequential, so thread-invariance is structural).
 
+use std::time::{Duration, Instant};
+
 use rand::Rng;
 
-use muxlink_graph::BlockDiagBatch;
+use muxlink_graph::{BlockDiagBatch, Layer0PlanView};
 
 use crate::dgcnn::Dgcnn;
 use crate::matrix::{seeded_rng, Matrix};
 use crate::param::Gradients;
 use crate::sample::{
-    onehot_propagate_matmul_into, onehot_propagate_t_matmul_rows_into, propagate_back_into,
-    propagate_matmul_into, FeaturesView, OneHotSpmmScratch, SampleStore,
+    onehot_propagate_matmul_into, onehot_propagate_t_matmul_rows_into, plan_matmul_into,
+    plan_t_matmul_rows_into, propagate_back_into, propagate_matmul_into, FeaturesView,
+    OneHotSpmmScratch, SampleStore,
 };
 
 /// A minibatch assembled for the batched training step: the
@@ -73,6 +76,17 @@ pub struct Minibatch {
     labels: Vec<bool>,
     /// Per-sample dropout seeds, in job order.
     seeds: Vec<u64>,
+    /// Stacked layer-0 plan row offsets (batch node CSR over plan
+    /// entries; built only when every sample carried a cached plan).
+    plan_offsets: Vec<u32>,
+    /// Stacked plan entry columns (feature-space indices — identical
+    /// across samples, so stacking needs no rebasing).
+    plan_cols: Vec<u32>,
+    /// Stacked plan entry values (`count · scale`, the exact histogram
+    /// bits).
+    plan_vals: Vec<f32>,
+    /// True when the plan slabs cover every sample of this batch.
+    has_plans: bool,
 }
 
 impl Minibatch {
@@ -98,6 +112,27 @@ impl Minibatch {
     /// Panics when `jobs` is empty, a referenced sample is unlabelled,
     /// or the batch mixes dense and two-hot feature forms.
     pub fn assemble<S: SampleStore + ?Sized>(&mut self, store: &S, jobs: &[(usize, u64)]) {
+        self.assemble_with(store, jobs, true);
+    }
+
+    /// [`Minibatch::assemble`] with explicit control over cached layer-0
+    /// plans: when `use_plans` is true and **every** sample exposes a
+    /// cached plan ([`SampleStore::plan`]), the per-sample plan rows are
+    /// row-concatenated into one batch-level plan (entry offsets rebased,
+    /// feature-space columns and values bit-copied) and
+    /// [`Minibatch::plan`] returns it; otherwise the batch carries no
+    /// plan and the training step falls back to rebuilding the
+    /// propagated features from the two-hot histograms.
+    ///
+    /// # Panics
+    ///
+    /// As [`Minibatch::assemble`].
+    pub fn assemble_with<S: SampleStore + ?Sized>(
+        &mut self,
+        store: &S,
+        jobs: &[(usize, u64)],
+        use_plans: bool,
+    ) {
         assert!(!jobs.is_empty(), "cannot assemble an empty minibatch");
         self.block.clear();
         self.labels.clear();
@@ -135,6 +170,48 @@ impl Minibatch {
         } else {
             self.dense.resize_for_overwrite(0, 0);
         }
+        // Stack cached layer-0 plans, all-or-none: a single plan-less
+        // sample sends the whole batch down the rebuild path, so the
+        // step never mixes cached and rebuilt rows.
+        self.plan_offsets.clear();
+        self.plan_cols.clear();
+        self.plan_vals.clear();
+        self.has_plans = false;
+        if use_plans && self.one_hot {
+            self.plan_offsets.push(0);
+            let mut all = true;
+            for &(i, _) in jobs {
+                let Some(plan) = store.plan(i) else {
+                    all = false;
+                    break;
+                };
+                let base = self.plan_cols.len() as u32;
+                let (cols, vals) = plan.entries();
+                self.plan_cols.extend_from_slice(cols);
+                self.plan_vals.extend_from_slice(vals);
+                let off = plan.offsets();
+                let off0 = off[0];
+                self.plan_offsets
+                    .extend(off[1..].iter().map(|&w| base + (w - off0)));
+            }
+            if all {
+                self.has_plans = true;
+            } else {
+                self.plan_offsets.clear();
+                self.plan_cols.clear();
+                self.plan_vals.clear();
+            }
+        }
+    }
+
+    /// The stacked layer-0 plan of this batch, when every sample carried
+    /// a cached plan at assembly. Row `i` is the plan row of batch node
+    /// `i` (the block-diagonal node order).
+    #[must_use]
+    pub fn plan(&self) -> Option<Layer0PlanView<'_>> {
+        self.has_plans.then(|| {
+            Layer0PlanView::from_raw_parts(&self.plan_offsets, &self.plan_cols, &self.plan_vals)
+        })
     }
 }
 
@@ -187,6 +264,10 @@ pub struct BatchWorkspace {
     seg_b: Matrix,
     /// `|dH|` scratch of the top-k gradient sparsifier.
     abs: Vec<f32>,
+    /// Wall time of the forward half of the last step (inputs → losses).
+    pub forward_time: Duration,
+    /// Wall time of the backward half of the last step (losses → grads).
+    pub backward_time: Duration,
 }
 
 impl BatchWorkspace {
@@ -267,6 +348,7 @@ impl Dgcnn {
             mb.dense.cols()
         };
         assert_eq!(in_cols, cfg.input_dim, "feature width mismatch");
+        let t_start = Instant::now();
 
         // ---- Forward: graph convolutions, one fused kernel per layer.
         let nlayers = self.gc.len();
@@ -275,7 +357,14 @@ impl Dgcnn {
         for (l, p) in self.gc.iter().enumerate() {
             let (done, rest) = ws.gc_outputs.split_at_mut(l);
             if l == 0 {
-                if mb.one_hot {
+                if let Some(plan) = mb.plan() {
+                    // Cached S·X plan: the layer-0 propagation collapses
+                    // to one sparse·dense product over precomputed
+                    // histogram entries — same values, same order, same
+                    // bits as the rebuild below.
+                    plan_matmul_into(plan, &p.w, &mut rest[0]);
+                    ws.gc_inputs[0].resize(0, 0);
+                } else if mb.one_hot {
                     onehot_propagate_matmul_into(
                         adj,
                         mb.block.features(),
@@ -420,6 +509,8 @@ impl Dgcnn {
             let p = probs[usize::from(label)].max(1e-12);
             ws.losses.push(f64::from(-p.ln()));
         }
+        let t_mid = Instant::now();
+        ws.forward_time = t_mid - t_start;
 
         // ---- Backward.
         let gt = grads.tensors_mut();
@@ -570,9 +661,12 @@ impl Dgcnn {
                     sparsify_top_k(dz, dh_keep, &mut ws.abs);
                 }
             }
+            let plan0 = if l == 0 { mb.plan() } else { None };
             for s in 0..nb {
                 let range = mb.block.node_range(s);
-                if l == 0 && mb.one_hot {
+                if let Some(plan) = plan0 {
+                    plan_t_matmul_rows_into(plan, &ws.dh_layers[0], range, in_cols, &mut ws.seg);
+                } else if l == 0 && mb.one_hot {
                     onehot_propagate_t_matmul_rows_into(
                         adj,
                         mb.block.features(),
@@ -592,6 +686,7 @@ impl Dgcnn {
                 ws.dh_layers[l - 1].add_assign(&ws.dh_prev);
             }
         }
+        ws.backward_time = t_mid.elapsed();
     }
 }
 
@@ -626,7 +721,7 @@ mod tests {
     use super::*;
     use crate::dgcnn::DgcnnConfig;
     use crate::matrix::seeded_rng;
-    use crate::sample::GraphSample;
+    use crate::sample::{build_plan_slabs, GraphSample, NodeFeatures, SampleView};
     use crate::workspace::Workspace;
     use muxlink_graph::{Csr, OneHotFeatures};
 
@@ -794,6 +889,92 @@ mod tests {
         let mut id = Matrix::from_vec(1, 3, vec![0.0, -0.5, 0.25]);
         sparsify_top_k(&mut id, 1.0, &mut abs);
         assert_eq!(id.data(), &[0.0, -0.5, 0.25]);
+    }
+
+    /// A store serving owned two-hot samples plus per-sample cached
+    /// layer-0 plans — the test double of the arena's plan path.
+    struct PlannedSamples {
+        samples: Vec<GraphSample>,
+        offsets: Vec<Vec<u32>>,
+        cols: Vec<Vec<u32>>,
+        vals: Vec<Vec<f32>>,
+    }
+
+    impl PlannedSamples {
+        fn new(samples: Vec<GraphSample>) -> Self {
+            let (mut offsets, mut cols, mut vals) = (Vec::new(), Vec::new(), Vec::new());
+            for s in &samples {
+                let NodeFeatures::OneHot(x) = &s.features else {
+                    panic!("plan test samples must be two-hot");
+                };
+                let (o, c, v) = build_plan_slabs(&s.adj, x);
+                offsets.push(o);
+                cols.push(c);
+                vals.push(v);
+            }
+            Self {
+                samples,
+                offsets,
+                cols,
+                vals,
+            }
+        }
+    }
+
+    impl SampleStore for PlannedSamples {
+        fn len(&self) -> usize {
+            self.samples.len()
+        }
+
+        fn view(&self, i: usize) -> SampleView<'_> {
+            self.samples[i].view()
+        }
+
+        fn plan(&self, i: usize) -> Option<Layer0PlanView<'_>> {
+            Some(Layer0PlanView::from_raw_parts(
+                &self.offsets[i],
+                &self.cols[i],
+                &self.vals[i],
+            ))
+        }
+    }
+
+    /// A batch assembled from cached plans must train bit-identically
+    /// to the same batch assembled down the histogram-rebuild path,
+    /// through the same dirty workspace.
+    #[test]
+    fn batched_step_with_cached_plans_matches_rebuild_bitwise() {
+        let model = Dgcnn::new(tiny_cfg(11));
+        let store = PlannedSamples::new((0..6).map(onehot_sample).collect());
+        let jobs: Vec<(usize, u64)> = (0..6).map(|i| (i, 77 + 3 * i as u64)).collect();
+        let mut mb = Minibatch::new();
+        let mut ws = BatchWorkspace::new();
+
+        mb.assemble_with(&store, &jobs, false);
+        assert!(mb.plan().is_none(), "plans must be absent when disabled");
+        let mut want = model.new_gradients();
+        model.batch_train_step(&mb, 1.0, &mut ws, &mut want);
+        let want_losses = ws.losses.clone();
+
+        // Two cached passes through the now-dirty buffers.
+        for _ in 0..2 {
+            mb.assemble(&store, &jobs);
+            let plan = mb.plan().expect("every sample carries a plan");
+            assert_eq!(plan.node_count(), mb.block.node_count());
+            let mut got = model.new_gradients();
+            model.batch_train_step(&mb, 1.0, &mut ws, &mut got);
+            assert_eq!(got, want, "cached-plan gradients diverged");
+            assert_eq!(ws.losses, want_losses, "cached-plan losses diverged");
+        }
+    }
+
+    /// A batch with any plan-less sample falls back to rebuild whole.
+    #[test]
+    fn plan_stacking_is_all_or_none() {
+        let samples: Vec<GraphSample> = (0..3).map(onehot_sample).collect();
+        let mut mb = Minibatch::new();
+        mb.assemble(&samples[..], &[(0, 1), (2, 5)]);
+        assert!(mb.plan().is_none(), "plain stores expose no plans");
     }
 
     #[test]

@@ -56,11 +56,13 @@ pub mod workspace;
 pub use batch::{BatchWorkspace, Minibatch};
 pub use dgcnn::{Cache, Dgcnn, DgcnnConfig};
 pub use matrix::Matrix;
-pub use muxlink_graph::{Csr, CsrView, OneHotFeatures, OneHotView, SampleArena, SampleHandle};
+pub use muxlink_graph::{
+    Csr, CsrView, Layer0PlanView, OneHotFeatures, OneHotView, SampleArena, SampleHandle,
+};
 pub use param::{AdamConfig, Gradients, Param};
 pub use sample::{ArenaSamples, FeaturesView, GraphSample, NodeFeatures, SampleStore, SampleView};
 pub use trainer::{
-    evaluate, train, train_controlled, EpochStats, TrainCancelled, TrainConfig, TrainControl,
-    TrainReport,
+    evaluate, train, train_controlled, train_controlled_timed, EpochStats, TrainCancelled,
+    TrainConfig, TrainControl, TrainPhases, TrainReport,
 };
 pub use workspace::Workspace;

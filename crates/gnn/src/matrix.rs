@@ -18,6 +18,22 @@ pub struct Matrix {
     data: Vec<f32>,
 }
 
+/// Shared inner loop of the three streaming GEMM kernels:
+/// `out[j] += a * b[j]`, skipping the whole row when the multiplier is
+/// zero (common after ReLU). One definition so the skip-zero and
+/// per-element ordering semantics of [`Matrix::matmul_into`],
+/// [`Matrix::t_matmul_into`] and [`Matrix::t_matmul_rows_into`] cannot
+/// drift apart.
+#[inline(always)]
+fn axpy_skip_zero(out: &mut [f32], b: &[f32], a: f32) {
+    if a == 0.0 {
+        return;
+    }
+    for (o, &bv) in out.iter_mut().zip(b) {
+        *o += a * bv;
+    }
+}
+
 impl Default for Matrix {
     /// The empty `0 × 0` matrix (a workspace slot before first use).
     fn default() -> Self {
@@ -184,18 +200,41 @@ impl Matrix {
     pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, rhs.rows, "matmul shape mismatch");
         out.resize(self.rows, rhs.cols);
-        for (lrow, orow) in self
-            .data
-            .chunks_exact(self.cols.max(1))
-            .zip(out.data.chunks_exact_mut(rhs.cols.max(1)))
+        let lc = self.cols.max(1);
+        let rc = rhs.cols.max(1);
+        // Register tiling over *output rows*: four independent output
+        // rows per pass share one streamed read of `rhs`, cutting the
+        // streamed-operand traffic 4× and giving the machine four
+        // independent accumulation chains per `rhs` row. Every output
+        // element still owns a single accumulator summing `a·b` in
+        // ascending-k order, so each element is bit-identical to the
+        // one-row-at-a-time loop (the ILP-restructuring clause of the
+        // numerics policy).
+        let mut lq = self.data.chunks_exact(4 * lc);
+        let mut oq = out.data.chunks_exact_mut(4 * rc);
+        for (ls, os) in (&mut lq).zip(&mut oq) {
+            let (l0, rest) = ls.split_at(lc);
+            let (l1, rest) = rest.split_at(lc);
+            let (l2, l3) = rest.split_at(lc);
+            let (o0, rest) = os.split_at_mut(rc);
+            let (o1, rest) = rest.split_at_mut(rc);
+            let (o2, o3) = rest.split_at_mut(rc);
+            for ((((rrow, &a0), &a1), &a2), &a3) in
+                rhs.data.chunks_exact(rc).zip(l0).zip(l1).zip(l2).zip(l3)
+            {
+                axpy_skip_zero(o0, rrow, a0);
+                axpy_skip_zero(o1, rrow, a1);
+                axpy_skip_zero(o2, rrow, a2);
+                axpy_skip_zero(o3, rrow, a3);
+            }
+        }
+        for (lrow, orow) in lq
+            .remainder()
+            .chunks_exact(lc)
+            .zip(oq.into_remainder().chunks_exact_mut(rc))
         {
-            for (&a, rrow) in lrow.iter().zip(rhs.data.chunks_exact(rhs.cols.max(1))) {
-                if a == 0.0 {
-                    continue;
-                }
-                for (o, &b) in orow.iter_mut().zip(rrow) {
-                    *o += a * b;
-                }
+            for (&a, rrow) in lrow.iter().zip(rhs.data.chunks_exact(rc)) {
+                axpy_skip_zero(orow, rrow, a);
             }
         }
     }
@@ -219,19 +258,39 @@ impl Matrix {
     /// Panics when row counts disagree.
     pub fn t_matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, rhs.rows, "t_matmul shape mismatch");
+        self.t_matmul_body(rhs, 0..self.rows, out);
+    }
+
+    /// Shared register-tiled body of [`Matrix::t_matmul_into`] and
+    /// [`Matrix::t_matmul_rows_into`]: `out = self[rows]ᵀ × rhs[rows]`.
+    ///
+    /// Four output rows (columns of `self`) are kept hot per pass while
+    /// the `self`/`rhs` row pairs stream through once per tile — the
+    /// one-column-at-a-time loop instead re-streamed the whole output
+    /// for every input row. Each output element keeps one accumulator
+    /// summing its products in ascending input-row order, so every
+    /// element is bit-identical to the untiled loop.
+    fn t_matmul_body(&self, rhs: &Matrix, rows: std::ops::Range<usize>, out: &mut Matrix) {
         out.resize(self.cols, rhs.cols);
-        for (lrow, rrow) in self
-            .data
-            .chunks_exact(self.cols.max(1))
-            .zip(rhs.data.chunks_exact(rhs.cols.max(1)))
-        {
-            for (&a, orow) in lrow.iter().zip(out.data.chunks_exact_mut(rhs.cols.max(1))) {
-                if a == 0.0 {
-                    continue;
-                }
-                for (o, &b) in orow.iter_mut().zip(rrow) {
-                    *o += a * b;
-                }
+        let rc = rhs.cols.max(1);
+        let mut oq = out.data.chunks_exact_mut(4 * rc);
+        let mut c = 0;
+        for os in &mut oq {
+            let (o0, rest) = os.split_at_mut(rc);
+            let (o1, rest) = rest.split_at_mut(rc);
+            let (o2, o3) = rest.split_at_mut(rc);
+            for i in rows.clone() {
+                let (lrow, rrow) = (self.row(i), rhs.row(i));
+                axpy_skip_zero(o0, rrow, lrow[c]);
+                axpy_skip_zero(o1, rrow, lrow[c + 1]);
+                axpy_skip_zero(o2, rrow, lrow[c + 2]);
+                axpy_skip_zero(o3, rrow, lrow[c + 3]);
+            }
+            c += 4;
+        }
+        for (j, orow) in oq.into_remainder().chunks_exact_mut(rc).enumerate() {
+            for i in rows.clone() {
+                axpy_skip_zero(orow, rhs.row(i), self.row(i)[c + j]);
             }
         }
     }
@@ -249,18 +308,7 @@ impl Matrix {
     pub fn t_matmul_rows_into(&self, rhs: &Matrix, rows: std::ops::Range<usize>, out: &mut Matrix) {
         assert_eq!(self.rows, rhs.rows, "t_matmul shape mismatch");
         assert!(rows.end <= self.rows, "row range out of bounds");
-        out.resize(self.cols, rhs.cols);
-        for i in rows {
-            let (lrow, rrow) = (self.row(i), rhs.row(i));
-            for (&a, orow) in lrow.iter().zip(out.data.chunks_exact_mut(rhs.cols.max(1))) {
-                if a == 0.0 {
-                    continue;
-                }
-                for (o, &b) in orow.iter_mut().zip(rrow) {
-                    *o += a * b;
-                }
-            }
-        }
+        self.t_matmul_body(rhs, rows, out);
     }
 
     /// `self × rhsᵀ` without materialising the transpose.
@@ -282,13 +330,92 @@ impl Matrix {
     /// Panics when column counts disagree.
     pub fn matmul_t_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, rhs.cols, "matmul_t shape mismatch");
-        // Every output entry is written (`*o = s`), so no pre-zeroing.
+        // Every output entry is written (`*o = s`), so no pre-zeroing —
+        // except the zero-width product, whose empty dots the row
+        // chunking below never visits.
         out.resize_for_overwrite(self.rows, rhs.rows);
+        if self.cols == 0 {
+            out.data.fill(0.0);
+            return;
+        }
         let rcols = rhs.cols.max(1);
-        for (lrow, orow) in self
-            .data
-            .chunks_exact(self.cols.max(1))
-            .zip(out.data.chunks_exact_mut(rhs.rows.max(1)))
+        let lc = self.cols.max(1);
+        let oc = rhs.rows.max(1);
+        // Pair output rows: two `self` rows share each streamed pass
+        // over `rhs`, halving the dominant operand traffic. Combined
+        // with the 8-wide dot blocking below that is a 2×8 register
+        // tile — 16 independent accumulators, each still summing its
+        // own products in ascending column order, so every output
+        // element stays bit-identical to the single-dot loop.
+        let mut lp = self.data.chunks_exact(2 * lc);
+        let mut op = out.data.chunks_exact_mut(2 * oc);
+        for (ls, os) in (&mut lp).zip(&mut op) {
+            let (l0, l1) = ls.split_at(lc);
+            let (o0, o1) = os.split_at_mut(oc);
+            let mut oq0 = o0.chunks_exact_mut(8);
+            let mut oq1 = o1.chunks_exact_mut(8);
+            let mut rq = rhs.data.chunks_exact(8 * rcols);
+            for ((osa, osb), rs) in (&mut oq0).zip(&mut oq1).zip(&mut rq) {
+                let (r0, rest) = rs.split_at(rcols);
+                let (r1, rest) = rest.split_at(rcols);
+                let (r2, rest) = rest.split_at(rcols);
+                let (r3, rest) = rest.split_at(rcols);
+                let (r4, rest) = rest.split_at(rcols);
+                let (r5, rest) = rest.split_at(rcols);
+                let (r6, r7) = rest.split_at(rcols);
+                let mut sa = [0.0f32; 8];
+                let mut sb = [0.0f32; 8];
+                for (((((((((&a, &b), &c0), &c1), &c2), &c3), &c4), &c5), &c6), &c7) in l0
+                    .iter()
+                    .zip(l1)
+                    .zip(r0)
+                    .zip(r1)
+                    .zip(r2)
+                    .zip(r3)
+                    .zip(r4)
+                    .zip(r5)
+                    .zip(r6)
+                    .zip(r7)
+                {
+                    sa[0] += a * c0;
+                    sa[1] += a * c1;
+                    sa[2] += a * c2;
+                    sa[3] += a * c3;
+                    sa[4] += a * c4;
+                    sa[5] += a * c5;
+                    sa[6] += a * c6;
+                    sa[7] += a * c7;
+                    sb[0] += b * c0;
+                    sb[1] += b * c1;
+                    sb[2] += b * c2;
+                    sb[3] += b * c3;
+                    sb[4] += b * c4;
+                    sb[5] += b * c5;
+                    sb[6] += b * c6;
+                    sb[7] += b * c7;
+                }
+                osa.copy_from_slice(&sa);
+                osb.copy_from_slice(&sb);
+            }
+            for ((oa, ob), rrow) in oq0
+                .into_remainder()
+                .iter_mut()
+                .zip(oq1.into_remainder().iter_mut())
+                .zip(rq.remainder().chunks_exact(rcols))
+            {
+                let (mut s0, mut s1) = (0.0, 0.0);
+                for ((&a, &b), &r) in l0.iter().zip(l1).zip(rrow) {
+                    s0 += a * r;
+                    s1 += b * r;
+                }
+                *oa = s0;
+                *ob = s1;
+            }
+        }
+        for (lrow, orow) in lp
+            .remainder()
+            .chunks_exact(lc)
+            .zip(op.into_remainder().chunks_exact_mut(oc))
         {
             // Eight dots per pass. Each accumulator sums its own
             // products in ascending column order — bit-identical to the
@@ -527,6 +654,135 @@ mod tests {
         let mut dst = Matrix::zeros(1, 1);
         dst.copy_from(&src);
         assert_eq!(dst, src);
+    }
+
+    /// The untiled GEMM loops the register-tiled kernels replaced,
+    /// reproduced verbatim: one output row at a time, ascending-k
+    /// accumulation, skip on zero multipliers. The tiled kernels must
+    /// match these bitwise — "ILP restructuring is not a numerics
+    /// change".
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for r in 0..a.rows() {
+            for k in 0..a.cols() {
+                let v = a.get(r, k);
+                if v == 0.0 {
+                    continue;
+                }
+                for j in 0..b.cols() {
+                    out.data[r * b.cols() + j] += v * b.get(k, j);
+                }
+            }
+        }
+        out
+    }
+
+    fn naive_t_matmul_rows(a: &Matrix, b: &Matrix, rows: std::ops::Range<usize>) -> Matrix {
+        let mut out = Matrix::zeros(a.cols(), b.cols());
+        for i in rows {
+            for c in 0..a.cols() {
+                let v = a.get(i, c);
+                if v == 0.0 {
+                    continue;
+                }
+                for j in 0..b.cols() {
+                    out.data[c * b.cols() + j] += v * b.get(i, j);
+                }
+            }
+        }
+        out
+    }
+
+    /// Sprinkles exact zeros (the post-ReLU pattern the skip-zero fast
+    /// path exists for) into a Glorot matrix, deterministically.
+    fn with_zeros(mut m: Matrix, rng: &mut StdRng) -> Matrix {
+        for v in &mut m.data {
+            if rng.gen_range(0..4) == 0 {
+                *v = 0.0;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn tiled_gemms_match_untiled_reference_bitwise() {
+        let mut rng = seeded_rng(11);
+        // Shapes exercise every tile remainder: rows % 4 ∈ {0,1,2,3}
+        // for matmul, self.cols % 4 ∈ {0,1,2,3} for the transposed
+        // kernels, plus degenerate 1×1 and empty dimensions.
+        for &(m, k, n) in &[
+            (8, 6, 5),
+            (7, 3, 9),
+            (6, 4, 4),
+            (5, 7, 2),
+            (1, 1, 1),
+            (4, 0, 3),
+            (0, 3, 2),
+            (3, 5, 0),
+        ] {
+            let a = with_zeros(Matrix::glorot(m.max(1), k.max(1), &mut rng), &mut rng);
+            let a = Matrix::from_vec(m, k, a.data()[..m * k].to_vec());
+            let b = with_zeros(Matrix::glorot(k.max(1), n.max(1), &mut rng), &mut rng);
+            let b = Matrix::from_vec(k, n, b.data()[..k * n].to_vec());
+            // Dirty, wrongly-shaped output buffers.
+            let mut out = Matrix::from_vec(1, 2, vec![7.0, 7.0]);
+            a.matmul_into(&b, &mut out);
+            assert_eq!(out.data(), naive_matmul(&a, &b).data(), "{m}x{k}x{n}");
+
+            // Transposed kernels share rows: self and rhs are (r × ·).
+            let l = with_zeros(Matrix::glorot(m.max(1), k.max(1), &mut rng), &mut rng);
+            let l = Matrix::from_vec(m, k, l.data()[..m * k].to_vec());
+            let r = with_zeros(Matrix::glorot(m.max(1), n.max(1), &mut rng), &mut rng);
+            let r = Matrix::from_vec(m, n, r.data()[..m * n].to_vec());
+            let mut out = Matrix::from_vec(1, 2, vec![7.0, 7.0]);
+            l.t_matmul_into(&r, &mut out);
+            assert_eq!(out.data(), naive_t_matmul_rows(&l, &r, 0..m).data());
+            let lo = m / 3;
+            let hi = m - m / 4;
+            let mut out = Matrix::from_vec(1, 2, vec![7.0, 7.0]);
+            l.t_matmul_rows_into(&r, lo..hi, &mut out);
+            assert_eq!(out.data(), naive_t_matmul_rows(&l, &r, lo..hi).data());
+        }
+    }
+
+    /// Pins the 2×8-tiled `matmul_t_into` bitwise to a one-dot-at-a-time
+    /// reference across every tile remainder: self.rows % 2 ∈ {0, 1}
+    /// (the row pairing) and rhs.rows % 8 ∈ {0..7} (the dot blocking),
+    /// plus degenerate shapes.
+    #[test]
+    fn tiled_matmul_t_matches_single_dot_reference_bitwise() {
+        fn naive_matmul_t(a: &Matrix, b: &Matrix) -> Matrix {
+            let mut out = Matrix::zeros(a.rows(), b.rows());
+            for r in 0..a.rows() {
+                for j in 0..b.rows() {
+                    let mut s = 0.0f32;
+                    for k in 0..a.cols() {
+                        s += a.get(r, k) * b.get(j, k);
+                    }
+                    out.data[r * b.rows() + j] = s;
+                }
+            }
+            out
+        }
+        let mut rng = seeded_rng(23);
+        for &(m, k, n) in &[
+            (8, 6, 16),
+            (7, 3, 9),
+            (5, 7, 13),
+            (2, 4, 8),
+            (1, 1, 1),
+            (3, 0, 5),
+            (0, 3, 2),
+            (4, 5, 0),
+        ] {
+            let a = with_zeros(Matrix::glorot(m.max(1), k.max(1), &mut rng), &mut rng);
+            let a = Matrix::from_vec(m, k, a.data()[..m * k].to_vec());
+            let b = with_zeros(Matrix::glorot(n.max(1), k.max(1), &mut rng), &mut rng);
+            let b = Matrix::from_vec(n, k, b.data()[..n * k].to_vec());
+            let mut out = Matrix::from_vec(1, 2, vec![7.0, 7.0]);
+            a.matmul_t_into(&b, &mut out);
+            assert_eq!(out.data(), naive_matmul_t(&a, &b).data(), "{m}x{k}x{n}");
+        }
     }
 
     #[test]

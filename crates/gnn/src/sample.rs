@@ -17,7 +17,9 @@
 //! [`propagate_back_ref`]) define this order; the property suite asserts
 //! exact equality between the CSR kernels and the references.
 
-use muxlink_graph::{Csr, CsrView, OneHotFeatures, OneHotView, SampleArena, SampleHandle};
+use muxlink_graph::{
+    Csr, CsrView, Layer0PlanView, OneHotFeatures, OneHotView, SampleArena, SampleHandle,
+};
 use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::matrix::Matrix;
@@ -223,6 +225,15 @@ pub trait SampleStore: Sync {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Cached layer-0 plan of sample `i` (the sparse rows of `S·X`
+    /// under the store's label budget), when the backing storage
+    /// carries one. `None` — the default — means consumers fall back
+    /// to the per-epoch histogram-rebuild kernels.
+    fn plan(&self, i: usize) -> Option<Layer0PlanView<'_>> {
+        let _ = i;
+        None
+    }
 }
 
 impl SampleStore for [GraphSample] {
@@ -295,6 +306,13 @@ impl SampleStore for ArenaSamples<'_> {
             features: FeaturesView::OneHot(self.arena.one_hot(h, self.max_label)),
             label: self.arena.label(h),
         }
+    }
+
+    fn plan(&self, i: usize) -> Option<Layer0PlanView<'_>> {
+        let h = self
+            .handles
+            .map_or_else(|| self.arena.nth_handle(i), |hs| hs[i]);
+        self.arena.layer0_plan(h, self.max_label)
     }
 }
 
@@ -572,6 +590,93 @@ pub fn onehot_propagate_t_matmul_rows_into<'a, 'b>(
         }
         scratch.clear_row();
     }
+}
+
+/// **Bit-exact** cached-plan first layer forward: `out = (S·X)·W` from a
+/// precomputed [`Layer0PlanView`] — zero histogram rebuilds.
+///
+/// A plan row holds the exact `(column, count·scale)` entries
+/// [`onehot_propagate_matmul_into`]'s histogram derives per epoch, with
+/// the columns in the same ascending order the histogram's sorted
+/// touched list visits — so accumulating `value · W[column]` over the
+/// row reproduces the rebuild kernel (and hence the dense
+/// `propagate` + `matmul` reference) bit-for-bit, by construction.
+///
+/// # Panics
+///
+/// Panics when a plan column exceeds `w`'s rows (plan built under a
+/// different label budget than `w` was shaped for).
+pub fn plan_matmul_into(plan: Layer0PlanView<'_>, w: &Matrix, out: &mut Matrix) {
+    let n = plan.node_count();
+    out.resize(n, w.cols());
+    for i in 0..n {
+        let orow = out.row_mut(i);
+        let (cols, vals) = plan.row(i);
+        for (&c, &a) in cols.iter().zip(vals) {
+            axpy_rows(orow, w.row(c as usize), a);
+        }
+    }
+}
+
+/// **Bit-exact** cached-plan first layer backward over a contiguous row
+/// range: `gw = (S·X)[rows]ᵀ·G[rows]` from a precomputed plan — the
+/// cached twin of [`onehot_propagate_t_matmul_rows_into`], bit-identical
+/// to it for the same reasons as [`plan_matmul_into`]. `feature_width`
+/// is the dense feature column count (the plan itself only knows the
+/// columns it touches).
+///
+/// # Panics
+///
+/// Panics when shapes disagree or the range is out of bounds.
+pub fn plan_t_matmul_rows_into(
+    plan: Layer0PlanView<'_>,
+    g: &Matrix,
+    rows: std::ops::Range<usize>,
+    feature_width: usize,
+    gw: &mut Matrix,
+) {
+    let n = plan.node_count();
+    assert_eq!(g.rows(), n, "gradient row count mismatch");
+    assert!(rows.end <= n, "row range out of bounds");
+    gw.resize(feature_width, g.cols());
+    for i in rows {
+        let grow = g.row(i);
+        let (cols, vals) = plan.row(i);
+        for (&c, &a) in cols.iter().zip(vals) {
+            axpy_rows(gw.row_mut(c as usize), grow, a);
+        }
+    }
+}
+
+/// Builds one sample's layer-0 plan slabs with the histogram logic the
+/// arena's plan builder runs — shared by the kernel- and batch-level
+/// equivalence tests (the production builder itself is pinned against
+/// the dense reference in `muxlink-graph`'s arena tests).
+#[cfg(test)]
+pub(crate) fn build_plan_slabs(adj: &Csr, x: &OneHotFeatures) -> (Vec<u32>, Vec<u32>, Vec<f32>) {
+    let adjv: CsrView<'_> = adj.into();
+    let xv = x.view();
+    let (mut offsets, mut cols, mut vals) = (vec![0u32], Vec::new(), Vec::new());
+    let mut counts = vec![0u32; xv.cols()];
+    for i in 0..adjv.node_count() {
+        let (g, l) = xv.columns(i);
+        counts[g] += 1;
+        counts[l] += 1;
+        for &j in adjv.neighbors(i) {
+            let (g, l) = xv.columns(j as usize);
+            counts[g] += 1;
+            counts[l] += 1;
+        }
+        for (c, cnt) in counts.iter_mut().enumerate() {
+            if *cnt > 0 {
+                cols.push(c as u32);
+                vals.push((*cnt as f32) * adjv.scale(i));
+                *cnt = 0;
+            }
+        }
+        offsets.push(cols.len() as u32);
+    }
+    (offsets, cols, vals)
 }
 
 /// Applies the DGCNN propagation `S·H` with `S = D̃⁻¹(A + I)`:
@@ -924,6 +1029,45 @@ mod tests {
             propagate_matmul_into(&adj, &h, &w, &mut prop, &mut out);
             assert_eq!(prop, prop_ref, "propagated matrix diverged");
             assert_eq!(out, out_ref, "fused product diverged");
+        }
+    }
+
+    /// The cached-plan kernels must reproduce the histogram-rebuild
+    /// kernels bit-for-bit, including from dirty reused buffers.
+    #[test]
+    fn plan_kernels_match_histogram_kernels_bitwise() {
+        let x = tiny_onehot();
+        let adj = Csr::from_lists(&[vec![1, 2], vec![0, 3], vec![0], vec![1]]);
+        let (off, cols, vals) = build_plan_slabs(&adj, &x);
+        let plan = Layer0PlanView::from_raw_parts(&off, &cols, &vals);
+        let mut rng = seeded_rng(23);
+        let w = Matrix::glorot(11, 6, &mut rng);
+        let dz = Matrix::glorot(4, 6, &mut rng);
+        let mut scratch = OneHotSpmmScratch::default();
+
+        let mut fwd_ref = Matrix::default();
+        onehot_propagate_matmul_into(&adj, &x, &w, &mut fwd_ref, &mut scratch);
+        let mut fwd = Matrix::from_vec(1, 1, vec![3.0]); // dirty buffer
+        for _ in 0..2 {
+            plan_matmul_into(plan, &w, &mut fwd);
+            assert_eq!(fwd, fwd_ref, "cached forward diverged from rebuild");
+        }
+
+        for range in [0..4usize, 1..3] {
+            let mut bwd_ref = Matrix::default();
+            onehot_propagate_t_matmul_rows_into(
+                &adj,
+                &x,
+                &dz,
+                range.clone(),
+                &mut bwd_ref,
+                &mut scratch,
+            );
+            let mut bwd = Matrix::from_vec(1, 2, vec![4.0, 4.0]);
+            for _ in 0..2 {
+                plan_t_matmul_rows_into(plan, &dz, range.clone(), 11, &mut bwd);
+                assert_eq!(bwd, bwd_ref, "cached backward diverged ({range:?})");
+            }
         }
     }
 

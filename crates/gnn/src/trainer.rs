@@ -32,6 +32,8 @@
 //! batched step and the faster choice on many-core hosts with large
 //! per-sample graphs.
 
+use std::time::{Duration, Instant};
+
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rayon::prelude::*;
@@ -65,6 +67,12 @@ pub struct TrainConfig {
     /// anything lower is a tolerance-pinned approximation and leaves
     /// the bit-exact contract. Ignored by the reference loop.
     pub dh_keep: f32,
+    /// Rebuild the layer-0 propagated features from the two-hot
+    /// histograms every epoch instead of consuming the arena's cached
+    /// `S·X` plans. The rebuild kernels are the executable reference of
+    /// the cached path (bit-identical either way); `false` — the
+    /// default — uses the cache whenever the store carries one.
+    pub layer0_rebuild: bool,
 }
 
 impl Default for TrainConfig {
@@ -76,8 +84,27 @@ impl Default for TrainConfig {
             seed: 0,
             reference_loop: false,
             dh_keep: 1.0,
+            layer0_rebuild: false,
         }
     }
+}
+
+/// Wall-clock breakdown of one training run, accumulated over every
+/// batch of every epoch: minibatch assembly, batched forward, batched
+/// backward and the optimiser step. The reference per-sample loop fuses
+/// forward and backward in one parallel region; its whole region is
+/// attributed to `forward`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TrainPhases {
+    /// Packing jobs into the block-diagonal minibatch (incl. plan
+    /// stacking).
+    pub assembly: Duration,
+    /// Batched forward passes (inputs through per-sample losses).
+    pub forward: Duration,
+    /// Batched backward passes (losses through summed gradients).
+    pub backward: Duration,
+    /// Adam updates.
+    pub optimizer: Duration,
 }
 
 /// Per-epoch statistics.
@@ -218,6 +245,31 @@ pub fn train_controlled<S: SampleStore + ?Sized, V: SampleStore + ?Sized>(
     cfg: &TrainConfig,
     ctl: &dyn TrainControl,
 ) -> Result<TrainReport, TrainCancelled> {
+    let mut phases = TrainPhases::default();
+    train_controlled_timed(model, train, val, cfg, ctl, &mut phases)
+}
+
+/// [`train_controlled`] with a wall-clock phase breakdown accumulated
+/// into `phases` (timers sit outside every RNG draw and reduction, so
+/// the numerics are untouched). `phases` is overwritten, not folded
+/// into; on cancellation it holds the phases of the completed batches.
+///
+/// # Errors
+///
+/// As [`train_controlled`].
+///
+/// # Panics
+///
+/// Panics when `train` is empty or `batch_size` is zero.
+pub fn train_controlled_timed<S: SampleStore + ?Sized, V: SampleStore + ?Sized>(
+    model: &mut Dgcnn,
+    train: &S,
+    val: &V,
+    cfg: &TrainConfig,
+    ctl: &dyn TrainControl,
+    phases: &mut TrainPhases,
+) -> Result<TrainReport, TrainCancelled> {
+    *phases = TrainPhases::default();
     assert!(!train.is_empty(), "training set must not be empty");
     assert!(cfg.batch_size > 0, "batch size must be positive");
     let mut rng = seeded_rng(cfg.seed);
@@ -266,7 +318,9 @@ pub fn train_controlled<S: SampleStore + ?Sized, V: SampleStore + ?Sized>(
                 // Per-sample forward/backward in parallel against frozen
                 // weights, each worker streaming through one reused
                 // workspace and writing gradients into its sample's slot;
-                // `collect` preserves job order.
+                // `collect` preserves job order. The fused region is
+                // attributed to the `forward` phase (see [`TrainPhases`]).
+                let t_fused = Instant::now();
                 let frozen: &Dgcnn = model;
                 let losses: Vec<f64> = grad_slots[..jobs.len()]
                     .par_iter_mut()
@@ -289,20 +343,29 @@ pub fn train_controlled<S: SampleStore + ?Sized, V: SampleStore + ?Sized>(
                 for g in &grad_slots[1..jobs.len()] {
                     acc.merge(g);
                 }
+                phases.forward += t_fused.elapsed();
             } else {
                 // Block-diagonal batched step: one fused kernel per
                 // layer over the whole minibatch, gradients reduced in
                 // sample order internally — the same bits as the slot
                 // merge above, with per-sample losses folded in the
-                // same job order.
-                mb.assemble(train, &jobs);
+                // same job order. Layer 0 consumes the store's cached
+                // S·X plans unless `layer0_rebuild` forces the
+                // histogram-rebuild reference.
+                let t_asm = Instant::now();
+                mb.assemble_with(train, &jobs, !cfg.layer0_rebuild);
+                phases.assembly += t_asm.elapsed();
                 model.batch_train_step(&mb, cfg.dh_keep, &mut bws, &mut acc);
+                phases.forward += bws.forward_time;
+                phases.backward += bws.backward_time;
                 for loss in &bws.losses {
                     epoch_loss += loss;
                 }
             }
             step += 1;
+            let t_opt = Instant::now();
             model.adam_step(&acc, &cfg.adam, step, 1.0 / jobs.len() as f32);
+            phases.optimizer += t_opt.elapsed();
             seen += jobs.len();
         }
         let train_loss = if seen == 0 {

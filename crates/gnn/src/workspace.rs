@@ -64,6 +64,8 @@ pub(crate) struct BackwardScratch {
     pub(crate) dzw: Matrix,
     pub(crate) dh_prev: Matrix,
     pub(crate) dh_layers: Vec<Matrix>,
-    /// Column-histogram scratch of the bit-exact sparse first layer.
+    /// Column-histogram scratch of the bit-exact sparse first layer
+    /// (rebuild path only — the batched trainer's default layer 0 reads
+    /// the arena-cached `S·X` plan and never fills this).
     pub(crate) spmm: OneHotSpmmScratch,
 }

@@ -39,6 +39,20 @@
 //! construction — so the same slab serves any budget and the emitted
 //! column indices are identical to the owned path's.
 //!
+//! # Layer-0 plan slabs
+//!
+//! Training's first GC layer consumes `S·X`, which depends only on a
+//! sample's fixed adjacency and two-hot features — constant across all
+//! epochs. [`SampleArena::build_layer0_plans`] precomputes each node's
+//! sparse `S·X` row **once** (per dataset label budget) into three more
+//! slabs (`plan_offsets`/`plan_cols`/`plan_vals`, read through
+//! [`Layer0PlanView`]), holding exactly the `(column, count·scale)`
+//! entries the per-epoch histogram kernels would rederive — so the
+//! cached path is bit-identical to the rebuild path by construction.
+//! The plans are *derived* state: any sample mutation invalidates
+//! them, and serde skips them (checkpoints stay in the pre-plan
+//! format; plans are rebuilt on demand after deserialisation).
+//!
 //! # Determinism contract
 //!
 //! A sample's slab content is a pure function of `(graph, link, h,
@@ -51,7 +65,7 @@
 //! the thread count.
 
 use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use serde::{map_get, DeError, Deserialize, Serialize, Value};
 
 use crate::csr::CsrView;
 use crate::drnl;
@@ -83,6 +97,87 @@ impl SampleHandle {
     }
 }
 
+/// Borrowed sparse-CSR view of one sample's cached layer-0 plan: the
+/// rows of the propagated-feature matrix `S·X` under a fixed dataset
+/// label budget.
+///
+/// Row `i` holds at most `2·(1 + deg(i))` `(column, value)` entries with
+/// the columns strictly ascending, where every value is
+/// `count · scaleᵢ` for an integer hit `count` of that feature column
+/// over the closed neighbourhood `{i} ∪ N(i)` — the exact quantities
+/// the histogram kernels derive per epoch, precomputed once. Because
+/// the entries carry the same `(count as f32) * scale` products in the
+/// same ascending-column order the histogram path visits, any kernel
+/// consuming a plan row reproduces the rebuild path bit-for-bit.
+#[derive(Debug, Clone, Copy)]
+pub struct Layer0PlanView<'a> {
+    /// `node_count + 1` entry offsets, absolute into `cols`/`vals`.
+    offsets: &'a [u32],
+    /// Entry columns (feature-space indices), ascending within a row.
+    cols: &'a [u32],
+    /// Entry values (`count · scale`, exact by construction).
+    vals: &'a [f32],
+}
+
+impl<'a> Layer0PlanView<'a> {
+    /// Assembles a view from raw slabs.
+    ///
+    /// Invariants the caller must uphold: `offsets` holds
+    /// `node_count + 1` non-decreasing entry offsets, each in bounds
+    /// for `cols`/`vals` (which must have equal lengths over the
+    /// addressed span), and each row's columns are strictly ascending.
+    /// The arena and the batched trainer's plan stacker are the only
+    /// intended constructors.
+    #[must_use]
+    pub fn from_raw_parts(offsets: &'a [u32], cols: &'a [u32], vals: &'a [f32]) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(*offsets.last().unwrap() as usize <= cols.len());
+        debug_assert!(*offsets.last().unwrap() as usize <= vals.len());
+        Self {
+            offsets,
+            cols,
+            vals,
+        }
+    }
+
+    /// Number of node rows.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The `(columns, values)` entry slices of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn row(&self, i: usize) -> (&'a [u32], &'a [f32]) {
+        let (s, e) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+        (&self.cols[s..e], &self.vals[s..e])
+    }
+
+    /// The view's entry offsets (absolute into the entry slices of
+    /// [`Layer0PlanView::entries`]'s underlying slabs).
+    #[must_use]
+    pub fn offsets(&self) -> &'a [u32] {
+        self.offsets
+    }
+
+    /// The whole contiguous `(columns, values)` span covered by this
+    /// view — the flat copy a block-diagonal stacker appends.
+    #[must_use]
+    pub fn entries(&self) -> (&'a [u32], &'a [f32]) {
+        let (s, e) = (
+            self.offsets[0] as usize,
+            *self.offsets.last().unwrap() as usize,
+        );
+        (&self.cols[s..e], &self.vals[s..e])
+    }
+}
+
 /// Per-sample record: where the sample's runs start inside the slabs.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct SampleRec {
@@ -101,7 +196,7 @@ struct SampleRec {
 /// Pooled storage for the adjacency and two-hot features of many
 /// [`GraphSample`](crate::subgraph::Subgraph)-shaped samples — see the
 /// [module docs](self) for layout, streaming and determinism.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SampleArena {
     /// Concatenated per-sample row offsets (`node_count + 1` entries per
     /// sample, relative to the sample's `nbr_start`).
@@ -122,6 +217,58 @@ pub struct SampleArena {
     /// Bumped by [`SampleArena::clear`]; handles remember the generation
     /// they were issued under and are rejected afterwards.
     generation: u32,
+    /// Layer-0 plan slab: one global CSR of entry offsets over every
+    /// node of every sample in push order (`scales.len() + 1` entries
+    /// when built, absolute into `plan_cols`/`plan_vals`). Derived
+    /// state — rebuilt by [`SampleArena::build_layer0_plans`], never
+    /// serialised, dropped by any mutation.
+    plan_offsets: Vec<u32>,
+    /// Layer-0 plan slab: entry feature columns, ascending per row.
+    plan_cols: Vec<u32>,
+    /// Layer-0 plan slab: entry values (`count · scale`).
+    plan_vals: Vec<f32>,
+    /// The label budget the plans were built under; `None` = no plans.
+    plan_budget: Option<u32>,
+}
+
+// The arena's persistent form is exactly the eight sample slabs/fields
+// it has carried since the arena PR — the layer-0 plan slabs are derived
+// state, rebuilt on demand from the sample slabs, so serialising them
+// would only bloat checkpoints and break bidirectional compatibility
+// with pre-plan readers. Hand-written because the vendored derive has no
+// `skip` attribute and requires every field on read.
+impl Serialize for SampleArena {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("offsets".to_owned(), self.offsets.to_value()),
+            ("neighbors".to_owned(), self.neighbors.to_value()),
+            ("scales".to_owned(), self.scales.to_value()),
+            ("gate".to_owned(), self.gate.to_value()),
+            ("labels".to_owned(), self.labels.to_value()),
+            ("recs".to_owned(), self.recs.to_value()),
+            ("max_label".to_owned(), self.max_label.to_value()),
+            ("generation".to_owned(), self.generation.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SampleArena {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Self {
+            offsets: Deserialize::from_value(map_get(v, "offsets")?)?,
+            neighbors: Deserialize::from_value(map_get(v, "neighbors")?)?,
+            scales: Deserialize::from_value(map_get(v, "scales")?)?,
+            gate: Deserialize::from_value(map_get(v, "gate")?)?,
+            labels: Deserialize::from_value(map_get(v, "labels")?)?,
+            recs: Deserialize::from_value(map_get(v, "recs")?)?,
+            max_label: Deserialize::from_value(map_get(v, "max_label")?)?,
+            generation: Deserialize::from_value(map_get(v, "generation")?)?,
+            plan_offsets: Vec::new(),
+            plan_cols: Vec::new(),
+            plan_vals: Vec::new(),
+            plan_budget: None,
+        })
+    }
 }
 
 impl SampleArena {
@@ -186,6 +333,17 @@ impl SampleArena {
         self.recs.clear();
         self.max_label = 0;
         self.generation = self.generation.wrapping_add(1);
+        self.invalidate_plans();
+    }
+
+    /// Drops the cached layer-0 plans (keeping slab capacity). Every
+    /// sample mutation funnels through this: plans are derived from the
+    /// sample slabs, so any slab write makes them stale.
+    fn invalidate_plans(&mut self) {
+        self.plan_offsets.clear();
+        self.plan_cols.clear();
+        self.plan_vals.clear();
+        self.plan_budget = None;
     }
 
     /// Bytes of sample data currently resident (length-based, excluding
@@ -196,6 +354,8 @@ impl SampleArena {
         (self.offsets.len() + self.neighbors.len() + self.gate.len() + self.labels.len()) * 4
             + self.scales.len() * 4
             + self.recs.len() * std::mem::size_of::<SampleRec>()
+            + (self.plan_offsets.len() + self.plan_cols.len()) * 4
+            + self.plan_vals.len() * 4
     }
 
     /// Number of nodes of a stored sample.
@@ -295,6 +455,7 @@ impl SampleArena {
         max_nodes: Option<usize>,
         label: Option<bool>,
     ) -> SampleHandle {
+        self.invalidate_plans();
         let (lf, lg) = subgraph::collect_link_members(scr, graph, link, h, max_nodes);
         let (f, g) = (link.a, link.b);
         let ExtractScratch {
@@ -365,6 +526,7 @@ impl SampleArena {
     /// stored raw, adjacency verbatim — the subgraph's CSR is already
     /// normalised). Returns the new handle.
     pub fn push_subgraph(&mut self, sg: &Subgraph, label: Option<bool>) -> SampleHandle {
+        self.invalidate_plans();
         let n = sg.node_count();
         let off_start = self.offsets.len();
         let node_start = self.scales.len();
@@ -413,6 +575,7 @@ impl SampleArena {
     ///
     /// Panics when the merged slabs would exceed `u32` addressing.
     pub fn append(&mut self, other: &SampleArena) {
+        self.invalidate_plans();
         let off_base = self.offsets.len() as u32;
         let node_base = self.scales.len() as u32;
         let nbr_base = self.neighbors.len() as u32;
@@ -471,6 +634,102 @@ impl SampleArena {
         for local in locals {
             self.append(&local);
         }
+    }
+
+    /// Precomputes every sample's layer-0 plan — the sparse rows of
+    /// `S·X` under the given label budget (see [`Layer0PlanView`]) —
+    /// into the plan slabs, once, so training epochs consume the plan
+    /// instead of rebuilding per-node column histograms twice per
+    /// sample per epoch.
+    ///
+    /// The builder runs the exact histogram the rebuild kernels run:
+    /// per node, hit counts of the two-hot columns over the closed
+    /// neighbourhood (labels clamped on read like [`OneHotView::columns`]),
+    /// touched columns sorted ascending, each value computed as
+    /// `(count as f32) * scale` from the same operands — which is what
+    /// makes a plan-consuming kernel bit-identical to the rebuild path
+    /// by construction.
+    ///
+    /// Idempotent for a given budget; a different budget rebuilds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan slab would exceed `u32` addressing.
+    pub fn build_layer0_plans(&mut self, max_label: u32) {
+        if self.plan_budget == Some(max_label) {
+            return;
+        }
+        // Taken out of `self` so the sample views borrowed below don't
+        // conflict with the slab writes; restored before returning.
+        let mut offsets = std::mem::take(&mut self.plan_offsets);
+        let mut cols = std::mem::take(&mut self.plan_cols);
+        let mut vals = std::mem::take(&mut self.plan_vals);
+        offsets.clear();
+        cols.clear();
+        vals.clear();
+        let width = feature_cols(max_label);
+        let mut counts = vec![0u32; width];
+        let mut touched: Vec<u32> = Vec::new();
+        offsets.push(0);
+        for s in 0..self.len() {
+            let h = self.nth_handle(s);
+            let adj = self.adj(h);
+            let x = self.one_hot(h, max_label);
+            for i in 0..adj.node_count() {
+                touched.clear();
+                let mut hit = |col: usize| {
+                    if counts[col] == 0 {
+                        touched.push(col as u32);
+                    }
+                    counts[col] += 1;
+                };
+                let (g, l) = x.columns(i);
+                hit(g);
+                hit(l);
+                for &j in adj.neighbors(i) {
+                    let (g, l) = x.columns(j as usize);
+                    hit(g);
+                    hit(l);
+                }
+                touched.sort_unstable();
+                let scale = adj.scale(i);
+                for &c in &touched {
+                    cols.push(c);
+                    vals.push((counts[c as usize] as f32) * scale);
+                    counts[c as usize] = 0;
+                }
+                offsets.push(cols.len() as u32);
+            }
+        }
+        assert!(
+            cols.len() <= u32::MAX as usize,
+            "layer-0 plan slab exceeds u32 addressing"
+        );
+        self.plan_offsets = offsets;
+        self.plan_cols = cols;
+        self.plan_vals = vals;
+        self.plan_budget = Some(max_label);
+    }
+
+    /// Borrowed layer-0 plan of a stored sample, or `None` when no
+    /// plans are cached for this exact label budget (never a silently
+    /// mismatched plan — consumers fall back to the rebuild kernels).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `h` is stale or out of range.
+    #[must_use]
+    pub fn layer0_plan(&self, h: SampleHandle, max_label: u32) -> Option<Layer0PlanView<'_>> {
+        if self.plan_budget != Some(max_label) {
+            return None;
+        }
+        let r = self.rec(h);
+        let (node, n) = (r.node_start as usize, r.node_count as usize);
+        Some(Layer0PlanView::from_raw_parts(
+            &self.plan_offsets[node..=node + n],
+            &self.plan_cols,
+            &self.plan_vals,
+        ))
     }
 }
 
@@ -666,6 +925,120 @@ mod tests {
                 back.one_hot(b, 8).to_owned_features()
             );
             assert_eq!(arena.label(a), back.label(b));
+        }
+    }
+
+    /// In-test reference for one plan row: the dense row of `S·X`
+    /// derived naively from the sample views, with the histogram's
+    /// exact `(count as f32) * scale` arithmetic.
+    fn reference_plan_row(
+        arena: &SampleArena,
+        h: SampleHandle,
+        max_label: u32,
+        i: usize,
+    ) -> Vec<(u32, f32)> {
+        let adj = arena.adj(h);
+        let x = arena.one_hot(h, max_label);
+        let mut counts = vec![0u32; feature_cols(max_label)];
+        let (g, l) = x.columns(i);
+        counts[g] += 1;
+        counts[l] += 1;
+        for &j in adj.neighbors(i) {
+            let (g, l) = x.columns(j as usize);
+            counts[g] += 1;
+            counts[l] += 1;
+        }
+        counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(c, &n)| (c as u32, (n as f32) * adj.scale(i)))
+            .collect()
+    }
+
+    #[test]
+    fn layer0_plans_match_histogram_reference_bitwise() {
+        let g = ring(40);
+        let mut arena = SampleArena::new();
+        for i in 0..8u32 {
+            arena.extract_sample(
+                &g,
+                Link::new(i, (i + 13) % 40),
+                2,
+                Some(25),
+                Some(i % 2 == 0),
+            );
+        }
+        for budget in [arena.max_label(), 1] {
+            arena.build_layer0_plans(budget);
+            for s in 0..arena.len() {
+                let h = arena.nth_handle(s);
+                let plan = arena.layer0_plan(h, budget).expect("plans built");
+                assert_eq!(plan.node_count(), arena.node_count(h));
+                for i in 0..plan.node_count() {
+                    let (cols, vals) = plan.row(i);
+                    let expect = reference_plan_row(&arena, h, budget, i);
+                    assert_eq!(cols.len(), expect.len(), "sample {s} row {i}");
+                    for (k, &(c, v)) in expect.iter().enumerate() {
+                        assert_eq!(cols[k], c, "sample {s} row {i}");
+                        assert_eq!(vals[k].to_bits(), v.to_bits(), "sample {s} row {i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn layer0_plans_invalidate_on_mutation_and_budget_change() {
+        let g = ring(30);
+        let mut arena = SampleArena::new();
+        arena.extract_sample(&g, Link::new(0, 9), 2, None, Some(true));
+        let budget = arena.max_label();
+        arena.build_layer0_plans(budget);
+        let h0 = arena.nth_handle(0);
+        assert!(arena.layer0_plan(h0, budget).is_some());
+        // Wrong budget: no silently mismatched plan.
+        assert!(arena.layer0_plan(h0, budget + 1).is_none());
+        // Any sample mutation drops the plans.
+        arena.extract_sample(&g, Link::new(2, 11), 2, None, Some(false));
+        assert!(arena.layer0_plan(arena.nth_handle(0), budget).is_none());
+        arena.build_layer0_plans(budget);
+        assert!(arena.layer0_plan(arena.nth_handle(1), budget).is_some());
+        arena.clear();
+        assert_eq!(arena.resident_bytes(), 0, "plan slabs cleared too");
+    }
+
+    #[test]
+    fn serde_skips_plans_and_rebuilds_after_round_trip() {
+        let g = ring(24);
+        let mut arena = SampleArena::new();
+        arena.extract_sample(&g, Link::new(1, 8), 2, None, Some(true));
+        let json_before_plans = serde_json::to_string(&arena).unwrap();
+        let budget = arena.max_label();
+        arena.build_layer0_plans(budget);
+        // Plans never reach the persistent form: the serialised bytes
+        // are the pre-plan format either way.
+        assert_eq!(serde_json::to_string(&arena).unwrap(), json_before_plans);
+        let mut back: SampleArena = serde_json::from_str(&json_before_plans).unwrap();
+        let hb = back.nth_handle(0);
+        assert!(
+            back.layer0_plan(hb, budget).is_none(),
+            "plans not persisted"
+        );
+        back.build_layer0_plans(budget);
+        let ha = arena.nth_handle(0);
+        let (pa, pb) = (
+            arena.layer0_plan(ha, budget).unwrap(),
+            back.layer0_plan(hb, budget).unwrap(),
+        );
+        assert_eq!(pa.node_count(), pb.node_count());
+        for i in 0..pa.node_count() {
+            let ((ca, va), (cb, vb)) = (pa.row(i), pb.row(i));
+            assert_eq!(ca, cb);
+            assert_eq!(
+                va.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                vb.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
         }
     }
 
