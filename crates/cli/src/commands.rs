@@ -8,8 +8,8 @@ use muxlink_attack_baselines::{saam_attack, sail_lite_attack, scope_attack, Scop
 use muxlink_benchgen::SyntheticSuite;
 use muxlink_core::metrics::score_key;
 use muxlink_core::{
-    run_suite, AttackSession, EpochStats, MuxLinkConfig, NoProgress, Progress, Stage, SuiteJob,
-    SuiteOptions, Trained,
+    key_input_names, run_suite, AttackSession, EpochStats, MuxLinkConfig, NoProgress, Progress,
+    Stage, SuiteJob, SuiteOptions, Trained,
 };
 use muxlink_locking::{dmux, naive_mux, symmetric, trll, xor, Key, KeyValue, LockOptions};
 use muxlink_netlist::{bench_format, stats::NetlistStats, Netlist};
@@ -37,6 +37,15 @@ subcommands:
             [-o guess.txt]
   suite     [--out-dir dir] [--th f] [--hops n] [--threads n] [--paper]
             [--seed n] locked1.bench locked2.bench …
+  serve     --socket /path.sock [--tcp host:port] [--cache-dir dir]
+            [--workers n] [--cache-entries n]
+  client    <submit|status|result|sweep|cancel|stats|shutdown>
+            --socket /path.sock | --tcp host:port
+            submit: [--job attack|train|score] [--th f] [--hops n]
+                    [--seed n] [--threads n] [--batch-size n] [--paper]
+                    [--no-wait] [--progress]            locked.bench
+            status/result/cancel: --job-id n
+            sweep:  --key fingerprint-hex --thresholds 0.5,0.75,1.0
   sat-attack --oracle original.bench in.bench [-o guess.txt]
   evaluate  --original o.bench --locked l.bench --guess g.txt
             [--key k.txt] [--patterns n]
@@ -48,7 +57,9 @@ threshold-sweeps a checkpoint without retraining (bit-identical to a
 one-shot attack). `attack --model` requires the same netlist the
 checkpoint was trained on (verified structurally). `suite` drives many
 locked designs through one process, one result record (and, with
---out-dir, one JSON) per design.
+--out-dir, one JSON) per design. `serve` runs the attack service: a
+daemon with a fingerprint-keyed checkpoint cache that answers repeat
+queries in milliseconds; `client` talks to it.
 ";
 
 /// Dispatches a parsed command; returns the text to print on stdout.
@@ -64,6 +75,8 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
         "train" => train_cmd(cmd),
         "score" => score_cmd(cmd),
         "suite" => suite_cmd(cmd),
+        "serve" => crate::service::serve_cmd(cmd),
+        "client" => crate::service::client_cmd(cmd),
         "sat-attack" => sat_attack_cmd(cmd),
         "evaluate" => evaluate(cmd),
         "stats" => stats(cmd),
@@ -172,20 +185,6 @@ fn save_netlist(path: &str, netlist: &Netlist) -> Result<(), CliError> {
     let text = bench_format::write(netlist).map_err(|e| CliError::Domain(e.to_string()))?;
     fs::write(path, text)?;
     Ok(())
-}
-
-fn key_input_names(netlist: &Netlist) -> Vec<String> {
-    let mut names: Vec<(usize, String)> = netlist
-        .input_names()
-        .into_iter()
-        .filter_map(|n| {
-            n.strip_prefix(muxlink_locking::KEY_INPUT_PREFIX)
-                .and_then(|suffix| suffix.parse::<usize>().ok())
-                .map(|i| (i, n.to_owned()))
-        })
-        .collect();
-    names.sort();
-    names.into_iter().map(|(_, n)| n).collect()
 }
 
 fn generate(cmd: &Command) -> Result<String, CliError> {

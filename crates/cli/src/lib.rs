@@ -12,6 +12,9 @@
 //! muxlink train    --save-model model.json locked.bench
 //! muxlink score    --model model.json --th 0.05 -o guess.txt
 //! muxlink suite    --threads 4 --out-dir results/ locked1.bench locked2.bench
+//! muxlink serve    --socket /tmp/muxlink.sock --cache-dir cache/ --workers 2
+//! muxlink client   submit --socket /tmp/muxlink.sock locked.bench
+//! muxlink client   sweep  --socket /tmp/muxlink.sock --key <fingerprint> --thresholds 0.5,1.0
 //! muxlink sat-attack locked.bench --oracle c1355.bench
 //! muxlink evaluate --original c1355.bench --locked locked.bench --guess guess.txt --key key.txt
 //! muxlink stats    locked.bench
@@ -23,6 +26,7 @@
 pub mod commands;
 pub mod keyfile;
 pub mod opts;
+pub mod service;
 
 pub use commands::run;
 pub use opts::{CliError, Command};

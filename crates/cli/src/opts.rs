@@ -55,6 +55,8 @@ pub const SUBCOMMANDS: &[&str] = &[
     "train",
     "score",
     "suite",
+    "serve",
+    "client",
     "sat-attack",
     "evaluate",
     "stats",
@@ -89,6 +91,14 @@ const VALUED: &[&str] = &[
     "--locked",
     "--oracle",
     "--patterns",
+    "--socket",
+    "--tcp",
+    "--cache-dir",
+    "--workers",
+    "--cache-entries",
+    "--job",
+    "--job-id",
+    "--thresholds",
 ];
 
 impl Command {

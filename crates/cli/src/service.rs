@@ -1,0 +1,244 @@
+//! The `serve` and `client` subcommands: the CLI face of the attack
+//! service (`muxlink-serve`).
+//!
+//! `serve` runs the daemon in the foreground until a `shutdown` request
+//! drains it. `client` speaks the NDJSON wire protocol over the
+//! daemon's unix socket (or TCP): one action per invocation, the final
+//! response rendered as text on stdout (streamed progress events go to
+//! stderr, mirroring the attack commands).
+
+use std::fs;
+use std::path::PathBuf;
+
+use muxlink_serve::{serve, Connection, JobKind, Request, Response, ServeOptions, SubmitRequest};
+
+use crate::opts::{CliError, Command};
+
+fn domain(e: impl std::fmt::Display) -> CliError {
+    CliError::Domain(e.to_string())
+}
+
+/// `serve`: run the daemon until a client shuts it down.
+pub fn serve_cmd(cmd: &Command) -> Result<String, CliError> {
+    let socket = PathBuf::from(cmd.require("--socket")?);
+    let opts = ServeOptions {
+        socket,
+        tcp: cmd.flags.get("--tcp").cloned(),
+        cache_dir: cmd.flags.get("--cache-dir").map(PathBuf::from),
+        workers: cmd.parse_flag("--workers", 1)?,
+        cache_entries: cmd.parse_flag("--cache-entries", 8)?,
+    };
+    eprintln!(
+        "[muxlink-serve] listening on {} ({} worker{}); send {{\"kind\":\"shutdown\"}} to stop",
+        opts.socket.display(),
+        opts.workers,
+        if opts.workers == 1 { "" } else { "s" },
+    );
+    let summary = serve(&opts).map_err(domain)?;
+    Ok(format!(
+        "daemon drained: {} done, {} failed, {} cancelled; {} training run{}, {} cache hit{}\n",
+        summary.jobs_done,
+        summary.jobs_failed,
+        summary.jobs_cancelled,
+        summary.trainings,
+        if summary.trainings == 1 { "" } else { "s" },
+        summary.cache_hits,
+        if summary.cache_hits == 1 { "" } else { "s" },
+    ))
+}
+
+fn connect(cmd: &Command) -> Result<Connection, CliError> {
+    if let Some(addr) = cmd.flags.get("--tcp") {
+        return Connection::tcp(addr).map_err(domain);
+    }
+    let socket = cmd.require("--socket")?;
+    Connection::unix(std::path::Path::new(socket)).map_err(domain)
+}
+
+/// `client`: one request against a running daemon.
+pub fn client_cmd(cmd: &Command) -> Result<String, CliError> {
+    let action = cmd.positional.first().map(String::as_str).ok_or_else(|| {
+        CliError::Usage(
+            "client needs an action: submit, status, result, sweep, cancel, stats or shutdown"
+                .into(),
+        )
+    })?;
+    let request = match action {
+        "submit" => {
+            let path = cmd.positional.get(1).map(String::as_str).ok_or_else(|| {
+                CliError::Usage("client submit needs a locked .bench file".into())
+            })?;
+            let text = fs::read_to_string(path)?;
+            let mut sreq = SubmitRequest::inline(
+                JobKind::parse(cmd.flag_or("--job", "attack")).map_err(CliError::Usage)?,
+                &text,
+            );
+            sreq.paper = cmd.has("--paper");
+            sreq.th = opt_flag(cmd, "--th")?;
+            sreq.hops = opt_flag(cmd, "--hops")?;
+            sreq.seed = opt_flag(cmd, "--seed")?;
+            sreq.threads = opt_flag(cmd, "--threads")?;
+            sreq.batch_size = opt_flag(cmd, "--batch-size")?;
+            sreq.wait = !cmd.has("--no-wait");
+            sreq.stream = cmd.has("--progress");
+            Request::Submit(sreq)
+        }
+        "status" => Request::Status {
+            job_id: cmd.parse_flag("--job-id", 0)?,
+        },
+        "result" => Request::Result {
+            job_id: cmd.parse_flag("--job-id", 0)?,
+        },
+        "sweep" => {
+            let thresholds = cmd
+                .require("--thresholds")?
+                .split(',')
+                .map(|t| {
+                    t.trim().parse::<f64>().map_err(|_| {
+                        CliError::Usage(format!("--thresholds has invalid value `{t}`"))
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Request::Sweep {
+                key: cmd.require("--key")?.to_owned(),
+                thresholds,
+            }
+        }
+        "cancel" => Request::Cancel {
+            job_id: cmd.parse_flag("--job-id", 0)?,
+        },
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        other => {
+            return Err(CliError::Usage(format!("unknown client action `{other}`")));
+        }
+    };
+    let mut conn = connect(cmd)?;
+    let response = conn
+        .round_trip(&request, |event| {
+            if let Response::Event(e) = event {
+                match e.event.as_str() {
+                    "epoch" => eprintln!(
+                        "[muxlink]   epoch {:>3}: train loss {:.4}, val acc {:.2}%",
+                        e.epoch.unwrap_or(0),
+                        e.train_loss.unwrap_or(f64::NAN),
+                        e.val_accuracy.unwrap_or(f64::NAN) * 100.0,
+                    ),
+                    _ => {
+                        if let Some(stage) = &e.stage {
+                            match e.seconds {
+                                Some(s) => eprintln!("[muxlink] {stage} done in {s:.3}s"),
+                                None => eprintln!("[muxlink] {stage} …"),
+                            }
+                        }
+                    }
+                }
+            }
+        })
+        .map_err(domain)?;
+    render(&response).map_err(CliError::Domain)
+}
+
+fn opt_flag<T: std::str::FromStr>(cmd: &Command, name: &str) -> Result<Option<T>, CliError> {
+    match cmd.flags.get(name) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| CliError::Usage(format!("flag {name} has invalid value `{v}`"))),
+    }
+}
+
+/// Renders a daemon response as the CLI's stdout text. Daemon-side
+/// `error` responses become `Err` so the process exits non-zero.
+fn render(response: &Response) -> Result<String, String> {
+    match response {
+        Response::Result(r) => {
+            let mut out = String::new();
+            if let Some(id) = r.job_id {
+                out.push_str(&format!("job {id} done\n"));
+            }
+            out.push_str(&format!("key: {}\n", r.key));
+            out.push_str(&format!("cache_hit: {}\n", r.cache_hit));
+            if r.coalesced {
+                out.push_str("coalesced: true\n");
+            }
+            out.push_str(&format!(
+                "recovered key: {} ({}/{} bits decided) [th = {}]\n",
+                r.key_string, r.decided, r.key_len, r.th,
+            ));
+            out.push_str(&format!(
+                "val acc {:.2}% over {} epochs; train {:.3}s, score {:.3}s\n",
+                r.val_accuracy * 100.0,
+                r.epochs,
+                r.train_seconds,
+                r.score_seconds,
+            ));
+            Ok(out)
+        }
+        Response::Accepted {
+            job_id,
+            key,
+            coalesced,
+        } => Ok(format!(
+            "accepted job {job_id} (key: {key}{})\n",
+            if *coalesced { ", coalesced" } else { "" },
+        )),
+        Response::Status(s) => Ok(format!(
+            "job {}: {} ({} epochs done){}\n",
+            s.job_id,
+            s.state,
+            s.epochs_done,
+            s.error
+                .as_ref()
+                .map(|e| format!(" — {e}"))
+                .unwrap_or_default(),
+        )),
+        Response::Sweep {
+            key,
+            cache_hit,
+            rows,
+        } => {
+            let mut out = format!("key: {key}\ncache_hit: {cache_hit}\n");
+            for row in rows {
+                out.push_str(&format!(
+                    "th {:>6}: {} ({}/{} bits decided)\n",
+                    row.th,
+                    row.key_string,
+                    row.decided,
+                    row.key_string.len(),
+                ));
+            }
+            Ok(out)
+        }
+        Response::Cancelled { job_id } => Ok(format!("cancel delivered to job {job_id}\n")),
+        Response::Stats(s) => Ok(format!(
+            "daemon v{} up {:.1}s: {} workers\n\
+             jobs: {} submitted, {} queued, {} running, {} done, {} failed, {} cancelled\n\
+             trainings: {} ({} coalesced submits)\n\
+             cache: {} in memory, {} hits ({} from disk), {} misses, {} insertions, \
+             {} evictions, {} verify rejections\n",
+            s.protocol,
+            s.uptime_seconds,
+            s.workers,
+            s.jobs_submitted,
+            s.jobs_queued,
+            s.jobs_running,
+            s.jobs_done,
+            s.jobs_failed,
+            s.jobs_cancelled,
+            s.trainings,
+            s.coalesced_submits,
+            s.cache_memory_entries,
+            s.cache_hits,
+            s.cache_disk_hits,
+            s.cache_misses,
+            s.cache_insertions,
+            s.cache_evictions,
+            s.cache_verify_rejections,
+        )),
+        Response::Bye => Ok("daemon is draining and will exit\n".to_owned()),
+        Response::Error { message } => Err(message.clone()),
+        Response::Event(_) => unreachable!("events are consumed by round_trip"),
+    }
+}

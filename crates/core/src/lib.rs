@@ -54,6 +54,7 @@
 
 mod config;
 mod error;
+pub mod fingerprint;
 pub mod metrics;
 pub mod pipeline;
 pub mod postprocess;
@@ -66,6 +67,7 @@ pub mod suite;
 
 pub use config::MuxLinkConfig;
 pub use error::AttackError;
+pub use fingerprint::{key_input_names, DesignFingerprint};
 pub use pipeline::{
     attack, score_design, score_design_with_heuristic, AttackOutcome, ScoredDesign,
 };

@@ -65,6 +65,7 @@ use muxlink_graph::{extract, ExtractedDesign};
 use muxlink_netlist::Netlist;
 use serde::{Deserialize, Serialize};
 
+use crate::fingerprint::DesignFingerprint;
 use crate::pipeline::ScoredDesign;
 use crate::progress::{Progress, Stage, TrainBridge};
 use crate::report::{StageThreads, Timings};
@@ -447,11 +448,23 @@ pub struct Trained {
 }
 
 impl Trained {
+    /// The structural [`DesignFingerprint`] of the design this
+    /// checkpoint was trained on — the digest of exactly what
+    /// [`Trained::verify_design`] compares (key-input names in key-bit
+    /// order plus the key-MUX structure). The attack service keys its
+    /// checkpoint cache by this value, and the wire protocol carries it
+    /// in hex form.
+    #[must_use]
+    pub fn fingerprint(&self) -> DesignFingerprint {
+        DesignFingerprint::compute(&self.key_input_names, &self.design.muxes)
+    }
+
     /// Checks that this checkpoint was trained on `netlist`: the
     /// key-input names must match and re-extracting the netlist must
     /// yield the identical key-MUX structure (gate ids, key bits, sink
-    /// and candidate-source nodes — a fingerprint of the locked design;
-    /// extraction is deterministic, so the same design always matches).
+    /// and candidate-source nodes — the [`Trained::fingerprint`] of the
+    /// locked design; extraction is deterministic, so the same design
+    /// always matches).
     ///
     /// Use this before attributing a [`Trained::score`] result to a
     /// netlist that did not produce the checkpoint in-process: scoring
@@ -472,7 +485,14 @@ impl Trained {
             ));
         }
         let design = extract(netlist, key_input_names)?;
-        if design.muxes != self.design.muxes {
+        // The digest and the structural comparison are pure functions of
+        // the same inputs, so they agree everywhere except on a digest
+        // collision — keeping the structural check as a backstop makes
+        // acceptance behaviour bit-identical to the pre-fingerprint
+        // implementation while the digest stays the shared cache/wire
+        // identity.
+        let incoming = DesignFingerprint::compute(key_input_names, &design.muxes);
+        if incoming != self.fingerprint() || design.muxes != self.design.muxes {
             return Err(AttackError::Checkpoint(
                 "checkpoint was trained on a different design (key-MUX structure differs)".into(),
             ));
@@ -657,6 +677,40 @@ mod tests {
             .verify_design(&other_locked.netlist, &other_locked.key_input_names())
             .unwrap_err();
         assert!(matches!(err, AttackError::Checkpoint(_)), "{err}");
+    }
+
+    /// The shared digest and `verify_design` must agree: the origin
+    /// netlist fingerprints to the checkpoint's own digest (and
+    /// verifies), an impostor fingerprints differently (and is
+    /// rejected) — the cache key and the verifier cannot drift.
+    #[test]
+    fn fingerprint_agrees_with_verify_design() {
+        let locked = locked_design();
+        let names = locked.key_input_names();
+        let trained = AttackSession::new(&locked.netlist, &names, MuxLinkConfig::quick())
+            .extract()
+            .unwrap()
+            .prepare(&NoProgress)
+            .unwrap()
+            .train(&NoProgress)
+            .unwrap();
+        let origin = DesignFingerprint::of_netlist(&locked.netlist, &names).unwrap();
+        assert_eq!(trained.fingerprint(), origin);
+        trained.verify_design(&locked.netlist, &names).unwrap();
+
+        let other = SynthConfig::new("s2", 14, 6, 210).generate(32);
+        let other_locked = dmux::lock(&other, &LockOptions::new(6, 3)).unwrap();
+        let other_fp =
+            DesignFingerprint::of_netlist(&other_locked.netlist, &other_locked.key_input_names())
+                .unwrap();
+        assert_ne!(trained.fingerprint(), other_fp);
+        assert!(trained
+            .verify_design(&other_locked.netlist, &other_locked.key_input_names())
+            .is_err());
+        // A checkpoint serde round trip preserves the digest.
+        let json = serde_json::to_string(&trained).unwrap();
+        let restored: Trained = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored.fingerprint(), origin);
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! A small blocking client for the attack service — the engine behind
+//! `muxlink client` and the integration tests.
+//!
+//! One [`Connection`] maps to one daemon connection; [`Connection::send`]
+//! writes a request line, [`Connection::recv`] reads the next response
+//! line (streamed [`Response::Event`]s arrive as ordinary responses
+//! interleaved before the final one — callers loop until they see a
+//! non-event response).
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::proto::{parse_response, render_request, Request, Response};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read or write).
+    Io(io::Error),
+    /// The daemon hung up before answering.
+    Closed,
+    /// The daemon answered something this client cannot parse.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "connection error: {e}"),
+            Self::Closed => f.write_str("daemon closed the connection"),
+            Self::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// One blocking NDJSON connection to a daemon.
+pub struct Connection {
+    reader: BufReader<Box<dyn Read + Send>>,
+    writer: Box<dyn Write + Send>,
+}
+
+impl Connection {
+    /// Connects over the daemon's unix socket.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when the socket cannot be reached.
+    pub fn unix(path: &Path) -> Result<Self, ClientError> {
+        let stream = UnixStream::connect(path)?;
+        let reader = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(Box::new(reader)),
+            writer: Box::new(stream),
+        })
+    }
+
+    /// Connects over TCP (`host:port`).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when the address cannot be reached.
+    pub fn tcp(addr: &str) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(Box::new(reader)),
+            writer: Box::new(stream),
+        })
+    }
+
+    /// Writes one request line.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on a broken connection.
+    pub fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        let mut line = render_request(request);
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads the next response line (blocking).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Closed`] on EOF, [`ClientError::Protocol`] on an
+    /// unparsable line, [`ClientError::Io`] on a broken connection.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(ClientError::Closed);
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            return parse_response(line.trim_end()).map_err(ClientError::Protocol);
+        }
+    }
+
+    /// Sends a request and reads responses until the first non-event
+    /// one, handing each interim [`Response::Event`] to `on_event`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Connection::send`] / [`Connection::recv`].
+    pub fn round_trip(
+        &mut self,
+        request: &Request,
+        mut on_event: impl FnMut(&Response),
+    ) -> Result<Response, ClientError> {
+        self.send(request)?;
+        loop {
+            let response = self.recv()?;
+            if matches!(response, Response::Event(_)) {
+                on_event(&response);
+                continue;
+            }
+            return Ok(response);
+        }
+    }
+}
