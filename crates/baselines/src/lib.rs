@@ -13,7 +13,10 @@
 //!   MUX locking: a MUX data wire that would dangle when deselected must
 //!   be the true wire — [`saam`].
 //!
-//! The re-synthesis step is [`muxlink_netlist::opt::resynthesize`]; the
+//! The re-synthesis step is [`muxlink_netlist::opt::resynthesize`] (a
+//! fixed recipe over the [`muxlink_netlist::passes`] rewrite framework —
+//! constant folding, buffer collapse, MUX simplification and dead-logic
+//! removal in one combined sweep); the
 //! feature vector is [`muxlink_netlist::stats::NetlistStats`] (gate count,
 //! literals, area, depth, switching-activity power proxy, per-type
 //! counts) — the proxies for the commercial-tool report columns the

@@ -1,4 +1,11 @@
 //! Per-key-bit constant-propagation features shared by SWEEP and SCOPE.
+//!
+//! Each cofactor is produced by [`muxlink_netlist::opt::resynthesize`],
+//! which since the pass-framework refactor is a thin pinned recipe over
+//! [`muxlink_netlist::passes`] (the combined `resynth_fold` sweep plus
+//! dead-logic stripping). The recipe is bit-compatible with the historical
+//! monolithic sweep, so the feature deltas these attacks consume are
+//! unchanged.
 
 use std::collections::HashMap;
 

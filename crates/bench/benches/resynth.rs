@@ -1,0 +1,68 @@
+//! Criterion benchmarks for the netlist pass framework behind the
+//! resynthesis-robustness experiment: individual cleanup passes, the
+//! fixpoint cleanup pipeline, and the seeded perturbation passes on a
+//! D-MUX-locked design.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use muxlink_bench::resynth::default_levels;
+use muxlink_benchgen::synth::SynthConfig;
+use muxlink_locking::{dmux, LockOptions, LockedNetlist};
+use muxlink_netlist::passes::{pass_by_name, Pipeline, PASS_NAMES};
+
+fn locked_800() -> LockedNetlist {
+    let design = SynthConfig::new("k", 24, 12, 800).generate(5);
+    dmux::lock(&design, &LockOptions::new(16, 6)).unwrap()
+}
+
+fn bench_single_passes(c: &mut Criterion) {
+    let locked = locked_800();
+    let mut group = c.benchmark_group("pass");
+    group.sample_size(10);
+    for name in PASS_NAMES {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut n = locked.netlist.clone();
+                let pass = pass_by_name(name, 1, 0.5, false).unwrap();
+                pass.run(&mut n).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cleanup_pipeline(c: &mut Criterion) {
+    let locked = locked_800();
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("cleanup_fixpoint_800_gates", |b| {
+        b.iter(|| {
+            let mut n = locked.netlist.clone();
+            Pipeline::cleanup().run(&mut n).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_robustness_levels(c: &mut Criterion) {
+    let locked = locked_800();
+    let mut group = c.benchmark_group("robustness_level");
+    group.sample_size(10);
+    for level in default_levels() {
+        group.bench_function(level.name, |b| {
+            b.iter(|| {
+                let mut n = locked.netlist.clone();
+                level.pipeline(1).run(&mut n).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_passes,
+    bench_cleanup_pipeline,
+    bench_robustness_levels
+);
+criterion_main!(benches);

@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod resynth;
 pub mod runner;
 
 use std::fmt::Write as _;

@@ -27,12 +27,12 @@ subcommands:
             --key-size n [--seed n] in.bench -o out.bench [--key-out key.txt]
   attack    --method <muxlink|scope|saam|sail> [--th f] [--hops n]
             [--threads n] [--batch-size n] [--dh-keep f] [--paper]
-            [--layer0-rebuild] [--timings] [--seed n] [--progress]
-            [--save-model m.json] [--model m.json]
+            [--layer0-rebuild] [--canonicalize] [--timings] [--seed n]
+            [--progress] [--save-model m.json] [--model m.json]
             in.bench [-o guess.txt]
   train     --save-model m.json [--hops n] [--threads n]
             [--batch-size n] [--dh-keep f] [--paper] [--seed n]
-            [--layer0-rebuild] [--progress]               in.bench
+            [--layer0-rebuild] [--canonicalize] [--progress] in.bench
   score     --model m.json [--th f] [--threads n] [--progress]
             [-o guess.txt]
   suite     [--out-dir dir] [--th f] [--hops n] [--threads n] [--paper]
@@ -49,6 +49,11 @@ subcommands:
   sat-attack --oracle original.bench in.bench [-o guess.txt]
   evaluate  --original o.bench --locked l.bench --guess g.txt
             [--key k.txt] [--patterns n]
+  resynth   [--passes constant_fold,collapse_buffers,simplify_muxes,
+             dead_logic_elim,remap_gates,rename_wires]
+            [--set name=0,name=1,…] [--seed n] [--remap-fraction f]
+            [--remap-mux] [--max-iterations n] [--emit bench|verilog]
+            [--report] in.bench -o out.bench
   stats     in.bench
   help
 
@@ -59,7 +64,10 @@ checkpoint was trained on (verified structurally). `suite` drives many
 locked designs through one process, one result record (and, with
 --out-dir, one JSON) per design. `serve` runs the attack service: a
 daemon with a fingerprint-keyed checkpoint cache that answers repeat
-queries in milliseconds; `client` talks to it.
+queries in milliseconds; `client` talks to it. `resynth` rewrites a
+netlist through the function-preserving pass pipeline (the resynthesis
+threat model's defender move); `attack --canonicalize` runs the cleanup
+passes on the target before structural extraction.
 ";
 
 /// Dispatches a parsed command; returns the text to print on stdout.
@@ -79,6 +87,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
         "client" => crate::service::client_cmd(cmd),
         "sat-attack" => sat_attack_cmd(cmd),
         "evaluate" => evaluate(cmd),
+        "resynth" => resynth_cmd(cmd),
         "stats" => stats(cmd),
         "help" | "--help" | "-h" => Ok(HELP.to_owned()),
         other => Err(CliError::Usage(format!(
@@ -140,6 +149,11 @@ fn muxlink_cfg(cmd: &Command) -> Result<MuxLinkConfig, CliError> {
     if cmd.has("--layer0-rebuild") {
         cfg.layer0_rebuild = true;
     }
+    // Run the cleanup pass pipeline on the target before structural
+    // extraction (changes what the GNN sees — part of the recipe).
+    if cmd.has("--canonicalize") {
+        cfg.canonicalize = true;
+    }
     Ok(cfg)
 }
 
@@ -161,7 +175,14 @@ fn load_trained(path: &str) -> Result<Trained, CliError> {
 /// Only `--th` and `--threads` can take effect on a loaded checkpoint;
 /// reject the training-time flags instead of silently ignoring them.
 fn reject_checkpoint_fixed_flags(cmd: &Command) -> Result<(), CliError> {
-    for flag in ["--hops", "--seed", "--paper", "--batch-size", "--dh-keep"] {
+    for flag in [
+        "--hops",
+        "--seed",
+        "--paper",
+        "--batch-size",
+        "--dh-keep",
+        "--canonicalize",
+    ] {
         if cmd.has(flag) {
             return Err(CliError::Usage(format!(
                 "{flag} cannot be combined with --model: the checkpoint fixes it \
@@ -548,6 +569,91 @@ fn evaluate(cmd: &Command) -> Result<String, CliError> {
     Ok(msg)
 }
 
+/// `resynth`: rewrite a netlist through the named pass pipeline — the
+/// defender's move in the resynthesis threat model. The default pass
+/// list is the cleanup pipeline; `remap_gates`/`rename_wires` add seeded
+/// structure/name perturbation, `--set` ties primary inputs to constants
+/// first (the SWEEP/SCOPE cofactor move).
+fn resynth_cmd(cmd: &Command) -> Result<String, CliError> {
+    use muxlink_netlist::passes::{pass_by_name, AssignConstants, Pipeline, PASS_NAMES};
+
+    let netlist = load_netlist(cmd.input()?)?;
+    let seed: u64 = cmd.parse_flag("--seed", 1)?;
+    let fraction: f64 = cmd.parse_flag("--remap-fraction", 0.5)?;
+    let remap_mux = cmd.has("--remap-mux");
+    let cap: usize = cmd.parse_flag("--max-iterations", Pipeline::DEFAULT_MAX_ITERATIONS)?;
+
+    let mut pipeline = Pipeline::new();
+    if let Some(set) = cmd.flags.get("--set") {
+        let mut assignments = std::collections::HashMap::new();
+        for item in set.split(',').filter(|s| !s.is_empty()) {
+            let (name, value) = item.split_once('=').ok_or_else(|| {
+                CliError::Usage(format!("--set expects name=0|1 items, got `{item}`"))
+            })?;
+            let v = match value {
+                "0" => false,
+                "1" => true,
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "--set value for `{name}` must be 0 or 1, got `{other}`"
+                    )))
+                }
+            };
+            assignments.insert(name.to_owned(), v);
+        }
+        pipeline.push(Box::new(AssignConstants::new(assignments)));
+    }
+    let default_passes = "constant_fold,collapse_buffers,simplify_muxes,dead_logic_elim";
+    for name in cmd
+        .flag_or("--passes", default_passes)
+        .split(',')
+        .filter(|s| !s.is_empty())
+    {
+        let pass = pass_by_name(name, seed, fraction, remap_mux).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown pass `{name}` (known: {})",
+                PASS_NAMES.join(", ")
+            ))
+        })?;
+        pipeline.push(pass);
+    }
+    let pipeline = pipeline.max_iterations(cap);
+
+    let mut rewritten = netlist.clone();
+    let report = pipeline.run(&mut rewritten).map_err(domain)?;
+    let out = cmd.require("-o")?;
+    match cmd.flag_or("--emit", "bench") {
+        "bench" => save_netlist(out, &rewritten)?,
+        "verilog" => {
+            let text = muxlink_netlist::verilog::write_verilog(&rewritten).map_err(domain)?;
+            fs::write(out, text)?;
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "--emit expects bench or verilog, got `{other}`"
+            )))
+        }
+    }
+    let mut msg = format!(
+        "resynthesized {}: {} -> {} gates, {} rewrites over {} iteration(s){}, written to {out}\n",
+        netlist.name(),
+        netlist.gate_count(),
+        rewritten.gate_count(),
+        report.total_rewrites(),
+        report.iterations,
+        if report.converged { " (fixpoint)" } else { "" },
+    );
+    if cmd.has("--report") {
+        for p in &report.passes {
+            msg.push_str(&format!(
+                "  {:<17} {:>6} rewrites  {:.3}s\n",
+                p.name, p.rewrites, p.seconds
+            ));
+        }
+    }
+    Ok(msg)
+}
+
 fn stats(cmd: &Command) -> Result<String, CliError> {
     let n = load_netlist(cmd.input()?)?;
     let s = NetlistStats::compute(&n).map_err(|e| CliError::Domain(e.to_string()))?;
@@ -607,6 +713,86 @@ mod tests {
         }
         let err = run(&cmd(&["frobnicate"])).unwrap_err();
         assert!(matches!(err, CliError::Usage(m) if m.contains("unknown subcommand")));
+    }
+
+    /// `resynth` rewrites a design through the pass pipeline: the output
+    /// re-parses, perturbation passes report rewrites, unknown pass names
+    /// are usage errors, and `--set` ties inputs to constants.
+    #[test]
+    fn resynth_rewrites_and_reports() {
+        let design = tmp("resynth-in.bench");
+        let out_path = tmp("resynth-out.bench");
+        run(&cmd(&[
+            "generate",
+            "--profile",
+            "custom",
+            "--gates",
+            "120",
+            "--seed",
+            "5",
+            "-o",
+            &design,
+        ]))
+        .unwrap();
+
+        let msg = run(&cmd(&[
+            "resynth",
+            "--passes",
+            "constant_fold,collapse_buffers,dead_logic_elim",
+            "--report",
+            &design,
+            "-o",
+            &out_path,
+        ]))
+        .unwrap();
+        assert!(msg.contains("resynthesized"), "{msg}");
+        assert!(msg.contains("constant_fold"), "{msg}");
+        let rewritten = load_netlist(&out_path).unwrap();
+        assert!(rewritten.validate().is_ok());
+
+        // Seeded perturbation: full remap reports rewrites and still
+        // re-parses.
+        let msg = run(&cmd(&[
+            "resynth",
+            "--passes",
+            "remap_gates,rename_wires",
+            "--seed",
+            "9",
+            "--remap-fraction",
+            "1.0",
+            &design,
+            "-o",
+            &out_path,
+        ]))
+        .unwrap();
+        assert!(!msg.contains(", 0 rewrites"), "{msg}");
+        assert!(load_netlist(&out_path).unwrap().validate().is_ok());
+
+        // Tying an input to a constant shrinks the interface.
+        let original = load_netlist(&design).unwrap();
+        let tied_input = original.net(original.inputs()[0]).name().to_owned();
+        run(&cmd(&[
+            "resynth",
+            "--set",
+            &format!("{tied_input}=1"),
+            &design,
+            "-o",
+            &out_path,
+        ]))
+        .unwrap();
+        let tied = load_netlist(&out_path).unwrap();
+        assert_eq!(tied.inputs().len(), original.inputs().len() - 1);
+
+        let err = run(&cmd(&[
+            "resynth",
+            "--passes",
+            "frobnicate",
+            &design,
+            "-o",
+            &out_path,
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(m) if m.contains("unknown pass")));
     }
 
     #[test]

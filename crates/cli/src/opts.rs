@@ -59,6 +59,7 @@ pub const SUBCOMMANDS: &[&str] = &[
     "client",
     "sat-attack",
     "evaluate",
+    "resynth",
     "stats",
     "help",
 ];
@@ -99,6 +100,11 @@ const VALUED: &[&str] = &[
     "--job",
     "--job-id",
     "--thresholds",
+    "--passes",
+    "--set",
+    "--remap-fraction",
+    "--max-iterations",
+    "--emit",
 ];
 
 impl Command {

@@ -59,10 +59,17 @@ pub struct MuxLinkConfig {
     /// kernels are the executable reference of the cached path; `false`
     /// (the default) uses the cache.
     pub layer0_rebuild: bool,
+    /// Canonicalize the target netlist with the cleanup pass pipeline
+    /// (constant fold, buffer collapse, MUX simplification, dead-logic
+    /// elimination) before structural extraction — both when attacking
+    /// and when re-verifying a design against a trained session. `false`
+    /// (the default) attacks the netlist exactly as given.
+    pub canonicalize: bool,
 }
 
 // Hand-written so checkpoints saved before the `sample_chunk`,
-// `reference_trainer`, `dh_keep` and `layer0_rebuild` knobs existed
+// `reference_trainer`, `dh_keep`, `layer0_rebuild` and `canonicalize`
+// knobs existed
 // still load: a missing field takes the production default (none of
 // these change the default path's results, so old artifacts re-score to
 // the same bits). The vendored derive has no `#[serde(default)]`.
@@ -96,6 +103,10 @@ impl Deserialize for MuxLinkConfig {
                 Ok(x) => Deserialize::from_value(x)?,
                 Err(_) => MuxLinkConfig::default().layer0_rebuild,
             },
+            canonicalize: match map_get(v, "canonicalize") {
+                Ok(x) => Deserialize::from_value(x)?,
+                Err(_) => MuxLinkConfig::default().canonicalize,
+            },
         })
     }
 }
@@ -118,6 +129,7 @@ impl Default for MuxLinkConfig {
             reference_trainer: false,
             dh_keep: 1.0,
             layer0_rebuild: false,
+            canonicalize: false,
         }
     }
 }
@@ -151,6 +163,7 @@ impl MuxLinkConfig {
             reference_trainer: false,
             dh_keep: 1.0,
             layer0_rebuild: false,
+            canonicalize: false,
         }
     }
 
@@ -195,6 +208,13 @@ impl MuxLinkConfig {
     #[must_use]
     pub fn with_batch_size(mut self, batch_size: usize) -> Self {
         self.batch_size = batch_size;
+        self
+    }
+
+    /// Returns a copy with netlist canonicalization toggled.
+    #[must_use]
+    pub fn with_canonicalize(mut self, canonicalize: bool) -> Self {
+        self.canonicalize = canonicalize;
         self
     }
 }
@@ -279,6 +299,20 @@ mod tests {
         assert!(!back.reference_trainer);
         assert_eq!(back.dh_keep, 1.0);
         assert_eq!(back.seed, 6);
+    }
+
+    /// Checkpoints written before the `canonicalize` knob existed must
+    /// still load; the missing knob takes the production default (attack
+    /// the netlist exactly as given).
+    #[test]
+    fn pre_canonicalize_checkpoints_still_deserialize() {
+        let cfg = MuxLinkConfig::quick().with_seed(3);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let legacy = json.replace(",\"canonicalize\":false", "");
+        assert_ne!(legacy, json, "test must actually strip the field");
+        let back: MuxLinkConfig = serde_json::from_str(&legacy).unwrap();
+        assert!(!back.canonicalize);
+        assert_eq!(back, cfg);
     }
 
     /// Checkpoints written before the cached layer-0 plans existed must

@@ -92,6 +92,29 @@ fn with_pool<R: Send>(threads: usize, f: impl FnOnce(usize) -> R + Send) -> Resu
     Ok(pool.install(|| f(n)))
 }
 
+/// Applies the cleanup pass pipeline to a copy of `netlist` when
+/// `cfg.canonicalize` is set; `None` means "extract the original as-is".
+/// Shared by [`AttackSession::extract`] and [`Trained::verify_design`] so
+/// a checkpoint produced under `canonicalize` verifies against the same
+/// raw netlist it was trained from.
+fn canonical_target(
+    netlist: &Netlist,
+    cfg: &MuxLinkConfig,
+) -> Result<Option<Netlist>, AttackError> {
+    if !cfg.canonicalize {
+        return Ok(None);
+    }
+    let mut cleaned = netlist.clone();
+    muxlink_netlist::passes::Pipeline::cleanup()
+        .run(&mut cleaned)
+        .map_err(|e| {
+            AttackError::InvalidConfig(format!(
+                "canonicalize: cleanup pipeline rejected the netlist: {e}"
+            ))
+        })?;
+    Ok(Some(cleaned))
+}
+
 /// Rejects configurations that would otherwise panic deep inside the
 /// pipeline (typed errors beat asserts on the hot path).
 fn validate_config(cfg: &MuxLinkConfig) -> Result<(), AttackError> {
@@ -178,7 +201,11 @@ impl<'n> AttackSession<'n> {
     pub fn extract(&self) -> Result<Extracted, AttackError> {
         validate_config(&self.cfg)?;
         let t0 = Instant::now();
-        let design = extract(self.netlist, &self.key_input_names)?;
+        let cleaned = canonical_target(self.netlist, &self.cfg)?;
+        let design = extract(
+            cleaned.as_ref().unwrap_or(self.netlist),
+            &self.key_input_names,
+        )?;
         if design.muxes.is_empty() {
             return Err(AttackError::NoKeyMuxes);
         }
@@ -484,7 +511,8 @@ impl Trained {
                 "checkpoint was trained with different key inputs".into(),
             ));
         }
-        let design = extract(netlist, key_input_names)?;
+        let cleaned = canonical_target(netlist, &self.cfg)?;
+        let design = extract(cleaned.as_ref().unwrap_or(netlist), key_input_names)?;
         // The digest and the structural comparison are pure functions of
         // the same inputs, so they agree everywhere except on a digest
         // collision — keeping the structural check as a backstop makes
@@ -711,6 +739,59 @@ mod tests {
         let json = serde_json::to_string(&trained).unwrap();
         let restored: Trained = serde_json::from_str(&json).unwrap();
         assert_eq!(restored.fingerprint(), origin);
+    }
+
+    /// `cfg.canonicalize` must behave exactly like running the cleanup
+    /// pipeline by hand before attacking — bit-identical scores — and a
+    /// checkpoint trained under it must still verify against the *raw*
+    /// netlist it came from.
+    #[test]
+    fn canonicalize_matches_manual_cleanup_bitwise() {
+        // Cleanup can elide a buffer between a primary input and a key-MUX
+        // data pin, which makes the cleaned design un-extractable
+        // (MuxDataFromPrimaryInput) — deterministically pick a seed whose
+        // locked design survives canonicalization.
+        let locked = (31..64)
+            .map(|seed| {
+                let design = SynthConfig::new("s", 14, 6, 200).generate(seed);
+                dmux::lock(&design, &LockOptions::new(6, 3)).unwrap()
+            })
+            .find(|locked| {
+                let mut cleaned = locked.netlist.clone();
+                muxlink_netlist::passes::Pipeline::cleanup()
+                    .run(&mut cleaned)
+                    .is_ok()
+                    && extract(&cleaned, &locked.key_input_names()).is_ok()
+            })
+            .expect("some seed must survive cleanup");
+        let names = locked.key_input_names();
+        let mut cfg = MuxLinkConfig::quick();
+        cfg.epochs = 4;
+        cfg.max_train_links = 200;
+
+        let trained =
+            AttackSession::new(&locked.netlist, &names, cfg.clone().with_canonicalize(true))
+                .extract()
+                .unwrap()
+                .prepare(&NoProgress)
+                .unwrap()
+                .train(&NoProgress)
+                .unwrap();
+        let auto = trained.score(&NoProgress).unwrap();
+
+        let mut cleaned = locked.netlist.clone();
+        muxlink_netlist::passes::Pipeline::cleanup()
+            .run(&mut cleaned)
+            .unwrap();
+        let manual = AttackSession::new(&cleaned, &names, cfg)
+            .run(&NoProgress)
+            .unwrap();
+        assert_eq!(auto.scores, manual.scores);
+        assert_eq!(auto.train_report, manual.train_report);
+
+        // verify_design re-applies the same canonicalization, so the raw
+        // origin netlist still verifies.
+        trained.verify_design(&locked.netlist, &names).unwrap();
     }
 
     #[test]

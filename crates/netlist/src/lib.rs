@@ -12,8 +12,10 @@
 //!   depth, fan-in/fan-out cones ([`traversal`], [`cones`]),
 //! * a bit-parallel logic simulator and Hamming-distance estimation
 //!   ([`sim`]),
-//! * a light resynthesis pass (constant propagation, dead-logic elimination,
-//!   buffer collapsing) used by the SWEEP/SCOPE baselines ([`opt`]),
+//! * a resynthesis pass framework — constant folding, buffer collapsing,
+//!   MUX simplification, dead-logic elimination, plus seeded perturbation
+//!   passes — run to fixpoint by a [`passes::Pipeline`] ([`passes`]), with
+//!   the legacy single-call entry point kept in [`opt`],
 //! * design-feature extraction (area/power/depth proxies) ([`stats`]).
 //!
 //! # Example
@@ -44,6 +46,7 @@ mod error;
 mod gate;
 mod netlist;
 pub mod opt;
+pub mod passes;
 pub mod sim;
 pub mod stats;
 pub mod traversal;

@@ -56,7 +56,7 @@ impl fmt::Display for GateId {
 }
 
 /// A named wire. Driven either by a primary input or by exactly one gate.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Net {
     pub(crate) name: String,
     pub(crate) driver: Option<GateId>,
@@ -85,7 +85,7 @@ impl Net {
 
 /// A logic gate: a [`GateType`] applied to ordered input nets, driving one
 /// output net.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Gate {
     pub(crate) ty: GateType,
     pub(crate) inputs: Vec<NetId>,
@@ -121,7 +121,12 @@ impl Gate {
 /// (inserting key MUXes, rewiring sinks) while [`Netlist::validate`] checks
 /// the global invariants (single driver, legal arities, no undriven nets,
 /// acyclicity, outputs present).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Equality (`==`) is *structural identity*: same nets in the same order
+/// with the same names, same gates, same interface. Rewrite passes use it
+/// to detect that they changed nothing ([`crate::passes`] reports exactly
+/// zero rewrites iff the netlist is left identical).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Netlist {
     name: String,
     nets: Vec<Net>,
@@ -477,6 +482,39 @@ impl Netlist {
             }
             i += 1;
         }
+    }
+
+    /// Renames a net in place, preserving its id, driver and every use.
+    ///
+    /// Purely cosmetic from the circuit's point of view — connectivity is
+    /// id-based — but part of the interface contract for primary
+    /// inputs/outputs, so callers wanting to preserve the interface must
+    /// not rename those (the [`crate::passes::RenameWires`] pass does not).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownNet`] for an out-of-range id and
+    /// [`NetlistError::DuplicateNet`] when `new_name` is already taken by a
+    /// *different* net (renaming a net to its current name is a no-op).
+    pub fn rename_net(
+        &mut self,
+        id: NetId,
+        new_name: impl Into<String>,
+    ) -> Result<(), NetlistError> {
+        if id.index() >= self.nets.len() {
+            return Err(NetlistError::UnknownNet(format!("{id}")));
+        }
+        let new_name = new_name.into();
+        if self.nets[id.index()].name == new_name {
+            return Ok(());
+        }
+        if self.by_name.contains_key(&new_name) {
+            return Err(NetlistError::DuplicateNet(new_name));
+        }
+        let old = std::mem::replace(&mut self.nets[id.index()].name, new_name.clone());
+        self.by_name.remove(&old);
+        self.by_name.insert(new_name, id);
+        Ok(())
     }
 
     /// Counts gates per [`GateType`].

@@ -6,18 +6,15 @@
 //! 0 and then 1, the circuit is re-optimised, and the *difference* between
 //! the two optimised circuits' features is what leaks (or, for D-MUX and
 //! symmetric MUX locking, deliberately does not leak) the key.
+//!
+//! The fold sweep itself lives in [`crate::passes`], decomposed into named
+//! passes ([`crate::passes::ConstantFold`], … ) that a
+//! [`crate::passes::Pipeline`] can run to fixpoint; [`resynthesize`] is the
+//! historical single-call recipe kept bit-compatible for the baselines.
 
 use std::collections::HashMap;
 
 use crate::{GateType, NetId, Netlist, NetlistError};
-
-/// Symbolic value of a net during reconstruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Value {
-    Const(bool),
-    /// A net id in the *new* netlist.
-    Signal(NetId),
-}
 
 /// Rebuilds `netlist` with the given primary inputs fixed to constants
 /// (by name), propagating constants, folding trivial gates, collapsing
@@ -29,6 +26,10 @@ enum Value {
 /// Primary outputs keep their names — an output that collapses to a
 /// constant is driven by a `CONST0`/`CONST1` cell.
 ///
+/// Equivalent to one [`crate::passes::ResynthFold`] sweep followed by
+/// [`strip_dead`] — the `Pipeline::resynthesis` recipe — and pinned
+/// bit-compatible with the pre-pass-framework monolith.
+///
 /// # Errors
 ///
 /// Returns [`NetlistError::UnknownNet`] when an assignment names a missing
@@ -37,263 +38,8 @@ pub fn resynthesize(
     netlist: &Netlist,
     constants: &HashMap<String, bool>,
 ) -> Result<Netlist, NetlistError> {
-    for name in constants.keys() {
-        if netlist.find_net(name).is_none() {
-            return Err(NetlistError::UnknownNet(name.clone()));
-        }
-    }
-    let order = crate::traversal::topological_order(netlist)?;
-    let mut out = Netlist::new(netlist.name().to_owned());
-    let mut value: Vec<Option<Value>> = vec![None; netlist.net_count()];
-
-    for &pi in netlist.inputs() {
-        let name = netlist.net(pi).name();
-        if let Some(&c) = constants.get(name) {
-            value[pi.index()] = Some(Value::Const(c));
-        } else {
-            let id = out.add_input(name.to_owned())?;
-            value[pi.index()] = Some(Value::Signal(id));
-        }
-    }
-
-    for gid in order {
-        let gate = netlist.gate(gid);
-        let ins: Vec<Value> = gate
-            .inputs()
-            .iter()
-            .map(|&n| value[n.index()].expect("topological order guarantees defined inputs"))
-            .collect();
-        let name = netlist.net(gate.output()).name().to_owned();
-        let v = fold_gate(&mut out, gate.ty(), &ins, &name)?;
-        value[gate.output().index()] = Some(v);
-    }
-
-    for &po in netlist.outputs() {
-        let name = netlist.net(po).name().to_owned();
-        let v = value[po.index()].expect("outputs validated as driven");
-        let id = materialise_as(&mut out, v, &name)?;
-        out.mark_output(id)?;
-    }
-
-    Ok(strip_dead(&out))
-}
-
-/// Ensures `v` is available in `out` as a net carrying exactly `name`
-/// (inserting a buffer or constant cell when the value lives under a
-/// different name).
-fn materialise_as(out: &mut Netlist, v: Value, name: &str) -> Result<NetId, NetlistError> {
-    match v {
-        Value::Const(c) => {
-            if let Some(existing) = out.find_net(name) {
-                // Name already taken by a surviving signal of the same name.
-                return Ok(existing);
-            }
-            let ty = if c {
-                GateType::Const1
-            } else {
-                GateType::Const0
-            };
-            out.add_gate(name.to_owned(), ty, &[])
-        }
-        Value::Signal(id) => {
-            if out.net(id).name() == name {
-                Ok(id)
-            } else if let Some(existing) = out.find_net(name) {
-                Ok(existing)
-            } else {
-                out.add_gate(name.to_owned(), GateType::Buf, &[id])
-            }
-        }
-    }
-}
-
-/// Folds one gate over already-simplified input values, emitting at most
-/// one new gate into `out`.
-fn fold_gate(
-    out: &mut Netlist,
-    ty: GateType,
-    ins: &[Value],
-    name: &str,
-) -> Result<Value, NetlistError> {
-    match ty {
-        GateType::And | GateType::Nand => {
-            let invert = ty == GateType::Nand;
-            let mut sig: Vec<NetId> = Vec::new();
-            for v in ins {
-                match v {
-                    Value::Const(false) => return Ok(Value::Const(invert)),
-                    Value::Const(true) => {}
-                    Value::Signal(id) => {
-                        if !sig.contains(id) {
-                            sig.push(*id);
-                        }
-                    }
-                }
-            }
-            reduce_monotone(out, sig, invert, GateType::And, GateType::Nand, true, name)
-        }
-        GateType::Or | GateType::Nor => {
-            let invert = ty == GateType::Nor;
-            let mut sig: Vec<NetId> = Vec::new();
-            for v in ins {
-                match v {
-                    Value::Const(true) => return Ok(Value::Const(!invert)),
-                    Value::Const(false) => {}
-                    Value::Signal(id) => {
-                        if !sig.contains(id) {
-                            sig.push(*id);
-                        }
-                    }
-                }
-            }
-            reduce_monotone(out, sig, invert, GateType::Or, GateType::Nor, false, name)
-        }
-        GateType::Xor | GateType::Xnor => {
-            let mut parity = ty == GateType::Xnor;
-            let mut sig: Vec<NetId> = Vec::new();
-            for v in ins {
-                match v {
-                    Value::Const(c) => parity ^= c,
-                    Value::Signal(id) => {
-                        // x ⊕ x = 0: cancel pairs.
-                        if let Some(pos) = sig.iter().position(|s| s == id) {
-                            sig.remove(pos);
-                        } else {
-                            sig.push(*id);
-                        }
-                    }
-                }
-            }
-            match sig.len() {
-                0 => Ok(Value::Const(parity)),
-                1 => {
-                    if parity {
-                        emit_not(out, sig[0], name)
-                    } else {
-                        Ok(Value::Signal(sig[0]))
-                    }
-                }
-                _ => {
-                    let gty = if parity {
-                        GateType::Xnor
-                    } else {
-                        GateType::Xor
-                    };
-                    let id = out.add_gate(unique(out, name), gty, &sig)?;
-                    Ok(Value::Signal(id))
-                }
-            }
-        }
-        GateType::Not => match ins[0] {
-            Value::Const(c) => Ok(Value::Const(!c)),
-            Value::Signal(id) => emit_not(out, id, name),
-        },
-        GateType::Buf => Ok(ins[0]),
-        GateType::Mux => {
-            let (s, a, b) = (ins[0], ins[1], ins[2]);
-            match s {
-                Value::Const(false) => Ok(a),
-                Value::Const(true) => Ok(b),
-                Value::Signal(sid) => {
-                    if a == b {
-                        return Ok(a);
-                    }
-                    match (a, b) {
-                        // MUX(s, 0, 1) = s ; MUX(s, 1, 0) = !s.
-                        (Value::Const(false), Value::Const(true)) => Ok(Value::Signal(sid)),
-                        (Value::Const(true), Value::Const(false)) => emit_not(out, sid, name),
-                        // MUX(s, 0, b) = s AND b ; MUX(s, 1, b) = !s OR b, etc.
-                        (Value::Const(false), Value::Signal(bid)) => {
-                            let id = out.add_gate(unique(out, name), GateType::And, &[sid, bid])?;
-                            Ok(Value::Signal(id))
-                        }
-                        (Value::Signal(aid), Value::Const(true)) => {
-                            let id = out.add_gate(unique(out, name), GateType::Or, &[sid, aid])?;
-                            Ok(Value::Signal(id))
-                        }
-                        (Value::Const(true), Value::Signal(bid)) => {
-                            let ns = require_not(out, sid)?;
-                            let id = out.add_gate(unique(out, name), GateType::Or, &[ns, bid])?;
-                            Ok(Value::Signal(id))
-                        }
-                        (Value::Signal(aid), Value::Const(false)) => {
-                            let ns = require_not(out, sid)?;
-                            let id = out.add_gate(unique(out, name), GateType::And, &[ns, aid])?;
-                            Ok(Value::Signal(id))
-                        }
-                        (Value::Signal(aid), Value::Signal(bid)) => {
-                            let id =
-                                out.add_gate(unique(out, name), GateType::Mux, &[sid, aid, bid])?;
-                            Ok(Value::Signal(id))
-                        }
-                        (Value::Const(_), Value::Const(_)) => unreachable!("a == b handled"),
-                    }
-                }
-            }
-        }
-        GateType::Const0 => Ok(Value::Const(false)),
-        GateType::Const1 => Ok(Value::Const(true)),
-    }
-}
-
-/// Shared tail for AND/NAND/OR/NOR after constant elimination:
-/// `sig` holds the distinct symbolic operands; `absorbing_all` tells which
-/// constant an empty operand list folds to (AND of nothing = 1, OR = 0).
-fn reduce_monotone(
-    out: &mut Netlist,
-    sig: Vec<NetId>,
-    invert: bool,
-    plain: GateType,
-    inverted: GateType,
-    is_and: bool,
-    name: &str,
-) -> Result<Value, NetlistError> {
-    match sig.len() {
-        // AND of nothing = 1, OR of nothing = 0, then apply inversion.
-        0 => Ok(Value::Const(is_and ^ invert)),
-        1 => {
-            if invert {
-                emit_not(out, sig[0], name)
-            } else {
-                Ok(Value::Signal(sig[0]))
-            }
-        }
-        _ => {
-            let ty = if invert { inverted } else { plain };
-            let id = out.add_gate(unique(out, name), ty, &sig)?;
-            Ok(Value::Signal(id))
-        }
-    }
-}
-
-/// Emits `NOT(id)`, collapsing double inversion when `id` is itself driven
-/// by a NOT in the new netlist.
-fn emit_not(out: &mut Netlist, id: NetId, name: &str) -> Result<Value, NetlistError> {
-    if let Some(drv) = out.net(id).driver() {
-        let g = out.gate(drv);
-        if g.ty() == GateType::Not {
-            return Ok(Value::Signal(g.inputs()[0]));
-        }
-    }
-    let new = out.add_gate(unique(out, name), GateType::Not, &[id])?;
-    Ok(Value::Signal(new))
-}
-
-/// Like [`emit_not`] but returns the [`NetId`] (creating a helper name).
-fn require_not(out: &mut Netlist, id: NetId) -> Result<NetId, NetlistError> {
-    match emit_not(out, id, "opt_inv")? {
-        Value::Signal(n) => Ok(n),
-        Value::Const(_) => unreachable!("NOT of a signal is a signal"),
-    }
-}
-
-/// Picks `name` when free in `out`, otherwise a fresh derived name.
-fn unique(out: &Netlist, name: &str) -> String {
-    if out.find_net(name).is_none() {
-        name.to_owned()
-    } else {
-        out.fresh_net_name(name)
-    }
+    let swept = crate::passes::sweep_full_for_resynth(netlist, constants)?;
+    Ok(strip_dead(&swept))
 }
 
 /// Structural hash-consing: merges gates computing the same function over

@@ -1,0 +1,170 @@
+//! `assign_constants`: tie named primary inputs to constant cells.
+
+use std::collections::HashMap;
+
+use crate::{GateType, NetId, Netlist, NetlistError};
+
+use super::{Pass, PassReport};
+
+/// `assign_constants`: demotes each named primary input to an internal net
+/// driven by a `CONST0`/`CONST1` cell.
+///
+/// This is the pass-framework form of the "cofactor" half of
+/// [`crate::opt::resynthesize`]: it records the assignment *structurally*
+/// (so any later pass — or none — sees an ordinary constant cell) instead
+/// of folding it immediately. Follow with [`super::ConstantFold`] and
+/// [`super::DeadLogicElim`] to actually propagate.
+///
+/// Net ids, gate order, and every unassigned name are preserved; the only
+/// changes are the input flag on assigned nets and the appended constant
+/// cells. One rewrite is reported per assignment.
+#[derive(Debug, Clone, Default)]
+pub struct AssignConstants {
+    assignments: HashMap<String, bool>,
+}
+
+impl AssignConstants {
+    /// A pass tying each named primary input to the given value.
+    #[must_use]
+    pub fn new(assignments: HashMap<String, bool>) -> Self {
+        Self { assignments }
+    }
+}
+
+impl Pass for AssignConstants {
+    fn name(&self) -> &'static str {
+        "assign_constants"
+    }
+
+    /// Re-running would look for already-demoted inputs; first iteration
+    /// only.
+    fn fixpoint(&self) -> bool {
+        false
+    }
+
+    fn run(&self, netlist: &mut Netlist) -> Result<PassReport, NetlistError> {
+        for name in self.assignments.keys() {
+            let id = netlist
+                .find_net(name)
+                .ok_or_else(|| NetlistError::UnknownNet(name.clone()))?;
+            if !netlist.net(id).is_input() {
+                return Err(NetlistError::MultipleDrivers(name.clone()));
+            }
+        }
+        if self.assignments.is_empty() {
+            return Ok(PassReport {
+                name: self.name(),
+                rewrites: 0,
+                seconds: 0.0,
+            });
+        }
+        let mut out = Netlist::new(netlist.name().to_owned());
+        // Preserve net ids exactly: assigned inputs become plain nets, to
+        // be driven by constant cells appended after the original gates.
+        let mut tied: Vec<(NetId, bool)> = Vec::new();
+        for i in 0..netlist.net_count() {
+            let id = NetId::from_index(i);
+            let net = netlist.net(id);
+            let name = net.name().to_owned();
+            if net.is_input() {
+                if let Some(&value) = self.assignments.get(&name) {
+                    tied.push((out.add_net(name)?, value));
+                } else {
+                    out.add_input(name)?;
+                }
+            } else {
+                out.add_net(name)?;
+            }
+        }
+        for (_, gate) in netlist.gates() {
+            out.add_gate_with_output(gate.output(), gate.ty(), gate.inputs())?;
+        }
+        for &(id, value) in &tied {
+            let ty = if value {
+                GateType::Const1
+            } else {
+                GateType::Const0
+            };
+            out.add_gate_with_output(id, ty, &[])?;
+        }
+        for &po in netlist.outputs() {
+            out.mark_output(po)?;
+        }
+        let rewrites = tied.len();
+        *netlist = out;
+        Ok(PassReport {
+            name: self.name(),
+            rewrites,
+            seconds: 0.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_format::parse;
+    use crate::passes::Pipeline;
+
+    fn sample() -> Netlist {
+        parse("t", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n").unwrap()
+    }
+
+    #[test]
+    fn assigned_input_becomes_const_cell() {
+        let mut n = sample();
+        let r = AssignConstants::new(HashMap::from([("a".to_owned(), true)]))
+            .run(&mut n)
+            .unwrap();
+        assert_eq!(r.rewrites, 1);
+        assert!(n.validate().is_ok());
+        assert_eq!(n.inputs().len(), 1, "only b remains an input");
+        let hist = n.gate_type_histogram();
+        assert_eq!(hist.get(&GateType::Const1).copied(), Some(1));
+        // The assigned net keeps its id and name.
+        let a = n.find_net("a").unwrap();
+        assert!(!n.net(a).is_input());
+    }
+
+    #[test]
+    fn assign_then_cleanup_matches_cofactor() {
+        let mut n = sample();
+        AssignConstants::new(HashMap::from([("a".to_owned(), false)]))
+            .run(&mut n)
+            .unwrap();
+        Pipeline::cleanup().run(&mut n).unwrap();
+        // AND(0, b) = 0: y collapses to a constant cell.
+        assert_eq!(n.gate_count(), 1);
+        assert_eq!(
+            n.gate_type_histogram().get(&GateType::Const0).copied(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn unknown_name_is_rejected() {
+        let mut n = sample();
+        let err = AssignConstants::new(HashMap::from([("nope".to_owned(), true)]))
+            .run(&mut n)
+            .unwrap_err();
+        assert!(matches!(err, NetlistError::UnknownNet(_)));
+    }
+
+    #[test]
+    fn non_input_net_is_rejected() {
+        let mut n = sample();
+        let err = AssignConstants::new(HashMap::from([("y".to_owned(), true)]))
+            .run(&mut n)
+            .unwrap_err();
+        assert!(matches!(err, NetlistError::MultipleDrivers(_)));
+    }
+
+    #[test]
+    fn empty_assignment_is_a_noop() {
+        let mut n = sample();
+        let frozen = n.clone();
+        let r = AssignConstants::default().run(&mut n).unwrap();
+        assert_eq!(r.rewrites, 0);
+        assert_eq!(n, frozen);
+    }
+}

@@ -1,0 +1,59 @@
+//! `dead_logic_elim`: remove logic that feeds no primary output.
+
+use crate::{Netlist, NetlistError};
+
+use super::{finish, Pass, PassReport};
+
+/// `dead_logic_elim`: drops every gate that does not (transitively) feed a
+/// primary output, preserving unused primary inputs (the interface is part
+/// of the design). A thin pass wrapper over [`crate::opt::strip_dead`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeadLogicElim;
+
+impl Pass for DeadLogicElim {
+    fn name(&self) -> &'static str {
+        "dead_logic_elim"
+    }
+
+    fn run(&self, netlist: &mut Netlist) -> Result<PassReport, NetlistError> {
+        // strip_dead expects an acyclic netlist; surface the loop error
+        // through the pass API instead of panicking.
+        crate::traversal::topological_order(netlist)?;
+        let rebuilt = crate::opt::strip_dead(netlist);
+        let removed = netlist.gate_count().saturating_sub(rebuilt.gate_count());
+        Ok(PassReport {
+            name: self.name(),
+            rewrites: finish(netlist, rebuilt, removed),
+            seconds: 0.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_format::parse;
+
+    #[test]
+    fn removes_dead_cone_and_reports_count() {
+        let mut n = parse(
+            "t",
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n\
+             dead1 = AND(a, b)\ndead2 = NOT(dead1)\ny = OR(a, b)\n",
+        )
+        .unwrap();
+        let r = DeadLogicElim.run(&mut n).unwrap();
+        assert_eq!(r.rewrites, 2);
+        assert_eq!(n.gate_count(), 1);
+        assert_eq!(n.inputs().len(), 2, "unused inputs stay");
+    }
+
+    #[test]
+    fn clean_netlist_is_untouched() {
+        let mut n = parse("t", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = OR(a, b)\n").unwrap();
+        let frozen = n.clone();
+        let r = DeadLogicElim.run(&mut n).unwrap();
+        assert_eq!(r.rewrites, 0);
+        assert_eq!(n, frozen);
+    }
+}

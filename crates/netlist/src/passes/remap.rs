@@ -1,0 +1,251 @@
+//! `remap_gates`: seeded local gate re-expression.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{GateType, NetId, Netlist, NetlistError};
+
+use super::{finish, Pass, PassReport};
+
+/// `remap_gates`: re-expresses a seeded fraction of gates through
+/// equivalent structures — `AND → NOT(NAND)`, `OR → NOT(NOR)`,
+/// `XOR → NOT(XNOR)` (and the inverse pairs), `NOT(a) → NAND(a, a)` and
+/// optionally the AOI decomposition `MUX(s, a, b) → OR(AND(NOT s, a),
+/// AND(s, b))`.
+///
+/// This is the structure-perturbing half of the resynthesis threat model:
+/// the simulated function of every output is untouched (the differential
+/// oracle pins this) while the local gate-type fingerprints MuxLink's GNN
+/// learned from are rewritten. With `include_mux` the key MUXes themselves
+/// are decomposed — which removes the attack's anchor points entirely.
+///
+/// Deterministic in `seed`: one `gen_bool(fraction)` draw per remappable
+/// gate, in topological order.
+#[derive(Debug, Clone, Copy)]
+pub struct RemapGates {
+    seed: u64,
+    fraction: f64,
+    include_mux: bool,
+}
+
+impl RemapGates {
+    /// Remaps roughly `fraction` (clamped to `[0, 1]`) of remappable
+    /// gates, MUX decomposition included only when `include_mux`.
+    #[must_use]
+    pub fn new(seed: u64, fraction: f64, include_mux: bool) -> Self {
+        Self {
+            seed,
+            fraction: fraction.clamp(0.0, 1.0),
+            include_mux,
+        }
+    }
+
+    fn remappable(&self, ty: GateType) -> bool {
+        match ty {
+            GateType::And
+            | GateType::Nand
+            | GateType::Or
+            | GateType::Nor
+            | GateType::Xor
+            | GateType::Xnor
+            | GateType::Not => true,
+            GateType::Mux => self.include_mux,
+            GateType::Buf | GateType::Const0 | GateType::Const1 => false,
+        }
+    }
+}
+
+impl Pass for RemapGates {
+    fn name(&self) -> &'static str {
+        "remap_gates"
+    }
+
+    /// Re-running keeps flipping representations forever; first iteration
+    /// only.
+    fn fixpoint(&self) -> bool {
+        false
+    }
+
+    fn run(&self, netlist: &mut Netlist) -> Result<PassReport, NetlistError> {
+        let order = crate::traversal::topological_order(netlist)?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Inner nets need names that collide neither with anything in the
+        // original netlist (original names are copied into the rebuild
+        // *after* some inner nets already exist — `fresh_net_name` alone
+        // cannot see those future names) nor with each other: pick a tag
+        // such that no existing name starts with the prefix, then number
+        // sequentially.
+        let mut tag = 0usize;
+        let prefix = loop {
+            let candidate = format!("rm{tag}_");
+            if (0..netlist.net_count()).all(|i| {
+                !netlist
+                    .net(NetId::from_index(i))
+                    .name()
+                    .starts_with(&candidate)
+            }) {
+                break candidate;
+            }
+            tag += 1;
+        };
+        let mut inner_count = 0usize;
+        let mut inner_name = move || {
+            let name = format!("{prefix}{inner_count}");
+            inner_count += 1;
+            name
+        };
+        let mut out = Netlist::new(netlist.name().to_owned());
+        let mut map: Vec<Option<NetId>> = vec![None; netlist.net_count()];
+        for &pi in netlist.inputs() {
+            map[pi.index()] = Some(out.add_input(netlist.net(pi).name().to_owned())?);
+        }
+        let mut events = 0;
+        for gid in order {
+            let gate = netlist.gate(gid);
+            let ins: Vec<NetId> = gate
+                .inputs()
+                .iter()
+                .map(|n| map[n.index()].expect("topological order"))
+                .collect();
+            let name = netlist.net(gate.output()).name().to_owned();
+            let remap = self.remappable(gate.ty()) && rng.gen_bool(self.fraction);
+            let new = if remap {
+                events += 1;
+                emit_remapped(&mut out, gate.ty(), &ins, &name, &mut inner_name)?
+            } else {
+                out.add_gate(name, gate.ty(), &ins)?
+            };
+            map[gate.output().index()] = Some(new);
+        }
+        for &po in netlist.outputs() {
+            out.mark_output(map[po.index()].expect("outputs driven"))?;
+        }
+        Ok(PassReport {
+            name: self.name(),
+            rewrites: finish(netlist, out, events),
+            seconds: 0.0,
+        })
+    }
+}
+
+/// The inverted twin of a two-level re-expressible gate type.
+fn inverted_twin(ty: GateType) -> Option<GateType> {
+    Some(match ty {
+        GateType::And => GateType::Nand,
+        GateType::Nand => GateType::And,
+        GateType::Or => GateType::Nor,
+        GateType::Nor => GateType::Or,
+        GateType::Xor => GateType::Xnor,
+        GateType::Xnor => GateType::Xor,
+        _ => return None,
+    })
+}
+
+/// Emits the re-expressed structure for one gate, returning the net that
+/// carries the original output name.
+fn emit_remapped(
+    out: &mut Netlist,
+    ty: GateType,
+    ins: &[NetId],
+    name: &str,
+    inner_name: &mut impl FnMut() -> String,
+) -> Result<NetId, NetlistError> {
+    if let Some(twin) = inverted_twin(ty) {
+        // f(x) = NOT(twin(x)).
+        let inner = out.add_gate(inner_name(), twin, ins)?;
+        return out.add_gate(name.to_owned(), GateType::Not, &[inner]);
+    }
+    match ty {
+        // NOT(a) = NAND(a, a).
+        GateType::Not => out.add_gate(name.to_owned(), GateType::Nand, &[ins[0], ins[0]]),
+        // MUX(s, a, b) = OR(AND(NOT s, a), AND(s, b)) — s = 0 picks a.
+        GateType::Mux => {
+            let (s, a, b) = (ins[0], ins[1], ins[2]);
+            let ns = out.add_gate(inner_name(), GateType::Not, &[s])?;
+            let lo = out.add_gate(inner_name(), GateType::And, &[ns, a])?;
+            let hi = out.add_gate(inner_name(), GateType::And, &[s, b])?;
+            out.add_gate(name.to_owned(), GateType::Or, &[lo, hi])
+        }
+        _ => unreachable!("remappable() gates only"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_format::parse;
+    use crate::sim::exhaustive_equiv;
+
+    fn sample() -> Netlist {
+        parse(
+            "t",
+            "INPUT(s)\nINPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\n\
+             t1 = AND(a, b)\nt2 = NOR(a, s)\nt3 = NOT(t1)\n\
+             y = MUX(s, t3, t2)\nz = XOR(t1, t2)\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn full_remap_preserves_function_and_rewrites_everything() {
+        let n = sample();
+        let mut m = n.clone();
+        let r = RemapGates::new(11, 1.0, false).run(&mut m).unwrap();
+        // Every non-MUX, non-BUF gate remapped.
+        assert_eq!(r.rewrites, 4);
+        assert!(m.validate().is_ok());
+        assert!(exhaustive_equiv(&n, &m).unwrap());
+        // MUX untouched without include_mux.
+        assert_eq!(
+            m.gate_type_histogram().get(&GateType::Mux).copied(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn mux_decomposition_is_equivalent() {
+        let n = sample();
+        let mut m = n.clone();
+        let r = RemapGates::new(3, 1.0, true).run(&mut m).unwrap();
+        assert_eq!(r.rewrites, 5);
+        assert_eq!(m.gate_type_histogram().get(&GateType::Mux).copied(), None);
+        assert!(exhaustive_equiv(&n, &m).unwrap());
+    }
+
+    #[test]
+    fn zero_fraction_is_a_noop() {
+        let n = sample();
+        let mut m = n.clone();
+        let r = RemapGates::new(5, 0.0, true).run(&mut m).unwrap();
+        assert_eq!(r.rewrites, 0);
+        assert_eq!(m, n);
+    }
+
+    #[test]
+    fn double_application_avoids_inner_name_collisions() {
+        // The first run leaves `rm0_*` nets behind; a second run must
+        // shift to a fresh prefix instead of tripping over them when the
+        // surviving names are copied into its rebuild.
+        let n = sample();
+        let mut m = n.clone();
+        RemapGates::new(11, 1.0, true).run(&mut m).unwrap();
+        RemapGates::new(12, 1.0, true).run(&mut m).unwrap();
+        assert!(m.validate().is_ok());
+        assert!(exhaustive_equiv(&n, &m).unwrap());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let n = sample();
+        let mut a = n.clone();
+        let mut b = n.clone();
+        RemapGates::new(9, 0.5, true).run(&mut a).unwrap();
+        RemapGates::new(9, 0.5, true).run(&mut b).unwrap();
+        assert_eq!(a, b);
+        let mut c = n.clone();
+        RemapGates::new(10, 0.5, true).run(&mut c).unwrap();
+        // Different seed, (very likely) different choices — but always
+        // equivalent.
+        assert!(exhaustive_equiv(&n, &c).unwrap());
+    }
+}

@@ -1,0 +1,146 @@
+//! `rename_wires`: seeded non-semantic renaming of internal nets.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::{Netlist, NetlistError};
+
+use super::{Pass, PassReport};
+
+/// `rename_wires`: gives every *internal* net (neither primary input nor
+/// primary output) a fresh, seeded-shuffled, content-free name.
+///
+/// Connectivity is id-based and the interface names are preserved, so the
+/// pass provably cannot change simulation behaviour **or** attack results
+/// — MuxLink's extraction is purely structural (gate graph + key-input
+/// names), which `tests/tests/pass_equivalence.rs` pins by asserting
+/// bit-identical link scores before and after renaming. In the threat
+/// model it strips any information a defender might fear is leaking
+/// through net names (hierarchy prefixes, tool-generated suffixes).
+///
+/// Deterministic in `seed`: internal nets are renamed `w<k>_<i>` where the
+/// `i` are a seeded permutation and `k` is the smallest tag avoiding
+/// collisions with interface names.
+#[derive(Debug, Clone, Copy)]
+pub struct RenameWires {
+    seed: u64,
+}
+
+impl RenameWires {
+    /// A renaming pass deterministic in `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl Pass for RenameWires {
+    fn name(&self) -> &'static str {
+        "rename_wires"
+    }
+
+    /// Renaming renamed wires forever never converges; first iteration
+    /// only.
+    fn fixpoint(&self) -> bool {
+        false
+    }
+
+    fn run(&self, netlist: &mut Netlist) -> Result<PassReport, NetlistError> {
+        let interface: std::collections::HashSet<usize> = netlist
+            .inputs()
+            .iter()
+            .chain(netlist.outputs())
+            .map(|n| n.index())
+            .collect();
+        let internal: Vec<usize> = (0..netlist.net_count())
+            .filter(|i| !interface.contains(i))
+            .collect();
+        // Pick a tag such that NO existing net name starts with the
+        // prefix: every generated name is then guaranteed collision-free
+        // against originals and against other generated names.
+        let mut tag = 0usize;
+        let prefix = loop {
+            let candidate = format!("w{tag}_");
+            if (0..netlist.net_count()).all(|i| {
+                !netlist
+                    .net(crate::NetId::from_index(i))
+                    .name()
+                    .starts_with(&candidate)
+            }) {
+                break candidate;
+            }
+            tag += 1;
+        };
+        let mut perm: Vec<usize> = (0..internal.len()).collect();
+        perm.shuffle(&mut StdRng::seed_from_u64(self.seed));
+        let mut renamed = 0;
+        for (slot, &net) in internal.iter().enumerate() {
+            netlist.rename_net(
+                crate::NetId::from_index(net),
+                format!("{prefix}{}", perm[slot]),
+            )?;
+            renamed += 1;
+        }
+        Ok(PassReport {
+            name: self.name(),
+            rewrites: renamed,
+            seconds: 0.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_format::parse;
+    use crate::sim::exhaustive_equiv;
+
+    fn sample() -> Netlist {
+        parse(
+            "t",
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n\
+             t1 = NAND(a, b)\nt2 = NOR(a, b)\ny = XOR(t1, t2)\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn interface_names_survive_and_function_is_identical() {
+        let n = sample();
+        let mut m = n.clone();
+        let r = RenameWires::new(4).run(&mut m).unwrap();
+        assert_eq!(r.rewrites, 2, "t1 and t2 renamed");
+        assert_eq!(m.input_names(), n.input_names());
+        assert_eq!(m.output_names(), n.output_names());
+        assert!(m.find_net("t1").is_none());
+        assert!(m.validate().is_ok());
+        assert!(exhaustive_equiv(&n, &m).unwrap());
+        // Structure untouched: same gates over the same ids.
+        assert_eq!(m.gate_count(), n.gate_count());
+        for (gid, g) in n.gates() {
+            assert_eq!(m.gate(gid).ty(), g.ty());
+            assert_eq!(m.gate(gid).inputs(), g.inputs());
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = sample();
+        let mut b = sample();
+        RenameWires::new(8).run(&mut a).unwrap();
+        RenameWires::new(8).run(&mut b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tolerates_colliding_interface_names() {
+        // An input literally named like a generated name must push the
+        // pass to the next tag.
+        let n = parse("t", "INPUT(w0_1)\nOUTPUT(y)\nt = NOT(w0_1)\ny = BUFF(t)\n").unwrap();
+        let mut m = n.clone();
+        RenameWires::new(1).run(&mut m).unwrap();
+        assert!(m.find_net("w0_1").is_some(), "input name preserved");
+        assert!(exhaustive_equiv(&n, &m).unwrap());
+    }
+}

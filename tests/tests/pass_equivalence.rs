@@ -1,0 +1,182 @@
+//! Differential-simulation equivalence for the netlist pass framework:
+//! every pass, every pass pair and the full fixpoint cleanup pipeline
+//! must preserve primary-output behaviour on every circuit — benchgen
+//! designs (proptest), the vendored c17/c1355-profile circuits, a
+//! fig2-style constant-propagation example and D-MUX-locked designs.
+//!
+//! The oracle is [`muxlink_integration_tests::po_equivalent`]:
+//! exhaustive truth tables at ≤ 16 primary inputs, 256 seeded random
+//! vectors beyond. `rename_wires` is held to a stronger bar: the attack
+//! scores on a renamed locked design must be *bit-identical* (renaming
+//! is non-semantic and structure-preserving, so the GNN sees the same
+//! graph).
+
+use muxlink_core::{AttackSession, MuxLinkConfig, NoProgress};
+use muxlink_integration_tests::{assert_po_equivalent, test_design};
+use muxlink_locking::{dmux, LockOptions};
+use muxlink_netlist::passes::{pass_by_name, Pass, Pipeline, RenameWires, PASS_NAMES};
+use muxlink_netlist::Netlist;
+use proptest::{proptest, ProptestConfig};
+
+/// Applies one named pass (seeded passes get `seed`; remap runs at a
+/// deliberately aggressive fraction including MUX re-expression, the
+/// hardest correctness case).
+fn run_pass(n: &Netlist, name: &str, seed: u64) -> Netlist {
+    let mut m = n.clone();
+    pass_by_name(name, seed, 0.6, true)
+        .expect("known pass")
+        .run(&mut m)
+        .expect("pass accepts a valid netlist");
+    m.validate().expect("pass output validates");
+    m
+}
+
+/// The paper's Fig. 2-style example: constants, a buffer chain, a double
+/// inverter and a key-style MUX — every rewrite family fires at least
+/// once.
+fn fig2_circuit() -> Netlist {
+    let text = "\
+INPUT(a)\n\
+INPUT(b)\n\
+INPUT(s)\n\
+OUTPUT(y)\n\
+OUTPUT(z)\n\
+c1 = CONST1()\n\
+n1 = AND(a, c1)\n\
+n2 = BUFF(n1)\n\
+n3 = NOT(n2)\n\
+n4 = NOT(n3)\n\
+y = MUX(s, n4, b)\n\
+z = OR(n2, n3)\n";
+    muxlink_netlist::bench_format::parse("fig2", text).expect("fig2 fixture parses")
+}
+
+/// The fixed circuit battery: tiny (c17), wide (c1355 profile at > 16
+/// inputs — exercises the sampled oracle path), rewrite-dense (fig2),
+/// reconvergent synthetic, and a locked design (MUX-heavy).
+fn circuits() -> Vec<(&'static str, Netlist)> {
+    let c1355 = muxlink_benchgen::SyntheticSuite::iscas85()
+        .find("c1355")
+        .cloned()
+        .expect("iscas85 defines c1355")
+        .scaled(0.5)
+        .generate(11);
+    let locked = {
+        let design = muxlink_benchgen::synth::SynthConfig::new("lk", 14, 6, 220).generate(9);
+        dmux::lock(&design, &LockOptions::new(8, 3)).expect("lock fits")
+    };
+    vec![
+        ("c17", muxlink_benchgen::c17()),
+        ("c1355", c1355),
+        ("fig2", fig2_circuit()),
+        ("synth", test_design(240, 5)),
+        ("locked", locked.netlist),
+    ]
+}
+
+#[test]
+fn every_single_pass_preserves_po_behaviour() {
+    for (circuit, n) in circuits() {
+        for name in PASS_NAMES {
+            let m = run_pass(&n, name, 41);
+            assert_po_equivalent(&n, &m, &format!("{name} on {circuit}"));
+        }
+    }
+}
+
+#[test]
+fn every_pass_pair_preserves_po_behaviour() {
+    // Pairs catch interactions singles cannot (e.g. remap introducing
+    // double inverters that collapse_buffers then elides, rename after
+    // a rebuild). Two structurally different circuits keep the battery
+    // honest without blowing up runtime.
+    let battery: Vec<(&str, Netlist)> = circuits()
+        .into_iter()
+        .filter(|(c, _)| *c == "fig2" || *c == "locked")
+        .collect();
+    for (circuit, n) in &battery {
+        for (i, first) in PASS_NAMES.iter().enumerate() {
+            for (j, second) in PASS_NAMES.iter().enumerate() {
+                let seed = 100 + (i * PASS_NAMES.len() + j) as u64;
+                let mid = run_pass(n, first, seed);
+                let out = run_pass(&mid, second, seed ^ 0xA5A5);
+                assert_po_equivalent(n, &out, &format!("{first}+{second} on {circuit}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn full_fixpoint_pipeline_preserves_po_behaviour() {
+    for (circuit, n) in circuits() {
+        let mut m = n.clone();
+        let report = Pipeline::cleanup()
+            .run(&mut m)
+            .expect("cleanup accepts valid netlists");
+        assert!(report.converged, "cleanup diverged on {circuit}");
+        m.validate().expect("pipeline output validates");
+        assert_po_equivalent(&n, &m, &format!("cleanup fixpoint on {circuit}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random benchgen designs through the harshest pipeline: full-rate
+    /// MUX-inclusive remap, rename, then the cleanup fixpoint.
+    #[test]
+    fn perturb_then_cleanup_preserves_po_behaviour(
+        seed in 0u64..1000,
+        gates in 80usize..260,
+    ) {
+        let n = test_design(gates, seed);
+        let mut m = n.clone();
+        let pipeline = Pipeline::new()
+            .with(muxlink_netlist::passes::RemapGates::new(seed, 1.0, true))
+            .with(RenameWires::new(seed ^ 0xC0DE))
+            .with(muxlink_netlist::passes::ConstantFold)
+            .with(muxlink_netlist::passes::CollapseBuffers)
+            .with(muxlink_netlist::passes::SimplifyMuxes)
+            .with(muxlink_netlist::passes::DeadLogicElim);
+        pipeline.run(&mut m).expect("pipeline accepts valid netlists");
+        m.validate().expect("pipeline output validates");
+        assert_po_equivalent(&n, &m, "perturb+cleanup");
+    }
+}
+
+/// `rename_wires` must be invisible to the attacker: identical graph,
+/// identical training, bit-identical scores and recovered key.
+#[test]
+fn rename_wires_scores_are_bit_identical() {
+    let design = muxlink_benchgen::synth::SynthConfig::new("rn", 14, 6, 210).generate(4);
+    let locked = dmux::lock(&design, &LockOptions::new(8, 5)).expect("lock fits");
+    let mut renamed = locked.netlist.clone();
+    let report = RenameWires::new(77)
+        .run(&mut renamed)
+        .expect("rename accepts valid netlists");
+    assert!(
+        report.rewrites > 0,
+        "a locked design has internal nets to rename"
+    );
+
+    let mut cfg = MuxLinkConfig::quick().with_threads(1);
+    cfg.epochs = 4;
+    cfg.max_train_links = 200;
+    let attack = |netlist: &Netlist| {
+        AttackSession::new(netlist, &locked.key_input_names(), cfg.clone())
+            .run(&NoProgress)
+            .expect("attack succeeds")
+    };
+    let base = attack(&locked.netlist);
+    let moved = attack(&renamed);
+    assert_eq!(base.scores, moved.scores, "scores must be bit-identical");
+    assert_eq!(
+        base.recover_key(cfg.th),
+        moved.recover_key(cfg.th),
+        "recovered key must be identical"
+    );
+    assert_eq!(
+        base.train_report.best_val_accuracy,
+        moved.train_report.best_val_accuracy
+    );
+}

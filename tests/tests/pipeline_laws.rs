@@ -1,0 +1,135 @@
+//! Algebraic laws of the pass pipeline, property-tested across benchgen
+//! designs:
+//!
+//! 1. **Idempotence** — running the cleanup fixpoint twice equals running
+//!    it once: the second run reports zero rewrites and leaves the
+//!    netlist byte-identical (`bench_format::write` string equality).
+//! 2. **Order independence up to semantics** — any permutation of the
+//!    cleanup passes reaches a semantically equivalent fixpoint.
+//! 3. **Exact rewrite counts** — `rewrites == 0` ⟺ the netlist is
+//!    unchanged, for every pass, on both already-canonical and dirty
+//!    inputs.
+
+use muxlink_integration_tests::assert_po_equivalent;
+use muxlink_locking::{dmux, LockOptions};
+use muxlink_netlist::passes::{pass_by_name, Pipeline, PASS_NAMES};
+use muxlink_netlist::{bench_format, Netlist};
+use proptest::{proptest, ProptestConfig};
+
+fn cleanup_names() -> [&'static str; 4] {
+    [
+        "constant_fold",
+        "collapse_buffers",
+        "simplify_muxes",
+        "dead_logic_elim",
+    ]
+}
+
+fn pipeline_of(names: &[&str]) -> Pipeline {
+    let mut p = Pipeline::new();
+    for n in names {
+        p.push(pass_by_name(n, 1, 0.5, false).expect("known pass"));
+    }
+    p
+}
+
+/// A design with guaranteed rewrite opportunities: a locked netlist with
+/// an extra buffer chain and double inverter stitched onto one output.
+fn dirty_design(seed: u64) -> Netlist {
+    let design = muxlink_benchgen::synth::SynthConfig::new("law", 14, 6, 180).generate(seed);
+    let locked = dmux::lock(&design, &LockOptions::new(6, seed ^ 0x77)).expect("lock fits");
+    let mut text = bench_format::write(&locked.netlist).expect("writable");
+    // Re-route the first output through BUFF(NOT(NOT(.))). The rewrite
+    // happens in text form so net ids are reassigned from scratch.
+    let out_name = {
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("OUTPUT("))
+            .expect("locked designs have outputs");
+        line.trim_start_matches("OUTPUT(")
+            .trim_end_matches(')')
+            .to_owned()
+    };
+    text = text.replacen(&format!("\n{out_name} = "), "\n__law_inner = ", 1);
+    text.push_str(&format!(
+        "__law_n1 = NOT(__law_inner)\n__law_n2 = NOT(__law_n1)\n{out_name} = BUFF(__law_n2)\n"
+    ));
+    bench_format::parse("law", &text).expect("dirty fixture parses")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Law 1: the cleanup fixpoint is idempotent.
+    #[test]
+    fn cleanup_fixpoint_is_idempotent(seed in 0u64..500) {
+        let mut n = dirty_design(seed);
+        let first = Pipeline::cleanup().run(&mut n).expect("first run");
+        assert!(first.converged);
+        assert!(first.total_rewrites() > 0, "dirty fixture must rewrite");
+        let once = bench_format::write(&n).expect("writable");
+        let second = Pipeline::cleanup().run(&mut n).expect("second run");
+        assert_eq!(second.total_rewrites(), 0, "fixpoint reached means no more rewrites");
+        assert_eq!(second.iterations, 1);
+        let twice = bench_format::write(&n).expect("writable");
+        assert_eq!(once, twice, "second run must be byte-identical");
+    }
+
+    /// Law 2: every cleanup pass order reaches a semantically equivalent
+    /// fixpoint (gate counts may differ by ordering, functions may not).
+    #[test]
+    fn pass_order_permutations_agree_semantically(seed in 0u64..500, rot in 0usize..4, swap in 0usize..3) {
+        let n = dirty_design(seed);
+        let mut names = cleanup_names();
+        names.rotate_left(rot);
+        names.swap(swap, swap + 1);
+        let mut canonical = n.clone();
+        Pipeline::cleanup().run(&mut canonical).expect("canonical order");
+        let mut permuted = n.clone();
+        pipeline_of(&names).run(&mut permuted).expect("permuted order");
+        permuted.validate().expect("permuted output validates");
+        assert_po_equivalent(&canonical, &permuted, &format!("order {names:?}"));
+        assert_po_equivalent(&n, &permuted, "permuted vs original");
+    }
+
+    /// Law 3: `rewrites == 0` ⟺ byte-identical netlist, for every pass.
+    #[test]
+    fn zero_rewrites_means_byte_identical(seed in 0u64..500) {
+        // Canonical input: cleanup passes must all report exactly 0 and
+        // change nothing. (Perturbation passes legitimately rewrite.)
+        let mut canonical = dirty_design(seed);
+        Pipeline::cleanup().run(&mut canonical).expect("canonicalize");
+        for name in cleanup_names() {
+            let before = bench_format::write(&canonical).expect("writable");
+            let mut m = canonical.clone();
+            let report = pass_by_name(name, 1, 0.5, false)
+                .expect("known pass")
+                .run(&mut m)
+                .expect("pass accepts canonical netlist");
+            let after = bench_format::write(&m).expect("writable");
+            if report.rewrites == 0 {
+                assert_eq!(before, after, "{name} reported 0 rewrites but changed bytes");
+            } else {
+                assert_ne!(before, after, "{name} reported rewrites but changed nothing");
+            }
+            assert_eq!(report.rewrites, 0, "{name} must be a no-op on a canonical netlist");
+        }
+        // Dirty input: the law's other direction — when a pass does
+        // rewrite, the count is nonzero and the bytes change.
+        let dirty = dirty_design(seed ^ 0x1234);
+        for name in PASS_NAMES {
+            let before = bench_format::write(&dirty).expect("writable");
+            let mut m = dirty.clone();
+            let report = pass_by_name(name, seed, 0.75, false)
+                .expect("known pass")
+                .run(&mut m)
+                .expect("pass accepts dirty netlist");
+            let after = bench_format::write(&m).expect("writable");
+            assert_eq!(
+                report.rewrites == 0,
+                before == after,
+                "{name}: rewrites == 0 must coincide with byte identity"
+            );
+        }
+    }
+}
